@@ -1,0 +1,45 @@
+//! Criterion bench: end-to-end cost of the headline experiment kernels
+//! (one point of E1, E7 and E10a each), so regressions in any layer of the
+//! stack show up in one place.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_bench::{reference_set, reference_system};
+use se_logic::mvl::MvlGate;
+use se_montecarlo::MasterEquation;
+
+fn experiment_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_kernels");
+    group.sample_size(10);
+
+    group.bench_function("e1_gate_sweep_41_points", |b| {
+        let set = reference_set();
+        let period = set.gate_period();
+        b.iter(|| {
+            set.gate_sweep(1e-3, 0.0, 2.0 * period, 41, 0.0, 1.0)
+                .expect("sweep succeeds")
+        });
+    });
+
+    group.bench_function("e7_mvl_transfer_41_points", |b| {
+        let gate = MvlGate::reference();
+        let period = gate.input_period();
+        b.iter(|| {
+            gate.transfer_curve(0.0, 2.0 * period, 41)
+                .expect("transfer curve succeeds")
+        });
+    });
+
+    group.bench_function("e10_master_equation_single_point", |b| {
+        let system = reference_system(1e-3, 0.08, 0.0);
+        b.iter(|| {
+            MasterEquation::new(system.clone(), 1.0)
+                .expect("solver builds")
+                .solve()
+                .expect("solve succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, experiment_kernels);
+criterion_main!(benches);

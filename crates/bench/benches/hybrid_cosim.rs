@@ -1,0 +1,25 @@
+//! Criterion bench: hybrid co-simulation of a SET behind a resistive load —
+//! the cost of one boundary-relaxation solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_hybrid::{HybridOptions, HybridSimulator};
+
+fn hybrid_cosim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_cosim");
+    group.sample_size(10);
+
+    let deck = "hybrid set load\nVDD vdd 0 5m\nVG gate 0 0.08\nRL vdd drain 10meg\nJ1 drain island C=0.5a R=100k\nJ2 island 0 C=0.5a R=100k\nCG gate island 1a\n";
+    let netlist = se_netlist::parse_deck(deck).expect("deck parses");
+    group.bench_function("set_with_10meg_load", |b| {
+        b.iter(|| {
+            HybridSimulator::new(&netlist, HybridOptions::new(1.0))
+                .expect("simulator builds")
+                .solve()
+                .expect("relaxation converges")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hybrid_cosim);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: kinetic Monte-Carlo event throughput on the reference
+//! SET and on multi-island chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_bench::{chain_system, reference_system};
+use se_montecarlo::{MonteCarloSimulator, SimulationOptions};
+
+fn kmc_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmc_events");
+    group.sample_size(10);
+
+    group.bench_function("single_set_10k_events", |b| {
+        let system = reference_system(1e-3, 0.08, 0.0);
+        b.iter(|| {
+            let mut sim = MonteCarloSimulator::new(
+                system.clone(),
+                SimulationOptions::new(1.0).with_seed(1).with_equilibration(100),
+            )
+            .expect("valid system");
+            sim.run_events(10_000).expect("run succeeds")
+        });
+    });
+
+    for islands in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("chain_2k_events", islands),
+            &islands,
+            |b, &islands| {
+                let system = chain_system(islands, 1e-3, 0.08);
+                b.iter(|| {
+                    let mut sim = MonteCarloSimulator::new(
+                        system.clone(),
+                        SimulationOptions::new(1.0).with_seed(2).with_equilibration(100),
+                    )
+                    .expect("valid system");
+                    sim.run_events(2_000).expect("run succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kmc_throughput);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: master-equation solve time versus state-space size
+//! (experiment E10b's scaling argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_bench::chain_system;
+use se_montecarlo::MasterEquation;
+
+fn master_equation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("master_equation");
+    group.sample_size(10);
+
+    for islands in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("islands", islands),
+            &islands,
+            |b, &islands| {
+                let system = chain_system(islands, 1e-3, 0.08);
+                b.iter(|| {
+                    MasterEquation::new(system.clone(), 1.0)
+                        .expect("valid system")
+                        .with_window(2)
+                        .expect("valid window")
+                        .solve()
+                        .expect("solve succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, master_equation_scaling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: dense LU factorisation and solve versus matrix size —
+//! the inner kernel of both the capacitance-matrix electrostatics and the
+//! SPICE engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_numeric::{LuDecomposition, Matrix};
+
+fn build_diagonally_dominant(n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+        }
+        m[(i, i)] += n as f64;
+    }
+    m
+}
+
+fn lu_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_solve");
+    group.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let matrix = build_diagonally_dominant(n);
+        let rhs = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("factorise_and_solve", n), &n, |b, _| {
+            b.iter(|| {
+                let lu = LuDecomposition::new(&matrix).expect("well conditioned");
+                lu.solve(&rhs).expect("solve succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lu_scaling);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: Newton–Raphson DC operating-point solution for the
+//! hybrid SET/MOSFET cell and for a ladder of nonlinear devices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_spice::Circuit;
+
+fn newton_dc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newton_dc");
+    group.sample_size(20);
+
+    let mvl_deck = "literal gate\nVDD vdd 0 20m\nVB bias 0 0.46\nVIN in 0 0.08\nM1 vdd bias out NMOS\nX1 out in 0 SET CG=1a CS=0.5a CD=0.5a RS=100k RD=100k\n";
+    let mvl = se_netlist::parse_deck(mvl_deck).expect("deck parses");
+    group.bench_function("set_mos_literal_gate", |b| {
+        let circuit = Circuit::with_temperature(&mvl, 4.2).expect("circuit builds");
+        b.iter(|| circuit.dc_operating_point().expect("op converges"));
+    });
+
+    // A chain of diode-loaded stages exercises the nonlinear iteration.
+    let mut deck = String::from("diode ladder\nV1 n0 0 5\n");
+    for i in 0..20 {
+        deck.push_str(&format!("R{i} n{i} n{} 1k\nD{i} n{} 0\n", i + 1, i + 1));
+    }
+    let ladder = se_netlist::parse_deck(&deck).expect("deck parses");
+    group.bench_function("diode_ladder_20_stages", |b| {
+        let circuit = Circuit::new(&ladder).expect("circuit builds");
+        b.iter(|| circuit.dc_operating_point().expect("op converges"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, newton_dc);
+criterion_main!(benches);

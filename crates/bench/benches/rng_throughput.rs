@@ -1,0 +1,41 @@
+//! Criterion bench: bit throughput of the SET/CMOS random-number generator
+//! (raw and von Neumann corrected).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_logic::noise::TelegraphNoiseSource;
+use se_logic::rng::{von_neumann_corrector, SetMosRng};
+
+fn rng_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_mos_rng");
+    group.sample_size(10);
+
+    group.bench_function("generate_1024_corrected_bits", |b| {
+        b.iter(|| {
+            let mut generator = SetMosRng::reference().expect("generator builds");
+            let mut rng = StdRng::seed_from_u64(1);
+            generator.generate(&mut rng, 1024).expect("bits generated")
+        });
+    });
+
+    group.bench_function("telegraph_trace_8192_samples", |b| {
+        b.iter(|| {
+            let mut source = TelegraphNoiseSource::reference().expect("source builds");
+            let mut rng = StdRng::seed_from_u64(2);
+            source
+                .sample_trace(&mut rng, 5e-6, 8192)
+                .expect("trace generated")
+        });
+    });
+
+    group.bench_function("von_neumann_corrector_64k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let raw: Vec<bool> = (0..65_536).map(|_| rand::Rng::gen::<bool>(&mut rng)).collect();
+        b.iter(|| von_neumann_corrector(&raw));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rng_throughput);
+criterion_main!(benches);

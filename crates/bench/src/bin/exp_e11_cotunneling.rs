@@ -1,0 +1,45 @@
+//! Experiment E11 — higher-order tunnelling (cotunneling) inside the
+//! blockade region.
+//!
+//! The ratio of the inelastic-cotunneling leakage to the sequential
+//! (orthodox, first-order) leakage deep in blockade, as a function of the
+//! junction resistance in units of the resistance quantum — the physics the
+//! paper lists as missing from SPICE-level SET models.
+
+use single_electronics::orthodox::cotunneling::{blockade_leakage_ratio, cotunneling_rate, CotunnelingPath};
+use single_electronics::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let charging_energy = 5e-21; // ≈ 31 meV
+    let bias_energy = 0.1 * charging_energy;
+    let temperature = 1.0;
+
+    let mut table = Table::new(
+        "E11: cotunneling vs sequential leakage deep in blockade (T = 1 K, eV = 0.1 E_C)",
+        &["R_t / R_Q", "cotunneling rate [1/s]", "cotunneling / sequential"],
+    );
+    for &ratio in &[2.0, 5.0, 10.0, 50.0, 200.0, 1000.0] {
+        let resistance = ratio * RESISTANCE_QUANTUM;
+        let path = CotunnelingPath {
+            resistance_1: resistance,
+            resistance_2: resistance,
+            intermediate_energy_1: charging_energy,
+            intermediate_energy_2: charging_energy,
+        };
+        let rate = cotunneling_rate(&path, -bias_energy, temperature)?;
+        let leakage = blockade_leakage_ratio(resistance, charging_energy, bias_energy, temperature)?;
+        table.add_row(&[
+            format!("{ratio:.0}"),
+            format!("{rate:.3e}"),
+            if leakage.is_finite() {
+                format!("{leakage:.3e}")
+            } else {
+                "inf (sequential leakage underflows)".to_string()
+            },
+        ]);
+    }
+    println!("{table}");
+    println!("cotunneling falls only as (R_Q/R_t)², while sequential leakage is exponentially suppressed —");
+    println!("orthodox-only (and SPICE-level) simulation underestimates blockade leakage for transparent junctions");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Experiment E2 — Coulomb blockade and the Coulomb staircase.
+//!
+//! Drain-voltage sweeps of a symmetric and of a strongly asymmetric SET at
+//! the gate valley: the symmetric device shows a smooth blockade knee, the
+//! asymmetric one the classic current staircase with steps every `e/CΣ`.
+
+use single_electronics::orthodox::set::SingleElectronTransistor;
+use single_electronics::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let temperature = 1.0;
+    let symmetric = SingleElectronTransistor::symmetric(0.2e-18, 0.5e-18, 100e3)?;
+    let asymmetric = SingleElectronTransistor::new(0.2e-18, 0.5e-18, 0.5e-18, 50e3, 5e6)?;
+
+    let mut table = Table::new(
+        "E2: Id(Vds) at the gate valley, T = 1 K [nA]",
+        &["Vds [mV]", "symmetric SET", "asymmetric SET (R_d = 100 R_s)"],
+    );
+    let points = 41;
+    for i in 0..points {
+        let vds = 0.5 * i as f64 / (points - 1) as f64;
+        table.add_row(&[
+            format!("{:.1}", vds * 1e3),
+            format!("{:.4}", symmetric.current(vds, 0.0, 0.0, temperature)? * 1e9),
+            format!("{:.5}", asymmetric.current(vds, 0.0, 0.0, temperature)? * 1e9),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "blockade threshold e/CΣ = {:.1} mV; staircase period e/CΣ for the asymmetric device",
+        se_units::constants::E / asymmetric.total_capacitance() * 1e3
+    );
+    Ok(())
+}

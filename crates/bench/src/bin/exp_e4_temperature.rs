@@ -1,0 +1,42 @@
+//! Experiment E4 — temperature washout and the size needed for
+//! room-temperature operation.
+//!
+//! The oscillation modulation depth of the reference SET versus temperature,
+//! and the island capacitance / size required to keep `E_C ≥ 10 k_BT` at a
+//! given temperature — the paper's "room temperature operation requires
+//! structures in the few nanometre regime".
+
+use se_bench::reference_set;
+use single_electronics::prelude::*;
+use single_electronics::units::temperature::{equivalent_island_diameter, required_capacitance};
+use single_electronics::units::Kelvin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = reference_set();
+    let mut table = Table::new(
+        "E4a: Coulomb-oscillation modulation depth vs temperature (reference SET, E_C = 40 meV)",
+        &["T [K]", "modulation depth"],
+    );
+    for &t in &[0.1, 1.0, 4.2, 20.0, 77.0, 150.0, 300.0, 600.0] {
+        table.add_row(&[
+            format!("{t:.1}"),
+            format!("{:.3}", set.modulation_depth(1e-4, 0.0, t)?),
+        ]);
+    }
+    println!("{table}");
+
+    let mut sizes = Table::new(
+        "E4b: island capacitance and size required for E_C = 10 k_BT",
+        &["T [K]", "CΣ [aF]", "equivalent island diameter [nm]"],
+    );
+    for &t in &[4.2, 77.0, 300.0] {
+        let c = required_capacitance(Kelvin(t), 10.0);
+        sizes.add_row(&[
+            format!("{t:.1}"),
+            format!("{:.3}", c.0 * 1e18),
+            format!("{:.2}", equivalent_island_diameter(c) * 1e9),
+        ]);
+    }
+    println!("{sizes}");
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Experiment E5 — voltage gain versus operating temperature.
+//!
+//! The SET voltage gain is `C_g/C_d`; raising it means a larger gate
+//! capacitance, a larger total island capacitance and therefore a lower
+//! maximum operating temperature — the trade-off the paper cites as the
+//! reason to pair SETs with MOSFET gain stages.
+
+use single_electronics::orthodox::set::SingleElectronTransistor;
+use single_electronics::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c_junction = 0.5e-18;
+    let mut table = Table::new(
+        "E5: gain Cg/Cd vs charging energy and maximum operating temperature (E_C ≥ 10 k_BT)",
+        &["Cg/Cd", "Cg [aF]", "E_C [meV]", "T_max [K]"],
+    );
+    for &ratio in &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let c_gate = ratio * c_junction;
+        let set = SingleElectronTransistor::symmetric(c_gate, c_junction, 100e3)?;
+        table.add_row(&[
+            format!("{ratio:.2}"),
+            format!("{:.2}", c_gate * 1e18),
+            format!("{:.1}", set.charging_energy() / E * 1e3),
+            format!("{:.1}", set.max_operating_temperature(10.0)),
+        ]);
+    }
+    println!("{table}");
+    println!("gain > 1 is possible but costs operating temperature; a MOSFET gain stage avoids the trade-off");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Experiment E7 — the merged SET/MOSFET multiple-valued literal gate
+//! (Inokawa et al.).
+//!
+//! Transfer curve of the two-device cell solved by the SPICE engine with the
+//! analytic SET compact model, and the number of distinct output plateaus —
+//! the functionality that a pure-CMOS implementation would need many
+//! transistors to replicate.
+
+use single_electronics::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gate = MvlGate::reference();
+    let period = gate.input_period();
+    let curve = gate.transfer_curve(0.0, 4.0 * period, 161)?;
+
+    let mut table = Table::new(
+        "E7: SET/MOSFET literal-gate transfer curve (4 input periods, every 4th point)",
+        &["Vin / period", "Vout [mV]"],
+    );
+    for (i, (v_in, v_out)) in curve.iter().enumerate() {
+        if i % 4 == 0 {
+            table.add_row(&[
+                format!("{:.3}", v_in / period),
+                format!("{:.3}", v_out * 1e3),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let plateaus = MvlGate::count_plateaus(&curve, 0.1 * gate.supply);
+    let outputs: Vec<f64> = curve.iter().map(|&(_, v)| v).collect();
+    let swing = outputs.iter().cloned().fold(f64::MIN, f64::max)
+        - outputs.iter().cloned().fold(f64::MAX, f64::min);
+    println!("output plateaus over 4 periods : {plateaus}");
+    println!("output swing                   : {:.2} mV of a {:.0} mV supply", swing * 1e3, gate.supply * 1e3);
+    println!("devices used                   : 1 SET + 1 MOSFET");
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Shared fixtures for the experiment harnesses and Criterion benches.
+//!
+//! Every binary in `src/bin/` reproduces one experiment of EXPERIMENTS.md;
+//! the helpers here build the reference devices and circuits so the
+//! harnesses stay focused on the sweep being reproduced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use se_orthodox::set::SingleElectronTransistor;
+use se_orthodox::{TunnelSystem, TunnelSystemBuilder};
+
+/// Gate capacitance of the reference SET, farad.
+pub const REFERENCE_C_GATE: f64 = 1e-18;
+
+/// Junction capacitance of the reference SET, farad.
+pub const REFERENCE_C_JUNCTION: f64 = 0.5e-18;
+
+/// Junction tunnel resistance of the reference SET, ohm.
+pub const REFERENCE_R_JUNCTION: f64 = 100e3;
+
+/// The reference single-electron transistor used across the experiments.
+///
+/// # Panics
+///
+/// Never panics: the reference parameters are valid by construction.
+#[must_use]
+pub fn reference_set() -> SingleElectronTransistor {
+    SingleElectronTransistor::symmetric(
+        REFERENCE_C_GATE,
+        REFERENCE_C_JUNCTION,
+        REFERENCE_R_JUNCTION,
+    )
+    .expect("reference parameters are valid")
+}
+
+/// The reference SET as a [`TunnelSystem`] for the Monte-Carlo and
+/// master-equation engines, with the drain at `vds`, the source grounded
+/// and the gate at `vg`.
+///
+/// # Panics
+///
+/// Never panics: the reference parameters are valid by construction.
+#[must_use]
+pub fn reference_system(vds: f64, vg: f64, q0: f64) -> TunnelSystem {
+    let mut builder = TunnelSystemBuilder::new();
+    let island = builder.island("island", q0);
+    let drain = builder.external("drain", vds);
+    let source = builder.external("source", 0.0);
+    let gate = builder.external("gate", vg);
+    builder.junction("JD", drain, island, REFERENCE_C_JUNCTION, REFERENCE_R_JUNCTION);
+    builder.junction("JS", island, source, REFERENCE_C_JUNCTION, REFERENCE_R_JUNCTION);
+    builder.capacitor("CG", gate, island, REFERENCE_C_GATE);
+    builder.build().expect("reference parameters are valid")
+}
+
+/// A serial chain of `islands` islands between the drain and the source,
+/// each with its own gate capacitor — used for the circuit-size scaling
+/// benchmarks of experiment E10.
+///
+/// # Panics
+///
+/// Panics if `islands == 0`.
+#[must_use]
+pub fn chain_system(islands: usize, vds: f64, vg: f64) -> TunnelSystem {
+    assert!(islands > 0, "the chain needs at least one island");
+    let mut builder = TunnelSystemBuilder::new();
+    let drain = builder.external("drain", vds);
+    let source = builder.external("source", 0.0);
+    let gate = builder.external("gate", vg);
+    let mut previous = drain;
+    for i in 0..islands {
+        let island = builder.island(format!("island{i}"), 0.0);
+        builder.junction(
+            format!("J{i}"),
+            previous,
+            island,
+            REFERENCE_C_JUNCTION,
+            REFERENCE_R_JUNCTION,
+        );
+        builder.capacitor(format!("CG{i}"), gate, island, REFERENCE_C_GATE);
+        previous = island;
+    }
+    builder.junction(
+        format!("J{islands}"),
+        previous,
+        source,
+        REFERENCE_C_JUNCTION,
+        REFERENCE_R_JUNCTION,
+    );
+    builder.build().expect("chain parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_fixtures_build() {
+        let set = reference_set();
+        assert!(set.gate_period() > 0.0);
+        let system = reference_system(1e-3, 0.0, 0.0);
+        assert_eq!(system.island_count(), 1);
+        assert_eq!(system.junctions().len(), 2);
+    }
+
+    #[test]
+    fn chain_grows_with_island_count() {
+        let chain = chain_system(4, 1e-3, 0.0);
+        assert_eq!(chain.island_count(), 4);
+        assert_eq!(chain.junctions().len(), 5);
+        assert_eq!(chain.capacitors().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one island")]
+    fn empty_chain_panics() {
+        let _ = chain_system(0, 0.0, 0.0);
+    }
+}

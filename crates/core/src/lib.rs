@@ -1,0 +1,74 @@
+//! # single-electronics
+//!
+//! A toolkit for simulating single-electron circuits and the hybrid
+//! SET/CMOS applications surveyed in *"Recent Advances and Future Prospects
+//! in Single-Electronics"*: orthodox-theory physics, a SIMON-class
+//! Monte-Carlo / master-equation simulator, a SPICE-class circuit simulator
+//! with analytic SET compact models, a co-simulator coupling the two, and
+//! the application layer (background-charge-immune AM/FM logic, the
+//! SET/MOSFET multiple-valued literal gate, the SET/CMOS random-number
+//! generator and the power-dissipation analysis).
+//!
+//! This crate is the facade: it re-exports the sub-crates under stable
+//! names and provides a [`prelude`] plus a small [`report`] helper used by
+//! the experiment harnesses to print aligned tables.
+//!
+//! | Layer | Crate | Re-export |
+//! |---|---|---|
+//! | Constants & quantities | `se-units` | [`units`] |
+//! | Numerics | `se-numeric` | [`numeric`] |
+//! | Netlists | `se-netlist` | [`netlist`] |
+//! | Orthodox physics | `se-orthodox` | [`orthodox`] |
+//! | Monte-Carlo / master equation | `se-montecarlo` | [`montecarlo`] |
+//! | SPICE engine | `se-spice` | [`spice`] |
+//! | Co-simulation | `se-hybrid` | [`hybrid`] |
+//! | Logic & applications | `se-logic` | [`logic`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use single_electronics::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The reference SET: 1 aF gate, 0.5 aF junctions, 100 kΩ.
+//! let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3)?;
+//! // Coulomb oscillations: one full gate period at 1 mV drain bias, 1 K.
+//! let sweep = set.gate_sweep(1e-3, 0.0, set.gate_period(), 41, 0.0, 1.0)?;
+//! let peak = sweep.iter().map(|p| p.current).fold(f64::MIN, f64::max);
+//! assert!(peak > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use se_hybrid as hybrid;
+pub use se_logic as logic;
+pub use se_montecarlo as montecarlo;
+pub use se_netlist as netlist;
+pub use se_numeric as numeric;
+pub use se_orthodox as orthodox;
+pub use se_spice as spice;
+pub use se_units as units;
+
+pub mod report;
+
+/// The most commonly used types across the whole toolkit.
+pub mod prelude {
+    pub use crate::report::Table;
+    pub use se_hybrid::{HybridOptions, HybridSimulator};
+    pub use se_logic::amfm::{AmCodedGate, FmCodedGate, GateSpeedModel};
+    pub use se_logic::encoding::{AmplitudeEncoding, FrequencyEncoding, LevelEncoding};
+    pub use se_logic::gates::SetInverter;
+    pub use se_logic::mvl::MvlGate;
+    pub use se_logic::power::{CmosPowerModel, SetLogicPowerModel};
+    pub use se_logic::randomness::RandomnessReport;
+    pub use se_logic::rng::{RngComparison, SetMosRng};
+    pub use se_montecarlo::prelude::*;
+    pub use se_netlist::prelude::*;
+    pub use se_orthodox::set::SingleElectronTransistor;
+    pub use se_orthodox::{ChargeState, TunnelSystem, TunnelSystemBuilder};
+    pub use se_spice::prelude::*;
+    pub use se_units::constants::{BOLTZMANN, E, RESISTANCE_QUANTUM};
+}

@@ -1,0 +1,123 @@
+//! Plain-text table formatting for the experiment harnesses.
+//!
+//! Every experiment binary in `se-bench` prints its reproduced figure or
+//! table through this helper so EXPERIMENTS.md and the console output stay
+//! consistent.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn add_row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header width"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of `f64` values formatted in scientific
+    /// notation with 4 significant digits, prefixed by a label.
+    pub fn add_numeric_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.4e}")));
+        self.add_row(&cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "# {}", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", rule.join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_formats_a_table() {
+        let mut table = Table::new("demo", &["x", "y"]);
+        assert!(table.is_empty());
+        table.add_row(&["1".to_string(), "2".to_string()]);
+        table.add_numeric_row("row", &[3.14159e-9]);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.title(), "demo");
+        let text = table.to_string();
+        assert!(text.contains("# demo"));
+        assert!(text.contains("3.1416e-9"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut table = Table::new("demo", &["a", "b"]);
+        table.add_row(&["only one".to_string()]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the co-simulator.
+
+use se_montecarlo::MonteCarloError;
+use se_netlist::NetlistError;
+use se_spice::SpiceError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the hybrid co-simulator.
+#[derive(Debug)]
+pub enum HybridError {
+    /// The netlist could not be used (parse/validation problems).
+    Netlist(NetlistError),
+    /// The single-electron half failed.
+    MonteCarlo(MonteCarloError),
+    /// The conventional half failed.
+    Spice(SpiceError),
+    /// The boundary relaxation did not converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Largest boundary-voltage change in the last iteration, in volt.
+        residual: f64,
+    },
+    /// Invalid options or arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::Netlist(e) => write!(f, "netlist error: {e}"),
+            HybridError::MonteCarlo(e) => write!(f, "single-electron domain error: {e}"),
+            HybridError::Spice(e) => write!(f, "conventional domain error: {e}"),
+            HybridError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "boundary relaxation did not converge after {iterations} iterations (residual {residual:.3e} V)"
+            ),
+            HybridError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for HybridError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HybridError::Netlist(e) => Some(e),
+            HybridError::MonteCarlo(e) => Some(e),
+            HybridError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for HybridError {
+    fn from(e: NetlistError) -> Self {
+        HybridError::Netlist(e)
+    }
+}
+
+impl From<MonteCarloError> for HybridError {
+    fn from(e: MonteCarloError) -> Self {
+        HybridError::MonteCarlo(e)
+    }
+}
+
+impl From<SpiceError> for HybridError {
+    fn from(e: SpiceError) -> Self {
+        HybridError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = HybridError::NoConvergence {
+            iterations: 10,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10 iterations"));
+        let e = HybridError::InvalidArgument("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: HybridError = NetlistError::Empty.into();
+        assert!(Error::source(&e).is_some());
+        let e: HybridError = MonteCarloError::NoIslands.into();
+        assert!(Error::source(&e).is_some());
+        let e: HybridError = SpiceError::InvalidArgument("x".into()).into();
+        assert!(Error::source(&e).is_some());
+    }
+}

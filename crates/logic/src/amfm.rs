@@ -1,0 +1,470 @@
+//! Background-charge-independent AM/FM-coded single-electron logic.
+//!
+//! Following Klunder's proposal (reference [1] of the paper), information is
+//! not coded in a voltage level but in the *amplitude* or *frequency* of the
+//! SET's periodic Id–Vg characteristic, the two properties a background
+//! charge cannot touch. The physical knob is a *modulatable capacitance*:
+//! the logic input changes the gate capacitance (e.g. through a biased pn
+//! junction or a suspended gate), which changes the oscillation frequency
+//! seen while the gate is swept (FM), or changes the drain bias and with it
+//! the oscillation amplitude (AM).
+//!
+//! The gates below produce the raw output records (drain-current samples
+//! along a gate ramp), the decoders from [`crate::encoding`] turn them into
+//! bits, and [`bit_error_rate`] measures how often a random background
+//! charge flips the result — the quantity compared against the level-coded
+//! inverter of [`crate::gates`] in experiment E6. [`GateSpeedModel`]
+//! quantifies the price: an AM/FM gate needs several oscillation periods per
+//! decision, but each period only costs a handful of sub-picosecond
+//! tunnelling times (experiment E12).
+
+use crate::encoding::{AmplitudeEncoding, FrequencyEncoding};
+use crate::error::LogicError;
+use crate::gates::SetInverter;
+use rand::Rng;
+use se_orthodox::rates::intrinsic_tunnel_time;
+use se_orthodox::set::SingleElectronTransistor;
+use se_units::constants::E;
+
+/// An FM-coded gate: the input bit selects one of two gate capacitances, so
+/// a fixed gate-voltage ramp produces a different number of Coulomb
+/// oscillations for 0 and 1.
+#[derive(Debug, Clone)]
+pub struct FmCodedGate {
+    c_gate_low: f64,
+    c_gate_high: f64,
+    c_junction: f64,
+    r_junction: f64,
+    /// Drain bias applied while reading, volt.
+    read_bias: f64,
+    /// Gate-ramp span, volt.
+    ramp_span: f64,
+    /// Samples per record.
+    samples: usize,
+    /// Operating temperature, kelvin.
+    temperature: f64,
+}
+
+impl FmCodedGate {
+    /// Creates an FM-coded gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] if the two gate capacitances
+    /// are not distinct and positive, or other parameters are non-positive.
+    pub fn new(
+        c_gate_low: f64,
+        c_gate_high: f64,
+        c_junction: f64,
+        r_junction: f64,
+        ramp_span: f64,
+        samples: usize,
+        temperature: f64,
+    ) -> Result<Self, LogicError> {
+        if !(c_gate_low > 0.0 && c_gate_high > 0.0) || c_gate_low == c_gate_high {
+            return Err(LogicError::InvalidArgument(
+                "FM gate needs two distinct positive gate capacitances".into(),
+            ));
+        }
+        if !(c_junction > 0.0 && r_junction > 0.0 && ramp_span > 0.0) {
+            return Err(LogicError::InvalidArgument(
+                "junction parameters and ramp span must be positive".into(),
+            ));
+        }
+        if samples < 16 {
+            return Err(LogicError::InvalidArgument(
+                "an FM record needs at least 16 samples".into(),
+            ));
+        }
+        Ok(FmCodedGate {
+            c_gate_low,
+            c_gate_high,
+            c_junction,
+            r_junction,
+            read_bias: 2e-3,
+            ramp_span,
+            samples,
+            temperature,
+        })
+    }
+
+    /// The reference FM gate used by the experiments: 1 aF / 2 aF gate
+    /// capacitances (so logic 1 produces twice as many oscillations),
+    /// 0.5 aF / 100 kΩ junctions, a ramp spanning four low-capacitance
+    /// periods, 1024 samples, 1 K.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates constructor validation.
+    pub fn reference() -> Result<Self, LogicError> {
+        let c_low = 1e-18;
+        let ramp = 4.0 * E / c_low;
+        FmCodedGate::new(c_low, 2e-18, 0.5e-18, 100e3, ramp, 1024, 1.0)
+    }
+
+    /// Expected oscillation counts for logic 0 and 1 over one record.
+    #[must_use]
+    pub fn expected_cycles(&self) -> (usize, usize) {
+        let low = (self.ramp_span * self.c_gate_low / E).round() as usize;
+        let high = (self.ramp_span * self.c_gate_high / E).round() as usize;
+        (low, high)
+    }
+
+    /// Produces the raw output record (drain-current samples along the gate
+    /// ramp) for the given input bit and background charge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics errors.
+    pub fn output_record(&self, input: bool, background_charge: f64) -> Result<Vec<f64>, LogicError> {
+        let c_gate = if input {
+            self.c_gate_high
+        } else {
+            self.c_gate_low
+        };
+        let set = SingleElectronTransistor::symmetric(c_gate, self.c_junction, self.r_junction)?;
+        let mut record = Vec::with_capacity(self.samples);
+        for i in 0..self.samples {
+            let vg = self.ramp_span * i as f64 / self.samples as f64;
+            record.push(set.current(self.read_bias, vg, background_charge, self.temperature)?);
+        }
+        Ok(record)
+    }
+
+    /// Evaluates the gate: produces the record, counts its Coulomb
+    /// oscillations and compares the count against the two expected cycle
+    /// numbers.
+    ///
+    /// Counting oscillation peaks (threshold crossings) rather than taking a
+    /// Fourier transform is the robust choice for the SET's strongly
+    /// non-sinusoidal, narrow-peaked waveform; the sinusoidal
+    /// [`FrequencyEncoding`] decoder remains available for smoother signals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics and decoding errors.
+    pub fn evaluate(&self, input: bool, background_charge: f64) -> Result<bool, LogicError> {
+        let (low, high) = self.expected_cycles();
+        // Keep the validation of the pair even though the decision below
+        // uses peak counting.
+        let _ = FrequencyEncoding::new(low, high)?;
+        let record = self.output_record(input, background_charge)?;
+        let count = count_oscillations(&record) as f64;
+        Ok((count - high as f64).abs() < (count - low as f64).abs())
+    }
+}
+
+/// Counts the Coulomb oscillations in a record as the number of rising
+/// crossings of the mid-level between the record's minimum and maximum.
+#[must_use]
+pub fn count_oscillations(record: &[f64]) -> usize {
+    if record.len() < 2 {
+        return 0;
+    }
+    let max = record.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = record.iter().cloned().fold(f64::INFINITY, f64::min);
+    if !(max > min) {
+        return 0;
+    }
+    let threshold = 0.5 * (max + min);
+    record
+        .windows(2)
+        .filter(|w| w[0] <= threshold && w[1] > threshold)
+        .count()
+}
+
+/// An AM-coded gate: the input bit selects one of two drain biases, so the
+/// oscillation observed along a one-period gate ramp has a large or a small
+/// amplitude.
+#[derive(Debug, Clone)]
+pub struct AmCodedGate {
+    set: SingleElectronTransistor,
+    /// Drain bias for logic 0, volt.
+    bias_low: f64,
+    /// Drain bias for logic 1, volt.
+    bias_high: f64,
+    /// Samples per record.
+    samples: usize,
+    /// Operating temperature, kelvin.
+    temperature: f64,
+}
+
+impl AmCodedGate {
+    /// Creates an AM-coded gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] if the biases are not ordered
+    /// `0 <= bias_low < bias_high` or the sample count is too small.
+    pub fn new(
+        set: SingleElectronTransistor,
+        bias_low: f64,
+        bias_high: f64,
+        samples: usize,
+        temperature: f64,
+    ) -> Result<Self, LogicError> {
+        if !(bias_low >= 0.0 && bias_high > bias_low) {
+            return Err(LogicError::InvalidArgument(format!(
+                "AM gate needs 0 <= bias_low < bias_high, got {bias_low} and {bias_high}"
+            )));
+        }
+        if samples < 16 {
+            return Err(LogicError::InvalidArgument(
+                "an AM record needs at least 16 samples".into(),
+            ));
+        }
+        Ok(AmCodedGate {
+            set,
+            bias_low,
+            bias_high,
+            samples,
+            temperature,
+        })
+    }
+
+    /// The reference AM gate: symmetric SET, 0.1 mV / 2 mV read biases,
+    /// 256 samples, 1 K.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates constructor validation.
+    pub fn reference() -> Result<Self, LogicError> {
+        let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3)?;
+        AmCodedGate::new(set, 1e-4, 2e-3, 256, 1.0)
+    }
+
+    /// A decoder matched to the reference gate: the decision threshold sits
+    /// between the current swings produced by the two read biases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics errors while calibrating the threshold.
+    pub fn matched_decoder(&self) -> Result<AmplitudeEncoding, LogicError> {
+        let low = AmplitudeEncoding::amplitude(&self.output_record(false, 0.0)?);
+        let high = AmplitudeEncoding::amplitude(&self.output_record(true, 0.0)?);
+        AmplitudeEncoding::new(0.5 * (low + high))
+    }
+
+    /// Produces the raw output record for the given input bit and background
+    /// charge: the drain current sampled along one full gate period.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics errors.
+    pub fn output_record(&self, input: bool, background_charge: f64) -> Result<Vec<f64>, LogicError> {
+        let bias = if input { self.bias_high } else { self.bias_low };
+        let period = self.set.gate_period();
+        let mut record = Vec::with_capacity(self.samples);
+        for i in 0..self.samples {
+            let vg = period * i as f64 / self.samples as f64;
+            record.push(self.set.current(bias, vg, background_charge, self.temperature)?);
+        }
+        Ok(record)
+    }
+
+    /// Evaluates the gate with the matched amplitude decoder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics and decoding errors.
+    pub fn evaluate(&self, input: bool, background_charge: f64) -> Result<bool, LogicError> {
+        let decoder = self.matched_decoder()?;
+        let record = self.output_record(input, background_charge)?;
+        Ok(decoder.decode(&record))
+    }
+}
+
+/// Bit-error rate of a level-coded SET inverter under uniformly random
+/// background charges in `[-q0_max, q0_max]` (units of `e`): the fraction of
+/// trials in which the decoded output differs from the clean-device output.
+///
+/// # Errors
+///
+/// Propagates gate-evaluation errors.
+pub fn level_coded_bit_error_rate<R: Rng + ?Sized>(
+    inverter: &SetInverter,
+    rng: &mut R,
+    q0_max: f64,
+    trials: usize,
+) -> Result<f64, LogicError> {
+    if trials == 0 {
+        return Err(LogicError::InvalidArgument(
+            "at least one trial is required".into(),
+        ));
+    }
+    let decoder = crate::encoding::LevelEncoding::new(0.0, inverter.supply())?;
+    let mut errors = 0usize;
+    for trial in 0..trials {
+        let input_bit = trial % 2 == 0;
+        // Level-coded input: blockade point for 0, conductance peak for 1.
+        let v_in = if input_bit {
+            inverter.gate_period() / 2.0
+        } else {
+            0.0
+        };
+        let expected = decoder.decode(inverter.output_voltage(v_in, 0.0)?);
+        let q0 = (rng.gen::<f64>() * 2.0 - 1.0) * q0_max;
+        let observed = decoder.decode(inverter.output_voltage(v_in, q0)?);
+        if observed != expected {
+            errors += 1;
+        }
+    }
+    Ok(errors as f64 / trials as f64)
+}
+
+/// Bit-error rate of the FM-coded gate under the same background-charge
+/// disorder model as [`level_coded_bit_error_rate`].
+///
+/// # Errors
+///
+/// Propagates gate-evaluation errors.
+pub fn fm_coded_bit_error_rate<R: Rng + ?Sized>(
+    gate: &FmCodedGate,
+    rng: &mut R,
+    q0_max: f64,
+    trials: usize,
+) -> Result<f64, LogicError> {
+    if trials == 0 {
+        return Err(LogicError::InvalidArgument(
+            "at least one trial is required".into(),
+        ));
+    }
+    let mut errors = 0usize;
+    for trial in 0..trials {
+        let input = trial % 2 == 0;
+        let q0 = (rng.gen::<f64>() * 2.0 - 1.0) * q0_max;
+        if gate.evaluate(input, q0)? != input {
+            errors += 1;
+        }
+    }
+    Ok(errors as f64 / trials as f64)
+}
+
+/// Speed model of AM/FM-coded logic (experiment E12): a decision needs
+/// `periods` Coulomb oscillations, each of which needs roughly
+/// `tunnel_events_per_period` sequential tunnelling events, each taking the
+/// intrinsic tunnel time `e²R_t/ΔF`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateSpeedModel {
+    /// Tunnel resistance of the junctions, ohm.
+    pub tunnel_resistance: f64,
+    /// Free-energy gain driving each tunnel event, joule.
+    pub drive_energy: f64,
+    /// Tunnel events needed per oscillation period (≥ 2: one on, one off).
+    pub tunnel_events_per_period: f64,
+}
+
+impl GateSpeedModel {
+    /// Intrinsic single-tunnel-event time in seconds.
+    #[must_use]
+    pub fn tunnel_time(&self) -> f64 {
+        intrinsic_tunnel_time(-self.drive_energy.abs(), self.tunnel_resistance)
+    }
+
+    /// Minimum gate delay (seconds) when the decision integrates `periods`
+    /// oscillation periods.
+    #[must_use]
+    pub fn gate_delay(&self, periods: usize) -> f64 {
+        periods as f64 * self.tunnel_events_per_period * self.tunnel_time()
+    }
+
+    /// Maximum clock frequency (hertz) for the given number of periods.
+    #[must_use]
+    pub fn max_clock_frequency(&self, periods: usize) -> f64 {
+        1.0 / self.gate_delay(periods)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fm_gate_constructor_validation() {
+        assert!(FmCodedGate::new(1e-18, 1e-18, 0.5e-18, 1e5, 0.1, 256, 1.0).is_err());
+        assert!(FmCodedGate::new(1e-18, 2e-18, 0.0, 1e5, 0.1, 256, 1.0).is_err());
+        assert!(FmCodedGate::new(1e-18, 2e-18, 0.5e-18, 1e5, 0.1, 4, 1.0).is_err());
+        assert!(FmCodedGate::reference().is_ok());
+    }
+
+    #[test]
+    fn fm_gate_decodes_both_inputs_correctly() {
+        let gate = FmCodedGate::reference().unwrap();
+        let (low, high) = gate.expected_cycles();
+        assert_eq!((low, high), (4, 8));
+        assert!(!gate.evaluate(false, 0.0).unwrap());
+        assert!(gate.evaluate(true, 0.0).unwrap());
+    }
+
+    #[test]
+    fn fm_gate_is_immune_to_background_charge() {
+        let gate = FmCodedGate::reference().unwrap();
+        for q0 in [-0.5, -0.23, 0.11, 0.37, 0.5] {
+            assert!(!gate.evaluate(false, q0).unwrap(), "q0 = {q0}");
+            assert!(gate.evaluate(true, q0).unwrap(), "q0 = {q0}");
+        }
+    }
+
+    #[test]
+    fn am_gate_decodes_and_is_immune() {
+        let gate = AmCodedGate::reference().unwrap();
+        assert!(!gate.evaluate(false, 0.0).unwrap());
+        assert!(gate.evaluate(true, 0.0).unwrap());
+        for q0 in [-0.4, 0.25, 0.5] {
+            assert!(!gate.evaluate(false, q0).unwrap(), "q0 = {q0}");
+            assert!(gate.evaluate(true, q0).unwrap(), "q0 = {q0}");
+        }
+    }
+
+    #[test]
+    fn am_gate_constructor_validation() {
+        let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+        assert!(AmCodedGate::new(set.clone(), 2e-3, 1e-3, 128, 1.0).is_err());
+        assert!(AmCodedGate::new(set, 1e-4, 2e-3, 4, 1.0).is_err());
+    }
+
+    #[test]
+    fn level_coded_logic_fails_under_disorder_but_fm_does_not() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let inverter = SetInverter::reference().unwrap();
+        let level_ber =
+            level_coded_bit_error_rate(&inverter, &mut rng, 0.5, 40).unwrap();
+        let gate = FmCodedGate::reference().unwrap();
+        let fm_ber = fm_coded_bit_error_rate(&gate, &mut rng, 0.5, 20).unwrap();
+        assert!(
+            level_ber > 0.2,
+            "level-coded logic should fail often under worst-case disorder, got {level_ber}"
+        );
+        assert_eq!(fm_ber, 0.0, "FM-coded logic must be immune");
+    }
+
+    #[test]
+    fn bit_error_rate_requires_trials() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inverter = SetInverter::reference().unwrap();
+        assert!(level_coded_bit_error_rate(&inverter, &mut rng, 0.5, 0).is_err());
+        let gate = FmCodedGate::reference().unwrap();
+        assert!(fm_coded_bit_error_rate(&gate, &mut rng, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn speed_model_shows_sub_nanosecond_gates_despite_periods() {
+        // Drive energy of one charging energy across a 100 kΩ junction.
+        let model = GateSpeedModel {
+            tunnel_resistance: 100e3,
+            drive_energy: 5e-21,
+            tunnel_events_per_period: 4.0,
+        };
+        assert!(model.tunnel_time() < 1e-12, "tunnelling must be sub-picosecond");
+        let delay_level = model.gate_delay(1);
+        let delay_fm = model.gate_delay(8);
+        assert!(delay_fm > delay_level, "FM coding costs extra periods");
+        assert!(
+            delay_fm < 1e-9,
+            "even an 8-period FM gate stays below a nanosecond: {delay_fm}"
+        );
+        assert!(model.max_clock_frequency(8) > 1e9);
+    }
+}

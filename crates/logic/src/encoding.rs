@@ -1,0 +1,232 @@
+//! Logic-state encodings: voltage level, oscillation amplitude (AM) and
+//! oscillation frequency (FM).
+//!
+//! The paper's central design argument is that the *phase* of a SET's
+//! periodic characteristic is corrupted by background charges while its
+//! *period and amplitude* are not — so a robust single-electron logic must
+//! encode information in amplitude or frequency rather than in plain levels.
+//! This module provides the three encoders/decoders used by the gate models
+//! in [`crate::gates`] and [`crate::amfm`].
+
+use crate::error::LogicError;
+use se_numeric::dft;
+
+/// Conventional voltage-level encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelEncoding {
+    /// Voltage representing logic 0.
+    pub v_low: f64,
+    /// Voltage representing logic 1.
+    pub v_high: f64,
+}
+
+impl LevelEncoding {
+    /// Creates a level encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] if `v_low >= v_high`.
+    pub fn new(v_low: f64, v_high: f64) -> Result<Self, LogicError> {
+        if !(v_low < v_high) {
+            return Err(LogicError::InvalidArgument(format!(
+                "level encoding needs v_low < v_high, got {v_low} and {v_high}"
+            )));
+        }
+        Ok(LevelEncoding { v_low, v_high })
+    }
+
+    /// Voltage representing the given bit.
+    #[must_use]
+    pub fn encode(&self, bit: bool) -> f64 {
+        if bit {
+            self.v_high
+        } else {
+            self.v_low
+        }
+    }
+
+    /// Decision threshold (midpoint).
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        0.5 * (self.v_low + self.v_high)
+    }
+
+    /// Decodes a voltage into a bit by comparing against the midpoint.
+    #[must_use]
+    pub fn decode(&self, voltage: f64) -> bool {
+        voltage > self.threshold()
+    }
+
+    /// Noise margin: how far a level can drift before it is misread.
+    #[must_use]
+    pub fn noise_margin(&self) -> f64 {
+        0.5 * (self.v_high - self.v_low)
+    }
+}
+
+/// Amplitude-modulation encoding: the bit is carried by the peak-to-peak
+/// amplitude of an oscillating signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmplitudeEncoding {
+    /// Peak-to-peak amplitude below which the signal decodes as logic 0.
+    pub threshold: f64,
+}
+
+impl AmplitudeEncoding {
+    /// Creates an amplitude encoding with the given decision threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] if the threshold is not
+    /// strictly positive.
+    pub fn new(threshold: f64) -> Result<Self, LogicError> {
+        if !(threshold > 0.0) {
+            return Err(LogicError::InvalidArgument(format!(
+                "amplitude threshold must be positive, got {threshold}"
+            )));
+        }
+        Ok(AmplitudeEncoding { threshold })
+    }
+
+    /// Peak-to-peak amplitude of a signal.
+    #[must_use]
+    pub fn amplitude(signal: &[f64]) -> f64 {
+        if signal.is_empty() {
+            return 0.0;
+        }
+        let max = signal.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = signal.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// Decodes a signal: logic 1 if its peak-to-peak amplitude exceeds the
+    /// threshold.
+    #[must_use]
+    pub fn decode(&self, signal: &[f64]) -> bool {
+        Self::amplitude(signal) > self.threshold
+    }
+}
+
+/// Frequency-modulation encoding: the bit is carried by the number of
+/// oscillation cycles observed in a fixed record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyEncoding {
+    /// Expected cycle count for logic 0.
+    pub cycles_low: usize,
+    /// Expected cycle count for logic 1.
+    pub cycles_high: usize,
+}
+
+impl FrequencyEncoding {
+    /// Creates a frequency encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] if the two cycle counts are
+    /// not distinct and at least 1.
+    pub fn new(cycles_low: usize, cycles_high: usize) -> Result<Self, LogicError> {
+        if cycles_low == 0 || cycles_high == 0 || cycles_low == cycles_high {
+            return Err(LogicError::InvalidArgument(format!(
+                "frequency encoding needs two distinct non-zero cycle counts, got {cycles_low} and {cycles_high}"
+            )));
+        }
+        Ok(FrequencyEncoding {
+            cycles_low,
+            cycles_high,
+        })
+    }
+
+    /// Measures the dominant cycle count of a record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LogicError::Numeric`] if the record is too short.
+    pub fn measure_cycles(signal: &[f64]) -> Result<usize, LogicError> {
+        Ok(dft::dominant_frequency(signal)?)
+    }
+
+    /// Decodes a record: logic 1 if the dominant cycle count is closer to
+    /// `cycles_high` than to `cycles_low`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LogicError::Numeric`] if the record is too short.
+    pub fn decode(&self, signal: &[f64]) -> Result<bool, LogicError> {
+        let cycles = Self::measure_cycles(signal)? as f64;
+        let d_low = (cycles - self.cycles_low as f64).abs();
+        let d_high = (cycles - self.cycles_high as f64).abs();
+        Ok(d_high < d_low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sine(n: usize, cycles: f64, amplitude: f64, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                amplitude
+                    * (2.0 * std::f64::consts::PI * cycles * i as f64 / n as f64 + phase).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn level_encoding_round_trip_and_margin() {
+        let enc = LevelEncoding::new(0.0, 0.8).unwrap();
+        assert!(enc.decode(enc.encode(true)));
+        assert!(!enc.decode(enc.encode(false)));
+        assert!((enc.threshold() - 0.4).abs() < 1e-12);
+        assert!((enc.noise_margin() - 0.4).abs() < 1e-12);
+        assert!(LevelEncoding::new(1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn amplitude_encoding_separates_large_and_small_signals() {
+        let enc = AmplitudeEncoding::new(0.5).unwrap();
+        let strong = sine(64, 4.0, 1.0, 0.0);
+        let weak = sine(64, 4.0, 0.1, 0.0);
+        assert!(enc.decode(&strong));
+        assert!(!enc.decode(&weak));
+        assert!(AmplitudeEncoding::new(0.0).is_err());
+        assert_eq!(AmplitudeEncoding::amplitude(&[]), 0.0);
+    }
+
+    #[test]
+    fn frequency_encoding_separates_cycle_counts() {
+        let enc = FrequencyEncoding::new(3, 9).unwrap();
+        let low = sine(90, 3.0, 1.0, 0.0);
+        let high = sine(90, 9.0, 1.0, 0.0);
+        assert!(!enc.decode(&low).unwrap());
+        assert!(enc.decode(&high).unwrap());
+        assert!(FrequencyEncoding::new(3, 3).is_err());
+        assert!(FrequencyEncoding::new(0, 3).is_err());
+    }
+
+    proptest! {
+        /// Phase shifts never change what the amplitude and frequency
+        /// decoders see — the formal statement of the paper's claim that
+        /// background charge (a pure phase shift) cannot corrupt AM/FM-coded
+        /// logic.
+        #[test]
+        fn prop_am_fm_decoding_is_phase_invariant(phase in 0.0_f64..6.28) {
+            let amplitude_enc = AmplitudeEncoding::new(0.5).unwrap();
+            let frequency_enc = FrequencyEncoding::new(3, 9).unwrap();
+            let strong = sine(90, 9.0, 1.0, phase);
+            let weak = sine(90, 3.0, 0.1, phase);
+            prop_assert!(amplitude_enc.decode(&strong));
+            prop_assert!(!amplitude_enc.decode(&weak));
+            prop_assert!(frequency_enc.decode(&strong).unwrap());
+            prop_assert!(!frequency_enc.decode(&weak).unwrap());
+        }
+
+        /// Level decoding flips exactly at the midpoint threshold.
+        #[test]
+        fn prop_level_decoding_threshold(v in -1.0_f64..2.0) {
+            let enc = LevelEncoding::new(0.0, 1.0).unwrap();
+            prop_assert_eq!(enc.decode(v), v > 0.5);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the logic / application layer.
+
+use se_hybrid::HybridError;
+use se_montecarlo::MonteCarloError;
+use se_netlist::NetlistError;
+use se_numeric::NumericError;
+use se_orthodox::OrthodoxError;
+use se_spice::SpiceError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the logic and application layer.
+#[derive(Debug)]
+pub enum LogicError {
+    /// Invalid gate, encoder or generator parameters.
+    InvalidArgument(String),
+    /// A physics-layer computation failed.
+    Orthodox(OrthodoxError),
+    /// A numerical routine failed.
+    Numeric(NumericError),
+    /// A netlist-level operation failed.
+    Netlist(NetlistError),
+    /// A Monte-Carlo simulation failed.
+    MonteCarlo(MonteCarloError),
+    /// A SPICE simulation failed.
+    Spice(SpiceError),
+    /// A hybrid co-simulation failed.
+    Hybrid(HybridError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            LogicError::Orthodox(e) => write!(f, "physics error: {e}"),
+            LogicError::Numeric(e) => write!(f, "numerical error: {e}"),
+            LogicError::Netlist(e) => write!(f, "netlist error: {e}"),
+            LogicError::MonteCarlo(e) => write!(f, "monte-carlo error: {e}"),
+            LogicError::Spice(e) => write!(f, "spice error: {e}"),
+            LogicError::Hybrid(e) => write!(f, "hybrid error: {e}"),
+        }
+    }
+}
+
+impl Error for LogicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogicError::InvalidArgument(_) => None,
+            LogicError::Orthodox(e) => Some(e),
+            LogicError::Numeric(e) => Some(e),
+            LogicError::Netlist(e) => Some(e),
+            LogicError::MonteCarlo(e) => Some(e),
+            LogicError::Spice(e) => Some(e),
+            LogicError::Hybrid(e) => Some(e),
+        }
+    }
+}
+
+impl From<OrthodoxError> for LogicError {
+    fn from(e: OrthodoxError) -> Self {
+        LogicError::Orthodox(e)
+    }
+}
+
+impl From<NumericError> for LogicError {
+    fn from(e: NumericError) -> Self {
+        LogicError::Numeric(e)
+    }
+}
+
+impl From<NetlistError> for LogicError {
+    fn from(e: NetlistError) -> Self {
+        LogicError::Netlist(e)
+    }
+}
+
+impl From<MonteCarloError> for LogicError {
+    fn from(e: MonteCarloError) -> Self {
+        LogicError::MonteCarlo(e)
+    }
+}
+
+impl From<SpiceError> for LogicError {
+    fn from(e: SpiceError) -> Self {
+        LogicError::Spice(e)
+    }
+}
+
+impl From<HybridError> for LogicError {
+    fn from(e: HybridError) -> Self {
+        LogicError::Hybrid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = LogicError::InvalidArgument("bad threshold".into());
+        assert!(e.to_string().contains("bad threshold"));
+        assert!(Error::source(&e).is_none());
+        let e: LogicError = NetlistError::Empty.into();
+        assert!(Error::source(&e).is_some());
+        let e: LogicError = OrthodoxError::InvalidParameter("x".into()).into();
+        assert!(e.to_string().contains("physics"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Level-coded SET logic: a resistively loaded SET inverter.
+//!
+//! This is the "naive" single-electron logic family the paper warns about:
+//! the input drives the SET gate, the output is taken from the drain node of
+//! a SET loaded by a resistor, and the logic value is a plain voltage level.
+//! Because the SET transfer characteristic is periodic in the *total* gate
+//! charge, a drifting background charge shifts the whole characteristic and
+//! eventually flips the output — the failure mode quantified in experiment
+//! E6 against the AM/FM-coded gates of [`crate::amfm`].
+
+use crate::error::LogicError;
+use se_numeric::rootfind::{bisection, RootFindOptions};
+use se_orthodox::set::SingleElectronTransistor;
+
+/// A SET with a resistive pull-up load — the elementary level-coded gate.
+#[derive(Debug, Clone)]
+pub struct SetInverter {
+    set: SingleElectronTransistor,
+    /// Load resistance from the supply to the output node, ohm.
+    load_resistance: f64,
+    /// Supply voltage, volt.
+    supply: f64,
+    /// Operating temperature, kelvin.
+    temperature: f64,
+}
+
+impl SetInverter {
+    /// Creates an inverter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] for a non-positive load
+    /// resistance or supply, or a negative temperature.
+    pub fn new(
+        set: SingleElectronTransistor,
+        load_resistance: f64,
+        supply: f64,
+        temperature: f64,
+    ) -> Result<Self, LogicError> {
+        if !(load_resistance > 0.0) || !load_resistance.is_finite() {
+            return Err(LogicError::InvalidArgument(format!(
+                "load resistance must be positive, got {load_resistance}"
+            )));
+        }
+        if !(supply > 0.0) || !supply.is_finite() {
+            return Err(LogicError::InvalidArgument(format!(
+                "supply voltage must be positive, got {supply}"
+            )));
+        }
+        if temperature < 0.0 || !temperature.is_finite() {
+            return Err(LogicError::InvalidArgument(format!(
+                "temperature must be non-negative, got {temperature}"
+            )));
+        }
+        Ok(SetInverter {
+            set,
+            load_resistance,
+            supply,
+            temperature,
+        })
+    }
+
+    /// A reference inverter: symmetric SET (Cg = 1 aF, Cj = 0.5 aF,
+    /// Rj = 100 kΩ), 10 MΩ load, 4 mV supply, 1 K.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates constructor validation.
+    pub fn reference() -> Result<Self, LogicError> {
+        let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3)?;
+        SetInverter::new(set, 10e6, 4e-3, 1.0)
+    }
+
+    /// The underlying SET.
+    #[must_use]
+    pub fn set(&self) -> &SingleElectronTransistor {
+        &self.set
+    }
+
+    /// Supply voltage in volt.
+    #[must_use]
+    pub fn supply(&self) -> f64 {
+        self.supply
+    }
+
+    /// Gate-voltage period of the underlying SET.
+    #[must_use]
+    pub fn gate_period(&self) -> f64 {
+        self.set.gate_period()
+    }
+
+    /// Output voltage for a given input (gate) voltage and background
+    /// charge: the self-consistent point where the SET current equals the
+    /// load-line current `(V_supply − V_out)/R_L`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics and root-finding errors.
+    pub fn output_voltage(&self, v_in: f64, background_charge: f64) -> Result<f64, LogicError> {
+        let balance = |v_out: f64| -> f64 {
+            let i_set = self
+                .set
+                .current(v_out, v_in, background_charge, self.temperature)
+                .unwrap_or(0.0);
+            (self.supply - v_out) / self.load_resistance - i_set
+        };
+        // The output always lies between ground and the supply rail.
+        let v = bisection(balance, 0.0, self.supply, RootFindOptions {
+            max_iterations: 200,
+            f_tolerance: 1e-18,
+            x_tolerance: 1e-12,
+        })?;
+        Ok(v)
+    }
+
+    /// Transfer curve: `(v_in, v_out)` pairs over the given input range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] for a degenerate range or
+    /// fewer than two points, and propagates bias-point errors.
+    pub fn transfer_curve(
+        &self,
+        v_in_start: f64,
+        v_in_stop: f64,
+        points: usize,
+        background_charge: f64,
+    ) -> Result<Vec<(f64, f64)>, LogicError> {
+        if points < 2 || !(v_in_stop > v_in_start) {
+            return Err(LogicError::InvalidArgument(
+                "transfer curve needs at least two points and an increasing range".into(),
+            ));
+        }
+        (0..points)
+            .map(|i| {
+                let v_in =
+                    v_in_start + (v_in_stop - v_in_start) * i as f64 / (points - 1) as f64;
+                Ok((v_in, self.output_voltage(v_in, background_charge)?))
+            })
+            .collect()
+    }
+
+    /// Finds the input voltage (within the first gate period) at which the
+    /// output crosses half the supply — the logic switching threshold and
+    /// the steepest point of the transfer curve. With the megaohm-class
+    /// loads typical of SET logic the transition is narrow, so gates, noise
+    /// sources and error-rate studies should bias relative to this point
+    /// rather than at an arbitrary fraction of the gate period.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bias-point errors.
+    pub fn switching_input(&self, background_charge: f64) -> Result<f64, LogicError> {
+        let period = self.gate_period();
+        let target = 0.5 * self.supply;
+        let mut best = (f64::INFINITY, 0.0);
+        for i in 0..=400 {
+            let v_in = period * i as f64 / 400.0;
+            let v_out = self.output_voltage(v_in, background_charge)?;
+            let distance = (v_out - target).abs();
+            if distance < best.0 {
+                best = (distance, v_in);
+            }
+        }
+        Ok(best.1)
+    }
+
+    /// Small-signal voltage gain `|dV_out/dV_in|` at the given input bias —
+    /// bounded by the SET's intrinsic `C_g/C_d` ratio times the load-line
+    /// factor, the paper's "weak point" of SET logic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bias-point errors.
+    pub fn voltage_gain(&self, v_in: f64, background_charge: f64) -> Result<f64, LogicError> {
+        let dv = self.gate_period() * 1e-3;
+        let plus = self.output_voltage(v_in + dv, background_charge)?;
+        let minus = self.output_voltage(v_in - dv, background_charge)?;
+        Ok(((plus - minus) / (2.0 * dv)).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_inputs() {
+        let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+        assert!(SetInverter::new(set.clone(), 0.0, 4e-3, 1.0).is_err());
+        assert!(SetInverter::new(set.clone(), 1e6, 0.0, 1.0).is_err());
+        assert!(SetInverter::new(set, 1e6, 4e-3, -1.0).is_err());
+    }
+
+    #[test]
+    fn output_swings_between_blockade_and_conduction() {
+        let inverter = SetInverter::reference().unwrap();
+        // In blockade (input 0) the SET draws no current: output at supply.
+        let high = inverter.output_voltage(0.0, 0.0).unwrap();
+        assert!((high - inverter.supply()).abs() < 0.1 * inverter.supply());
+        // At the conductance peak the SET pulls the output down.
+        let low = inverter
+            .output_voltage(inverter.gate_period() / 2.0, 0.0)
+            .unwrap();
+        assert!(low < 0.6 * high, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn transfer_curve_is_periodic() {
+        let inverter = SetInverter::reference().unwrap();
+        let period = inverter.gate_period();
+        let a = inverter.output_voltage(0.3 * period, 0.0).unwrap();
+        let b = inverter.output_voltage(1.3 * period, 0.0).unwrap();
+        assert!((a - b).abs() < 0.02 * inverter.supply());
+    }
+
+    #[test]
+    fn background_charge_shifts_the_transfer_curve() {
+        // A background charge of 0.5 e turns the "blockade" input point into
+        // a "conducting" one: the output at v_in = 0 flips from high to low.
+        let inverter = SetInverter::reference().unwrap();
+        let clean = inverter.output_voltage(0.0, 0.0).unwrap();
+        let disturbed = inverter.output_voltage(0.0, 0.5).unwrap();
+        assert!(
+            disturbed < 0.6 * clean,
+            "background charge must corrupt the level-coded output: {clean} vs {disturbed}"
+        );
+    }
+
+    #[test]
+    fn transfer_curve_api_validates_range() {
+        let inverter = SetInverter::reference().unwrap();
+        assert!(inverter.transfer_curve(0.0, 0.0, 10, 0.0).is_err());
+        assert!(inverter.transfer_curve(0.0, 0.1, 1, 0.0).is_err());
+        let curve = inverter
+            .transfer_curve(0.0, inverter.gate_period(), 21, 0.0)
+            .unwrap();
+        assert_eq!(curve.len(), 21);
+        assert!(curve.iter().all(|(_, v)| *v >= 0.0 && *v <= inverter.supply() * 1.001));
+    }
+
+    #[test]
+    fn gain_peaks_at_the_switching_threshold() {
+        let inverter = SetInverter::reference().unwrap();
+        let threshold = inverter.switching_input(0.0).unwrap();
+        // The switching point sits somewhere inside the first period and the
+        // output there is near half the supply.
+        let v_mid = inverter.output_voltage(threshold, 0.0).unwrap();
+        assert!((v_mid - 0.5 * inverter.supply()).abs() < 0.2 * inverter.supply());
+        let gain_flank = inverter.voltage_gain(threshold, 0.0).unwrap();
+        let gain_flat = inverter.voltage_gain(0.0, 0.0).unwrap();
+        assert!(gain_flank > gain_flat);
+        assert!(gain_flank > 0.0);
+    }
+}

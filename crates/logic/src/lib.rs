@@ -1,0 +1,39 @@
+//! Single-electron logic and the hybrid SET/CMOS applications surveyed by
+//! the paper.
+//!
+//! The crates below this one provide the physics and the simulators; this
+//! crate builds the paper's actual subject matter on top of them:
+//!
+//! * [`encoding`] — the three ways of coding a logic state discussed in
+//!   Section 2: voltage levels, oscillation amplitude (AM) and oscillation
+//!   frequency (FM);
+//! * [`gates`] — a level-coded SET inverter (SET + load) whose transfer
+//!   characteristic shifts with background charge;
+//! * [`amfm`] — the background-charge-*independent* AM/FM-coded gates built
+//!   on the modulated-capacitance SET idea (Klunder), plus the speed model
+//!   that quantifies the paper's "such logic has to be slower … but
+//!   tunnelling is sub-picosecond" argument;
+//! * [`mvl`] — the merged SET/MOSFET multiple-valued literal gate of
+//!   Inokawa et al., simulated with the SPICE engine;
+//! * [`noise`] and [`rng`] — the SET/CMOS random-number generator of Uchida
+//!   et al.: amplified telegraph noise, a sampling comparator, and the
+//!   power/area comparison against a conventional CMOS generator;
+//! * [`randomness`] — the statistical battery used to judge the generated
+//!   bitstreams;
+//! * [`power`] — the power-dissipation comparison of single-electron logic
+//!   against CMOS (Mahapatra et al.).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amfm;
+pub mod encoding;
+pub mod error;
+pub mod gates;
+pub mod mvl;
+pub mod noise;
+pub mod power;
+pub mod randomness;
+pub mod rng;
+
+pub use error::LogicError;

@@ -1,0 +1,238 @@
+//! Power dissipation of single-electron logic versus CMOS.
+//!
+//! Mahapatra et al. (reference [4] of the paper) analysed the power budget
+//! of SET logic with a SPICE-level model; the paper cites that analysis as
+//! part of the case that chip area and power — not speed — are the real
+//! strong points of single-electronics. The models here follow the same
+//! structure: a dynamic term proportional to the charge moved per switching
+//! event and a static (leakage) term, for a single-electron gate and for a
+//! CMOS gate of the same logical function.
+
+use crate::error::LogicError;
+use se_orthodox::set::SingleElectronTransistor;
+use se_units::constants::E;
+
+/// Power model of a level-coded SET logic gate (an inverter-class cell).
+#[derive(Debug, Clone)]
+pub struct SetLogicPowerModel {
+    set: SingleElectronTransistor,
+    /// Supply / signal voltage, volt.
+    pub supply: f64,
+    /// Number of electrons transferred per switching event.
+    pub electrons_per_switch: f64,
+    /// Operating temperature, kelvin.
+    pub temperature: f64,
+}
+
+impl SetLogicPowerModel {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] for non-positive supply or
+    /// electrons-per-switch, or a negative temperature.
+    pub fn new(
+        set: SingleElectronTransistor,
+        supply: f64,
+        electrons_per_switch: f64,
+        temperature: f64,
+    ) -> Result<Self, LogicError> {
+        if !(supply > 0.0) || !(electrons_per_switch > 0.0) {
+            return Err(LogicError::InvalidArgument(
+                "supply and electrons per switch must be positive".into(),
+            ));
+        }
+        if temperature < 0.0 || !temperature.is_finite() {
+            return Err(LogicError::InvalidArgument(format!(
+                "temperature must be non-negative, got {temperature}"
+            )));
+        }
+        Ok(SetLogicPowerModel {
+            set,
+            supply,
+            electrons_per_switch,
+            temperature,
+        })
+    }
+
+    /// Reference model: the reference SET switched by ~10 electrons per
+    /// event at a 10 mV signal level, 4.2 K.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor validation.
+    pub fn reference() -> Result<Self, LogicError> {
+        let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3)?;
+        SetLogicPowerModel::new(set, 10e-3, 10.0, 4.2)
+    }
+
+    /// Dynamic power at clock frequency `frequency`: every switching event
+    /// moves `electrons_per_switch` electrons through the supply voltage.
+    #[must_use]
+    pub fn dynamic_power(&self, frequency: f64) -> f64 {
+        self.electrons_per_switch * E * self.supply * frequency.max(0.0)
+    }
+
+    /// Static power: the blockade leakage current of the SET at the supply
+    /// bias times the supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics errors.
+    pub fn static_power(&self) -> Result<f64, LogicError> {
+        let leakage = self
+            .set
+            .current(self.supply, 0.0, 0.0, self.temperature)?
+            .abs();
+        Ok(leakage * self.supply)
+    }
+
+    /// Total power at the given clock frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates physics errors.
+    pub fn total_power(&self, frequency: f64) -> Result<f64, LogicError> {
+        Ok(self.dynamic_power(frequency) + self.static_power()?)
+    }
+}
+
+/// Power model of a minimum-size CMOS gate performing the same function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosPowerModel {
+    /// Switched load capacitance, farad (interconnect + gate load).
+    pub load_capacitance: f64,
+    /// Supply voltage, volt.
+    pub supply: f64,
+    /// Static leakage current, ampere.
+    pub leakage_current: f64,
+}
+
+impl CmosPowerModel {
+    /// Representative 0.18 µm-class inverter driving a short wire: 2 fF
+    /// load, 1.8 V supply, 1 nA leakage.
+    #[must_use]
+    pub fn inverter_180nm() -> Self {
+        CmosPowerModel {
+            load_capacitance: 2e-15,
+            supply: 1.8,
+            leakage_current: 1e-9,
+        }
+    }
+
+    /// Dynamic power `C·V²·f`.
+    #[must_use]
+    pub fn dynamic_power(&self, frequency: f64) -> f64 {
+        self.load_capacitance * self.supply * self.supply * frequency.max(0.0)
+    }
+
+    /// Static power `I_leak·V`.
+    #[must_use]
+    pub fn static_power(&self) -> f64 {
+        self.leakage_current * self.supply
+    }
+
+    /// Total power at the given clock frequency.
+    #[must_use]
+    pub fn total_power(&self, frequency: f64) -> f64 {
+        self.dynamic_power(frequency) + self.static_power()
+    }
+}
+
+/// One row of the power-comparison table (experiment E9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerComparisonRow {
+    /// Clock frequency, hertz.
+    pub frequency: f64,
+    /// Single-electron gate power, watt.
+    pub set_power: f64,
+    /// CMOS gate power, watt.
+    pub cmos_power: f64,
+    /// CMOS-to-SET power ratio.
+    pub ratio: f64,
+}
+
+/// Builds the power-versus-frequency comparison table.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn power_comparison(
+    set_model: &SetLogicPowerModel,
+    cmos_model: &CmosPowerModel,
+    frequencies: &[f64],
+) -> Result<Vec<PowerComparisonRow>, LogicError> {
+    frequencies
+        .iter()
+        .map(|&frequency| {
+            let set_power = set_model.total_power(frequency)?;
+            let cmos_power = cmos_model.total_power(frequency);
+            Ok(PowerComparisonRow {
+                frequency,
+                set_power,
+                cmos_power,
+                ratio: cmos_power / set_power,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validation() {
+        let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+        assert!(SetLogicPowerModel::new(set.clone(), 0.0, 1.0, 1.0).is_err());
+        assert!(SetLogicPowerModel::new(set.clone(), 1e-3, 0.0, 1.0).is_err());
+        assert!(SetLogicPowerModel::new(set, 1e-3, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn dynamic_power_scales_linearly_with_frequency() {
+        let model = SetLogicPowerModel::reference().unwrap();
+        let p1 = model.dynamic_power(1e9);
+        let p2 = model.dynamic_power(2e9);
+        assert!((p2 / p1 - 2.0).abs() < 1e-12);
+        assert_eq!(model.dynamic_power(-5.0), 0.0);
+    }
+
+    #[test]
+    fn set_gate_power_is_orders_of_magnitude_below_cmos() {
+        let set_model = SetLogicPowerModel::reference().unwrap();
+        let cmos_model = CmosPowerModel::inverter_180nm();
+        let rows = power_comparison(&set_model, &cmos_model, &[1e6, 1e8, 1e9]).unwrap();
+        for row in &rows {
+            assert!(
+                row.ratio > 1e3,
+                "CMOS should dissipate orders of magnitude more at {} Hz (ratio {})",
+                row.frequency,
+                row.ratio
+            );
+        }
+        // At 1 GHz the dynamic term dominates both models: the ratio is set
+        // by (C·V²)/(n·e·V) ≈ 4×10⁴ here.
+        let ratio_1ghz = rows.last().unwrap().ratio;
+        assert!(ratio_1ghz > 1e4 && ratio_1ghz < 1e6, "ratio {ratio_1ghz}");
+    }
+
+    #[test]
+    fn static_power_is_negligible_in_blockade() {
+        let model = SetLogicPowerModel::reference().unwrap();
+        let static_power = model.static_power().unwrap();
+        let dynamic_power = model.dynamic_power(1e6);
+        assert!(
+            static_power < dynamic_power,
+            "blockade leakage {static_power} should not dominate {dynamic_power}"
+        );
+    }
+
+    #[test]
+    fn cmos_model_totals_add_up() {
+        let cmos = CmosPowerModel::inverter_180nm();
+        let total = cmos.total_power(1e8);
+        assert!((total - cmos.dynamic_power(1e8) - cmos.static_power()).abs() < 1e-18);
+        assert!(cmos.static_power() > 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Statistical tests for generated bitstreams.
+//!
+//! A small battery in the spirit of the NIST SP 800-22 suite, sized for the
+//! bitstream lengths the SET/CMOS random-number generator produces in the
+//! experiments: monobit frequency, runs, serial correlation and a block
+//! chi-squared test. Each test reports a statistic and a pass/fail verdict
+//! at roughly the 1 % significance level.
+
+use crate::error::LogicError;
+use se_numeric::histogram::Histogram;
+use se_numeric::stats;
+
+/// Outcome of one statistical test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestOutcome {
+    /// The test statistic (z-score or χ² value, see the test description).
+    pub statistic: f64,
+    /// Whether the bitstream passes at the ~1 % significance level.
+    pub passed: bool,
+}
+
+/// Combined report of the whole battery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomnessReport {
+    /// Monobit frequency test (z-score of the ones count).
+    pub monobit: TestOutcome,
+    /// Runs test (z-score of the number of runs).
+    pub runs: TestOutcome,
+    /// Lag-1 serial correlation test (correlation coefficient).
+    pub serial_correlation: TestOutcome,
+    /// Chi-squared uniformity of 4-bit blocks.
+    pub block_chi_squared: TestOutcome,
+}
+
+impl RandomnessReport {
+    /// Returns `true` if every test in the battery passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.monobit.passed
+            && self.runs.passed
+            && self.serial_correlation.passed
+            && self.block_chi_squared.passed
+    }
+
+    /// Evaluates the whole battery on a bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] if fewer than 128 bits are
+    /// supplied (the tests are meaningless below that).
+    pub fn evaluate(bits: &[bool]) -> Result<Self, LogicError> {
+        if bits.len() < 128 {
+            return Err(LogicError::InvalidArgument(format!(
+                "the randomness battery needs at least 128 bits, got {}",
+                bits.len()
+            )));
+        }
+        Ok(RandomnessReport {
+            monobit: monobit_test(bits),
+            runs: runs_test(bits),
+            serial_correlation: serial_correlation_test(bits),
+            block_chi_squared: block_chi_squared_test(bits),
+        })
+    }
+}
+
+/// Monobit frequency test: the number of ones should be within ~2.6σ of
+/// `n/2` for a fair stream.
+#[must_use]
+pub fn monobit_test(bits: &[bool]) -> TestOutcome {
+    let n = bits.len() as f64;
+    let ones = bits.iter().filter(|&&b| b).count() as f64;
+    let z = (ones - n / 2.0) / (0.5 * n.sqrt());
+    TestOutcome {
+        statistic: z,
+        passed: z.abs() < 2.58,
+    }
+}
+
+/// Runs test: the number of maximal same-value runs should match the
+/// expectation `2·n·p·(1−p) + 1` for a stream with ones-fraction `p`.
+#[must_use]
+pub fn runs_test(bits: &[bool]) -> TestOutcome {
+    let n = bits.len() as f64;
+    let p = bits.iter().filter(|&&b| b).count() as f64 / n;
+    if p == 0.0 || p == 1.0 {
+        return TestOutcome {
+            statistic: f64::INFINITY,
+            passed: false,
+        };
+    }
+    let runs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let expected = 2.0 * n * p * (1.0 - p) + 1.0;
+    let variance = 2.0 * n * p * (1.0 - p) * (2.0 * n * p * (1.0 - p) - 1.0) / (n - 1.0);
+    let z = (runs as f64 - expected) / variance.sqrt().max(1e-12);
+    TestOutcome {
+        statistic: z,
+        passed: z.abs() < 2.58,
+    }
+}
+
+/// Lag-1 serial correlation: adjacent bits of a fair stream are
+/// uncorrelated.
+#[must_use]
+pub fn serial_correlation_test(bits: &[bool]) -> TestOutcome {
+    let values: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let correlation = stats::autocorrelation(&values, 1);
+    // The standard error of an autocorrelation estimate is ≈ 1/√n.
+    let threshold = 2.58 / (bits.len() as f64).sqrt();
+    TestOutcome {
+        statistic: correlation,
+        passed: correlation.abs() < threshold,
+    }
+}
+
+/// Chi-squared uniformity of non-overlapping 4-bit blocks (16 bins, 15
+/// degrees of freedom; the 1 % critical value is 30.58).
+#[must_use]
+pub fn block_chi_squared_test(bits: &[bool]) -> TestOutcome {
+    let mut histogram = Histogram::new(0.0, 16.0, 16).expect("static bins are valid");
+    for chunk in bits.chunks_exact(4) {
+        let value = chunk
+            .iter()
+            .fold(0usize, |acc, &b| (acc << 1) | usize::from(b));
+        histogram.add(value as f64 + 0.5);
+    }
+    let chi2 = histogram.chi_squared_uniform();
+    TestOutcome {
+        statistic: chi2,
+        passed: chi2 < 30.58,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fair_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn battery_requires_enough_bits() {
+        assert!(RandomnessReport::evaluate(&[true; 10]).is_err());
+    }
+
+    #[test]
+    fn fair_random_bits_pass_everything() {
+        let bits = fair_bits(8192, 3);
+        let report = RandomnessReport::evaluate(&bits).unwrap();
+        assert!(report.all_passed(), "fair stream failed: {report:?}");
+    }
+
+    #[test]
+    fn all_ones_fails_monobit_and_runs() {
+        let bits = vec![true; 1024];
+        let report = RandomnessReport::evaluate(&bits).unwrap();
+        assert!(!report.monobit.passed);
+        assert!(!report.runs.passed);
+        assert!(!report.all_passed());
+    }
+
+    #[test]
+    fn alternating_bits_fail_runs_and_correlation() {
+        let bits: Vec<bool> = (0..1024).map(|i| i % 2 == 0).collect();
+        let report = RandomnessReport::evaluate(&bits).unwrap();
+        // Perfectly balanced, so monobit passes...
+        assert!(report.monobit.passed);
+        // ...but the structure is caught by the runs and correlation tests.
+        assert!(!report.runs.passed);
+        assert!(!report.serial_correlation.passed);
+    }
+
+    #[test]
+    fn strongly_biased_bits_fail_block_test() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bits: Vec<bool> = (0..4096).map(|_| rng.gen::<f64>() < 0.8).collect();
+        let report = RandomnessReport::evaluate(&bits).unwrap();
+        assert!(!report.block_chi_squared.passed);
+        assert!(!report.monobit.passed);
+    }
+
+    #[test]
+    fn individual_tests_report_statistics() {
+        let bits = fair_bits(2048, 11);
+        assert!(monobit_test(&bits).statistic.abs() < 3.0);
+        assert!(runs_test(&bits).statistic.is_finite());
+        assert!(serial_correlation_test(&bits).statistic.abs() < 0.1);
+        assert!(block_chi_squared_test(&bits).statistic >= 0.0);
+        // Degenerate stream for the runs test.
+        assert!(!runs_test(&[true; 256]).passed);
+    }
+}

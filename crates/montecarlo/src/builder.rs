@@ -1,0 +1,206 @@
+//! Conversion from a [`se_netlist::Netlist`] into a
+//! [`se_orthodox::TunnelSystem`].
+//!
+//! The conversion finds the single-electron islands of the netlist (nodes
+//! connected purely capacitively), maps every other node touched by the
+//! island group to an external electrode, and determines the electrode
+//! voltages from the netlist's voltage sources. Boundary nodes must be
+//! pinned to ground by a voltage source (directly, or be ground itself);
+//! resistively driven boundaries belong to the co-simulator in `se-hybrid`,
+//! which supplies their voltages explicitly.
+
+use crate::error::MonteCarloError;
+use se_netlist::{ElementKind, Netlist, Node};
+use se_orthodox::{Endpoint, TunnelSystem, TunnelSystemBuilder};
+use std::collections::HashMap;
+
+/// Converts a netlist into a tunnel system using the voltages of its DC
+/// voltage sources for the boundary electrodes.
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::NoIslands`] if the netlist has no
+/// single-electron islands, [`MonteCarloError::UndrivenBoundary`] if an
+/// island couples to a node that is neither ground nor pinned by a voltage
+/// source to ground, and construction errors from the physics layer.
+pub fn tunnel_system_from_netlist(netlist: &Netlist) -> Result<TunnelSystem, MonteCarloError> {
+    tunnel_system_with_boundary_voltages(netlist, &HashMap::new())
+}
+
+/// Same as [`tunnel_system_from_netlist`], but allows the caller (typically
+/// the co-simulator) to supply voltages for boundary nodes that are not
+/// pinned by a voltage source. Keys are node names as they appear in the
+/// netlist; values are volts.
+///
+/// # Errors
+///
+/// See [`tunnel_system_from_netlist`].
+pub fn tunnel_system_with_boundary_voltages(
+    netlist: &Netlist,
+    overrides: &HashMap<String, f64>,
+) -> Result<TunnelSystem, MonteCarloError> {
+    let islands = netlist.find_islands();
+    if islands.is_empty() {
+        return Err(MonteCarloError::NoIslands);
+    }
+
+    // Voltage of every source-pinned node (source terminal tied to ground).
+    let mut pinned: HashMap<Node, f64> = HashMap::new();
+    pinned.insert(Node::GROUND, 0.0);
+    for element in netlist.voltage_sources() {
+        if let ElementKind::VoltageSource { voltage } = element.kind() {
+            let nodes = element.nodes();
+            let (plus, minus) = (nodes[0], nodes[1]);
+            if minus.is_ground() {
+                pinned.insert(plus, *voltage);
+            } else if plus.is_ground() {
+                pinned.insert(minus, -voltage);
+            }
+        }
+    }
+
+    let mut builder = TunnelSystemBuilder::new();
+    let mut island_endpoints: HashMap<Node, Endpoint> = HashMap::new();
+    let mut external_endpoints: HashMap<Node, Endpoint> = HashMap::new();
+
+    for island in &islands {
+        for &node in &island.nodes {
+            let name = netlist.node_name(node).unwrap_or("island").to_string();
+            let endpoint = builder.island(name, 0.0);
+            island_endpoints.insert(node, endpoint);
+        }
+    }
+    // Boundary nodes become external electrodes.
+    for island in &islands {
+        for &node in &island.boundary {
+            if external_endpoints.contains_key(&node) {
+                continue;
+            }
+            let name = netlist.node_name(node).unwrap_or("boundary").to_string();
+            let voltage = if let Some(&v) = overrides.get(&name) {
+                v
+            } else if let Some(&v) = pinned.get(&node) {
+                v
+            } else {
+                return Err(MonteCarloError::UndrivenBoundary { node: name });
+            };
+            let endpoint = builder.external(name, voltage);
+            external_endpoints.insert(node, endpoint);
+        }
+    }
+
+    let endpoint_of = |node: Node| -> Option<Endpoint> {
+        island_endpoints
+            .get(&node)
+            .or_else(|| external_endpoints.get(&node))
+            .copied()
+    };
+
+    // Add every capacitive element that touches an island.
+    for element in netlist.elements() {
+        if !element.is_capacitive() {
+            continue;
+        }
+        let nodes = element.nodes();
+        let touches_island = nodes.iter().any(|n| island_endpoints.contains_key(n));
+        if !touches_island {
+            continue;
+        }
+        let a = endpoint_of(nodes[0]);
+        let b = endpoint_of(nodes[1]);
+        let (Some(a), Some(b)) = (a, b) else {
+            // A capacitive element touching an island whose far end is
+            // neither island nor boundary cannot happen by construction of
+            // `find_islands`, but keep the guard for defence in depth.
+            continue;
+        };
+        match element.kind() {
+            ElementKind::TunnelJunction {
+                capacitance,
+                resistance,
+            } => {
+                builder.junction(element.name(), a, b, *capacitance, *resistance);
+            }
+            ElementKind::Capacitor { capacitance } => {
+                builder.capacitor(element.name(), a, b, *capacitance);
+            }
+            _ => unreachable!("is_capacitive covers only junctions and capacitors"),
+        }
+    }
+
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_netlist::parse_deck;
+
+    const SET_DECK: &str = "single SET\nVD drain 0 1m\nVG gate 0 0.05\nJ1 drain island C=1a R=100k\nJ2 island 0 C=1a R=100k\nCG gate island 0.5a\n";
+
+    #[test]
+    fn converts_single_set_deck() {
+        let netlist = parse_deck(SET_DECK).unwrap();
+        let system = tunnel_system_from_netlist(&netlist).unwrap();
+        assert_eq!(system.island_count(), 1);
+        assert_eq!(system.junctions().len(), 2);
+        assert_eq!(system.capacitors().len(), 1);
+        // Drain electrode carries the 1 mV bias.
+        let drain = system.external_index("drain").unwrap();
+        assert!((system.external_voltage(drain) - 1e-3).abs() < 1e-12);
+        let gate = system.external_index("gate").unwrap();
+        assert!((system.external_voltage(gate) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn netlist_without_islands_is_rejected() {
+        let deck = "rc\nV1 a 0 1\nR1 a b 1k\nC1 b 0 1p\n";
+        let netlist = parse_deck(deck).unwrap();
+        assert!(matches!(
+            tunnel_system_from_netlist(&netlist),
+            Err(MonteCarloError::NoIslands)
+        ));
+    }
+
+    #[test]
+    fn undriven_boundary_is_reported() {
+        // The island couples to node `x`, which has no voltage source.
+        let deck = "undriven\nVD drain 0 1m\nJ1 drain island C=1a R=100k\nJ2 island x C=1a R=100k\nR1 x 0 1k\n";
+        let netlist = parse_deck(deck).unwrap();
+        let err = tunnel_system_from_netlist(&netlist).unwrap_err();
+        match err {
+            MonteCarloError::UndrivenBoundary { node } => assert_eq!(node, "x"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_override_supplies_missing_voltage() {
+        let deck = "undriven\nVD drain 0 1m\nJ1 drain island C=1a R=100k\nJ2 island x C=1a R=100k\nR1 x 0 1k\n";
+        let netlist = parse_deck(deck).unwrap();
+        let mut overrides = HashMap::new();
+        overrides.insert("x".to_string(), 0.4e-3);
+        let system = tunnel_system_with_boundary_voltages(&netlist, &overrides).unwrap();
+        let x = system.external_index("x").unwrap();
+        assert!((system.external_voltage(x) - 0.4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_source_polarity_is_handled() {
+        let deck = "reversed\nVD 0 drain 1m\nVG gate 0 0\nJ1 drain island C=1a R=100k\nJ2 island 0 C=1a R=100k\nCG gate island 0.5a\n";
+        let netlist = parse_deck(deck).unwrap();
+        let system = tunnel_system_from_netlist(&netlist).unwrap();
+        let drain = system.external_index("drain").unwrap();
+        assert!((system.external_voltage(drain) + 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_dot_maps_two_islands() {
+        let deck = "double dot\nVS s 0 1m\nVG1 g1 0 0.1\nVG2 g2 0 0.2\nJ1 s i1 C=1a R=100k\nJ2 i1 i2 C=1a R=100k\nJ3 i2 0 C=1a R=100k\nCG1 g1 i1 0.5a\nCG2 g2 i2 0.5a\n";
+        let netlist = parse_deck(deck).unwrap();
+        let system = tunnel_system_from_netlist(&netlist).unwrap();
+        assert_eq!(system.island_count(), 2);
+        assert_eq!(system.junctions().len(), 3);
+        assert_eq!(system.capacitors().len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the Monte-Carlo simulator.
+
+use se_netlist::NetlistError;
+use se_numeric::NumericError;
+use se_orthodox::OrthodoxError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running Monte-Carlo / master-equation
+/// simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonteCarloError {
+    /// The netlist could not be converted into a tunnel system.
+    Netlist(NetlistError),
+    /// The netlist contains no single-electron islands to simulate.
+    NoIslands,
+    /// A boundary node's voltage could not be determined (it is not pinned
+    /// by a voltage source to ground).
+    UndrivenBoundary {
+        /// The node name in question.
+        node: String,
+    },
+    /// A physics-layer error (invalid parameters, singular electrostatics).
+    Orthodox(OrthodoxError),
+    /// A numerical error (singular rate matrix, …).
+    Numeric(NumericError),
+    /// Invalid simulation options or arguments.
+    InvalidArgument(String),
+    /// The state space of the master equation would be too large.
+    StateSpaceTooLarge {
+        /// Number of states that enumeration would have produced.
+        states: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for MonteCarloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonteCarloError::Netlist(e) => write!(f, "netlist error: {e}"),
+            MonteCarloError::NoIslands => {
+                write!(f, "the netlist contains no single-electron islands")
+            }
+            MonteCarloError::UndrivenBoundary { node } => write!(
+                f,
+                "boundary node `{node}` is not driven by a grounded voltage source"
+            ),
+            MonteCarloError::Orthodox(e) => write!(f, "physics error: {e}"),
+            MonteCarloError::Numeric(e) => write!(f, "numerical error: {e}"),
+            MonteCarloError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MonteCarloError::StateSpaceTooLarge { states, limit } => write!(
+                f,
+                "master-equation state space has {states} states, exceeding the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for MonteCarloError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MonteCarloError::Netlist(e) => Some(e),
+            MonteCarloError::Orthodox(e) => Some(e),
+            MonteCarloError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for MonteCarloError {
+    fn from(e: NetlistError) -> Self {
+        MonteCarloError::Netlist(e)
+    }
+}
+
+impl From<OrthodoxError> for MonteCarloError {
+    fn from(e: OrthodoxError) -> Self {
+        MonteCarloError::Orthodox(e)
+    }
+}
+
+impl From<NumericError> for MonteCarloError {
+    fn from(e: NumericError) -> Self {
+        MonteCarloError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(MonteCarloError::NoIslands.to_string().contains("islands"));
+        assert!(MonteCarloError::UndrivenBoundary {
+            node: "x".into()
+        }
+        .to_string()
+        .contains("`x`"));
+        assert!(MonteCarloError::StateSpaceTooLarge {
+            states: 10_000,
+            limit: 100
+        }
+        .to_string()
+        .contains("10000"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: MonteCarloError = OrthodoxError::InvalidParameter("x".into()).into();
+        assert!(Error::source(&e).is_some());
+        let e: MonteCarloError = NumericError::SingularMatrix { pivot: 0 }.into();
+        assert!(Error::source(&e).is_some());
+        let e: MonteCarloError = NetlistError::Empty.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MonteCarloError>();
+    }
+}

@@ -1,0 +1,515 @@
+//! Kinetic Monte-Carlo (Gillespie) engine.
+//!
+//! Each step evaluates the orthodox rate of every candidate tunnel event in
+//! the current charge state, draws an exponential waiting time from the
+//! total rate, selects one event with probability proportional to its rate,
+//! and applies it. Net electron transfers through every junction are
+//! counted, so time-averaged junction currents fall out directly.
+
+use crate::error::MonteCarloError;
+use crate::observables::RunResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_numeric::sampling::{exponential_waiting_time, select_weighted};
+use se_orthodox::{rates::tunnel_rate, ChargeState, TunnelEvent, TunnelSystem};
+use se_units::constants::E;
+use std::collections::HashMap;
+
+/// Options controlling a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationOptions {
+    /// Temperature in kelvin.
+    pub temperature: f64,
+    /// RNG seed; `None` seeds from the operating system.
+    pub seed: Option<u64>,
+    /// Number of events used to equilibrate (discarded from observables)
+    /// before measurement runs.
+    pub equilibration_events: usize,
+}
+
+impl SimulationOptions {
+    /// Creates options for the given temperature with a random seed and a
+    /// default equilibration of 1000 events.
+    #[must_use]
+    pub fn new(temperature: f64) -> Self {
+        SimulationOptions {
+            temperature,
+            seed: None,
+            equilibration_events: 1000,
+        }
+    }
+
+    /// Sets a deterministic RNG seed (recommended for tests and benches).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the number of equilibration events.
+    #[must_use]
+    pub fn with_equilibration(mut self, events: usize) -> Self {
+        self.equilibration_events = events;
+        self
+    }
+}
+
+/// One recorded point of a time-domain trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// Simulation time in seconds at which the state below became current.
+    pub time: f64,
+    /// Number of excess electrons per island.
+    pub electrons: Vec<i64>,
+    /// Island potentials in volt.
+    pub potentials: Vec<f64>,
+}
+
+/// Kinetic Monte-Carlo simulator over a [`TunnelSystem`].
+#[derive(Debug, Clone)]
+pub struct MonteCarloSimulator {
+    system: TunnelSystem,
+    options: SimulationOptions,
+    rng: StdRng,
+    state: ChargeState,
+    time: f64,
+    /// Net number of electrons that have tunnelled from endpoint `a` to
+    /// endpoint `b` of each junction.
+    net_transfers: Vec<i64>,
+    /// Total number of events executed since the counters were last reset.
+    events_executed: u64,
+    frozen: bool,
+}
+
+impl MonteCarloSimulator {
+    /// Creates a simulator for the given system and options, starting from
+    /// the charge-neutral state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] for a negative or
+    /// non-finite temperature.
+    pub fn new(system: TunnelSystem, options: SimulationOptions) -> Result<Self, MonteCarloError> {
+        if options.temperature < 0.0 || !options.temperature.is_finite() {
+            return Err(MonteCarloError::InvalidArgument(format!(
+                "temperature must be non-negative and finite, got {}",
+                options.temperature
+            )));
+        }
+        let rng = match options.seed {
+            Some(seed) => StdRng::seed_from_u64(seed),
+            None => StdRng::from_entropy(),
+        };
+        let islands = system.island_count();
+        let junctions = system.junctions().len();
+        Ok(MonteCarloSimulator {
+            system,
+            options,
+            rng,
+            state: ChargeState::neutral(islands),
+            time: 0.0,
+            net_transfers: vec![0; junctions],
+            events_executed: 0,
+            frozen: false,
+        })
+    }
+
+    /// The tunnel system being simulated.
+    #[must_use]
+    pub fn system(&self) -> &TunnelSystem {
+        &self.system
+    }
+
+    /// Mutable access to the tunnel system, used to change source voltages
+    /// or background charges between runs (counters should normally be
+    /// reset afterwards with [`Self::reset_counters`]).
+    pub fn system_mut(&mut self) -> &mut TunnelSystem {
+        &mut self.system
+    }
+
+    /// Current charge state.
+    #[must_use]
+    pub fn state(&self) -> &ChargeState {
+        &self.state
+    }
+
+    /// Current simulation time in seconds.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Returns `true` if the last step found no executable event (all rates
+    /// zero, which can only happen at exactly zero temperature deep in
+    /// blockade).
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Resets the time, transfer counters and event counter, keeping the
+    /// current charge state (used after equilibration and between sweep
+    /// points).
+    pub fn reset_counters(&mut self) {
+        self.time = 0.0;
+        self.events_executed = 0;
+        self.frozen = false;
+        for t in &mut self.net_transfers {
+            *t = 0;
+        }
+    }
+
+    /// Executes a single tunnel event. Returns the event that occurred, or
+    /// `None` if the system is frozen (no event has a non-zero rate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rate-evaluation errors (invalid temperature or junction
+    /// parameters, which cannot occur for a validated system).
+    pub fn step(&mut self) -> Result<Option<TunnelEvent>, MonteCarloError> {
+        let events = self.system.events();
+        let potentials = self.system.island_potentials(&self.state);
+        let mut rates = Vec::with_capacity(events.len());
+        let mut total = 0.0;
+        for &event in &events {
+            let df = self
+                .system
+                .delta_free_energy_with_potentials(&potentials, event);
+            let rate = tunnel_rate(
+                df,
+                self.system.event_resistance(event),
+                self.options.temperature,
+            )?;
+            rates.push(rate);
+            total += rate;
+        }
+        if total <= 0.0 {
+            self.frozen = true;
+            return Ok(None);
+        }
+        let dt = exponential_waiting_time(&mut self.rng, total)?;
+        let chosen = select_weighted(&mut self.rng, &rates)?;
+        let event = events[chosen];
+        self.system.apply_event(&mut self.state, event);
+        self.time += dt;
+        self.events_executed += 1;
+        match event.direction {
+            se_orthodox::Direction::AToB => self.net_transfers[event.junction] += 1,
+            se_orthodox::Direction::BToA => self.net_transfers[event.junction] -= 1,
+        }
+        self.frozen = false;
+        Ok(Some(event))
+    }
+
+    /// Runs the equilibration phase configured in the options and resets the
+    /// observable counters afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step`] errors.
+    pub fn equilibrate(&mut self) -> Result<(), MonteCarloError> {
+        for _ in 0..self.options.equilibration_events {
+            if self.step()?.is_none() {
+                break;
+            }
+        }
+        self.reset_counters();
+        Ok(())
+    }
+
+    /// Runs `events` measurement events (after equilibration) and returns
+    /// the collected observables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] if `events == 0`, and
+    /// propagates step errors.
+    pub fn run_events(&mut self, events: usize) -> Result<RunResult, MonteCarloError> {
+        if events == 0 {
+            return Err(MonteCarloError::InvalidArgument(
+                "a run needs at least one event".into(),
+            ));
+        }
+        self.equilibrate()?;
+        let mut occupation_time = vec![0.0; self.system.island_count()];
+        let mut last_time = self.time;
+        for _ in 0..events {
+            let before: Vec<i64> = self.state.0.clone();
+            match self.step()? {
+                Some(_) => {
+                    let dwell = self.time - last_time;
+                    for (acc, &n) in occupation_time.iter_mut().zip(&before) {
+                        *acc += dwell * n as f64;
+                    }
+                    last_time = self.time;
+                }
+                None => break,
+            }
+        }
+        Ok(self.collect(occupation_time))
+    }
+
+    /// Runs until the simulation clock advances by `duration` seconds
+    /// (after equilibration) or the system freezes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] for a non-positive
+    /// duration, and propagates step errors.
+    pub fn run_for(&mut self, duration: f64) -> Result<RunResult, MonteCarloError> {
+        if !(duration > 0.0) || !duration.is_finite() {
+            return Err(MonteCarloError::InvalidArgument(format!(
+                "duration must be positive and finite, got {duration}"
+            )));
+        }
+        self.equilibrate()?;
+        let t_end = self.time + duration;
+        let mut occupation_time = vec![0.0; self.system.island_count()];
+        let mut last_time = self.time;
+        while self.time < t_end {
+            let before: Vec<i64> = self.state.0.clone();
+            match self.step()? {
+                Some(_) => {
+                    let dwell = (self.time - last_time).min(t_end - last_time);
+                    for (acc, &n) in occupation_time.iter_mut().zip(&before) {
+                        *acc += dwell * n as f64;
+                    }
+                    last_time = self.time;
+                }
+                None => break,
+            }
+        }
+        Ok(self.collect(occupation_time))
+    }
+
+    /// Records a time-domain trace of `events` tunnel events (no
+    /// equilibration, no counter reset) — used for telegraph-noise and
+    /// logic-transient experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] if `events == 0`, and
+    /// propagates step errors.
+    pub fn record_trace(&mut self, events: usize) -> Result<Vec<TracePoint>, MonteCarloError> {
+        if events == 0 {
+            return Err(MonteCarloError::InvalidArgument(
+                "a trace needs at least one event".into(),
+            ));
+        }
+        let mut trace = Vec::with_capacity(events + 1);
+        trace.push(TracePoint {
+            time: self.time,
+            electrons: self.state.0.clone(),
+            potentials: self.system.island_potentials(&self.state),
+        });
+        for _ in 0..events {
+            if self.step()?.is_none() {
+                break;
+            }
+            trace.push(TracePoint {
+                time: self.time,
+                electrons: self.state.0.clone(),
+                potentials: self.system.island_potentials(&self.state),
+            });
+        }
+        Ok(trace)
+    }
+
+    fn collect(&self, occupation_time: Vec<f64>) -> RunResult {
+        let mut junction_currents = HashMap::new();
+        let mut junction_transfers = HashMap::new();
+        for (idx, junction) in self.system.junctions().iter().enumerate() {
+            let net = self.net_transfers[idx];
+            junction_transfers.insert(junction.name.clone(), net);
+            let current = if self.time > 0.0 {
+                // Electrons moving a→b carry conventional current b→a; report
+                // the conventional current in the a→b reference direction.
+                -E * net as f64 / self.time
+            } else {
+                0.0
+            };
+            junction_currents.insert(junction.name.clone(), current);
+        }
+        let mean_occupation = occupation_time
+            .iter()
+            .map(|&t| if self.time > 0.0 { t / self.time } else { 0.0 })
+            .collect();
+        RunResult::new(
+            self.time,
+            self.events_executed,
+            junction_currents,
+            junction_transfers,
+            mean_occupation,
+            self.frozen,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_orthodox::TunnelSystemBuilder;
+
+    /// Symmetric SET at its conductance peak: gate charge = e/2.
+    fn set_at_peak(vds: f64, temperature: f64) -> MonteCarloSimulator {
+        let cg = 1e-18;
+        let vg = E / (2.0 * cg);
+        let mut b = TunnelSystemBuilder::new();
+        let island = b.island("island", 0.0);
+        let drain = b.external("drain", vds);
+        let source = b.external("source", 0.0);
+        let gate = b.external("gate", vg);
+        b.junction("JD", drain, island, 0.5e-18, 100e3);
+        b.junction("JS", island, source, 0.5e-18, 100e3);
+        b.capacitor("CG", gate, island, cg);
+        let system = b.build().unwrap();
+        MonteCarloSimulator::new(system, SimulationOptions::new(temperature).with_seed(12345))
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let sim = set_at_peak(1e-3, 1.0);
+        let system = sim.system().clone();
+        assert!(MonteCarloSimulator::new(system.clone(), SimulationOptions::new(-1.0)).is_err());
+        let mut ok = MonteCarloSimulator::new(system, SimulationOptions::new(1.0)).unwrap();
+        assert!(ok.run_events(0).is_err());
+        assert!(ok.run_for(0.0).is_err());
+        assert!(ok.record_trace(0).is_err());
+    }
+
+    #[test]
+    fn current_flows_at_conductance_peak() {
+        let mut sim = set_at_peak(1e-3, 1.0);
+        let result = sim.run_events(20_000).unwrap();
+        let i_drain = result.junction_current("JD").unwrap();
+        let i_source = result.junction_current("JS").unwrap();
+        assert!(i_drain.abs() > 1e-12, "drain current {i_drain}");
+        // Current continuity: the same current flows through both junctions
+        // (within Monte-Carlo noise).
+        assert!(
+            (i_drain - i_source).abs() < 0.1 * i_drain.abs(),
+            "continuity violated: {i_drain} vs {i_source}"
+        );
+    }
+
+    #[test]
+    fn current_direction_follows_bias_sign() {
+        let mut forward = set_at_peak(1e-3, 1.0);
+        let mut reverse = set_at_peak(-1e-3, 1.0);
+        let i_f = forward
+            .run_events(20_000)
+            .unwrap()
+            .junction_current("JD")
+            .unwrap();
+        let i_r = reverse
+            .run_events(20_000)
+            .unwrap()
+            .junction_current("JD")
+            .unwrap();
+        assert!(i_f * i_r < 0.0, "bias reversal must reverse the current: {i_f} vs {i_r}");
+    }
+
+    #[test]
+    fn blockade_freezes_at_zero_temperature() {
+        // Gate at zero charge, tiny bias, T = 0: every event is uphill.
+        let mut b = TunnelSystemBuilder::new();
+        let island = b.island("island", 0.0);
+        let drain = b.external("drain", 1e-5);
+        let source = b.external("source", 0.0);
+        b.junction("JD", drain, island, 0.5e-18, 100e3);
+        b.junction("JS", island, source, 0.5e-18, 100e3);
+        let system = b.build().unwrap();
+        let mut sim = MonteCarloSimulator::new(
+            system,
+            SimulationOptions::new(0.0).with_seed(1).with_equilibration(0),
+        )
+        .unwrap();
+        let step = sim.step().unwrap();
+        assert!(step.is_none());
+        assert!(sim.is_frozen());
+        let result = sim.run_events(100).unwrap();
+        assert!(result.is_frozen());
+        assert_eq!(result.events(), 0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut a = set_at_peak(1e-3, 1.0);
+        let mut b = set_at_peak(1e-3, 1.0);
+        let ra = a.run_events(5_000).unwrap();
+        let rb = b.run_events(5_000).unwrap();
+        assert_eq!(
+            ra.junction_transfer("JD"),
+            rb.junction_transfer("JD"),
+            "same seed must give identical transfer counts"
+        );
+        assert!((ra.total_time() - rb.total_time()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn kmc_current_agrees_with_master_equation_reference() {
+        // The KMC estimate at the conductance peak must agree with the exact
+        // orthodox (master-equation) current within Monte-Carlo error.
+        let vds = 1e-3;
+        let temperature = 1.0;
+        let mut sim = set_at_peak(vds, temperature);
+        let result = sim.run_events(100_000).unwrap();
+        let i_kmc = result.junction_current("JD").unwrap();
+
+        let set =
+            se_orthodox::set::SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+        let vg = E / (2.0 * 1e-18);
+        let i_exact = set.current(vds, vg, 0.0, temperature).unwrap();
+        let rel = (i_kmc - i_exact).abs() / i_exact.abs();
+        assert!(
+            rel < 0.1,
+            "KMC {i_kmc} vs exact {i_exact} differ by {rel:.2}"
+        );
+    }
+
+    #[test]
+    fn trace_times_are_monotone() {
+        let mut sim = set_at_peak(1e-3, 1.0);
+        let trace = sim.record_trace(500).unwrap();
+        assert!(trace.len() > 1);
+        for pair in trace.windows(2) {
+            assert!(pair[1].time >= pair[0].time);
+        }
+        // Island occupation in a single-island SET stays near 0/1 at the peak.
+        assert!(trace.iter().all(|p| p.electrons[0].abs() <= 3));
+    }
+
+    #[test]
+    fn run_for_advances_the_requested_duration() {
+        let mut sim = set_at_peak(1e-3, 1.0);
+        let result = sim.run_for(2e-9).unwrap();
+        assert!(result.total_time() >= 2e-9);
+        assert!(result.events() > 0);
+    }
+
+    #[test]
+    fn mean_occupation_tracks_gate_charge() {
+        // With the gate set to one full period (gate charge = e), the island
+        // prefers exactly one extra electron.
+        let cg = 1e-18;
+        let vg = E / cg;
+        let mut b = TunnelSystemBuilder::new();
+        let island = b.island("island", 0.0);
+        let drain = b.external("drain", 0.0);
+        let source = b.external("source", 0.0);
+        let gate = b.external("gate", vg);
+        b.junction("JD", drain, island, 0.5e-18, 100e3);
+        b.junction("JS", island, source, 0.5e-18, 100e3);
+        b.capacitor("CG", gate, island, cg);
+        let system = b.build().unwrap();
+        let mut sim =
+            MonteCarloSimulator::new(system, SimulationOptions::new(4.2).with_seed(99)).unwrap();
+        let result = sim.run_events(20_000).unwrap();
+        let occupation = result.mean_occupation(0).unwrap();
+        assert!(
+            (occupation - 1.0).abs() < 0.1,
+            "mean occupation {occupation} should be ≈ 1"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! SIMON-class single-electron circuit simulator.
+//!
+//! The paper's Section 4 contrasts two simulator families: SPICE extensions
+//! with analytic SET models, and "detailed Monte-Carlo simulators, such as
+//! SIMON, [which] capture all the necessary physics but are limited in terms
+//! of circuit size". This crate is the Monte-Carlo family member of the
+//! toolkit. It consumes a [`se_netlist::Netlist`] (or a hand-built
+//! [`se_orthodox::TunnelSystem`]) and offers two engines over the same
+//! orthodox physics:
+//!
+//! * [`kmc::MonteCarloSimulator`] — a kinetic Monte-Carlo (Gillespie) engine
+//!   that samples individual tunnel events; handles any island count, gives
+//!   time-domain traces and noise, optionally includes cotunneling events;
+//! * [`master::MasterEquation`] — a deterministic master-equation solver
+//!   that enumerates charge states in a window and solves for the stationary
+//!   distribution exactly; the accuracy reference for small circuits.
+//!
+//! [`sweep`] runs bias sweeps with either engine, and [`builder`] converts
+//! netlists into tunnel systems.
+//!
+//! # Example
+//!
+//! ```
+//! use se_montecarlo::prelude::*;
+//!
+//! # fn main() -> Result<(), se_montecarlo::MonteCarloError> {
+//! // Single SET, drain biased at 1 mV, gate at the conductance peak.
+//! let deck = "single SET\n\
+//!             VD drain 0 1m\n\
+//!             VG gate 0 0.08\n\
+//!             J1 drain island C=1a R=100k\n\
+//!             J2 island 0 C=1a R=100k\n\
+//!             CG gate island 1a\n";
+//! let netlist = se_netlist::parse_deck(deck).map_err(MonteCarloError::from)?;
+//! let system = tunnel_system_from_netlist(&netlist)?;
+//! let mut sim = MonteCarloSimulator::new(system, SimulationOptions::new(4.2).with_seed(7))?;
+//! let result = sim.run_events(20_000)?;
+//! let drain_current = result.junction_current("J1");
+//! assert!(drain_current.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod kmc;
+pub mod master;
+pub mod observables;
+pub mod sweep;
+
+pub use builder::tunnel_system_from_netlist;
+pub use error::MonteCarloError;
+pub use kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};
+pub use observables::RunResult;
+pub use master::MasterEquation;
+pub use sweep::{gate_sweep_kmc, gate_sweep_master, drain_sweep_master, SweepPoint};
+
+/// Commonly used types for driving the Monte-Carlo simulator.
+pub mod prelude {
+    pub use crate::builder::tunnel_system_from_netlist;
+    pub use crate::error::MonteCarloError;
+    pub use crate::kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};
+    pub use crate::observables::RunResult;
+    pub use crate::master::MasterEquation;
+    pub use crate::sweep::{drain_sweep_master, gate_sweep_kmc, gate_sweep_master, SweepPoint};
+    pub use se_orthodox::{ChargeState, TunnelSystem};
+}

@@ -1,0 +1,463 @@
+//! Deterministic master-equation solver.
+//!
+//! For small circuits the stationary state of the orthodox model can be
+//! computed exactly: enumerate the charge states in a window around the
+//! electrostatic ground state, assemble the transition-rate matrix from the
+//! same orthodox rates the Monte-Carlo engine samples, and solve the linear
+//! system for the stationary probability distribution. This is the accuracy
+//! reference used to validate the Monte-Carlo engine (and the analytic
+//! SPICE model) in experiment E10, exactly the role the paper assigns to
+//! "detailed" simulators.
+
+use crate::error::MonteCarloError;
+use se_numeric::{LuDecomposition, Matrix};
+use se_orthodox::{rates::tunnel_rate, ChargeState, TunnelSystem};
+use se_units::constants::E;
+use std::collections::HashMap;
+
+/// Default half-width of the per-island charge window.
+const DEFAULT_WINDOW: i64 = 3;
+
+/// Default maximum number of enumerated states.
+const DEFAULT_MAX_STATES: usize = 20_000;
+
+/// Stationary solution of the master equation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterSolution {
+    states: Vec<ChargeState>,
+    probabilities: Vec<f64>,
+    junction_currents: HashMap<String, f64>,
+}
+
+impl MasterSolution {
+    /// The enumerated charge states.
+    #[must_use]
+    pub fn states(&self) -> &[ChargeState] {
+        &self.states
+    }
+
+    /// Stationary probability of each state (same order as
+    /// [`Self::states`]).
+    #[must_use]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Stationary conventional current through the named junction, in the
+    /// junction's `a → b` reference direction (ampere).
+    #[must_use]
+    pub fn junction_current(&self, junction: &str) -> Option<f64> {
+        self.junction_currents.get(junction).copied()
+    }
+
+    /// Probability of the given charge state, or 0 if it was outside the
+    /// enumeration window.
+    #[must_use]
+    pub fn probability_of(&self, state: &ChargeState) -> f64 {
+        self.states
+            .iter()
+            .position(|s| s == state)
+            .map_or(0.0, |i| self.probabilities[i])
+    }
+
+    /// Mean number of excess electrons on island `i`.
+    #[must_use]
+    pub fn mean_occupation(&self, island: usize) -> f64 {
+        self.states
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(s, &p)| p * s.0[island] as f64)
+            .sum()
+    }
+}
+
+/// Master-equation solver over a [`TunnelSystem`].
+#[derive(Debug, Clone)]
+pub struct MasterEquation {
+    system: TunnelSystem,
+    temperature: f64,
+    window: i64,
+    max_states: usize,
+}
+
+impl MasterEquation {
+    /// Creates a solver at the given temperature with the default charge
+    /// window (±3 electrons per island around the electrostatic ground
+    /// state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] for a negative or
+    /// non-finite temperature.
+    pub fn new(system: TunnelSystem, temperature: f64) -> Result<Self, MonteCarloError> {
+        if temperature < 0.0 || !temperature.is_finite() {
+            return Err(MonteCarloError::InvalidArgument(format!(
+                "temperature must be non-negative and finite, got {temperature}"
+            )));
+        }
+        Ok(MasterEquation {
+            system,
+            temperature,
+            window: DEFAULT_WINDOW,
+            max_states: DEFAULT_MAX_STATES,
+        })
+    }
+
+    /// Sets the per-island charge window half-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] if `window < 1`.
+    pub fn with_window(mut self, window: i64) -> Result<Self, MonteCarloError> {
+        if window < 1 {
+            return Err(MonteCarloError::InvalidArgument(format!(
+                "window must be at least 1, got {window}"
+            )));
+        }
+        self.window = window;
+        Ok(self)
+    }
+
+    /// The tunnel system being solved.
+    #[must_use]
+    pub fn system(&self) -> &TunnelSystem {
+        &self.system
+    }
+
+    /// Mutable access to the tunnel system (to change bias points between
+    /// solves).
+    pub fn system_mut(&mut self) -> &mut TunnelSystem {
+        &mut self.system
+    }
+
+    /// Finds the electrostatic ground state by greedy descent from the
+    /// charge-neutral state.
+    #[must_use]
+    pub fn ground_state(&self) -> ChargeState {
+        let mut state = ChargeState::neutral(self.system.island_count());
+        // Each step strictly lowers the free energy, so the loop terminates;
+        // bound it anyway for robustness against degenerate cases.
+        for _ in 0..10_000 {
+            let potentials = self.system.island_potentials(&state);
+            let mut best: Option<(f64, se_orthodox::TunnelEvent)> = None;
+            for event in self.system.events() {
+                let df = self
+                    .system
+                    .delta_free_energy_with_potentials(&potentials, event);
+                if df < -1e-30 && best.map_or(true, |(b, _)| df < b) {
+                    best = Some((df, event));
+                }
+            }
+            match best {
+                Some((_, event)) => self.system.apply_event(&mut state, event),
+                None => break,
+            }
+        }
+        state
+    }
+
+    /// Solves for the stationary distribution and junction currents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::StateSpaceTooLarge`] if the enumeration
+    /// exceeds the state limit, and propagates numerical errors from the
+    /// linear solve.
+    pub fn solve(&self) -> Result<MasterSolution, MonteCarloError> {
+        let islands = self.system.island_count();
+        let span = (2 * self.window + 1) as usize;
+        let state_count = span
+            .checked_pow(islands as u32)
+            .ok_or(MonteCarloError::StateSpaceTooLarge {
+                states: usize::MAX,
+                limit: self.max_states,
+            })?;
+        if state_count > self.max_states {
+            return Err(MonteCarloError::StateSpaceTooLarge {
+                states: state_count,
+                limit: self.max_states,
+            });
+        }
+
+        let center = self.ground_state();
+
+        // Enumerate all states in the window around the ground state.
+        let mut states = Vec::with_capacity(state_count);
+        let mut index: HashMap<Vec<i64>, usize> = HashMap::with_capacity(state_count);
+        let mut counter = vec![0usize; islands];
+        loop {
+            let state: Vec<i64> = counter
+                .iter()
+                .zip(&center.0)
+                .map(|(&c, &base)| base - self.window + c as i64)
+                .collect();
+            index.insert(state.clone(), states.len());
+            states.push(ChargeState(state));
+            // Advance the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == islands {
+                    break;
+                }
+                counter[i] += 1;
+                if counter[i] < span {
+                    break;
+                }
+                counter[i] = 0;
+                i += 1;
+            }
+            if i == islands {
+                break;
+            }
+        }
+
+        // Assemble the generator matrix A where A[j][i] is the rate from
+        // state i to state j and the diagonal holds the negative total
+        // outflow.
+        let n = states.len();
+        let mut a = Matrix::zeros(n, n);
+        let events = self.system.events();
+        // Per-junction current accumulators need the rates again, so keep
+        // them per (state, event).
+        let mut event_rates = vec![vec![0.0; events.len()]; n];
+        for (i, state) in states.iter().enumerate() {
+            let potentials = self.system.island_potentials(state);
+            for (e_idx, &event) in events.iter().enumerate() {
+                let df = self
+                    .system
+                    .delta_free_energy_with_potentials(&potentials, event);
+                let rate = tunnel_rate(df, self.system.event_resistance(event), self.temperature)?;
+                event_rates[i][e_idx] = rate;
+                if rate <= 0.0 {
+                    continue;
+                }
+                let mut target = state.clone();
+                self.system.apply_event(&mut target, event);
+                if let Some(&j) = index.get(&target.0) {
+                    a.add_at(j, i, rate);
+                    a.add_at(i, i, -rate);
+                }
+            }
+        }
+
+        // Rescale the generator so its entries are O(1): the stationary
+        // condition A·p = 0 is invariant under scaling, but mixing 10¹³-scale
+        // tunnel rates with the O(1) normalisation row would make the LU
+        // factorisation reject perfectly good pivots.
+        let rate_scale = a.max_abs();
+        if rate_scale > 0.0 {
+            a.scale(1.0 / rate_scale);
+        }
+
+        // Regularise isolated states: at low temperature every rate out of a
+        // deeply blockaded state can underflow to exactly zero, leaving an
+        // all-zero column and a singular generator. A vanishingly small
+        // escape rate towards the ground state (10⁻¹² of the fastest rate)
+        // makes the chain irreducible without affecting any junction
+        // current, which is computed from the real event rates only.
+        let ground_index = *index
+            .get(&center.0)
+            .expect("the ground state is inside its own window");
+        let epsilon = 1e-12;
+        for i in 0..n {
+            if i == ground_index {
+                continue;
+            }
+            a.add_at(ground_index, i, epsilon);
+            a.add_at(i, i, -epsilon);
+        }
+
+        // Replace the last row by the normalisation condition Σ p = 1.
+        let mut rhs = vec![0.0; n];
+        for col in 0..n {
+            a[(n - 1, col)] = 1.0;
+        }
+        rhs[n - 1] = 1.0;
+
+        let lu = LuDecomposition::new(&a)?;
+        let mut probabilities = lu.solve(&rhs)?;
+        // Clamp tiny negative round-off and renormalise.
+        for p in &mut probabilities {
+            if *p < 0.0 && *p > -1e-9 {
+                *p = 0.0;
+            }
+        }
+        let total: f64 = probabilities.iter().sum();
+        if total > 0.0 {
+            for p in &mut probabilities {
+                *p /= total;
+            }
+        }
+
+        // Junction currents.
+        let mut junction_currents = HashMap::new();
+        for (j_idx, junction) in self.system.junctions().iter().enumerate() {
+            let mut net_rate = 0.0;
+            for (i, _) in states.iter().enumerate() {
+                let p = probabilities[i];
+                if p == 0.0 {
+                    continue;
+                }
+                for (e_idx, &event) in events.iter().enumerate() {
+                    if event.junction != j_idx {
+                        continue;
+                    }
+                    let sign = match event.direction {
+                        se_orthodox::Direction::AToB => 1.0,
+                        se_orthodox::Direction::BToA => -1.0,
+                    };
+                    net_rate += sign * p * event_rates[i][e_idx];
+                }
+            }
+            junction_currents.insert(junction.name.clone(), -E * net_rate);
+        }
+
+        Ok(MasterSolution {
+            states,
+            probabilities,
+            junction_currents,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_orthodox::TunnelSystemBuilder;
+
+    fn set_system(vds: f64, vg: f64, q0: f64) -> TunnelSystem {
+        let mut b = TunnelSystemBuilder::new();
+        let island = b.island("island", q0);
+        let drain = b.external("drain", vds);
+        let source = b.external("source", 0.0);
+        let gate = b.external("gate", vg);
+        b.junction("JD", drain, island, 0.5e-18, 100e3);
+        b.junction("JS", island, source, 0.5e-18, 100e3);
+        b.capacitor("CG", gate, island, 1e-18);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_arguments() {
+        let system = set_system(0.0, 0.0, 0.0);
+        assert!(MasterEquation::new(system.clone(), -1.0).is_err());
+        let me = MasterEquation::new(system, 1.0).unwrap();
+        assert!(me.clone().with_window(0).is_err());
+    }
+
+    #[test]
+    fn probabilities_are_normalised_and_non_negative() {
+        let me = MasterEquation::new(set_system(1e-3, 0.05, 0.0), 4.2).unwrap();
+        let solution = me.solve().unwrap();
+        let total: f64 = solution.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(solution.probabilities().iter().all(|&p| p >= 0.0));
+        assert_eq!(solution.states().len(), solution.probabilities().len());
+    }
+
+    #[test]
+    fn blockade_keeps_island_neutral() {
+        let me = MasterEquation::new(set_system(1e-4, 0.0, 0.0), 1.0).unwrap();
+        let solution = me.solve().unwrap();
+        let neutral = ChargeState(vec![0]);
+        assert!(solution.probability_of(&neutral) > 0.99);
+        assert!(solution.mean_occupation(0).abs() < 0.01);
+        // And the blockade current is vanishingly small.
+        let i = solution.junction_current("JD").unwrap();
+        assert!(i.abs() < 1e-15, "blockade current {i}");
+    }
+
+    #[test]
+    fn current_continuity_between_junctions() {
+        let cg = 1e-18;
+        let vg = E / (2.0 * cg);
+        let me = MasterEquation::new(set_system(1e-3, vg, 0.0), 1.0).unwrap();
+        let solution = me.solve().unwrap();
+        let i_d = solution.junction_current("JD").unwrap();
+        let i_s = solution.junction_current("JS").unwrap();
+        assert!(i_d.abs() > 1e-12);
+        assert!(
+            (i_d - i_s).abs() < 1e-6 * i_d.abs(),
+            "continuity violated: {i_d} vs {i_s}"
+        );
+    }
+
+    #[test]
+    fn master_equation_matches_single_set_reference() {
+        // The generic multi-island solver must agree with the specialised
+        // birth–death solution in `se-orthodox::set`.
+        let cg = 1e-18;
+        let vds = 1e-3;
+        let temperature = 1.0;
+        let set =
+            se_orthodox::set::SingleElectronTransistor::new(cg, 0.5e-18, 0.5e-18, 100e3, 100e3)
+                .unwrap();
+        for vg_frac in [0.1, 0.25, 0.5, 0.75] {
+            let vg = vg_frac * E / cg;
+            let me = MasterEquation::new(set_system(vds, vg, 0.0), temperature).unwrap();
+            let solution = me.solve().unwrap();
+            let i_master = solution.junction_current("JD").unwrap();
+            let i_ref = set.current(vds, vg, 0.0, temperature).unwrap();
+            let scale = i_ref.abs().max(1e-15);
+            assert!(
+                (i_master - i_ref).abs() < 0.02 * scale + 1e-15,
+                "vg fraction {vg_frac}: master {i_master} vs reference {i_ref}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_state_follows_gate_charge() {
+        // Gate charge of ~2 e pulls two electrons onto the island.
+        let cg = 1e-18;
+        let vg = 2.0 * E / cg;
+        let me = MasterEquation::new(set_system(0.0, vg, 0.0), 0.1).unwrap();
+        let ground = me.ground_state();
+        assert_eq!(ground.0, vec![2]);
+    }
+
+    #[test]
+    fn state_space_limit_is_enforced() {
+        // A 2-island system with a huge window exceeds the default limit.
+        let mut b = TunnelSystemBuilder::new();
+        let i1 = b.island("i1", 0.0);
+        let i2 = b.island("i2", 0.0);
+        let s = b.external("s", 0.0);
+        b.junction("J1", s, i1, 1e-18, 1e5);
+        b.junction("J2", i1, i2, 1e-18, 1e5);
+        b.junction("J3", i2, s, 1e-18, 1e5);
+        let system = b.build().unwrap();
+        let me = MasterEquation::new(system, 1.0)
+            .unwrap()
+            .with_window(100)
+            .unwrap();
+        assert!(matches!(
+            me.solve(),
+            Err(MonteCarloError::StateSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn double_dot_solution_is_normalised() {
+        let mut b = TunnelSystemBuilder::new();
+        let i1 = b.island("i1", 0.0);
+        let i2 = b.island("i2", 0.0);
+        let s = b.external("s", 1e-3);
+        let d = b.external("d", 0.0);
+        let g = b.external("g", 0.05);
+        b.junction("J1", s, i1, 1e-18, 1e5);
+        b.junction("J2", i1, i2, 1e-18, 1e5);
+        b.junction("J3", i2, d, 1e-18, 1e5);
+        b.capacitor("Cg1", g, i1, 0.5e-18);
+        b.capacitor("Cg2", g, i2, 0.5e-18);
+        let system = b.build().unwrap();
+        let me = MasterEquation::new(system, 4.2).unwrap().with_window(2).unwrap();
+        let solution = me.solve().unwrap();
+        let total: f64 = solution.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Current continuity through the series chain.
+        let i1c = solution.junction_current("J1").unwrap();
+        let i3c = solution.junction_current("J3").unwrap();
+        assert!((i1c - i3c).abs() < 1e-6 * i1c.abs().max(1e-18));
+    }
+}

@@ -1,0 +1,108 @@
+//! Observables collected from a Monte-Carlo run.
+
+use std::collections::HashMap;
+
+/// Observables of one Monte-Carlo measurement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    total_time: f64,
+    events: u64,
+    junction_currents: HashMap<String, f64>,
+    junction_transfers: HashMap<String, i64>,
+    mean_occupation: Vec<f64>,
+    frozen: bool,
+}
+
+impl RunResult {
+    /// Assembles a result; used by the simulator engines.
+    #[must_use]
+    pub(crate) fn new(
+        total_time: f64,
+        events: u64,
+        junction_currents: HashMap<String, f64>,
+        junction_transfers: HashMap<String, i64>,
+        mean_occupation: Vec<f64>,
+        frozen: bool,
+    ) -> Self {
+        RunResult {
+            total_time,
+            events,
+            junction_currents,
+            junction_transfers,
+            mean_occupation,
+            frozen,
+        }
+    }
+
+    /// Total simulated time in seconds.
+    #[must_use]
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// Number of tunnel events executed.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Returns `true` if the run ended because no event had a non-zero rate.
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Time-averaged conventional current through the named junction, in
+    /// ampere, measured in the junction's `a → b` reference direction.
+    #[must_use]
+    pub fn junction_current(&self, junction: &str) -> Option<f64> {
+        self.junction_currents.get(junction).copied()
+    }
+
+    /// Net number of electrons that tunnelled from side `a` to side `b` of
+    /// the named junction.
+    #[must_use]
+    pub fn junction_transfer(&self, junction: &str) -> Option<i64> {
+        self.junction_transfers.get(junction).copied()
+    }
+
+    /// Time-averaged number of excess electrons on island `i`.
+    #[must_use]
+    pub fn mean_occupation(&self, island: usize) -> Option<f64> {
+        self.mean_occupation.get(island).copied()
+    }
+
+    /// Iterates over `(junction name, current)` pairs.
+    pub fn currents(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.junction_currents
+            .iter()
+            .map(|(name, &current)| (name.as_str(), current))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunResult {
+        let mut currents = HashMap::new();
+        currents.insert("JD".to_string(), 1.5e-9);
+        let mut transfers = HashMap::new();
+        transfers.insert("JD".to_string(), -42);
+        RunResult::new(1e-6, 100, currents, transfers, vec![0.5], false)
+    }
+
+    #[test]
+    fn accessors_return_stored_values() {
+        let r = sample();
+        assert_eq!(r.total_time(), 1e-6);
+        assert_eq!(r.events(), 100);
+        assert!(!r.is_frozen());
+        assert_eq!(r.junction_current("JD"), Some(1.5e-9));
+        assert_eq!(r.junction_current("nope"), None);
+        assert_eq!(r.junction_transfer("JD"), Some(-42));
+        assert_eq!(r.mean_occupation(0), Some(0.5));
+        assert_eq!(r.mean_occupation(7), None);
+        assert_eq!(r.currents().count(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Bias sweeps driven by either simulation engine.
+//!
+//! These helpers regenerate the classic SET characteristics: the periodic
+//! Id–Vg Coulomb oscillations, the Id–Vds blockade/staircase curve and the
+//! stability (Coulomb-diamond) map, using the exact master-equation solver
+//! or the stochastic kinetic Monte-Carlo engine over the same physics.
+
+use crate::error::MonteCarloError;
+use crate::kmc::{MonteCarloSimulator, SimulationOptions};
+use crate::master::MasterEquation;
+use se_orthodox::TunnelSystem;
+
+/// One point of a bias sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept control value (a gate or drain voltage, in volt).
+    pub control: f64,
+    /// The measured junction current in ampere.
+    pub current: f64,
+}
+
+/// Generates `points` evenly spaced values covering `[start, stop]`.
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::InvalidArgument`] if `points < 2` or the range
+/// is degenerate.
+pub fn linspace(start: f64, stop: f64, points: usize) -> Result<Vec<f64>, MonteCarloError> {
+    if points < 2 {
+        return Err(MonteCarloError::InvalidArgument(
+            "a sweep needs at least two points".into(),
+        ));
+    }
+    if !(stop > start) {
+        return Err(MonteCarloError::InvalidArgument(format!(
+            "sweep range must satisfy start < stop, got [{start}, {stop}]"
+        )));
+    }
+    Ok((0..points)
+        .map(|i| start + (stop - start) * i as f64 / (points - 1) as f64)
+        .collect())
+}
+
+/// Sweeps the named external electrode with the master-equation solver and
+/// measures the current through the named junction.
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::InvalidArgument`] if the electrode or junction
+/// does not exist, and propagates solver errors.
+pub fn gate_sweep_master(
+    system: &TunnelSystem,
+    electrode: &str,
+    values: &[f64],
+    junction: &str,
+    temperature: f64,
+) -> Result<Vec<SweepPoint>, MonteCarloError> {
+    let electrode_idx = system
+        .external_index(electrode)
+        .ok_or_else(|| MonteCarloError::InvalidArgument(format!("no electrode named `{electrode}`")))?;
+    if !system.junctions().iter().any(|j| j.name == junction) {
+        return Err(MonteCarloError::InvalidArgument(format!(
+            "no junction named `{junction}`"
+        )));
+    }
+    let mut solver = MasterEquation::new(system.clone(), temperature)?;
+    let mut points = Vec::with_capacity(values.len());
+    for &value in values {
+        solver.system_mut().set_external_voltage(electrode_idx, value)?;
+        let solution = solver.solve()?;
+        let current = solution
+            .junction_current(junction)
+            .expect("junction existence checked above");
+        points.push(SweepPoint {
+            control: value,
+            current,
+        });
+    }
+    Ok(points)
+}
+
+/// Alias of [`gate_sweep_master`] for drain sweeps — the mechanics are
+/// identical, only the swept electrode differs. Provided for readability of
+/// the experiment harnesses.
+///
+/// # Errors
+///
+/// See [`gate_sweep_master`].
+pub fn drain_sweep_master(
+    system: &TunnelSystem,
+    electrode: &str,
+    values: &[f64],
+    junction: &str,
+    temperature: f64,
+) -> Result<Vec<SweepPoint>, MonteCarloError> {
+    gate_sweep_master(system, electrode, values, junction, temperature)
+}
+
+/// Sweeps the named electrode with the kinetic Monte-Carlo engine, running
+/// `events_per_point` measurement events at every bias value.
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::InvalidArgument`] if the electrode or junction
+/// does not exist or `events_per_point == 0`, and propagates engine errors.
+pub fn gate_sweep_kmc(
+    system: &TunnelSystem,
+    electrode: &str,
+    values: &[f64],
+    junction: &str,
+    options: SimulationOptions,
+    events_per_point: usize,
+) -> Result<Vec<SweepPoint>, MonteCarloError> {
+    let electrode_idx = system
+        .external_index(electrode)
+        .ok_or_else(|| MonteCarloError::InvalidArgument(format!("no electrode named `{electrode}`")))?;
+    if !system.junctions().iter().any(|j| j.name == junction) {
+        return Err(MonteCarloError::InvalidArgument(format!(
+            "no junction named `{junction}`"
+        )));
+    }
+    if events_per_point == 0 {
+        return Err(MonteCarloError::InvalidArgument(
+            "events_per_point must be at least 1".into(),
+        ));
+    }
+    let mut simulator = MonteCarloSimulator::new(system.clone(), options)?;
+    let mut points = Vec::with_capacity(values.len());
+    for &value in values {
+        simulator
+            .system_mut()
+            .set_external_voltage(electrode_idx, value)?;
+        simulator.reset_counters();
+        let result = simulator.run_events(events_per_point)?;
+        let current = result
+            .junction_current(junction)
+            .expect("junction existence checked above");
+        points.push(SweepPoint {
+            control: value,
+            current,
+        });
+    }
+    Ok(points)
+}
+
+/// Computes a stability (Coulomb-diamond) map: the junction current on a
+/// `gate × drain` voltage grid, using the master-equation solver. The result
+/// is row-major with gate as the outer loop.
+///
+/// # Errors
+///
+/// See [`gate_sweep_master`].
+pub fn stability_map_master(
+    system: &TunnelSystem,
+    gate_electrode: &str,
+    gate_values: &[f64],
+    drain_electrode: &str,
+    drain_values: &[f64],
+    junction: &str,
+    temperature: f64,
+) -> Result<Vec<Vec<f64>>, MonteCarloError> {
+    let gate_idx = system.external_index(gate_electrode).ok_or_else(|| {
+        MonteCarloError::InvalidArgument(format!("no electrode named `{gate_electrode}`"))
+    })?;
+    let mut map = Vec::with_capacity(gate_values.len());
+    let mut working = system.clone();
+    for &vg in gate_values {
+        working.set_external_voltage(gate_idx, vg)?;
+        let row = drain_sweep_master(&working, drain_electrode, drain_values, junction, temperature)?;
+        map.push(row.into_iter().map(|p| p.current).collect());
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_orthodox::TunnelSystemBuilder;
+    use se_units::constants::E;
+
+    fn set_system() -> TunnelSystem {
+        let mut b = TunnelSystemBuilder::new();
+        let island = b.island("island", 0.0);
+        let drain = b.external("drain", 1e-3);
+        let source = b.external("source", 0.0);
+        let gate = b.external("gate", 0.0);
+        b.junction("JD", drain, island, 0.5e-18, 100e3);
+        b.junction("JS", island, source, 0.5e-18, 100e3);
+        b.capacitor("CG", gate, island, 1e-18);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn linspace_validates_and_covers_range() {
+        assert!(linspace(0.0, 1.0, 1).is_err());
+        assert!(linspace(1.0, 0.0, 5).is_err());
+        let xs = linspace(0.0, 1.0, 5).unwrap();
+        assert_eq!(xs.len(), 5);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(xs[4], 1.0);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let system = set_system();
+        let values = [0.0, 0.1];
+        assert!(gate_sweep_master(&system, "nope", &values, "JD", 1.0).is_err());
+        assert!(gate_sweep_master(&system, "gate", &values, "nope", 1.0).is_err());
+        assert!(gate_sweep_kmc(
+            &system,
+            "gate",
+            &values,
+            "JD",
+            SimulationOptions::new(1.0).with_seed(1),
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn master_gate_sweep_shows_coulomb_oscillations() {
+        let system = set_system();
+        let period = E / 1e-18;
+        let values = linspace(0.0, 2.0 * period, 81).unwrap();
+        let sweep = gate_sweep_master(&system, "gate", &values, "JD", 1.0).unwrap();
+        // Two full periods: the current at 0.5 and 1.5 periods (peaks) is
+        // large, at 0 and 1 periods (valleys) it is blockaded.
+        let current_at = |frac: f64| {
+            let target = frac * period;
+            sweep
+                .iter()
+                .min_by(|a, b| {
+                    (a.control - target)
+                        .abs()
+                        .partial_cmp(&(b.control - target).abs())
+                        .unwrap()
+                })
+                .unwrap()
+                .current
+        };
+        assert!(current_at(0.5) > 100.0 * current_at(0.0).abs().max(1e-18));
+        assert!(current_at(1.5) > 100.0 * current_at(1.0).abs().max(1e-18));
+        // Periodicity of the two peaks.
+        let p1 = current_at(0.5);
+        let p2 = current_at(1.5);
+        assert!((p1 - p2).abs() < 0.05 * p1);
+    }
+
+    #[test]
+    fn kmc_sweep_tracks_master_sweep() {
+        let system = set_system();
+        let period = E / 1e-18;
+        let values = [0.25 * period, 0.5 * period];
+        let master = gate_sweep_master(&system, "gate", &values, "JD", 1.0).unwrap();
+        let kmc = gate_sweep_kmc(
+            &system,
+            "gate",
+            &values,
+            "JD",
+            SimulationOptions::new(1.0).with_seed(7),
+            40_000,
+        )
+        .unwrap();
+        for (m, k) in master.iter().zip(&kmc) {
+            let scale = m.current.abs().max(1e-15);
+            assert!(
+                (m.current - k.current).abs() < 0.15 * scale,
+                "master {} vs kmc {}",
+                m.current,
+                k.current
+            );
+        }
+    }
+
+    #[test]
+    fn stability_map_shows_diamond_structure() {
+        let system = set_system();
+        let period = E / 1e-18;
+        // The blockade threshold of this SET is e/CΣ = 80 mV at the gate
+        // valley, so sweep the drain well beyond it.
+        let gate_values = [0.0, 0.5 * period];
+        let drain_values = linspace(-0.15, 0.15, 11).unwrap();
+        let map = stability_map_master(
+            &system,
+            "gate",
+            &gate_values,
+            "drain",
+            &drain_values,
+            "JD",
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[0].len(), 11);
+        // At the gate valley (row 0) the small-bias current is blockaded; at
+        // the degeneracy point (row 1) it is not.
+        let mid = 5; // Vds = 0 neighbourhood
+        assert!(map[0][mid].abs() < 1e-15);
+        // At larger bias both conduct.
+        assert!(map[0][0].abs() > 1e-12);
+        assert!(map[1][0].abs() > 1e-12);
+    }
+}

@@ -1,0 +1,596 @@
+//! The circuit-element zoo.
+//!
+//! Every device the toolkit simulates is represented by an [`Element`]: a
+//! name, a set of terminal nodes and an [`ElementKind`] carrying the physical
+//! parameters (all in SI units). Constructors validate the physically
+//! required sign constraints so a malformed device is rejected at build time
+//! rather than producing silently wrong physics.
+
+use crate::error::NetlistError;
+use crate::node::Node;
+
+/// MOSFET polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosfetType {
+    /// n-channel device.
+    Nmos,
+    /// p-channel device.
+    Pmos,
+}
+
+/// Level-1 (Shichman–Hodges) MOSFET parameters.
+///
+/// These defaults are representative of the 0.18 µm-class CMOS used by the
+/// hybrid SET/CMOS circuits cited in the paper (Inokawa et al., Uchida et
+/// al.); they are not a calibrated foundry model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetParams {
+    /// Device polarity.
+    pub polarity: MosfetType,
+    /// Threshold voltage in volt (positive for NMOS, negative for PMOS).
+    pub vth: f64,
+    /// Transconductance factor `k' · W/L` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation parameter λ in 1/V.
+    pub lambda: f64,
+}
+
+impl MosfetParams {
+    /// Representative 0.18 µm-class NMOS parameters.
+    #[must_use]
+    pub fn nmos_180nm() -> Self {
+        MosfetParams {
+            polarity: MosfetType::Nmos,
+            vth: 0.45,
+            kp: 300e-6,
+            lambda: 0.06,
+        }
+    }
+
+    /// Representative 0.18 µm-class PMOS parameters.
+    #[must_use]
+    pub fn pmos_180nm() -> Self {
+        MosfetParams {
+            polarity: MosfetType::Pmos,
+            vth: -0.45,
+            kp: 120e-6,
+            lambda: 0.08,
+        }
+    }
+}
+
+impl Default for MosfetParams {
+    fn default() -> Self {
+        MosfetParams::nmos_180nm()
+    }
+}
+
+/// Parameters of a metallic single-electron transistor used by the analytic
+/// compact model (two tunnel junctions plus a gate capacitor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetParams {
+    /// Gate capacitance in farad. Sets the Id–Vg oscillation period `e/Cg`.
+    pub c_gate: f64,
+    /// Source-junction capacitance in farad.
+    pub c_source: f64,
+    /// Drain-junction capacitance in farad.
+    pub c_drain: f64,
+    /// Source-junction tunnel resistance in ohm.
+    pub r_source: f64,
+    /// Drain-junction tunnel resistance in ohm.
+    pub r_drain: f64,
+    /// Static background (offset) charge on the island in units of `e`.
+    pub background_charge: f64,
+}
+
+impl SetParams {
+    /// A symmetric SET with the capacitances and resistances typical of the
+    /// devices discussed in the paper (aF-scale junctions, 100 kΩ-scale
+    /// tunnel resistances).
+    #[must_use]
+    pub fn symmetric(c_gate: f64, c_junction: f64, r_junction: f64) -> Self {
+        SetParams {
+            c_gate,
+            c_source: c_junction,
+            c_drain: c_junction,
+            r_source: r_junction,
+            r_drain: r_junction,
+            background_charge: 0.0,
+        }
+    }
+
+    /// Total island capacitance `CΣ = Cg + Cs + Cd`.
+    #[must_use]
+    pub fn total_capacitance(&self) -> f64 {
+        self.c_gate + self.c_source + self.c_drain
+    }
+
+    /// Gate-voltage period of the Coulomb oscillations, `e / Cg`.
+    #[must_use]
+    pub fn gate_period(&self) -> f64 {
+        se_units::constants::E / self.c_gate
+    }
+
+    /// Returns a copy with the given background charge (in units of `e`).
+    #[must_use]
+    pub fn with_background_charge(mut self, q0: f64) -> Self {
+        self.background_charge = q0;
+        self
+    }
+}
+
+impl Default for SetParams {
+    fn default() -> Self {
+        SetParams::symmetric(1e-18, 0.5e-18, 100e3)
+    }
+}
+
+/// The kind of a circuit element together with its physical parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementKind {
+    /// Linear resistor (ohm).
+    Resistor {
+        /// Resistance in ohm.
+        resistance: f64,
+    },
+    /// Linear capacitor (farad).
+    Capacitor {
+        /// Capacitance in farad.
+        capacitance: f64,
+    },
+    /// Tunnel junction: a capacitor in parallel with a stochastic tunnel
+    /// resistance, the elementary device of single-electronics.
+    TunnelJunction {
+        /// Junction capacitance in farad.
+        capacitance: f64,
+        /// Tunnel resistance in ohm.
+        resistance: f64,
+    },
+    /// Ideal DC voltage source (volt).
+    VoltageSource {
+        /// Source voltage in volt.
+        voltage: f64,
+    },
+    /// Ideal DC current source (ampere).
+    CurrentSource {
+        /// Source current in ampere.
+        current: f64,
+    },
+    /// Junction diode with the Shockley equation.
+    Diode {
+        /// Saturation current in ampere.
+        saturation_current: f64,
+        /// Ideality factor (dimensionless).
+        ideality: f64,
+    },
+    /// Level-1 MOSFET.
+    Mosfet {
+        /// Device parameters.
+        params: MosfetParams,
+    },
+    /// Analytic compact model of a complete SET (drain, gate, source).
+    SetTransistor {
+        /// Device parameters.
+        params: SetParams,
+    },
+}
+
+impl ElementKind {
+    /// Short SPICE-style prefix letter for this element kind.
+    #[must_use]
+    pub fn prefix(&self) -> char {
+        match self {
+            ElementKind::Resistor { .. } => 'R',
+            ElementKind::Capacitor { .. } => 'C',
+            ElementKind::TunnelJunction { .. } => 'J',
+            ElementKind::VoltageSource { .. } => 'V',
+            ElementKind::CurrentSource { .. } => 'I',
+            ElementKind::Diode { .. } => 'D',
+            ElementKind::Mosfet { .. } => 'M',
+            ElementKind::SetTransistor { .. } => 'X',
+        }
+    }
+}
+
+/// A named circuit element with its terminal nodes.
+///
+/// Two-terminal devices use `nodes[0]` (positive / anode / drain-side) and
+/// `nodes[1]` (negative / cathode / source-side). MOSFETs use
+/// `[drain, gate, source]`; SET compact models use `[drain, gate, source]`
+/// as well.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    name: String,
+    nodes: Vec<Node>,
+    kind: ElementKind,
+}
+
+impl Element {
+    /// Creates an element from parts, validating parameter signs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] when a physically required
+    /// constraint is violated (non-positive resistance or capacitance,
+    /// non-positive saturation current, wrong terminal count, …).
+    pub fn new(
+        name: impl Into<String>,
+        nodes: Vec<Node>,
+        kind: ElementKind,
+    ) -> Result<Self, NetlistError> {
+        let name = name.into();
+        let invalid = |message: &str| NetlistError::InvalidParameter {
+            element: name.clone(),
+            message: message.to_string(),
+        };
+        let expect_terminals = |n: usize| {
+            if nodes.len() != n {
+                Err(invalid(&format!(
+                    "expected {n} terminals, got {}",
+                    nodes.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match &kind {
+            ElementKind::Resistor { resistance } => {
+                expect_terminals(2)?;
+                if *resistance <= 0.0 || !resistance.is_finite() {
+                    return Err(invalid("resistance must be positive and finite"));
+                }
+            }
+            ElementKind::Capacitor { capacitance } => {
+                expect_terminals(2)?;
+                if *capacitance <= 0.0 || !capacitance.is_finite() {
+                    return Err(invalid("capacitance must be positive and finite"));
+                }
+            }
+            ElementKind::TunnelJunction {
+                capacitance,
+                resistance,
+            } => {
+                expect_terminals(2)?;
+                if *capacitance <= 0.0 || !capacitance.is_finite() {
+                    return Err(invalid("junction capacitance must be positive and finite"));
+                }
+                if *resistance <= 0.0 || !resistance.is_finite() {
+                    return Err(invalid("tunnel resistance must be positive and finite"));
+                }
+            }
+            ElementKind::VoltageSource { voltage } => {
+                expect_terminals(2)?;
+                if !voltage.is_finite() {
+                    return Err(invalid("source voltage must be finite"));
+                }
+            }
+            ElementKind::CurrentSource { current } => {
+                expect_terminals(2)?;
+                if !current.is_finite() {
+                    return Err(invalid("source current must be finite"));
+                }
+            }
+            ElementKind::Diode {
+                saturation_current,
+                ideality,
+            } => {
+                expect_terminals(2)?;
+                if *saturation_current <= 0.0 || !saturation_current.is_finite() {
+                    return Err(invalid("saturation current must be positive and finite"));
+                }
+                if *ideality < 1.0 || *ideality > 5.0 {
+                    return Err(invalid("ideality factor must lie in [1, 5]"));
+                }
+            }
+            ElementKind::Mosfet { params } => {
+                expect_terminals(3)?;
+                if params.kp <= 0.0 || !params.kp.is_finite() {
+                    return Err(invalid("transconductance factor must be positive"));
+                }
+                if params.lambda < 0.0 {
+                    return Err(invalid("channel-length modulation must be non-negative"));
+                }
+            }
+            ElementKind::SetTransistor { params } => {
+                expect_terminals(3)?;
+                if params.c_gate <= 0.0 || params.c_source <= 0.0 || params.c_drain <= 0.0 {
+                    return Err(invalid("all SET capacitances must be positive"));
+                }
+                if params.r_source <= 0.0 || params.r_drain <= 0.0 {
+                    return Err(invalid("all SET tunnel resistances must be positive"));
+                }
+            }
+        }
+        if name.trim().is_empty() {
+            return Err(NetlistError::InvalidParameter {
+                element: "<unnamed>".into(),
+                message: "element name must not be empty".into(),
+            });
+        }
+        Ok(Element { name, nodes, kind })
+    }
+
+    /// Convenience constructor for a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if `resistance <= 0`.
+    pub fn resistor(
+        name: impl Into<String>,
+        a: Node,
+        b: Node,
+        resistance: f64,
+    ) -> Result<Self, NetlistError> {
+        Element::new(name, vec![a, b], ElementKind::Resistor { resistance })
+    }
+
+    /// Convenience constructor for a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if `capacitance <= 0`.
+    pub fn capacitor(
+        name: impl Into<String>,
+        a: Node,
+        b: Node,
+        capacitance: f64,
+    ) -> Result<Self, NetlistError> {
+        Element::new(name, vec![a, b], ElementKind::Capacitor { capacitance })
+    }
+
+    /// Convenience constructor for a tunnel junction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if the capacitance or
+    /// resistance is not strictly positive.
+    pub fn tunnel_junction(
+        name: impl Into<String>,
+        a: Node,
+        b: Node,
+        capacitance: f64,
+        resistance: f64,
+    ) -> Result<Self, NetlistError> {
+        Element::new(
+            name,
+            vec![a, b],
+            ElementKind::TunnelJunction {
+                capacitance,
+                resistance,
+            },
+        )
+    }
+
+    /// Convenience constructor for a DC voltage source (positive terminal
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if the voltage is not
+    /// finite.
+    pub fn voltage_source(
+        name: impl Into<String>,
+        plus: Node,
+        minus: Node,
+        voltage: f64,
+    ) -> Result<Self, NetlistError> {
+        Element::new(name, vec![plus, minus], ElementKind::VoltageSource { voltage })
+    }
+
+    /// Convenience constructor for a DC current source (current flows from
+    /// the first node, through the source, into the second node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if the current is not
+    /// finite.
+    pub fn current_source(
+        name: impl Into<String>,
+        from: Node,
+        to: Node,
+        current: f64,
+    ) -> Result<Self, NetlistError> {
+        Element::new(name, vec![from, to], ElementKind::CurrentSource { current })
+    }
+
+    /// Convenience constructor for a diode (anode first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] for a non-positive
+    /// saturation current or an ideality factor outside `[1, 5]`.
+    pub fn diode(
+        name: impl Into<String>,
+        anode: Node,
+        cathode: Node,
+        saturation_current: f64,
+        ideality: f64,
+    ) -> Result<Self, NetlistError> {
+        Element::new(
+            name,
+            vec![anode, cathode],
+            ElementKind::Diode {
+                saturation_current,
+                ideality,
+            },
+        )
+    }
+
+    /// Convenience constructor for a level-1 MOSFET with terminals
+    /// `[drain, gate, source]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] for a non-positive
+    /// transconductance factor or negative channel-length modulation.
+    pub fn mosfet(
+        name: impl Into<String>,
+        drain: Node,
+        gate: Node,
+        source: Node,
+        params: MosfetParams,
+    ) -> Result<Self, NetlistError> {
+        Element::new(name, vec![drain, gate, source], ElementKind::Mosfet { params })
+    }
+
+    /// Convenience constructor for an analytic SET compact model with
+    /// terminals `[drain, gate, source]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if any capacitance or
+    /// tunnel resistance is not strictly positive.
+    pub fn set_transistor(
+        name: impl Into<String>,
+        drain: Node,
+        gate: Node,
+        source: Node,
+        params: SetParams,
+    ) -> Result<Self, NetlistError> {
+        Element::new(
+            name,
+            vec![drain, gate, source],
+            ElementKind::SetTransistor { params },
+        )
+    }
+
+    /// Element name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Terminal nodes in declaration order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Element kind and parameters.
+    #[must_use]
+    pub fn kind(&self) -> &ElementKind {
+        &self.kind
+    }
+
+    /// Returns `true` if this element only stores charge (capacitor or
+    /// tunnel junction), i.e. contributes to the island electrostatics.
+    #[must_use]
+    pub fn is_capacitive(&self) -> bool {
+        matches!(
+            self.kind,
+            ElementKind::Capacitor { .. } | ElementKind::TunnelJunction { .. }
+        )
+    }
+
+    /// Returns `true` if this element is a tunnel junction.
+    #[must_use]
+    pub fn is_tunnel_junction(&self) -> bool {
+        matches!(self.kind, ElementKind::TunnelJunction { .. })
+    }
+
+    /// Returns `true` if this element fixes a node voltage (voltage source).
+    #[must_use]
+    pub fn is_voltage_source(&self) -> bool {
+        matches!(self.kind, ElementKind::VoltageSource { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_accept_valid_devices() {
+        let a = Node::from_index(1);
+        let b = Node::GROUND;
+        assert!(Element::resistor("R1", a, b, 1e3).is_ok());
+        assert!(Element::capacitor("C1", a, b, 1e-15).is_ok());
+        assert!(Element::tunnel_junction("J1", a, b, 1e-18, 1e5).is_ok());
+        assert!(Element::voltage_source("V1", a, b, 1.0).is_ok());
+        assert!(Element::current_source("I1", a, b, 1e-9).is_ok());
+        assert!(Element::diode("D1", a, b, 1e-14, 1.0).is_ok());
+        assert!(Element::mosfet("M1", a, b, Node::GROUND, MosfetParams::default()).is_ok());
+        assert!(
+            Element::set_transistor("X1", a, b, Node::GROUND, SetParams::default()).is_ok()
+        );
+    }
+
+    #[test]
+    fn constructors_reject_nonphysical_parameters() {
+        let a = Node::from_index(1);
+        let b = Node::GROUND;
+        assert!(Element::resistor("R1", a, b, 0.0).is_err());
+        assert!(Element::resistor("R1", a, b, -5.0).is_err());
+        assert!(Element::capacitor("C1", a, b, 0.0).is_err());
+        assert!(Element::tunnel_junction("J1", a, b, 1e-18, 0.0).is_err());
+        assert!(Element::tunnel_junction("J1", a, b, -1e-18, 1e5).is_err());
+        assert!(Element::voltage_source("V1", a, b, f64::NAN).is_err());
+        assert!(Element::diode("D1", a, b, -1e-14, 1.0).is_err());
+        assert!(Element::diode("D1", a, b, 1e-14, 0.5).is_err());
+    }
+
+    #[test]
+    fn empty_name_is_rejected() {
+        let a = Node::from_index(1);
+        assert!(Element::resistor("  ", a, Node::GROUND, 1.0).is_err());
+    }
+
+    #[test]
+    fn wrong_terminal_count_is_rejected() {
+        let err = Element::new(
+            "M1",
+            vec![Node::from_index(1), Node::GROUND],
+            ElementKind::Mosfet {
+                params: MosfetParams::default(),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn set_params_periods_and_totals() {
+        let p = SetParams::symmetric(2e-18, 0.5e-18, 1e5);
+        assert!((p.total_capacitance() - 3e-18).abs() < 1e-30);
+        let period = p.gate_period();
+        assert!((period - se_units::constants::E / 2e-18).abs() < 1e-6 * period);
+        let shifted = p.with_background_charge(0.3);
+        assert_eq!(shifted.background_charge, 0.3);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let a = Node::from_index(1);
+        let j = Element::tunnel_junction("J1", a, Node::GROUND, 1e-18, 1e5).unwrap();
+        assert!(j.is_capacitive());
+        assert!(j.is_tunnel_junction());
+        assert!(!j.is_voltage_source());
+        let v = Element::voltage_source("V1", a, Node::GROUND, 1.0).unwrap();
+        assert!(v.is_voltage_source());
+        assert!(!v.is_capacitive());
+    }
+
+    #[test]
+    fn prefixes_are_spice_like() {
+        assert_eq!(
+            ElementKind::Resistor { resistance: 1.0 }.prefix(),
+            'R'
+        );
+        assert_eq!(
+            ElementKind::TunnelJunction {
+                capacitance: 1e-18,
+                resistance: 1e5
+            }
+            .prefix(),
+            'J'
+        );
+    }
+
+    #[test]
+    fn default_mosfet_parameters_are_sane() {
+        let n = MosfetParams::nmos_180nm();
+        assert!(n.vth > 0.0);
+        let p = MosfetParams::pmos_180nm();
+        assert!(p.vth < 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for netlist construction, parsing and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing or validating a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// Two elements were given the same name.
+    DuplicateElement {
+        /// The offending element name.
+        name: String,
+    },
+    /// An element parameter was physically invalid (e.g. negative
+    /// capacitance, zero tunnel resistance).
+    InvalidParameter {
+        /// The element whose parameter is invalid.
+        element: String,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A deck line could not be parsed.
+    Parse {
+        /// 1-based line number in the deck.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// Structural validation failed (dangling node, floating subcircuit, …).
+    Validation {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The netlist is empty where at least one element was required.
+    Empty,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateElement { name } => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            NetlistError::InvalidParameter { element, message } => {
+                write!(f, "invalid parameter on `{element}`: {message}")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::Validation { message } => write!(f, "validation error: {message}"),
+            NetlistError::Empty => write!(f, "netlist contains no elements"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_cite_the_offender() {
+        let err = NetlistError::DuplicateElement { name: "J1".into() };
+        assert!(err.to_string().contains("J1"));
+
+        let err = NetlistError::Parse {
+            line: 12,
+            message: "unknown device".into(),
+        };
+        assert!(err.to_string().contains("line 12"));
+
+        let err = NetlistError::InvalidParameter {
+            element: "C3".into(),
+            message: "capacitance must be positive".into(),
+        };
+        assert!(err.to_string().contains("C3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! Circuit netlist representation shared by every simulator in the
+//! single-electronics toolkit.
+//!
+//! A [`Netlist`] is a flat list of circuit elements connected between named
+//! nodes. It is deliberately simulator-agnostic: the Monte-Carlo engine
+//! (`se-montecarlo`) consumes the tunnel junctions, capacitors and sources;
+//! the SPICE engine (`se-spice`) consumes resistors, capacitors, sources,
+//! diodes, MOSFETs and compact SET models; and the co-simulator
+//! (`se-hybrid`) partitions one netlist between the two.
+//!
+//! The crate provides:
+//!
+//! * [`node`] — interned node identifiers with a distinguished ground node;
+//! * [`element`] — the device zoo ([`Element`]) with physical parameters;
+//! * [`netlist`] — the [`Netlist`] container and its builder API;
+//! * [`parser`] — a SPICE-flavoured text-deck parser (`.cir` style);
+//! * [`validate`] — structural checks (dangling nodes, floating islands,
+//!   non-positive element values);
+//! * [`partition`] — connected-component analysis that finds
+//!   single-electron islands (nodes reachable only through tunnel junctions
+//!   and capacitors) for the Monte-Carlo and hybrid engines.
+//!
+//! # Example
+//!
+//! ```
+//! use se_netlist::prelude::*;
+//!
+//! # fn main() -> Result<(), se_netlist::NetlistError> {
+//! let mut netlist = Netlist::new("single SET");
+//! let drain = netlist.node("drain");
+//! let island = netlist.node("island");
+//! let gate = netlist.node("gate");
+//!
+//! netlist.add(Element::voltage_source("VD", drain, Node::GROUND, 1e-3))?;
+//! netlist.add(Element::voltage_source("VG", gate, Node::GROUND, 0.0))?;
+//! netlist.add(Element::tunnel_junction("J1", drain, island, 1e-18, 100e3))?;
+//! netlist.add(Element::tunnel_junction("J2", island, Node::GROUND, 1e-18, 100e3))?;
+//! netlist.add(Element::capacitor("CG", gate, island, 0.5e-18))?;
+//!
+//! netlist.validate()?;
+//! let islands = netlist.find_islands();
+//! assert_eq!(islands.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod element;
+pub mod error;
+pub mod netlist;
+pub mod node;
+pub mod parser;
+pub mod partition;
+pub mod validate;
+
+pub use element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
+pub use error::NetlistError;
+pub use netlist::{IntoElement, Netlist};
+pub use node::{Node, NodeMap};
+pub use parser::parse_deck;
+
+/// Convenient glob-import of the most commonly used netlist types.
+pub mod prelude {
+    pub use crate::element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
+    pub use crate::error::NetlistError;
+    pub use crate::netlist::Netlist;
+    pub use crate::node::Node;
+}

@@ -1,0 +1,185 @@
+//! Interned circuit node identifiers.
+//!
+//! Nodes are referred to by small integer handles ([`Node`]); the mapping
+//! between user-facing names (`"drain"`, `"n7"`, `"0"`) and handles is kept
+//! in a [`NodeMap`]. Node `0` is always ground, matching SPICE convention.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle for a circuit node.
+///
+/// `Node::GROUND` (index 0) is the global reference node, as in SPICE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) u32);
+
+impl Node {
+    /// The global ground / reference node.
+    pub const GROUND: Node = Node(0);
+
+    /// Returns the raw index of this node. Ground is index 0.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the ground node.
+    #[must_use]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Creates a node handle from a raw index.
+    ///
+    /// Intended for simulators that build their own node vectors; prefer
+    /// [`NodeMap::intern`] when constructing circuits by name.
+    #[must_use]
+    pub fn from_index(index: usize) -> Node {
+        Node(index as u32)
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ground() {
+            write!(f, "0")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Bidirectional map between node names and [`Node`] handles.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMap {
+    names: Vec<String>,
+    by_name: HashMap<String, Node>,
+}
+
+impl NodeMap {
+    /// Creates a node map containing only the ground node (named `"0"`).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut map = NodeMap {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        map.names.push("0".to_string());
+        map.by_name.insert("0".to_string(), Node::GROUND);
+        map.by_name.insert("gnd".to_string(), Node::GROUND);
+        map
+    }
+
+    /// Returns the handle for `name`, creating a new node if necessary.
+    ///
+    /// The names `"0"`, `"gnd"` and `"GND"` all resolve to ground.
+    pub fn intern(&mut self, name: &str) -> Node {
+        let key = name.to_ascii_lowercase();
+        if let Some(&node) = self.by_name.get(&key) {
+            return node;
+        }
+        let node = Node(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(key, node);
+        node
+    }
+
+    /// Looks up an existing node by name without creating it.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Node> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Returns the user-facing name of a node, if it exists.
+    #[must_use]
+    pub fn name(&self, node: Node) -> Option<&str> {
+        self.names.get(node.index()).map(String::as_str)
+    }
+
+    /// Total number of nodes including ground.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if only the ground node exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Iterates over all non-ground nodes.
+    pub fn iter(&self) -> impl Iterator<Item = Node> + '_ {
+        (1..self.names.len()).map(|i| Node(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_node_zero() {
+        assert_eq!(Node::GROUND.index(), 0);
+        assert!(Node::GROUND.is_ground());
+        assert!(!Node(3).is_ground());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut map = NodeMap::new();
+        let a = map.intern("drain");
+        let b = map.intern("drain");
+        assert_eq!(a, b);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn intern_is_case_insensitive_but_preserves_first_spelling() {
+        let mut map = NodeMap::new();
+        let a = map.intern("Drain");
+        let b = map.intern("dRaIn");
+        assert_eq!(a, b);
+        assert_eq!(map.name(a), Some("Drain"));
+    }
+
+    #[test]
+    fn ground_aliases_resolve_to_ground() {
+        let mut map = NodeMap::new();
+        assert_eq!(map.intern("0"), Node::GROUND);
+        assert_eq!(map.intern("gnd"), Node::GROUND);
+        assert_eq!(map.intern("GND"), Node::GROUND);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn get_does_not_create() {
+        let mut map = NodeMap::new();
+        assert_eq!(map.get("x"), None);
+        let x = map.intern("x");
+        assert_eq!(map.get("X"), Some(x));
+    }
+
+    #[test]
+    fn iter_skips_ground() {
+        let mut map = NodeMap::new();
+        map.intern("a");
+        map.intern("b");
+        let nodes: Vec<Node> = map.iter().collect();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes.iter().all(|n| !n.is_ground()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Node::GROUND.to_string(), "0");
+        assert_eq!(Node(5).to_string(), "n5");
+    }
+
+    #[test]
+    fn empty_map_reports_empty() {
+        let map = NodeMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! SPICE-flavoured text-deck parser.
+//!
+//! The dialect is the least-common-denominator of the decks used by the
+//! SET-aware SPICE extensions cited in the paper: a title line, one element
+//! per line, `*` comments, continuation lines starting with `+`, and an
+//! optional `.end`. Device cards:
+//!
+//! ```text
+//! * single SET biased by a gate
+//! Rname  n+ n-  value            resistor
+//! Cname  n+ n-  value            capacitor
+//! Jname  n+ n-  C=value R=value  tunnel junction
+//! Vname  n+ n-  value            DC voltage source
+//! Iname  n+ n-  value            DC current source
+//! Dname  n+ n-  [IS=v] [N=v]     diode
+//! Mname  d g s  [NMOS|PMOS] [VTH=v] [KP=v] [LAMBDA=v]
+//! Xname  d g s  SET [CG=v] [CS=v] [CD=v] [RS=v] [RD=v] [Q0=v]
+//! .end
+//! ```
+//!
+//! Values accept SPICE magnitude suffixes (`1a`, `100k`, `2.5meg`, …) via
+//! [`se_units::parse_value`].
+
+use crate::element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use se_units::parse_value;
+use std::collections::HashMap;
+
+/// Parses a SPICE-flavoured deck into a [`Netlist`].
+///
+/// The first non-empty line is taken as the title. Lines starting with `*`
+/// are comments; lines starting with `+` continue the previous card;
+/// `.end` terminates parsing; other `.`-directives are ignored (the
+/// simulators expose analyses through their APIs instead).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] describing the first malformed card, or
+/// the underlying construction error for invalid parameters and duplicate
+/// names.
+pub fn parse_deck(deck: &str) -> Result<Netlist, NetlistError> {
+    // Join continuation lines first, remembering original line numbers.
+    let mut cards: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in deck.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.trim_start().strip_prefix('+') {
+            match cards.last_mut() {
+                Some((_, prev)) => {
+                    prev.push(' ');
+                    prev.push_str(rest);
+                }
+                None => {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: "continuation line with nothing to continue".into(),
+                    })
+                }
+            }
+        } else {
+            cards.push((line_no, line.trim().to_string()));
+        }
+    }
+
+    if cards.is_empty() {
+        return Err(NetlistError::Parse {
+            line: 0,
+            message: "deck is empty".into(),
+        });
+    }
+
+    let (_, title) = cards.remove(0);
+    let mut netlist = Netlist::new(title);
+
+    for (line_no, card) in cards {
+        let lower = card.to_ascii_lowercase();
+        if lower.starts_with(".end") {
+            break;
+        }
+        if lower.starts_with('.') {
+            // Analysis/control cards are accepted and ignored.
+            continue;
+        }
+        if lower.starts_with('*') {
+            continue;
+        }
+        let element = parse_card(&card, line_no, &mut netlist)?;
+        netlist.add(element)?;
+    }
+    Ok(netlist)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Full-line comments start with '*'; inline comments with ';'.
+    let trimmed = line.trim_start();
+    if trimmed.starts_with('*') {
+        return "";
+    }
+    match line.find(';') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_card(card: &str, line: usize, netlist: &mut Netlist) -> Result<Element, NetlistError> {
+    let tokens: Vec<&str> = card.split_whitespace().collect();
+    let err = |message: String| NetlistError::Parse { line, message };
+    let name = tokens[0];
+    let prefix = name
+        .chars()
+        .next()
+        .ok_or_else(|| err("empty element name".into()))?
+        .to_ascii_uppercase();
+
+    let value_of = |token: &str| -> Result<f64, NetlistError> {
+        parse_value(token).map_err(|e| err(e.to_string()))
+    };
+
+    // Split tokens after the nodes into positional values and KEY=VALUE pairs.
+    let parse_kv = |tokens: &[&str]| -> Result<(Vec<f64>, HashMap<String, f64>), NetlistError> {
+        let mut positional = Vec::new();
+        let mut named = HashMap::new();
+        for t in tokens {
+            if let Some((k, v)) = t.split_once('=') {
+                named.insert(k.to_ascii_uppercase(), value_of(v)?);
+            } else if t.eq_ignore_ascii_case("set")
+                || t.eq_ignore_ascii_case("nmos")
+                || t.eq_ignore_ascii_case("pmos")
+            {
+                // Model keywords handled by the caller.
+                named.insert(t.to_ascii_uppercase(), 1.0);
+            } else {
+                positional.push(value_of(t)?);
+            }
+        }
+        Ok((positional, named))
+    };
+
+    match prefix {
+        'R' | 'C' | 'V' | 'I' => {
+            if tokens.len() < 4 {
+                return Err(err(format!(
+                    "`{name}` needs two nodes and a value, got `{card}`"
+                )));
+            }
+            let a = netlist.node(tokens[1]);
+            let b = netlist.node(tokens[2]);
+            let value = value_of(tokens[3])?;
+            let kind = match prefix {
+                'R' => ElementKind::Resistor { resistance: value },
+                'C' => ElementKind::Capacitor { capacitance: value },
+                'V' => ElementKind::VoltageSource { voltage: value },
+                _ => ElementKind::CurrentSource { current: value },
+            };
+            Element::new(name, vec![a, b], kind)
+        }
+        'J' => {
+            if tokens.len() < 4 {
+                return Err(err(format!(
+                    "`{name}` needs two nodes and C=/R= parameters, got `{card}`"
+                )));
+            }
+            let a = netlist.node(tokens[1]);
+            let b = netlist.node(tokens[2]);
+            let (positional, named) = parse_kv(&tokens[3..])?;
+            let capacitance = named
+                .get("C")
+                .copied()
+                .or_else(|| positional.first().copied())
+                .ok_or_else(|| err(format!("`{name}` is missing its capacitance (C=)")))?;
+            let resistance = named
+                .get("R")
+                .copied()
+                .or_else(|| positional.get(1).copied())
+                .ok_or_else(|| err(format!("`{name}` is missing its tunnel resistance (R=)")))?;
+            Element::new(
+                name,
+                vec![a, b],
+                ElementKind::TunnelJunction {
+                    capacitance,
+                    resistance,
+                },
+            )
+        }
+        'D' => {
+            if tokens.len() < 3 {
+                return Err(err(format!("`{name}` needs two nodes, got `{card}`")));
+            }
+            let a = netlist.node(tokens[1]);
+            let b = netlist.node(tokens[2]);
+            let (_, named) = parse_kv(&tokens[3..])?;
+            Element::new(
+                name,
+                vec![a, b],
+                ElementKind::Diode {
+                    saturation_current: named.get("IS").copied().unwrap_or(1e-14),
+                    ideality: named.get("N").copied().unwrap_or(1.0),
+                },
+            )
+        }
+        'M' => {
+            if tokens.len() < 4 {
+                return Err(err(format!(
+                    "`{name}` needs drain, gate and source nodes, got `{card}`"
+                )));
+            }
+            let d = netlist.node(tokens[1]);
+            let g = netlist.node(tokens[2]);
+            let s = netlist.node(tokens[3]);
+            let (_, named) = parse_kv(&tokens[4..])?;
+            let mut params = if named.contains_key("PMOS") {
+                MosfetParams::pmos_180nm()
+            } else {
+                MosfetParams::nmos_180nm()
+            };
+            if let Some(&vth) = named.get("VTH") {
+                params.vth = vth;
+            }
+            if let Some(&kp) = named.get("KP") {
+                params.kp = kp;
+            }
+            if let Some(&lambda) = named.get("LAMBDA") {
+                params.lambda = lambda;
+            }
+            if named.contains_key("PMOS") {
+                params.polarity = MosfetType::Pmos;
+            }
+            Element::new(name, vec![d, g, s], ElementKind::Mosfet { params })
+        }
+        'X' => {
+            if tokens.len() < 5 {
+                return Err(err(format!(
+                    "`{name}` needs drain, gate, source nodes and the SET keyword, got `{card}`"
+                )));
+            }
+            let d = netlist.node(tokens[1]);
+            let g = netlist.node(tokens[2]);
+            let s = netlist.node(tokens[3]);
+            let (_, named) = parse_kv(&tokens[4..])?;
+            if !named.contains_key("SET") {
+                return Err(err(format!(
+                    "`{name}`: only the SET subcircuit model is supported"
+                )));
+            }
+            let mut params = SetParams::default();
+            if let Some(&v) = named.get("CG") {
+                params.c_gate = v;
+            }
+            if let Some(&v) = named.get("CS") {
+                params.c_source = v;
+            }
+            if let Some(&v) = named.get("CD") {
+                params.c_drain = v;
+            }
+            if let Some(&v) = named.get("RS") {
+                params.r_source = v;
+            }
+            if let Some(&v) = named.get("RD") {
+                params.r_drain = v;
+            }
+            if let Some(&v) = named.get("Q0") {
+                params.background_charge = v;
+            }
+            Element::new(name, vec![d, g, s], ElementKind::SetTransistor { params })
+        }
+        other => Err(err(format!(
+            "unknown device prefix `{other}` in `{card}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+
+    const SINGLE_SET_DECK: &str = r"single SET with gate bias
+* drain and gate sources
+VD drain 0 1m
+VG gate 0 0
+J1 drain island C=1a R=100k
+J2 island 0 C=1a R=100k
+CG gate island 0.5a
+.end
+";
+
+    #[test]
+    fn parses_the_single_set_deck() {
+        let netlist = parse_deck(SINGLE_SET_DECK).unwrap();
+        assert_eq!(netlist.title(), "single SET with gate bias");
+        assert_eq!(netlist.len(), 5);
+        assert!(netlist.validate().is_ok());
+        let islands = netlist.find_islands();
+        assert_eq!(islands.len(), 1);
+        match netlist.element("J1").unwrap().kind() {
+            ElementKind::TunnelJunction {
+                capacitance,
+                resistance,
+            } => {
+                assert!((capacitance - 1e-18).abs() < 1e-30);
+                assert!((resistance - 1e5).abs() < 1e-6);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn continuation_lines_are_joined() {
+        let deck = "title\nJ1 a 0\n+ C=1a\n+ R=50k\nV1 a 0 1m\n";
+        let netlist = parse_deck(deck).unwrap();
+        match netlist.element("J1").unwrap().kind() {
+            ElementKind::TunnelJunction { resistance, .. } => {
+                assert!((resistance - 5e4).abs() < 1e-6);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let deck = "title\n\n* a comment\nR1 a 0 1k ; trailing comment\nV1 a 0 1\n";
+        let netlist = parse_deck(deck).unwrap();
+        assert_eq!(netlist.len(), 2);
+    }
+
+    #[test]
+    fn mosfet_and_set_cards_parse_parameters() {
+        let deck = "hybrid cell\nVDD vdd 0 1.8\nM1 vdd in out NMOS VTH=0.4 KP=200u LAMBDA=0.05\nX1 out in 0 SET CG=2a CS=0.5a CD=0.5a RS=200k RD=200k Q0=0.1\nV2 in 0 0.9\nR1 out 0 1meg\n";
+        let netlist = parse_deck(deck).unwrap();
+        match netlist.element("M1").unwrap().kind() {
+            ElementKind::Mosfet { params } => {
+                assert!((params.vth - 0.4).abs() < 1e-12);
+                assert!((params.kp - 200e-6).abs() < 1e-12);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        match netlist.element("X1").unwrap().kind() {
+            ElementKind::SetTransistor { params } => {
+                assert!((params.c_gate - 2e-18).abs() < 1e-30);
+                assert!((params.background_charge - 0.1).abs() < 1e-12);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diode_defaults_apply() {
+        let deck = "d\nD1 a 0\nV1 a 0 0.7\n";
+        let netlist = parse_deck(deck).unwrap();
+        match netlist.element("D1").unwrap().kind() {
+            ElementKind::Diode {
+                saturation_current,
+                ideality,
+            } => {
+                assert!((saturation_current - 1e-14).abs() < 1e-26);
+                assert!((ideality - 1.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_prefix_is_reported_with_line_number() {
+        let deck = "title\nQ1 a b c 1k\n";
+        let err = parse_deck(deck).unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("unknown device prefix"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_junction_parameters_are_reported() {
+        let deck = "title\nJ1 a 0 C=1a\n";
+        let err = parse_deck(deck).unwrap_err();
+        assert!(err.to_string().contains("tunnel resistance"));
+    }
+
+    #[test]
+    fn empty_deck_is_an_error() {
+        assert!(parse_deck("").is_err());
+        assert!(parse_deck("\n\n* only comments\n").is_err());
+    }
+
+    #[test]
+    fn orphan_continuation_is_an_error() {
+        let err = parse_deck("+ R=1k\n").unwrap_err();
+        assert!(err.to_string().contains("continuation"));
+    }
+
+    #[test]
+    fn dot_directives_are_ignored() {
+        let deck = "title\nV1 a 0 1\nR1 a 0 1k\n.tran 1n 1u\n.end\nR2 a 0 1k\n";
+        let netlist = parse_deck(deck).unwrap();
+        // .end stops parsing, so R2 is not included.
+        assert_eq!(netlist.len(), 2);
+    }
+
+    #[test]
+    fn ground_aliases_in_decks() {
+        let deck = "title\nV1 a gnd 1\nR1 a GND 1k\n";
+        let netlist = parse_deck(deck).unwrap();
+        let ground_connected = netlist
+            .elements()
+            .iter()
+            .all(|e| e.nodes().contains(&Node::GROUND));
+        assert!(ground_connected);
+    }
+}

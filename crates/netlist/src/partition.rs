@@ -1,0 +1,312 @@
+//! Island extraction: finding the single-electron domain of a netlist.
+//!
+//! The Monte-Carlo engine only needs to track charge on nodes whose potential
+//! is *not* fixed by a voltage source and which are coupled to the rest of
+//! the circuit purely capacitively (through capacitors and tunnel junctions).
+//! Those nodes are the *islands* of orthodox theory. The co-simulator in
+//! `se-hybrid` additionally needs to know which source-driven or
+//! resistively-driven nodes each island group touches — its *boundary* —
+//! because those are the nodes whose voltages the SPICE half of the
+//! co-simulation supplies.
+
+use crate::netlist::Netlist;
+use crate::node::Node;
+use std::collections::{HashMap, HashSet};
+
+/// A group of charge-storing island nodes together with the boundary nodes
+/// (source-driven or non-capacitively connected nodes) they couple to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Island {
+    /// Island nodes: free nodes connected only through capacitive elements.
+    pub nodes: Vec<Node>,
+    /// Boundary nodes: driven nodes this island couples to capacitively.
+    pub boundary: Vec<Node>,
+    /// Names of the tunnel junctions belonging to this island group.
+    pub junctions: Vec<String>,
+}
+
+impl Island {
+    /// Returns `true` if `node` belongs to this island group.
+    #[must_use]
+    pub fn contains(&self, node: Node) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// Finds all islands in the netlist.
+///
+/// A node is an *island candidate* if it is not ground, not a terminal of a
+/// voltage source, and every element touching it is capacitive (capacitor or
+/// tunnel junction). Candidates are grouped into islands by connectivity
+/// through capacitive elements; groups that contain at least one tunnel
+/// junction are returned (a purely capacitive floating node is not a
+/// single-electron island — it cannot change its charge).
+#[must_use]
+pub fn find_islands(netlist: &Netlist) -> Vec<Island> {
+    let driven = netlist.source_driven_nodes();
+
+    // Which nodes touch a non-capacitive element?
+    let mut touches_conductive: HashSet<Node> = HashSet::new();
+    for element in netlist.elements() {
+        let conductive = !element.is_capacitive();
+        if conductive {
+            for &n in element.nodes() {
+                touches_conductive.insert(n);
+            }
+        }
+    }
+
+    // Island candidates.
+    let candidates: HashSet<Node> = netlist
+        .nodes()
+        .iter()
+        .filter(|n| !driven.contains(n) && !touches_conductive.contains(n))
+        .collect();
+
+    // Union-find over candidates, connected through capacitive elements.
+    let mut parent: HashMap<Node, Node> = candidates.iter().map(|&n| (n, n)).collect();
+
+    fn find(parent: &mut HashMap<Node, Node>, mut x: Node) -> Node {
+        while parent[&x] != x {
+            let grand = parent[&parent[&x]];
+            parent.insert(x, grand);
+            x = grand;
+        }
+        x
+    }
+
+    for element in netlist.elements() {
+        if !element.is_capacitive() {
+            continue;
+        }
+        let ns = element.nodes();
+        if ns.len() == 2 && candidates.contains(&ns[0]) && candidates.contains(&ns[1]) {
+            let ra = find(&mut parent, ns[0]);
+            let rb = find(&mut parent, ns[1]);
+            if ra != rb {
+                parent.insert(ra, rb);
+            }
+        }
+    }
+
+    // Group nodes by root.
+    let mut groups: HashMap<Node, Vec<Node>> = HashMap::new();
+    let roots: Vec<(Node, Node)> = candidates
+        .iter()
+        .map(|&n| (n, find(&mut parent, n)))
+        .collect();
+    for (node, root) in roots {
+        groups.entry(root).or_default().push(node);
+    }
+
+    // Attach boundaries and junctions.
+    let mut islands = Vec::new();
+    for (_, mut nodes) in groups {
+        nodes.sort();
+        let node_set: HashSet<Node> = nodes.iter().copied().collect();
+        let mut boundary: HashSet<Node> = HashSet::new();
+        let mut junctions = Vec::new();
+        let mut has_junction = false;
+        for element in netlist.elements() {
+            if !element.is_capacitive() {
+                continue;
+            }
+            let ns = element.nodes();
+            let touches_island = ns.iter().any(|n| node_set.contains(n));
+            if !touches_island {
+                continue;
+            }
+            if element.is_tunnel_junction() {
+                has_junction = true;
+                junctions.push(element.name().to_string());
+            }
+            for &n in ns {
+                if !node_set.contains(&n) {
+                    boundary.insert(n);
+                }
+            }
+        }
+        if !has_junction {
+            continue;
+        }
+        let mut boundary: Vec<Node> = boundary.into_iter().collect();
+        boundary.sort();
+        junctions.sort();
+        islands.push(Island {
+            nodes,
+            boundary,
+            junctions,
+        });
+    }
+    islands.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+    islands
+}
+
+/// Classifies every element of the netlist as belonging to the
+/// single-electron (Monte-Carlo) domain or the conventional (SPICE) domain.
+///
+/// An element belongs to the Monte-Carlo domain if it is capacitive and at
+/// least one of its terminals is an island node. Everything else — sources,
+/// resistors, MOSFETs, diodes, compact SET models and capacitors strictly
+/// between driven nodes — belongs to the SPICE domain.
+#[must_use]
+pub fn classify_elements(netlist: &Netlist) -> DomainSplit {
+    let islands = find_islands(netlist);
+    let island_nodes: HashSet<Node> = islands
+        .iter()
+        .flat_map(|island| island.nodes.iter().copied())
+        .collect();
+
+    let mut monte_carlo = Vec::new();
+    let mut spice = Vec::new();
+    for element in netlist.elements() {
+        let touches_island = element.nodes().iter().any(|n| island_nodes.contains(n));
+        if element.is_capacitive() && touches_island {
+            monte_carlo.push(element.name().to_string());
+        } else {
+            spice.push(element.name().to_string());
+        }
+    }
+    DomainSplit {
+        islands,
+        monte_carlo,
+        spice,
+    }
+}
+
+/// Result of [`classify_elements`]: the island list plus element names per
+/// simulation domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSplit {
+    /// Island groups found in the netlist.
+    pub islands: Vec<Island>,
+    /// Elements to be simulated by the Monte-Carlo engine.
+    pub monte_carlo: Vec<String>,
+    /// Elements to be simulated by the SPICE engine.
+    pub spice: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    fn double_dot() -> Netlist {
+        // source - J1 - island1 - J2 - island2 - J3 - ground, gates on both.
+        let mut n = Netlist::new("double dot");
+        let s = n.node("s");
+        let i1 = n.node("i1");
+        let i2 = n.node("i2");
+        let g1 = n.node("g1");
+        let g2 = n.node("g2");
+        n.add(Element::voltage_source("VS", s, Node::GROUND, 1e-3))
+            .unwrap();
+        n.add(Element::voltage_source("VG1", g1, Node::GROUND, 0.1))
+            .unwrap();
+        n.add(Element::voltage_source("VG2", g2, Node::GROUND, 0.2))
+            .unwrap();
+        n.add(Element::tunnel_junction("J1", s, i1, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::tunnel_junction("J2", i1, i2, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::tunnel_junction("J3", i2, Node::GROUND, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::capacitor("CG1", g1, i1, 0.5e-18)).unwrap();
+        n.add(Element::capacitor("CG2", g2, i2, 0.5e-18)).unwrap();
+        n
+    }
+
+    #[test]
+    fn single_set_has_one_island_with_one_node() {
+        let mut n = Netlist::new("set");
+        let d = n.node("d");
+        let i = n.node("i");
+        let g = n.node("g");
+        n.add(Element::voltage_source("VD", d, Node::GROUND, 1e-3))
+            .unwrap();
+        n.add(Element::voltage_source("VG", g, Node::GROUND, 0.0))
+            .unwrap();
+        n.add(Element::tunnel_junction("J1", d, i, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::tunnel_junction("J2", i, Node::GROUND, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::capacitor("CG", g, i, 0.5e-18)).unwrap();
+
+        let islands = find_islands(&n);
+        assert_eq!(islands.len(), 1);
+        assert_eq!(islands[0].nodes, vec![i]);
+        assert_eq!(islands[0].junctions, vec!["J1".to_string(), "J2".to_string()]);
+        assert!(islands[0].boundary.contains(&d));
+        assert!(islands[0].boundary.contains(&g));
+        assert!(islands[0].boundary.contains(&Node::GROUND));
+    }
+
+    #[test]
+    fn coupled_islands_group_together() {
+        let n = double_dot();
+        let islands = find_islands(&n);
+        assert_eq!(islands.len(), 1, "J2 couples the two dots into one group");
+        assert_eq!(islands[0].nodes.len(), 2);
+        assert_eq!(islands[0].junctions.len(), 3);
+    }
+
+    #[test]
+    fn nodes_touching_resistors_are_not_islands() {
+        let mut n = Netlist::new("leaky");
+        let a = n.node("a");
+        n.add(Element::voltage_source("V1", n.find_node("a").unwrap(), Node::GROUND, 1.0))
+            .ok();
+        let b = n.node("b");
+        n.add(Element::tunnel_junction("J1", a, b, 1e-18, 1e5))
+            .unwrap();
+        // The resistor makes `b` a conventional node.
+        n.add(Element::resistor("R1", b, Node::GROUND, 1e6)).unwrap();
+        assert!(find_islands(&n).is_empty());
+    }
+
+    #[test]
+    fn purely_capacitive_floating_node_is_not_an_island() {
+        let mut n = Netlist::new("float");
+        let a = n.node("a");
+        let f = n.node("f");
+        n.add(Element::voltage_source("V1", a, Node::GROUND, 1.0))
+            .unwrap();
+        n.add(Element::capacitor("C1", a, f, 1e-18)).unwrap();
+        n.add(Element::capacitor("C2", f, Node::GROUND, 1e-18))
+            .unwrap();
+        assert!(find_islands(&n).is_empty());
+    }
+
+    #[test]
+    fn classification_splits_domains() {
+        let mut n = double_dot();
+        // Add a MOSFET load on the source side: it belongs to the SPICE domain.
+        let s = n.find_node("s").unwrap();
+        let vdd = n.node("vdd");
+        n.add(Element::voltage_source("VDD", vdd, Node::GROUND, 1.8))
+            .unwrap();
+        n.add(Element::mosfet(
+            "M1",
+            vdd,
+            s,
+            Node::GROUND,
+            crate::element::MosfetParams::default(),
+        ))
+        .unwrap();
+
+        let split = classify_elements(&n);
+        assert_eq!(split.islands.len(), 1);
+        assert!(split.monte_carlo.contains(&"J1".to_string()));
+        assert!(split.monte_carlo.contains(&"CG1".to_string()));
+        assert!(split.spice.contains(&"M1".to_string()));
+        assert!(split.spice.contains(&"VS".to_string()));
+        // Every element lands in exactly one domain.
+        assert_eq!(split.monte_carlo.len() + split.spice.len(), n.len());
+    }
+
+    #[test]
+    fn empty_netlist_has_no_islands() {
+        let n = Netlist::new("empty");
+        assert!(find_islands(&n).is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Structural validation of netlists.
+//!
+//! These checks catch the classic deck mistakes before a simulator produces
+//! a singular matrix or silently wrong physics: empty netlists, elements
+//! shorted onto a single node, nodes with only one connection, voltage-source
+//! loops, and island nodes with no gate coupling (which would make the
+//! Monte-Carlo electrostatics singular).
+
+use crate::element::ElementKind;
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use crate::node::Node;
+use std::collections::HashMap;
+
+/// Runs all structural checks on the netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Empty`] for an element-free netlist and
+/// [`NetlistError::Validation`] describing the first structural problem
+/// found otherwise.
+pub fn validate(netlist: &Netlist) -> Result<(), NetlistError> {
+    if netlist.is_empty() {
+        return Err(NetlistError::Empty);
+    }
+    check_self_loops(netlist)?;
+    check_connection_counts(netlist)?;
+    check_ground_reference(netlist)?;
+    check_voltage_source_loops(netlist)?;
+    Ok(())
+}
+
+fn check_self_loops(netlist: &Netlist) -> Result<(), NetlistError> {
+    for element in netlist.elements() {
+        let nodes = element.nodes();
+        if nodes.len() == 2 && nodes[0] == nodes[1] {
+            return Err(NetlistError::Validation {
+                message: format!(
+                    "element `{}` connects node {} to itself",
+                    element.name(),
+                    nodes[0]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_connection_counts(netlist: &Netlist) -> Result<(), NetlistError> {
+    let mut degree: HashMap<Node, usize> = HashMap::new();
+    for element in netlist.elements() {
+        for &n in element.nodes() {
+            *degree.entry(n).or_insert(0) += 1;
+        }
+    }
+    for node in netlist.nodes().iter() {
+        match degree.get(&node) {
+            None => {
+                return Err(NetlistError::Validation {
+                    message: format!(
+                        "node `{}` is declared but not connected to any element",
+                        netlist.node_name(node).unwrap_or("?")
+                    ),
+                });
+            }
+            Some(1) => {
+                // A single connection is fine only for a source terminal
+                // (open-circuited probe sources are common); anything else is
+                // a dangling element.
+                let lonely_ok = netlist.elements().iter().any(|e| {
+                    e.nodes().contains(&node)
+                        && matches!(
+                            e.kind(),
+                            ElementKind::VoltageSource { .. } | ElementKind::CurrentSource { .. }
+                        )
+                });
+                if !lonely_ok {
+                    return Err(NetlistError::Validation {
+                        message: format!(
+                            "node `{}` has only one connection; the circuit is dangling there",
+                            netlist.node_name(node).unwrap_or("?")
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_ground_reference(netlist: &Netlist) -> Result<(), NetlistError> {
+    let touches_ground = netlist
+        .elements()
+        .iter()
+        .any(|e| e.nodes().contains(&Node::GROUND));
+    if !touches_ground {
+        return Err(NetlistError::Validation {
+            message: "no element is connected to ground (node 0); the circuit has no reference"
+                .into(),
+        });
+    }
+    Ok(())
+}
+
+fn check_voltage_source_loops(netlist: &Netlist) -> Result<(), NetlistError> {
+    // A loop consisting purely of voltage sources over-determines the node
+    // voltages. Detect it with a union-find over source terminals: adding a
+    // source whose terminals are already connected through sources closes a
+    // loop.
+    let mut parent: HashMap<Node, Node> = HashMap::new();
+    fn find(parent: &mut HashMap<Node, Node>, x: Node) -> Node {
+        let p = *parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = find(parent, p);
+        parent.insert(x, root);
+        root
+    }
+    for element in netlist.voltage_sources() {
+        let nodes = element.nodes();
+        let (a, b) = (nodes[0], nodes[1]);
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra == rb {
+            return Err(NetlistError::Validation {
+                message: format!(
+                    "voltage source `{}` closes a loop of voltage sources",
+                    element.name()
+                ),
+            });
+        }
+        parent.insert(ra, rb);
+    }
+    Ok(())
+}
+
+/// Returns the set of nodes that belong to a single-electron island but have
+/// no capacitive coupling to any driven node — these make the island
+/// electrostatics ill-conditioned and usually indicate a missing gate
+/// capacitor. This is a *warning-level* check exposed separately because
+/// some textbook circuits (e.g. a bare double junction) are legitimately
+/// driven only through their junctions.
+#[must_use]
+pub fn islands_without_gate(netlist: &Netlist) -> Vec<Node> {
+    let islands = netlist.find_islands();
+    let driven = netlist.source_driven_nodes();
+    let mut lonely = Vec::new();
+    for island in &islands {
+        for &node in &island.nodes {
+            let has_gate = netlist.elements().iter().any(|e| {
+                matches!(e.kind(), ElementKind::Capacitor { .. })
+                    && e.nodes().contains(&node)
+                    && e.nodes().iter().any(|n| driven.contains(n))
+            });
+            if !has_gate {
+                lonely.push(node);
+            }
+        }
+    }
+    lonely.sort();
+    lonely
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    #[test]
+    fn empty_netlist_is_rejected() {
+        let n = Netlist::new("empty");
+        assert!(matches!(n.validate(), Err(NetlistError::Empty)));
+    }
+
+    #[test]
+    fn valid_set_circuit_passes() {
+        let mut n = Netlist::new("set");
+        let d = n.node("d");
+        let i = n.node("i");
+        let g = n.node("g");
+        n.add(Element::voltage_source("VD", d, Node::GROUND, 1e-3))
+            .unwrap();
+        n.add(Element::voltage_source("VG", g, Node::GROUND, 0.0))
+            .unwrap();
+        n.add(Element::tunnel_junction("J1", d, i, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::tunnel_junction("J2", i, Node::GROUND, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::capacitor("CG", g, i, 0.5e-18)).unwrap();
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let mut n = Netlist::new("loop");
+        let a = n.node("a");
+        n.add(Element::resistor("R1", a, a, 1e3)).unwrap();
+        n.add(Element::voltage_source("V1", a, Node::GROUND, 1.0))
+            .unwrap();
+        let err = n.validate().unwrap_err();
+        assert!(err.to_string().contains("itself"));
+    }
+
+    #[test]
+    fn dangling_node_is_rejected() {
+        let mut n = Netlist::new("dangling");
+        let a = n.node("a");
+        let b = n.node("b");
+        n.add(Element::voltage_source("V1", a, Node::GROUND, 1.0))
+            .unwrap();
+        n.add(Element::resistor("R1", a, b, 1e3)).unwrap();
+        // `b` has a single connection through a resistor: dangling.
+        let err = n.validate().unwrap_err();
+        assert!(err.to_string().contains("one connection"));
+    }
+
+    #[test]
+    fn missing_ground_is_rejected() {
+        let mut n = Netlist::new("no ground");
+        let a = n.node("a");
+        let b = n.node("b");
+        n.add(Element::voltage_source("V1", a, b, 1.0)).unwrap();
+        n.add(Element::resistor("R1", a, b, 1e3)).unwrap();
+        let err = n.validate().unwrap_err();
+        assert!(err.to_string().contains("ground"));
+    }
+
+    #[test]
+    fn voltage_source_loop_is_rejected() {
+        let mut n = Netlist::new("vloop");
+        let a = n.node("a");
+        n.add(Element::voltage_source("V1", a, Node::GROUND, 1.0))
+            .unwrap();
+        n.add(Element::voltage_source("V2", a, Node::GROUND, 2.0))
+            .unwrap();
+        n.add(Element::resistor("R1", a, Node::GROUND, 1e3)).unwrap();
+        let err = n.validate().unwrap_err();
+        assert!(err.to_string().contains("loop of voltage sources"));
+    }
+
+    #[test]
+    fn island_without_gate_is_flagged_but_not_fatal() {
+        // Bare double junction: island driven only through its junctions.
+        let mut n = Netlist::new("double junction");
+        let top = n.node("top");
+        let mid = n.node("mid");
+        n.add(Element::voltage_source("V1", top, Node::GROUND, 1e-3))
+            .unwrap();
+        n.add(Element::tunnel_junction("J1", top, mid, 1e-18, 1e5))
+            .unwrap();
+        n.add(Element::tunnel_junction("J2", mid, Node::GROUND, 1e-18, 1e5))
+            .unwrap();
+        assert!(n.validate().is_ok());
+        let lonely = islands_without_gate(&n);
+        assert_eq!(lonely, vec![mid]);
+    }
+}

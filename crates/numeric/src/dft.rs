@@ -1,0 +1,225 @@
+//! Discrete Fourier transform and single-frequency (Goertzel-style) power
+//! estimation.
+//!
+//! The FM-coded, background-charge-independent logic in `se-logic` decides a
+//! logic state by looking at the *frequency content* of a SET output signal
+//! over several oscillation periods. A plain `O(n²)` DFT (and an `O(n)`
+//! single-bin Goertzel evaluation) is entirely sufficient for the record
+//! lengths involved (hundreds to a few thousand samples).
+
+use crate::error::NumericError;
+
+/// One complex DFT coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Magnitude `sqrt(re² + im²)`.
+    #[must_use]
+    pub fn magnitude(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn power(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians.
+    #[must_use]
+    pub fn phase(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+}
+
+/// Computes the full DFT of a real signal.
+///
+/// Coefficient `k` corresponds to frequency `k / (n·dt)` when the samples are
+/// spaced `dt` apart.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] for an empty signal.
+pub fn dft(signal: &[f64]) -> Result<Vec<Complex>, NumericError> {
+    if signal.is_empty() {
+        return Err(NumericError::InvalidArgument(
+            "cannot transform an empty signal".into(),
+        ));
+    }
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::default();
+        for (j, &x) in signal.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            acc.re += x * angle.cos();
+            acc.im += x * angle.sin();
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Evaluates a single DFT bin at (possibly fractional) normalised frequency
+/// `cycles_per_record` using direct correlation — a Goertzel-style
+/// single-frequency estimator.
+///
+/// `cycles_per_record` is the number of full periods of the probe frequency
+/// contained in the record; it does not have to be an integer.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] for an empty signal.
+pub fn single_bin(signal: &[f64], cycles_per_record: f64) -> Result<Complex, NumericError> {
+    if signal.is_empty() {
+        return Err(NumericError::InvalidArgument(
+            "cannot transform an empty signal".into(),
+        ));
+    }
+    let n = signal.len() as f64;
+    let mut acc = Complex::default();
+    for (j, &x) in signal.iter().enumerate() {
+        let angle = -2.0 * std::f64::consts::PI * cycles_per_record * j as f64 / n;
+        acc.re += x * angle.cos();
+        acc.im += x * angle.sin();
+    }
+    Ok(acc)
+}
+
+/// Returns the index (excluding DC) of the strongest DFT coefficient of the
+/// signal, i.e. the dominant oscillation frequency in cycles per record.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if the signal has fewer than
+/// four samples.
+pub fn dominant_frequency(signal: &[f64]) -> Result<usize, NumericError> {
+    if signal.len() < 4 {
+        return Err(NumericError::InvalidArgument(
+            "need at least four samples to identify a dominant frequency".into(),
+        ));
+    }
+    let spectrum = dft(signal)?;
+    let half = spectrum.len() / 2;
+    let mut best = 1;
+    let mut best_power = 0.0;
+    for (k, c) in spectrum.iter().enumerate().take(half).skip(1) {
+        let p = c.power();
+        if p > best_power {
+            best_power = p;
+            best = k;
+        }
+    }
+    Ok(best)
+}
+
+/// Total power of a signal computed in the time domain (mean square).
+#[must_use]
+pub fn signal_power(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    signal.iter().map(|v| v * v).sum::<f64>() / signal.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sine(n: usize, cycles: f64, amplitude: f64, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                amplitude
+                    * (2.0 * std::f64::consts::PI * cycles * i as f64 / n as f64 + phase).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dft_of_empty_signal_is_error() {
+        assert!(dft(&[]).is_err());
+        assert!(single_bin(&[], 1.0).is_err());
+    }
+
+    #[test]
+    fn dft_of_constant_signal_has_only_dc() {
+        let signal = vec![2.0; 32];
+        let spectrum = dft(&signal).unwrap();
+        assert!((spectrum[0].magnitude() - 64.0).abs() < 1e-9);
+        for c in &spectrum[1..] {
+            assert!(c.magnitude() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dft_finds_pure_tone() {
+        let signal = sine(64, 5.0, 1.0, 0.0);
+        assert_eq!(dominant_frequency(&signal).unwrap(), 5);
+    }
+
+    #[test]
+    fn single_bin_matches_full_dft_for_integer_bins() {
+        let signal = sine(48, 3.0, 0.7, 0.3);
+        let full = dft(&signal).unwrap();
+        let single = single_bin(&signal, 3.0).unwrap();
+        assert!((full[3].re - single.re).abs() < 1e-9);
+        assert!((full[3].im - single.im).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tone_amplitude_recovered_from_bin_magnitude() {
+        let n = 128;
+        let amp = 0.42;
+        let signal = sine(n, 8.0, amp, 0.0);
+        let c = single_bin(&signal, 8.0).unwrap();
+        // For a real sine, |X_k| = N*A/2.
+        let recovered = 2.0 * c.magnitude() / n as f64;
+        assert!((recovered - amp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_shift_moves_coefficient_phase_not_magnitude() {
+        let n = 128;
+        let a = sine(n, 4.0, 1.0, 0.0);
+        let b = sine(n, 4.0, 1.0, 1.1);
+        let ca = single_bin(&a, 4.0).unwrap();
+        let cb = single_bin(&b, 4.0).unwrap();
+        assert!((ca.magnitude() - cb.magnitude()).abs() < 1e-9);
+        let mut dphase = (cb.phase() - ca.phase()).abs();
+        if dphase > std::f64::consts::PI {
+            dphase = 2.0 * std::f64::consts::PI - dphase;
+        }
+        assert!((dphase - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominant_frequency_needs_enough_samples() {
+        assert!(dominant_frequency(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn signal_power_of_unit_sine_is_half() {
+        let signal = sine(1000, 10.0, 1.0, 0.0);
+        assert!((signal_power(&signal) - 0.5).abs() < 1e-3);
+    }
+
+    proptest! {
+        /// Parseval's theorem: time-domain power equals frequency-domain
+        /// power (scaled by N²) for any signal.
+        #[test]
+        fn prop_parseval(signal in proptest::collection::vec(-1.0_f64..1.0, 4..48)) {
+            let n = signal.len() as f64;
+            let spectrum = dft(&signal).unwrap();
+            let freq_power: f64 = spectrum.iter().map(|c| c.power()).sum::<f64>() / (n * n);
+            let time_power = signal_power(&signal);
+            prop_assert!((freq_power - time_power).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by the numerical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// A matrix had inconsistent or empty dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was provided.
+        found: String,
+    },
+    /// A matrix was singular (or numerically singular) during factorisation.
+    SingularMatrix {
+        /// Pivot column at which factorisation broke down.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual or interval width at the point of giving up.
+        residual: f64,
+    },
+    /// An argument was outside of its mathematically valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NumericError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumericError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = NumericError::SingularMatrix { pivot: 3 };
+        assert!(err.to_string().contains("pivot column 3"));
+
+        let err = NumericError::NoConvergence {
+            iterations: 50,
+            residual: 1e-3,
+        };
+        assert!(err.to_string().contains("50 iterations"));
+
+        let err = NumericError::DimensionMismatch {
+            expected: "3x3".into(),
+            found: "3x2".into(),
+        };
+        assert!(err.to_string().contains("3x2"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

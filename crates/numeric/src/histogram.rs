@@ -1,0 +1,281 @@
+//! Fixed-bin histogram used for charge-state occupation statistics and the
+//! randomness analysis of generated bitstreams.
+
+use crate::error::NumericError;
+
+/// A histogram over a fixed range with uniformly sized bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total_weight: f64,
+    weights: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `bins == 0` or
+    /// `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, NumericError> {
+        if bins == 0 {
+            return Err(NumericError::InvalidArgument(
+                "histogram needs at least one bin".into(),
+            ));
+        }
+        if !(lo < hi) {
+            return Err(NumericError::InvalidArgument(format!(
+                "histogram range must satisfy lo < hi, got [{lo}, {hi})"
+            )));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total_weight: 0.0,
+            weights: vec![0.0; bins],
+        })
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    #[must_use]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Adds a sample with unit weight.
+    pub fn add(&mut self, value: f64) {
+        self.add_weighted(value, 1.0);
+    }
+
+    /// Adds a sample with the given weight (e.g. a dwell time).
+    pub fn add_weighted(&mut self, value: f64, weight: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if value >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((value - self.lo) / self.bin_width()) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.weights[idx] += weight;
+        self.total_weight += weight;
+    }
+
+    /// Raw count in bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bins()`.
+    #[must_use]
+    pub fn count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Accumulated weight in bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bins()`.
+    #[must_use]
+    pub fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    /// Total number of in-range samples.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Samples that fell below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above the upper edge.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Centre of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bins()`.
+    #[must_use]
+    pub fn bin_center(&self, index: usize) -> f64 {
+        assert!(index < self.counts.len(), "bin index out of bounds");
+        self.lo + (index as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Normalised weight fraction per bin (sums to 1 over in-range weight).
+    #[must_use]
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.total_weight == 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.weights.iter().map(|w| w / self.total_weight).collect()
+    }
+
+    /// Index of the most populated bin, by weight, or `None` if empty.
+    #[must_use]
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total_weight == 0.0 {
+            return None;
+        }
+        self.weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+
+    /// Chi-squared statistic against a uniform expectation over the bins.
+    ///
+    /// Used by the randomness battery: for a fair random bitstream split into
+    /// value bins the statistic follows a χ² distribution with
+    /// `bins - 1` degrees of freedom.
+    #[must_use]
+    pub fn chi_squared_uniform(&self) -> f64 {
+        let total = self.total_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let expected = total as f64 / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn samples_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.5);
+        h.add(9.5);
+        h.add(5.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.total_count(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.1);
+        h.add(1.0);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total_count(), 1);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 5).unwrap();
+        for i in 0..100 {
+            h.add((i as f64) / 100.0);
+        }
+        let total: f64 = h.normalized().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        h.add(0.5);
+        h.add(1.5);
+        h.add(1.6);
+        h.add(2.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn mode_bin_of_empty_histogram_is_none() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn chi_squared_of_perfectly_uniform_counts_is_zero() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for i in 0..4 {
+            for _ in 0..25 {
+                h.add(i as f64 + 0.5);
+            }
+        }
+        assert!(h.chi_squared_uniform().abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_samples_accumulate_weight() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add_weighted(0.25, 3.0);
+        h.add_weighted(0.75, 1.0);
+        assert!((h.weight(0) - 3.0).abs() < 1e-12);
+        assert!((h.normalized()[0] - 0.75).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Every in-range sample is counted exactly once.
+        #[test]
+        fn prop_no_samples_lost(
+            samples in proptest::collection::vec(0.0_f64..1.0, 1..256),
+        ) {
+            let mut h = Histogram::new(0.0, 1.0, 16).unwrap();
+            for &s in &samples {
+                h.add(s);
+            }
+            prop_assert_eq!(
+                h.total_count() + h.underflow() + h.overflow(),
+                samples.len() as u64
+            );
+            prop_assert_eq!(h.underflow(), 0);
+            prop_assert_eq!(h.overflow(), 0);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Piecewise-linear interpolation over tabulated data.
+//!
+//! Compact-model lookups (tabulated SET characteristics exported from the
+//! Monte-Carlo simulator and re-used inside the SPICE solver) go through this
+//! module.
+
+use crate::error::NumericError;
+
+/// A monotone table of `(x, y)` samples with linear interpolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearTable {
+    /// Builds a table from `(x, y)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if fewer than two points are
+    /// given or the x values are not strictly increasing.
+    pub fn new(points: &[(f64, f64)]) -> Result<Self, NumericError> {
+        if points.len() < 2 {
+            return Err(NumericError::InvalidArgument(
+                "interpolation table needs at least two points".into(),
+            ));
+        }
+        for window in points.windows(2) {
+            if window[1].0 <= window[0].0 {
+                return Err(NumericError::InvalidArgument(format!(
+                    "x values must be strictly increasing, got {} then {}",
+                    window[0].0, window[1].0
+                )));
+            }
+        }
+        Ok(LinearTable {
+            xs: points.iter().map(|p| p.0).collect(),
+            ys: points.iter().map(|p| p.1).collect(),
+        })
+    }
+
+    /// Builds a table by sampling `f` at `n` evenly spaced points in
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `n < 2` or `lo >= hi`.
+    pub fn from_function<F>(lo: f64, hi: f64, n: usize, f: F) -> Result<Self, NumericError>
+    where
+        F: Fn(f64) -> f64,
+    {
+        if n < 2 {
+            return Err(NumericError::InvalidArgument(
+                "need at least two sample points".into(),
+            ));
+        }
+        if !(lo < hi) {
+            return Err(NumericError::InvalidArgument(format!(
+                "sampling range must satisfy lo < hi, got [{lo}, {hi}]"
+            )));
+        }
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, f(x))
+            })
+            .collect();
+        LinearTable::new(&points)
+    }
+
+    /// Number of stored points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if the table is empty (never true for a constructed
+    /// table, provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Lower end of the tabulated range.
+    #[must_use]
+    pub fn x_min(&self) -> f64 {
+        self.xs[0]
+    }
+
+    /// Upper end of the tabulated range.
+    #[must_use]
+    pub fn x_max(&self) -> f64 {
+        *self.xs.last().expect("table is never empty")
+    }
+
+    /// Interpolates at `x`, clamping to the end values outside the range.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.x_min() {
+            return self.ys[0];
+        }
+        if x >= self.x_max() {
+            return *self.ys.last().expect("table is never empty");
+        }
+        // Binary search for the interval containing x.
+        let idx = match self
+            .xs
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("no NaN in table"))
+        {
+            Ok(exact) => return self.ys[exact],
+            Err(insertion) => insertion - 1,
+        };
+        let x0 = self.xs[idx];
+        let x1 = self.xs[idx + 1];
+        let t = (x - x0) / (x1 - x0);
+        self.ys[idx] * (1.0 - t) + self.ys[idx + 1] * t
+    }
+
+    /// Numerical derivative at `x` using the slope of the containing segment.
+    #[must_use]
+    pub fn derivative(&self, x: f64) -> f64 {
+        let idx = if x <= self.x_min() {
+            0
+        } else if x >= self.x_max() {
+            self.xs.len() - 2
+        } else {
+            match self
+                .xs
+                .binary_search_by(|probe| probe.partial_cmp(&x).expect("no NaN in table"))
+            {
+                Ok(exact) => exact.min(self.xs.len() - 2),
+                Err(insertion) => insertion - 1,
+            }
+        };
+        (self.ys[idx + 1] - self.ys[idx]) / (self.xs[idx + 1] - self.xs[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_degenerate_tables() {
+        assert!(LinearTable::new(&[(0.0, 1.0)]).is_err());
+        assert!(LinearTable::new(&[(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(LinearTable::new(&[(1.0, 1.0), (0.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn interpolates_linearly_between_points() {
+        let t = LinearTable::new(&[(0.0, 0.0), (1.0, 10.0)]).unwrap();
+        assert!((t.eval(0.25) - 2.5).abs() < 1e-12);
+        assert!((t.eval(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_the_range() {
+        let t = LinearTable::new(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        assert_eq!(t.eval(-5.0), 1.0);
+        assert_eq!(t.eval(5.0), 2.0);
+    }
+
+    #[test]
+    fn hits_exact_sample_points() {
+        let t = LinearTable::new(&[(0.0, 1.0), (1.0, 3.0), (2.0, -1.0)]).unwrap();
+        assert_eq!(t.eval(1.0), 3.0);
+        assert_eq!(t.eval(2.0), -1.0);
+    }
+
+    #[test]
+    fn derivative_matches_segment_slope() {
+        let t = LinearTable::new(&[(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)]).unwrap();
+        assert!((t.derivative(0.5) - 2.0).abs() < 1e-12);
+        assert!((t.derivative(1.5) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_function_samples_evenly() {
+        let t = LinearTable::from_function(0.0, 2.0, 5, |x| x * x).unwrap();
+        assert_eq!(t.len(), 5);
+        assert!((t.eval(1.0) - 1.0).abs() < 1e-12);
+        // Between samples the parabola is approximated by a chord.
+        assert!(t.eval(0.25) > 0.0625);
+    }
+
+    #[test]
+    fn from_function_rejects_bad_ranges() {
+        assert!(LinearTable::from_function(0.0, 0.0, 5, |x| x).is_err());
+        assert!(LinearTable::from_function(0.0, 1.0, 1, |x| x).is_err());
+    }
+
+    proptest! {
+        /// Interpolating a linear function reproduces it exactly everywhere
+        /// inside the table range.
+        #[test]
+        fn prop_linear_functions_are_exact(
+            slope in -10.0_f64..10.0,
+            intercept in -10.0_f64..10.0,
+            x in 0.0_f64..1.0,
+        ) {
+            let t = LinearTable::from_function(0.0, 1.0, 17, |v| slope * v + intercept).unwrap();
+            let expected = slope * x + intercept;
+            prop_assert!((t.eval(x) - expected).abs() < 1e-9);
+        }
+
+        /// eval() output is always bounded by the min/max of the table's y
+        /// values for inputs inside the range (linear interpolation cannot
+        /// overshoot).
+        #[test]
+        fn prop_no_overshoot(
+            ys in proptest::collection::vec(-100.0_f64..100.0, 2..32),
+            x in 0.0_f64..1.0,
+        ) {
+            let points: Vec<(f64, f64)> = ys
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (i as f64 / (ys.len() - 1) as f64, y))
+                .collect();
+            let t = LinearTable::new(&points).unwrap();
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let v = t.eval(x);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Numerical substrate for the single-electronics toolkit.
+//!
+//! The simulators in this workspace need a small, predictable set of
+//! numerical tools: dense linear algebra for capacitance matrices and
+//! modified nodal analysis, root finding for Newton iterations, statistics
+//! and histograms for Monte-Carlo observables and randomness analysis, a
+//! discrete Fourier transform for the FM-coded logic demodulation, and simple
+//! interpolation for tabulated device characteristics.
+//!
+//! Rather than pulling in a large linear-algebra dependency, this crate
+//! implements exactly what is needed with a bias towards clarity and
+//! robustness (partial pivoting, explicit singularity detection, residual
+//! checks in the tests).
+//!
+//! # Example
+//!
+//! ```
+//! use se_numeric::matrix::Matrix;
+//! use se_numeric::lu::LuDecomposition;
+//!
+//! # fn main() -> Result<(), se_numeric::NumericError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((a.mul_vec(&x)[0] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dft;
+pub mod error;
+pub mod histogram;
+pub mod interp;
+pub mod lu;
+pub mod matrix;
+pub mod rootfind;
+pub mod sampling;
+pub mod stats;
+
+pub use error::NumericError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;

@@ -1,0 +1,283 @@
+//! LU decomposition with partial pivoting, linear solves, matrix inversion
+//! and determinants.
+//!
+//! This is the workhorse behind both the capacitance-matrix inversion in
+//! `se-orthodox` and the modified-nodal-analysis solves in `se-spice`.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// LU decomposition `P·A = L·U` of a square matrix with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used for the determinant.
+    perm_sign: f64,
+}
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const SINGULARITY_THRESHOLD: f64 = 1e-13;
+
+impl LuDecomposition {
+    /// Factorises the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the matrix is not
+    /// square and [`NumericError::SingularMatrix`] if a pivot falls below the
+    /// singularity threshold relative to the matrix scale.
+    pub fn new(a: &Matrix) -> Result<Self, NumericError> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for col in 0..n {
+            // Find pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for row in (col + 1)..n {
+                let v = lu[(row, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < SINGULARITY_THRESHOLD * scale {
+                return Err(NumericError::SingularMatrix { pivot: col });
+            }
+            if pivot_row != col {
+                lu.swap_rows(pivot_row, col);
+                perm.swap(pivot_row, col);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(col, col)];
+            for row in (col + 1)..n {
+                let factor = lu[(row, col)] / pivot;
+                lu[(row, col)] = factor;
+                for k in (col + 1)..n {
+                    let upper = lu[(col, k)];
+                    lu[(row, k)] -= factor * upper;
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorised matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L is unit lower triangular).
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse matrix by solving against each unit vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factorised
+    /// matrix with correct dimensions).
+    pub fn inverse(&self) -> Result<Matrix, NumericError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the original matrix.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = self.perm_sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Convenience function: solves `A·x = b` in one call.
+///
+/// # Errors
+///
+/// Returns the factorisation or solve error.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// Convenience function: inverts `A` in one call.
+///
+/// # Errors
+///
+/// Returns the factorisation error if `A` is singular or not square.
+pub fn invert(a: &Matrix) -> Result<Matrix, NumericError> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_small_system_exactly() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        // 2x + y = 3, x + 3y = 5 -> x = 0.8, y = 1.4
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let err = LuDecomposition::new(&a).unwrap_err();
+        assert!(matches!(err, NumericError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn rejects_non_square_matrix() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        let inv = invert(&a).unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        let diff = &prod - &Matrix::identity(3);
+        assert!(diff.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_triangular_matrix() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 5.0], &[0.0, 0.0, 4.0]])
+            .unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() - 24.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        // Swapping two rows of the identity gives determinant -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length_rhs() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    proptest! {
+        /// Diagonally dominant random matrices are well conditioned; solving
+        /// and multiplying back must reproduce the right-hand side.
+        #[test]
+        fn prop_solve_residual_is_small(
+            seed_values in proptest::collection::vec(-1.0_f64..1.0, 9..=9),
+            b in proptest::collection::vec(-10.0_f64..10.0, 3..=3),
+        ) {
+            let mut a = Matrix::zeros(3, 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    a[(i, j)] = seed_values[i * 3 + j];
+                }
+                // Force diagonal dominance.
+                a[(i, i)] += 4.0;
+            }
+            let x = solve(&a, &b).unwrap();
+            let r = a.mul_vec(&x);
+            for (ri, bi) in r.iter().zip(&b) {
+                prop_assert!((ri - bi).abs() < 1e-9);
+            }
+        }
+
+        /// det(A) * det(A^-1) == 1 for well-conditioned matrices.
+        #[test]
+        fn prop_determinant_of_inverse(
+            seed_values in proptest::collection::vec(-1.0_f64..1.0, 16..=16),
+        ) {
+            let mut a = Matrix::zeros(4, 4);
+            for i in 0..4 {
+                for j in 0..4 {
+                    a[(i, j)] = seed_values[i * 4 + j];
+                }
+                a[(i, i)] += 5.0;
+            }
+            let lu = LuDecomposition::new(&a).unwrap();
+            let inv = lu.inverse().unwrap();
+            let lu_inv = LuDecomposition::new(&inv).unwrap();
+            let prod = lu.determinant() * lu_inv.determinant();
+            prop_assert!((prod - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Scalar root finding: Newton–Raphson with damping and bisection fallback.
+//!
+//! Used by the compact device models (diode and MOSFET initial guesses) and
+//! by the analytic SET model when inverting its transfer characteristic.
+
+use crate::error::NumericError;
+
+/// Options controlling the scalar root finders.
+#[derive(Debug, Clone, Copy)]
+pub struct RootFindOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Absolute tolerance on `|f(x)|` for convergence.
+    pub f_tolerance: f64,
+    /// Absolute tolerance on the step size for convergence.
+    pub x_tolerance: f64,
+}
+
+impl Default for RootFindOptions {
+    fn default() -> Self {
+        RootFindOptions {
+            max_iterations: 100,
+            f_tolerance: 1e-12,
+            x_tolerance: 1e-14,
+        }
+    }
+}
+
+/// Finds a root of `f` near `x0` using damped Newton–Raphson with the
+/// derivative `df`.
+///
+/// The step is halved (up to 30 times) whenever it does not reduce `|f|`,
+/// which keeps the iteration stable for the exponential device equations.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NoConvergence`] if the tolerances are not met
+/// within the iteration budget, or [`NumericError::InvalidArgument`] if the
+/// derivative vanishes at an iterate.
+pub fn newton<F, D>(
+    f: F,
+    df: D,
+    x0: f64,
+    options: RootFindOptions,
+) -> Result<f64, NumericError>
+where
+    F: Fn(f64) -> f64,
+    D: Fn(f64) -> f64,
+{
+    let mut x = x0;
+    let mut fx = f(x);
+    for iteration in 0..options.max_iterations {
+        if fx.abs() < options.f_tolerance {
+            return Ok(x);
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericError::InvalidArgument(format!(
+                "derivative is {dfx} at x = {x} (iteration {iteration})"
+            )));
+        }
+        let mut step = fx / dfx;
+        // Damping: halve the step until |f| decreases.
+        let mut candidate = x - step;
+        let mut f_candidate = f(candidate);
+        let mut halvings = 0;
+        while f_candidate.abs() > fx.abs() && halvings < 30 {
+            step *= 0.5;
+            candidate = x - step;
+            f_candidate = f(candidate);
+            halvings += 1;
+        }
+        if step.abs() < options.x_tolerance {
+            return Ok(candidate);
+        }
+        x = candidate;
+        fx = f_candidate;
+    }
+    if fx.abs() < options.f_tolerance * 1e3 {
+        // Close enough for circuit-simulation purposes.
+        return Ok(x);
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: fx.abs(),
+    })
+}
+
+/// Finds a root of `f` in the bracketing interval `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if `f(a)` and `f(b)` have the
+/// same sign, and [`NumericError::NoConvergence`] if the interval does not
+/// shrink below `x_tolerance` within the iteration budget.
+pub fn bisection<F>(
+    f: F,
+    mut a: f64,
+    mut b: f64,
+    options: RootFindOptions,
+) -> Result<f64, NumericError>
+where
+    F: Fn(f64) -> f64,
+{
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidArgument(format!(
+            "interval [{a}, {b}] does not bracket a root: f(a) = {fa:.3e}, f(b) = {fb:.3e}"
+        )));
+    }
+    for _ in 0..options.max_iterations {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm.abs() < options.f_tolerance || (b - a).abs() < options.x_tolerance {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Finds a root using Newton–Raphson and falls back to bisection on the
+/// interval `[lo, hi]` if Newton fails.
+///
+/// # Errors
+///
+/// Returns the bisection error if both methods fail.
+pub fn newton_with_bisection_fallback<F, D>(
+    f: F,
+    df: D,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    options: RootFindOptions,
+) -> Result<f64, NumericError>
+where
+    F: Fn(f64) -> f64 + Copy,
+    D: Fn(f64) -> f64,
+{
+    match newton(f, df, x0, options) {
+        Ok(x) if x >= lo && x <= hi => Ok(x),
+        _ => bisection(f, lo, hi, options),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn newton_finds_square_root() {
+        let root = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, RootFindOptions::default())
+            .unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_handles_exponential_like_diode_equation() {
+        // Solve exp(x/0.025) - 1 = 1e6 (a typical diode current equation shape).
+        let f = |x: f64| (x / 0.025).exp() - 1.0 - 1e6;
+        let df = |x: f64| (x / 0.025).exp() / 0.025;
+        let root = newton(f, df, 0.0, RootFindOptions::default()).unwrap();
+        assert!((f(root)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn newton_rejects_zero_derivative() {
+        let err = newton(|_| 1.0, |_| 0.0, 0.0, RootFindOptions::default()).unwrap_err();
+        assert!(matches!(err, NumericError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn bisection_finds_cosine_root() {
+        let root = bisection(|x: f64| x.cos(), 0.0, 3.0, RootFindOptions::default()).unwrap();
+        assert!((root - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisection_rejects_non_bracketing_interval() {
+        let err =
+            bisection(|x: f64| x * x + 1.0, -1.0, 1.0, RootFindOptions::default()).unwrap_err();
+        assert!(matches!(err, NumericError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn fallback_recovers_from_bad_newton_start() {
+        // tanh has a tiny derivative far from zero; Newton from x0=20 diverges,
+        // but the bracket [-1, 30] still contains the root at x = 5.
+        let f = |x: f64| (x - 5.0).tanh();
+        let root = newton_with_bisection_fallback(
+            f,
+            |x| 1.0 - (x - 5.0).tanh().powi(2),
+            20.0,
+            -1.0,
+            30.0,
+            RootFindOptions::default(),
+        )
+        .unwrap();
+        assert!((root - 5.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// Newton must find the root of a random monic cubic with a known
+        /// real root structure: (x - r)(x^2 + 1) has exactly one real root r.
+        #[test]
+        fn prop_newton_finds_constructed_root(r in -5.0_f64..5.0) {
+            let f = move |x: f64| (x - r) * (x * x + 1.0);
+            let df = move |x: f64| (x * x + 1.0) + (x - r) * 2.0 * x;
+            let root = newton(f, df, r + 0.5, RootFindOptions::default()).unwrap();
+            prop_assert!((root - r).abs() < 1e-6);
+        }
+
+        /// Bisection always stays inside the initial bracket.
+        #[test]
+        fn prop_bisection_result_is_bracketed(r in -1.0_f64..1.0) {
+            let f = move |x: f64| x - r;
+            let root = bisection(f, -2.0, 2.0, RootFindOptions::default()).unwrap();
+            prop_assert!(root >= -2.0 && root <= 2.0);
+            prop_assert!((root - r).abs() < 1e-6);
+        }
+    }
+}

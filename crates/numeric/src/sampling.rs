@@ -1,0 +1,198 @@
+//! Random-variate sampling helpers for the kinetic Monte-Carlo simulator and
+//! the noise processes.
+//!
+//! These wrap `rand` with the specific distributions the orthodox-theory
+//! Monte-Carlo loop needs: exponential waiting times, discrete selection
+//! proportional to rates, and Gaussian noise via Box–Muller (kept local to
+//! avoid depending on `rand_distr`).
+
+use crate::error::NumericError;
+use rand::Rng;
+
+/// Samples an exponentially distributed waiting time with the given total
+/// `rate` (in events per second).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if `rate` is not strictly
+/// positive and finite.
+pub fn exponential_waiting_time<R: Rng + ?Sized>(
+    rng: &mut R,
+    rate: f64,
+) -> Result<f64, NumericError> {
+    if !(rate > 0.0) || !rate.is_finite() {
+        return Err(NumericError::InvalidArgument(format!(
+            "waiting-time rate must be positive and finite, got {rate}"
+        )));
+    }
+    // Guard against u == 0 which would give an infinite waiting time.
+    let mut u: f64 = rng.gen();
+    while u <= f64::MIN_POSITIVE {
+        u = rng.gen();
+    }
+    Ok(-u.ln() / rate)
+}
+
+/// Selects an index with probability proportional to `weights[i]`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if the slice is empty, contains
+/// a negative or non-finite weight, or sums to zero.
+pub fn select_weighted<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+) -> Result<usize, NumericError> {
+    if weights.is_empty() {
+        return Err(NumericError::InvalidArgument(
+            "cannot select from an empty weight list".into(),
+        ));
+    }
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        if w < 0.0 || !w.is_finite() {
+            return Err(NumericError::InvalidArgument(format!(
+                "weight {i} is invalid: {w}"
+            )));
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(NumericError::InvalidArgument(
+            "total weight is zero; no event can be selected".into(),
+        ));
+    }
+    let target = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if target < acc {
+            return Ok(i);
+        }
+    }
+    // Floating-point round-off can leave `target` marginally above the last
+    // accumulated value; return the last non-zero weight index.
+    Ok(weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("total weight was positive"))
+}
+
+/// Samples a standard normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let mut u1: f64 = rng.gen();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if `std_dev` is negative or not
+/// finite.
+pub fn normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+) -> Result<f64, NumericError> {
+    if std_dev < 0.0 || !std_dev.is_finite() {
+        return Err(NumericError::InvalidArgument(format!(
+            "standard deviation must be non-negative and finite, got {std_dev}"
+        )));
+    }
+    Ok(mean + std_dev * standard_normal(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_waiting_time_has_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rate = 2.0e9;
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| exponential_waiting_time(&mut rng, rate).unwrap())
+            .sum::<f64>()
+            / n as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(exponential_waiting_time(&mut rng, 0.0).is_err());
+        assert!(exponential_waiting_time(&mut rng, -1.0).is_err());
+        assert!(exponential_waiting_time(&mut rng, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn weighted_selection_respects_proportions() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0u32; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[select_weighted(&mut rng, &weights).unwrap()] += 1;
+        }
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f1 - 0.3).abs() < 0.02, "fraction {f1}");
+        assert!((f2 - 0.6).abs() < 0.02, "fraction {f2}");
+    }
+
+    #[test]
+    fn weighted_selection_skips_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let idx = select_weighted(&mut rng, &[0.0, 5.0, 0.0]).unwrap();
+            assert_eq!(idx, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_selection_rejects_invalid_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(select_weighted(&mut rng, &[]).is_err());
+        assert!(select_weighted(&mut rng, &[0.0, 0.0]).is_err());
+        assert!(select_weighted(&mut rng, &[-1.0, 2.0]).is_err());
+        assert!(select_weighted(&mut rng, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = crate::stats::mean(&samples);
+        let var = crate::stats::variance(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_rejects_negative_std_dev() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(normal(&mut rng, 0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| normal(&mut rng, 5.0, 0.1).unwrap())
+            .collect();
+        assert!((crate::stats::mean(&samples) - 5.0).abs() < 0.01);
+        assert!((crate::stats::std_dev(&samples) - 0.1).abs() < 0.01);
+    }
+}

@@ -1,0 +1,355 @@
+//! Background-charge processes.
+//!
+//! The paper's central argument is that single-electron *logic* has
+//! historically been considered unrealistic because of its sensitivity to
+//! random background charges: any trapped or slowly moving charge near an
+//! island shifts the phase of the SET's periodic Id–Vg characteristic and
+//! can flip a level-coded logic gate. This module models those disturbances
+//! so the logic experiments (E1, E6) can inject them:
+//!
+//! * [`StaticOffsets`] — a fixed offset charge per island (a frozen
+//!   disorder configuration);
+//! * [`RandomTelegraphProcess`] — a two-state Markov trap that toggles an
+//!   island's offset charge between `0` and an amplitude with given capture
+//!   and emission rates (the "measured characteristics shifted over minutes
+//!   to hours" phenomenon);
+//! * [`DriftProcess`] — a bounded random walk of the offset charge, the
+//!   slow-drift limit.
+
+use crate::error::OrthodoxError;
+use rand::Rng;
+
+/// A frozen configuration of offset charges, one per island, in units of
+/// the elementary charge `e`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StaticOffsets {
+    charges: Vec<f64>,
+}
+
+impl StaticOffsets {
+    /// Creates offsets for `islands` islands, all zero.
+    #[must_use]
+    pub fn zero(islands: usize) -> Self {
+        StaticOffsets {
+            charges: vec![0.0; islands],
+        }
+    }
+
+    /// Creates offsets from explicit values (in units of `e`).
+    #[must_use]
+    pub fn from_values(values: Vec<f64>) -> Self {
+        StaticOffsets { charges: values }
+    }
+
+    /// Draws each offset uniformly from `[-0.5, 0.5)` — the standard
+    /// worst-case disorder model, since offsets are only meaningful modulo
+    /// `e`.
+    #[must_use]
+    pub fn random_uniform<R: Rng + ?Sized>(rng: &mut R, islands: usize) -> Self {
+        StaticOffsets {
+            charges: (0..islands).map(|_| rng.gen::<f64>() - 0.5).collect(),
+        }
+    }
+
+    /// Offset of island `i` in units of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn charge(&self, i: usize) -> f64 {
+        self.charges[i]
+    }
+
+    /// All offsets.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.charges
+    }
+
+    /// Number of islands covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// Returns `true` if no islands are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.charges.is_empty()
+    }
+}
+
+/// A single charge trap switching between "empty" (offset 0) and "occupied"
+/// (offset `amplitude`, in units of `e`) with exponentially distributed dwell
+/// times — a random telegraph signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomTelegraphProcess {
+    /// Offset contributed when the trap is occupied, in units of `e`.
+    amplitude: f64,
+    /// Rate of the empty → occupied transition, in 1/s.
+    capture_rate: f64,
+    /// Rate of the occupied → empty transition, in 1/s.
+    emission_rate: f64,
+    /// Current trap occupation.
+    occupied: bool,
+    /// Time until the next switch, in seconds.
+    time_to_switch: f64,
+}
+
+impl RandomTelegraphProcess {
+    /// Creates a trap with the given amplitude (units of `e`) and switching
+    /// rates (1/s), starting empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::InvalidParameter`] if either rate is not
+    /// strictly positive and finite.
+    pub fn new(
+        amplitude: f64,
+        capture_rate: f64,
+        emission_rate: f64,
+    ) -> Result<Self, OrthodoxError> {
+        if !(capture_rate > 0.0) || !capture_rate.is_finite() {
+            return Err(OrthodoxError::InvalidParameter(format!(
+                "capture rate must be positive and finite, got {capture_rate}"
+            )));
+        }
+        if !(emission_rate > 0.0) || !emission_rate.is_finite() {
+            return Err(OrthodoxError::InvalidParameter(format!(
+                "emission rate must be positive and finite, got {emission_rate}"
+            )));
+        }
+        Ok(RandomTelegraphProcess {
+            amplitude,
+            capture_rate,
+            emission_rate,
+            occupied: false,
+            time_to_switch: 0.0,
+        })
+    }
+
+    /// Current offset contribution in units of `e`.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        if self.occupied {
+            self.amplitude
+        } else {
+            0.0
+        }
+    }
+
+    /// Offset contributed while the trap is occupied, in units of `e`.
+    #[must_use]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Returns `true` if the trap is currently occupied.
+    #[must_use]
+    pub fn is_occupied(&self) -> bool {
+        self.occupied
+    }
+
+    /// Advances the process by `dt` seconds, switching state as many times
+    /// as the exponential dwell times dictate, and returns the offset after
+    /// the step.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) -> f64 {
+        let mut remaining = dt.max(0.0);
+        loop {
+            if self.time_to_switch <= 0.0 {
+                self.time_to_switch = self.draw_dwell(rng);
+            }
+            if remaining < self.time_to_switch {
+                self.time_to_switch -= remaining;
+                break;
+            }
+            remaining -= self.time_to_switch;
+            self.occupied = !self.occupied;
+            self.time_to_switch = self.draw_dwell(rng);
+        }
+        self.offset()
+    }
+
+    fn draw_dwell<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let rate = if self.occupied {
+            self.emission_rate
+        } else {
+            self.capture_rate
+        };
+        se_numeric::sampling::exponential_waiting_time(rng, rate)
+            .expect("rates validated at construction")
+    }
+
+    /// Expected long-run fraction of time the trap is occupied.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        // Mean dwell occupied = 1/emission, empty = 1/capture.
+        let occupied = 1.0 / self.emission_rate;
+        let empty = 1.0 / self.capture_rate;
+        occupied / (occupied + empty)
+    }
+}
+
+/// A slow bounded random-walk drift of an island's offset charge,
+/// representing the minutes-to-hours background-charge drift reported for
+/// measured SETs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftProcess {
+    /// Standard deviation of the offset increment per √second, in `e/√s`.
+    diffusion: f64,
+    /// The offsets are wrapped into `[-bound, bound]` (offsets only matter
+    /// modulo `e`, so a natural bound is 0.5).
+    bound: f64,
+    current: f64,
+}
+
+impl DriftProcess {
+    /// Creates a drift process starting at offset zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::InvalidParameter`] if `diffusion` is negative
+    /// or `bound` is not strictly positive.
+    pub fn new(diffusion: f64, bound: f64) -> Result<Self, OrthodoxError> {
+        if diffusion < 0.0 || !diffusion.is_finite() {
+            return Err(OrthodoxError::InvalidParameter(format!(
+                "diffusion must be non-negative and finite, got {diffusion}"
+            )));
+        }
+        if !(bound > 0.0) {
+            return Err(OrthodoxError::InvalidParameter(format!(
+                "bound must be positive, got {bound}"
+            )));
+        }
+        Ok(DriftProcess {
+            diffusion,
+            bound,
+            current: 0.0,
+        })
+    }
+
+    /// Current offset in units of `e`.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.current
+    }
+
+    /// Advances the drift by `dt` seconds and returns the new offset.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) -> f64 {
+        let sigma = self.diffusion * dt.max(0.0).sqrt();
+        let step = se_numeric::sampling::normal(rng, 0.0, sigma)
+            .expect("sigma is non-negative by construction");
+        self.current += step;
+        // Reflect at the bounds to keep the offset in range.
+        while self.current > self.bound || self.current < -self.bound {
+            if self.current > self.bound {
+                self.current = 2.0 * self.bound - self.current;
+            }
+            if self.current < -self.bound {
+                self.current = -2.0 * self.bound - self.current;
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_offsets_constructors() {
+        let zero = StaticOffsets::zero(3);
+        assert_eq!(zero.as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(zero.len(), 3);
+        assert!(!zero.is_empty());
+
+        let explicit = StaticOffsets::from_values(vec![0.1, -0.2]);
+        assert_eq!(explicit.charge(1), -0.2);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let random = StaticOffsets::random_uniform(&mut rng, 100);
+        assert!(random.as_slice().iter().all(|&q| (-0.5..0.5).contains(&q)));
+    }
+
+    #[test]
+    fn telegraph_process_validates_rates() {
+        assert!(RandomTelegraphProcess::new(0.1, 0.0, 1.0).is_err());
+        assert!(RandomTelegraphProcess::new(0.1, 1.0, -1.0).is_err());
+        assert!(RandomTelegraphProcess::new(0.1, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn telegraph_process_starts_empty_and_switches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut trap = RandomTelegraphProcess::new(0.2, 1e3, 1e3).unwrap();
+        assert_eq!(trap.offset(), 0.0);
+        assert!(!trap.is_occupied());
+        // Advance long enough that many switches must have happened.
+        let mut saw_occupied = false;
+        for _ in 0..100 {
+            trap.advance(&mut rng, 1e-2);
+            if trap.is_occupied() {
+                saw_occupied = true;
+            }
+        }
+        assert!(saw_occupied, "trap never switched in 100 long steps");
+    }
+
+    #[test]
+    fn telegraph_duty_cycle_matches_rates() {
+        let trap = RandomTelegraphProcess::new(0.1, 3.0, 1.0).unwrap();
+        // Occupied dwell 1/1, empty dwell 1/3 → duty cycle 0.75.
+        assert!((trap.duty_cycle() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telegraph_long_run_occupation_matches_duty_cycle() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut trap = RandomTelegraphProcess::new(1.0, 200.0, 100.0).unwrap();
+        let dt = 1e-3;
+        let steps = 200_000;
+        let mut occupied_time = 0.0;
+        for _ in 0..steps {
+            trap.advance(&mut rng, dt);
+            if trap.is_occupied() {
+                occupied_time += dt;
+            }
+        }
+        let fraction = occupied_time / (steps as f64 * dt);
+        assert!(
+            (fraction - trap.duty_cycle()).abs() < 0.03,
+            "fraction {fraction} vs duty cycle {}",
+            trap.duty_cycle()
+        );
+    }
+
+    #[test]
+    fn drift_process_validates_parameters() {
+        assert!(DriftProcess::new(-1.0, 0.5).is_err());
+        assert!(DriftProcess::new(0.1, 0.0).is_err());
+        assert!(DriftProcess::new(0.1, 0.5).is_ok());
+    }
+
+    #[test]
+    fn drift_stays_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut drift = DriftProcess::new(0.5, 0.5).unwrap();
+        for _ in 0..10_000 {
+            let q = drift.advance(&mut rng, 0.1);
+            assert!(q.abs() <= 0.5 + 1e-12, "offset {q} escaped the bound");
+        }
+    }
+
+    #[test]
+    fn zero_diffusion_drift_never_moves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut drift = DriftProcess::new(0.0, 0.5).unwrap();
+        for _ in 0..100 {
+            assert_eq!(drift.advance(&mut rng, 1.0), 0.0);
+        }
+    }
+}

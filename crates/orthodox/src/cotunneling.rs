@@ -1,0 +1,229 @@
+//! Second-order (inelastic cotunneling) rate estimate.
+//!
+//! Sequential (orthodox, first-order) tunnelling predicts an exponentially
+//! small current deep inside the Coulomb-blockade region. In reality a
+//! *cotunneling* process — two electrons tunnelling coherently through the
+//! two junctions of a SET via a virtual intermediate state — leaks current
+//! through the blockade with only a power-law suppression. The paper lists
+//! "higher-order tunnelling effects" among the physics that SPICE-level SET
+//! models miss and dedicated Monte-Carlo simulators must capture; this
+//! module provides the standard Averin–Nazarov-style estimate used for that
+//! comparison (experiment E11).
+//!
+//! The inelastic cotunneling rate through a double junction with tunnel
+//! resistances `R₁`, `R₂`, virtual-state energies `E₁`, `E₂` (the costs of
+//! the forbidden intermediate states) and total free-energy gain `−ΔF` is
+//! approximated by
+//!
+//! ```text
+//! Γ_cot = (ħ / (12π e⁴ R₁R₂)) · (1/E₁ + 1/E₂)² · [(ΔF)² + (2π k_B T)²]
+//!         · ΔF_gain / (1 − exp(ΔF / k_B T))
+//! ```
+//!
+//! where the last factor reduces to `−ΔF` at low temperature. The formula is
+//! an estimate (it ignores the energy dependence of the virtual state during
+//! the sweep), which is exactly the fidelity needed to show *when* sequential
+//! simulation is insufficient.
+
+use crate::error::OrthodoxError;
+use se_units::constants::{BOLTZMANN, E, REDUCED_PLANCK};
+
+/// Parameters of a cotunneling path through two junctions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CotunnelingPath {
+    /// Tunnel resistance of the first junction in ohm.
+    pub resistance_1: f64,
+    /// Tunnel resistance of the second junction in ohm.
+    pub resistance_2: f64,
+    /// Energy cost (joule) of the virtual intermediate state reached through
+    /// the first junction. Must be positive (otherwise sequential tunnelling
+    /// is already allowed and dominates).
+    pub intermediate_energy_1: f64,
+    /// Energy cost (joule) of the virtual intermediate state reached through
+    /// the second junction. Must be positive.
+    pub intermediate_energy_2: f64,
+}
+
+/// Inelastic cotunneling rate (events per second) for a total free-energy
+/// change `delta_f` (joule) at `temperature` (kelvin).
+///
+/// # Errors
+///
+/// Returns [`OrthodoxError::InvalidParameter`] for non-positive resistances
+/// or intermediate energies, negative temperature, or non-finite `delta_f`.
+pub fn cotunneling_rate(
+    path: &CotunnelingPath,
+    delta_f: f64,
+    temperature: f64,
+) -> Result<f64, OrthodoxError> {
+    if path.resistance_1 <= 0.0 || path.resistance_2 <= 0.0 {
+        return Err(OrthodoxError::InvalidParameter(
+            "cotunneling junction resistances must be positive".into(),
+        ));
+    }
+    if path.intermediate_energy_1 <= 0.0 || path.intermediate_energy_2 <= 0.0 {
+        return Err(OrthodoxError::InvalidParameter(
+            "cotunneling intermediate-state energies must be positive".into(),
+        ));
+    }
+    if temperature < 0.0 || !temperature.is_finite() {
+        return Err(OrthodoxError::InvalidParameter(format!(
+            "temperature must be non-negative and finite, got {temperature}"
+        )));
+    }
+    if !delta_f.is_finite() {
+        return Err(OrthodoxError::InvalidParameter(format!(
+            "free-energy change must be finite, got {delta_f}"
+        )));
+    }
+
+    let prefactor = REDUCED_PLANCK
+        / (12.0 * std::f64::consts::PI * E.powi(4) * path.resistance_1 * path.resistance_2);
+    let virtual_factor =
+        (1.0 / path.intermediate_energy_1 + 1.0 / path.intermediate_energy_2).powi(2);
+    let kt = BOLTZMANN * temperature;
+    let thermal_broadening = delta_f * delta_f + (2.0 * std::f64::consts::PI * kt).powi(2);
+
+    // Occupation factor with the same limits as the sequential rate.
+    let occupation = if temperature == 0.0 {
+        if delta_f < 0.0 {
+            -delta_f
+        } else {
+            0.0
+        }
+    } else {
+        let x = delta_f / kt;
+        if x.abs() < 1e-9 {
+            kt
+        } else if x > 500.0 {
+            0.0
+        } else if x < -500.0 {
+            -delta_f
+        } else {
+            -delta_f / (1.0 - x.exp())
+        }
+    };
+
+    Ok((prefactor * virtual_factor * thermal_broadening * occupation).max(0.0))
+}
+
+/// Ratio of the cotunneling current to the sequential current deep inside
+/// the blockade, for a symmetric SET with junction resistance `resistance`
+/// and charging energy `charging_energy`, at bias `bias_energy = e·V` and
+/// temperature `temperature`.
+///
+/// This is the figure of merit used in experiment E11: cotunneling scales as
+/// `(R_Q/R_t)²` relative to the (exponentially small) sequential leakage, so
+/// low-resistance junctions leak much more than orthodox-only simulation
+/// predicts.
+///
+/// # Errors
+///
+/// Propagates the parameter validation of [`cotunneling_rate`] and
+/// [`crate::rates::tunnel_rate`].
+pub fn blockade_leakage_ratio(
+    resistance: f64,
+    charging_energy: f64,
+    bias_energy: f64,
+    temperature: f64,
+) -> Result<f64, OrthodoxError> {
+    if charging_energy <= 0.0 {
+        return Err(OrthodoxError::InvalidParameter(
+            "charging energy must be positive".into(),
+        ));
+    }
+    let path = CotunnelingPath {
+        resistance_1: resistance,
+        resistance_2: resistance,
+        intermediate_energy_1: charging_energy,
+        intermediate_energy_2: charging_energy,
+    };
+    let delta_f = -bias_energy; // energy gained by transferring one electron across the bias
+    let cot = cotunneling_rate(&path, delta_f, temperature)?;
+    // Sequential leakage: the uphill event into the blockaded intermediate
+    // state (cost ≈ charging energy − bias/2).
+    let sequential_df = charging_energy - bias_energy / 2.0;
+    let seq = crate::rates::tunnel_rate(sequential_df, resistance, temperature)?;
+    if seq == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(cot / seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_units::constants::RESISTANCE_QUANTUM;
+
+    fn path(r: f64, ec: f64) -> CotunnelingPath {
+        CotunnelingPath {
+            resistance_1: r,
+            resistance_2: r,
+            intermediate_energy_1: ec,
+            intermediate_energy_2: ec,
+        }
+    }
+
+    const EC: f64 = 5e-21; // ~31 meV
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let p = path(1e5, EC);
+        assert!(cotunneling_rate(&path(0.0, EC), -1e-22, 1.0).is_err());
+        assert!(cotunneling_rate(&path(1e5, -EC), -1e-22, 1.0).is_err());
+        assert!(cotunneling_rate(&p, -1e-22, -1.0).is_err());
+        assert!(cotunneling_rate(&p, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn favourable_cotunneling_has_positive_rate() {
+        let rate = cotunneling_rate(&path(1e5, EC), -1e-22, 0.1).unwrap();
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn unfavourable_cotunneling_is_suppressed_at_zero_temperature() {
+        let rate = cotunneling_rate(&path(1e5, EC), 1e-22, 0.0).unwrap();
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn rate_scales_inversely_with_resistance_product() {
+        let df = -1e-22;
+        let r1 = cotunneling_rate(&path(1e5, EC), df, 0.1).unwrap();
+        let r2 = cotunneling_rate(&path(1e6, EC), df, 0.1).unwrap();
+        // R₁R₂ grows by 100, so the rate must fall by ~100.
+        let ratio = r1 / r2;
+        assert!((ratio - 100.0).abs() / 100.0 < 1e-6);
+    }
+
+    #[test]
+    fn rate_grows_with_temperature_squared_term() {
+        let df = -1e-23;
+        let cold = cotunneling_rate(&path(1e5, EC), df, 0.05).unwrap();
+        let warm = cotunneling_rate(&path(1e5, EC), df, 5.0).unwrap();
+        assert!(warm > cold);
+    }
+
+    #[test]
+    fn leakage_ratio_grows_for_transparent_junctions() {
+        // Deep blockade at low temperature: sequential leakage is tiny, so
+        // the ratio is enormous, and it is larger for lower R_t.
+        let bias = 0.1 * EC;
+        let low_r = blockade_leakage_ratio(2.0 * RESISTANCE_QUANTUM, EC, bias, 1.0).unwrap();
+        let high_r = blockade_leakage_ratio(200.0 * RESISTANCE_QUANTUM, EC, bias, 1.0).unwrap();
+        assert!(low_r > high_r);
+        assert!(low_r > 1.0, "cotunneling must dominate deep in blockade");
+    }
+
+    #[test]
+    fn leakage_ratio_validates_charging_energy() {
+        assert!(blockade_leakage_ratio(1e5, -EC, 1e-22, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_sequential_rate_reports_infinite_ratio() {
+        let ratio = blockade_leakage_ratio(1e5, EC, 0.01 * EC, 0.0).unwrap();
+        assert!(ratio.is_infinite());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the orthodox-theory layer.
+
+use se_numeric::NumericError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or evaluating a tunnel system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrthodoxError {
+    /// A physical parameter was outside its valid domain.
+    InvalidParameter(String),
+    /// The island capacitance matrix is singular — usually an island with no
+    /// capacitive connection at all.
+    SingularCapacitanceMatrix(String),
+    /// The system refers to an island or external node that does not exist.
+    UnknownNode(String),
+    /// A numerical routine failed.
+    Numeric(NumericError),
+}
+
+impl fmt::Display for OrthodoxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrthodoxError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            OrthodoxError::SingularCapacitanceMatrix(msg) => {
+                write!(f, "singular capacitance matrix: {msg}")
+            }
+            OrthodoxError::UnknownNode(msg) => write!(f, "unknown node: {msg}"),
+            OrthodoxError::Numeric(err) => write!(f, "numerical error: {err}"),
+        }
+    }
+}
+
+impl Error for OrthodoxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OrthodoxError::Numeric(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for OrthodoxError {
+    fn from(err: NumericError) -> Self {
+        OrthodoxError::Numeric(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = OrthodoxError::InvalidParameter("negative capacitance".into());
+        assert!(err.to_string().contains("negative capacitance"));
+
+        let err: OrthodoxError = NumericError::SingularMatrix { pivot: 1 }.into();
+        assert!(err.to_string().contains("numerical error"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OrthodoxError>();
+    }
+}

@@ -1,0 +1,233 @@
+//! The orthodox (first-order, golden-rule) tunnel rate.
+//!
+//! For a tunnel event with free-energy change `ΔF` across a junction with
+//! tunnel resistance `R_t`, the orthodox theory gives
+//!
+//! ```text
+//! Γ(ΔF) = (−ΔF) / (e²·R_t · (1 − exp(ΔF / k_B T)))
+//! ```
+//!
+//! which reduces to `Γ = −ΔF/(e²R_t)` for favourable events at `T → 0`,
+//! vanishes for unfavourable events at `T → 0`, and approaches
+//! `k_BT/(e²R_t)` at `ΔF → 0`. The characteristic attempt time of a
+//! favourable event, `e²R_t/|ΔF|`, is sub-picosecond for typical parameters,
+//! which is the paper's point that tunnelling itself is not the speed
+//! bottleneck of SET logic.
+
+use crate::error::OrthodoxError;
+use se_units::constants::{BOLTZMANN, E};
+
+/// Relative width of the `ΔF → 0` series-expansion window, in units of
+/// `k_B·T`.
+const SERIES_WINDOW: f64 = 1e-9;
+
+/// Exponent beyond which the Boltzmann suppression is treated as exact zero
+/// to avoid overflow in `exp`.
+const MAX_EXPONENT: f64 = 500.0;
+
+/// Orthodox tunnel rate (events per second) for a free-energy change
+/// `delta_f` (joule), tunnel resistance `resistance` (ohm) and temperature
+/// `temperature` (kelvin).
+///
+/// # Errors
+///
+/// Returns [`OrthodoxError::InvalidParameter`] if the resistance is not
+/// strictly positive, the temperature is negative, or `delta_f` is not
+/// finite.
+///
+/// # Example
+///
+/// ```
+/// use se_orthodox::tunnel_rate;
+///
+/// # fn main() -> Result<(), se_orthodox::OrthodoxError> {
+/// // A favourable event: 1 meV gain across a 100 kΩ junction at 1 K.
+/// let df = -1.602e-22;
+/// let rate = tunnel_rate(df, 100e3, 1.0)?;
+/// assert!(rate > 1e7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tunnel_rate(delta_f: f64, resistance: f64, temperature: f64) -> Result<f64, OrthodoxError> {
+    if resistance <= 0.0 || !resistance.is_finite() {
+        return Err(OrthodoxError::InvalidParameter(format!(
+            "tunnel resistance must be positive and finite, got {resistance}"
+        )));
+    }
+    if temperature < 0.0 || !temperature.is_finite() {
+        return Err(OrthodoxError::InvalidParameter(format!(
+            "temperature must be non-negative and finite, got {temperature}"
+        )));
+    }
+    if !delta_f.is_finite() {
+        return Err(OrthodoxError::InvalidParameter(format!(
+            "free-energy change must be finite, got {delta_f}"
+        )));
+    }
+
+    if temperature == 0.0 {
+        return Ok(tunnel_rate_zero_temperature(delta_f, resistance));
+    }
+
+    let kt = BOLTZMANN * temperature;
+    let x = delta_f / kt;
+    let prefactor = 1.0 / (E * E * resistance);
+
+    let rate = if x.abs() < SERIES_WINDOW {
+        // ΔF → 0 limit: Γ → kT / (e² R).
+        kt * prefactor
+    } else if x > MAX_EXPONENT {
+        // Deep Boltzmann suppression: numerically zero.
+        0.0
+    } else if x < -MAX_EXPONENT {
+        // Strongly favourable: denominator is 1.
+        -delta_f * prefactor
+    } else {
+        (-delta_f) * prefactor / (1.0 - x.exp())
+    };
+    Ok(rate.max(0.0))
+}
+
+/// Zero-temperature limit of the orthodox rate: `−ΔF/(e²R)` for favourable
+/// events, `0` otherwise.
+#[must_use]
+pub fn tunnel_rate_zero_temperature(delta_f: f64, resistance: f64) -> f64 {
+    if delta_f < 0.0 {
+        -delta_f / (E * E * resistance)
+    } else {
+        0.0
+    }
+}
+
+/// Intrinsic tunnelling attempt time `e²·R_t/|ΔF|` in seconds for a
+/// favourable event — the quantity behind the paper's statement that
+/// tunnelling is a sub-picosecond process.
+///
+/// Returns `f64::INFINITY` for `ΔF >= 0`.
+#[must_use]
+pub fn intrinsic_tunnel_time(delta_f: f64, resistance: f64) -> f64 {
+    if delta_f >= 0.0 {
+        f64::INFINITY
+    } else {
+        E * E * resistance / (-delta_f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const R: f64 = 100e3;
+
+    #[test]
+    fn rejects_invalid_arguments() {
+        assert!(tunnel_rate(-1e-22, 0.0, 1.0).is_err());
+        assert!(tunnel_rate(-1e-22, -1.0, 1.0).is_err());
+        assert!(tunnel_rate(-1e-22, R, -1.0).is_err());
+        assert!(tunnel_rate(f64::NAN, R, 1.0).is_err());
+    }
+
+    #[test]
+    fn favourable_rate_at_low_temperature_is_linear_in_energy() {
+        let df = -1e-21;
+        let rate = tunnel_rate(df, R, 0.001).unwrap();
+        let expected = -df / (E * E * R);
+        assert!((rate - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn unfavourable_rate_is_boltzmann_suppressed() {
+        let df = 1e-21; // ~6 meV
+        let t = 1.0;
+        let rate = tunnel_rate(df, R, t).unwrap();
+        let favourable = tunnel_rate(-df, R, t).unwrap();
+        let ratio = rate / favourable;
+        let boltzmann = (-df / (BOLTZMANN * t)).exp();
+        assert!(
+            (ratio - boltzmann).abs() / boltzmann < 1e-6,
+            "detailed balance violated: ratio {ratio}, boltzmann {boltzmann}"
+        );
+    }
+
+    #[test]
+    fn zero_energy_limit_is_thermal() {
+        let t = 4.2;
+        let rate = tunnel_rate(0.0, R, t).unwrap();
+        let expected = BOLTZMANN * t / (E * E * R);
+        assert!((rate - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn zero_temperature_limits() {
+        assert_eq!(tunnel_rate(1e-22, R, 0.0).unwrap(), 0.0);
+        let df = -2e-21;
+        let rate = tunnel_rate(df, R, 0.0).unwrap();
+        assert!((rate - (-df) / (E * E * R)).abs() < 1e-6 * rate);
+        assert_eq!(tunnel_rate_zero_temperature(0.0, R), 0.0);
+    }
+
+    #[test]
+    fn extreme_suppression_does_not_overflow() {
+        // 1 eV uphill at 1 mK: astronomically suppressed but must return 0.
+        let rate = tunnel_rate(1.6e-19, R, 0.001).unwrap();
+        assert_eq!(rate, 0.0);
+        // 1 eV downhill at 1 mK: plain linear rate.
+        let rate = tunnel_rate(-1.6e-19, R, 0.001).unwrap();
+        assert!(rate.is_finite() && rate > 0.0);
+    }
+
+    #[test]
+    fn intrinsic_tunnel_time_is_sub_picosecond_for_typical_parameters() {
+        // ~1 charging energy (30 meV) across 100 kΩ.
+        let df = -4.8e-21 * 10.0;
+        let tau = intrinsic_tunnel_time(df, R);
+        assert!(tau < 1e-12, "tunnel time {tau} s should be sub-picosecond");
+        assert_eq!(intrinsic_tunnel_time(1e-21, R), f64::INFINITY);
+    }
+
+    proptest! {
+        /// Rates are always non-negative and finite.
+        #[test]
+        fn prop_rates_are_non_negative(
+            df_mev in -100.0_f64..100.0,
+            r_kohm in 26.0_f64..10_000.0,
+            t in 0.0_f64..300.0,
+        ) {
+            let df = df_mev * 1e-3 * E;
+            let rate = tunnel_rate(df, r_kohm * 1e3, t).unwrap();
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate.is_finite());
+        }
+
+        /// Detailed balance: Γ(ΔF)/Γ(−ΔF) = exp(−ΔF/kT) whenever both rates
+        /// are representable.
+        #[test]
+        fn prop_detailed_balance(
+            df_mev in 0.01_f64..5.0,
+            t in 0.5_f64..300.0,
+        ) {
+            let df = df_mev * 1e-3 * E;
+            let up = tunnel_rate(df, R, t).unwrap();
+            let down = tunnel_rate(-df, R, t).unwrap();
+            prop_assume!(up > 0.0 && down > 0.0);
+            let ratio = up / down;
+            let expected = (-df / (BOLTZMANN * t)).exp();
+            prop_assume!(expected > 1e-290);
+            prop_assert!((ratio - expected).abs() / expected < 1e-6);
+        }
+
+        /// The rate is monotonically non-increasing in ΔF (more uphill =
+        /// slower).
+        #[test]
+        fn prop_rate_monotone_in_delta_f(
+            df_mev in -10.0_f64..10.0,
+            t in 0.1_f64..300.0,
+        ) {
+            let df = df_mev * 1e-3 * E;
+            let rate = tunnel_rate(df, R, t).unwrap();
+            let rate_higher = tunnel_rate(df + 1e-3 * E, R, t).unwrap();
+            prop_assert!(rate_higher <= rate * (1.0 + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,962 @@
+//! The tunnel-system electrostatics: islands, external electrodes,
+//! capacitors, tunnel junctions, and the free-energy change of tunnel events.
+//!
+//! # Physics
+//!
+//! Let the circuit consist of *islands* (metallic nodes whose charge is an
+//! integer number of electrons plus a background offset) and *external*
+//! nodes whose potentials are fixed by voltage sources. With the Maxwell
+//! capacitance matrix partitioned into island–island (`C_II`) and
+//! island–external (`C_IE`) blocks, the island potentials for island charge
+//! vector `q` are
+//!
+//! ```text
+//! φ_I = C_II⁻¹ · (q + s),     s_i = Σ_k C(i,k) · V_k
+//! ```
+//!
+//! where `C(i,k)` is the coupling capacitance between island `i` and
+//! external node `k`. The free energy (the thermodynamic potential
+//! appropriate for fixed source voltages) is `F = ½ (q+s)ᵀ C_II⁻¹ (q+s)`
+//! up to state-independent terms, and the change caused by one electron
+//! tunnelling from endpoint `a` to endpoint `b` is
+//!
+//! ```text
+//! ΔF = e·(φ_a − φ_b) + (e²/2)·(K_aa + K_bb − 2·K_ab)
+//! ```
+//!
+//! with `K = C_II⁻¹` and `K` entries taken as zero for external endpoints
+//! (their potential is pinned). The first term contains the work done by
+//! the sources when the tunnelling electron enters or leaves an electrode;
+//! the second is the self-charging cost. This is the standard orthodox
+//! result used by Monte-Carlo simulators of the SIMON family.
+
+use crate::error::OrthodoxError;
+use se_numeric::{LuDecomposition, Matrix};
+use se_units::constants::E;
+
+/// One end of a capacitive branch: either a charge-quantised island or an
+/// external, voltage-driven electrode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Island by index.
+    Island(usize),
+    /// External electrode by index.
+    External(usize),
+}
+
+/// A tunnel junction between two endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Junction {
+    /// Human-readable name (netlist element name).
+    pub name: String,
+    /// First endpoint (the "a" side).
+    pub a: Endpoint,
+    /// Second endpoint (the "b" side).
+    pub b: Endpoint,
+    /// Junction capacitance in farad.
+    pub capacitance: f64,
+    /// Tunnel resistance in ohm.
+    pub resistance: f64,
+}
+
+/// A purely capacitive branch (gate or coupling capacitor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    /// Human-readable name (netlist element name).
+    pub name: String,
+    /// First endpoint.
+    pub a: Endpoint,
+    /// Second endpoint.
+    pub b: Endpoint,
+    /// Capacitance in farad.
+    pub capacitance: f64,
+}
+
+/// The charge state of a tunnel system: the number of *extra electrons* on
+/// each island.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChargeState(pub Vec<i64>);
+
+impl ChargeState {
+    /// The state with zero extra electrons on every island.
+    #[must_use]
+    pub fn neutral(islands: usize) -> Self {
+        ChargeState(vec![0; islands])
+    }
+
+    /// Number of extra electrons on island `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn electrons(&self, i: usize) -> i64 {
+        self.0[i]
+    }
+
+    /// Total number of extra electrons across all islands.
+    #[must_use]
+    pub fn total_electrons(&self) -> i64 {
+        self.0.iter().sum()
+    }
+}
+
+/// Direction of a tunnel event across a junction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// An electron tunnels from endpoint `a` to endpoint `b`.
+    AToB,
+    /// An electron tunnels from endpoint `b` to endpoint `a`.
+    BToA,
+}
+
+/// A candidate tunnel event: a junction and a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TunnelEvent {
+    /// Index of the junction in [`TunnelSystem::junctions`].
+    pub junction: usize,
+    /// Tunnelling direction.
+    pub direction: Direction,
+}
+
+impl TunnelEvent {
+    /// Returns the event in the opposite direction across the same junction.
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        TunnelEvent {
+            junction: self.junction,
+            direction: match self.direction {
+                Direction::AToB => Direction::BToA,
+                Direction::BToA => Direction::AToB,
+            },
+        }
+    }
+}
+
+/// Builder for a [`TunnelSystem`].
+#[derive(Debug, Clone, Default)]
+pub struct TunnelSystemBuilder {
+    island_names: Vec<String>,
+    background_charges: Vec<f64>,
+    external_names: Vec<String>,
+    external_voltages: Vec<f64>,
+    junctions: Vec<Junction>,
+    capacitors: Vec<Capacitor>,
+}
+
+impl TunnelSystemBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an island and returns its endpoint handle.
+    ///
+    /// `background_charge` is the static offset charge in units of the
+    /// elementary charge `e` (the `q0` of the paper's random-background-
+    /// charge discussion).
+    pub fn island(&mut self, name: impl Into<String>, background_charge: f64) -> Endpoint {
+        self.island_names.push(name.into());
+        self.background_charges.push(background_charge);
+        Endpoint::Island(self.island_names.len() - 1)
+    }
+
+    /// Adds an external electrode at the given voltage and returns its
+    /// endpoint handle.
+    pub fn external(&mut self, name: impl Into<String>, voltage: f64) -> Endpoint {
+        self.external_names.push(name.into());
+        self.external_voltages.push(voltage);
+        Endpoint::External(self.external_names.len() - 1)
+    }
+
+    /// Adds a tunnel junction between two endpoints.
+    pub fn junction(
+        &mut self,
+        name: impl Into<String>,
+        a: Endpoint,
+        b: Endpoint,
+        capacitance: f64,
+        resistance: f64,
+    ) -> &mut Self {
+        self.junctions.push(Junction {
+            name: name.into(),
+            a,
+            b,
+            capacitance,
+            resistance,
+        });
+        self
+    }
+
+    /// Adds a capacitor between two endpoints.
+    pub fn capacitor(
+        &mut self,
+        name: impl Into<String>,
+        a: Endpoint,
+        b: Endpoint,
+        capacitance: f64,
+    ) -> &mut Self {
+        self.capacitors.push(Capacitor {
+            name: name.into(),
+            a,
+            b,
+            capacitance,
+        });
+        self
+    }
+
+    /// Validates the description and builds the [`TunnelSystem`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::InvalidParameter`] for non-positive
+    /// capacitances/resistances, missing junctions or out-of-range endpoint
+    /// indices, and [`OrthodoxError::SingularCapacitanceMatrix`] if an island
+    /// has no capacitive connection (its potential would be undefined).
+    pub fn build(&self) -> Result<TunnelSystem, OrthodoxError> {
+        if self.island_names.is_empty() {
+            return Err(OrthodoxError::InvalidParameter(
+                "a tunnel system needs at least one island".into(),
+            ));
+        }
+        if self.junctions.is_empty() {
+            return Err(OrthodoxError::InvalidParameter(
+                "a tunnel system needs at least one tunnel junction".into(),
+            ));
+        }
+        let n_islands = self.island_names.len();
+        let n_externals = self.external_names.len();
+        let check_endpoint = |e: Endpoint, context: &str| -> Result<(), OrthodoxError> {
+            match e {
+                Endpoint::Island(i) if i >= n_islands => Err(OrthodoxError::UnknownNode(format!(
+                    "{context} references island {i}, but only {n_islands} islands exist"
+                ))),
+                Endpoint::External(k) if k >= n_externals => {
+                    Err(OrthodoxError::UnknownNode(format!(
+                        "{context} references external node {k}, but only {n_externals} exist"
+                    )))
+                }
+                _ => Ok(()),
+            }
+        };
+
+        for j in &self.junctions {
+            check_endpoint(j.a, &j.name)?;
+            check_endpoint(j.b, &j.name)?;
+            if j.capacitance <= 0.0 || !j.capacitance.is_finite() {
+                return Err(OrthodoxError::InvalidParameter(format!(
+                    "junction `{}` capacitance must be positive, got {}",
+                    j.name, j.capacitance
+                )));
+            }
+            if j.resistance <= 0.0 || !j.resistance.is_finite() {
+                return Err(OrthodoxError::InvalidParameter(format!(
+                    "junction `{}` resistance must be positive, got {}",
+                    j.name, j.resistance
+                )));
+            }
+            if j.a == j.b {
+                return Err(OrthodoxError::InvalidParameter(format!(
+                    "junction `{}` connects an endpoint to itself",
+                    j.name
+                )));
+            }
+        }
+        for c in &self.capacitors {
+            check_endpoint(c.a, &c.name)?;
+            check_endpoint(c.b, &c.name)?;
+            if c.capacitance <= 0.0 || !c.capacitance.is_finite() {
+                return Err(OrthodoxError::InvalidParameter(format!(
+                    "capacitor `{}` capacitance must be positive, got {}",
+                    c.name, c.capacitance
+                )));
+            }
+            if c.a == c.b {
+                return Err(OrthodoxError::InvalidParameter(format!(
+                    "capacitor `{}` connects an endpoint to itself",
+                    c.name
+                )));
+            }
+        }
+
+        // Assemble the island-island Maxwell matrix and the island-external
+        // coupling list.
+        let mut c_ii = Matrix::zeros(n_islands, n_islands);
+        let mut coupling: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_islands];
+
+        let mut add_branch = |a: Endpoint, b: Endpoint, c: f64| match (a, b) {
+            (Endpoint::Island(i), Endpoint::Island(j)) => {
+                c_ii.add_at(i, i, c);
+                c_ii.add_at(j, j, c);
+                c_ii.add_at(i, j, -c);
+                c_ii.add_at(j, i, -c);
+            }
+            (Endpoint::Island(i), Endpoint::External(k))
+            | (Endpoint::External(k), Endpoint::Island(i)) => {
+                c_ii.add_at(i, i, c);
+                coupling[i].push((k, c));
+            }
+            (Endpoint::External(_), Endpoint::External(_)) => {
+                // Purely external branches do not influence island
+                // electrostatics; they matter only for source currents.
+            }
+        };
+        for j in &self.junctions {
+            add_branch(j.a, j.b, j.capacitance);
+        }
+        for c in &self.capacitors {
+            add_branch(c.a, c.b, c.capacitance);
+        }
+
+        for i in 0..n_islands {
+            if c_ii[(i, i)] <= 0.0 {
+                return Err(OrthodoxError::SingularCapacitanceMatrix(format!(
+                    "island `{}` has no capacitive connection",
+                    self.island_names[i]
+                )));
+            }
+        }
+
+        let lu = LuDecomposition::new(&c_ii).map_err(|_| {
+            OrthodoxError::SingularCapacitanceMatrix(
+                "island capacitance matrix could not be factorised".into(),
+            )
+        })?;
+        let inverse = lu.inverse()?;
+
+        Ok(TunnelSystem {
+            island_names: self.island_names.clone(),
+            background_charges: self.background_charges.clone(),
+            external_names: self.external_names.clone(),
+            external_voltages: self.external_voltages.clone(),
+            junctions: self.junctions.clone(),
+            capacitors: self.capacitors.clone(),
+            c_ii,
+            c_ii_inverse: inverse,
+            coupling,
+        })
+    }
+}
+
+/// A circuit of islands and external electrodes connected by tunnel
+/// junctions and capacitors, with precomputed electrostatics.
+#[derive(Debug, Clone)]
+pub struct TunnelSystem {
+    island_names: Vec<String>,
+    background_charges: Vec<f64>,
+    external_names: Vec<String>,
+    external_voltages: Vec<f64>,
+    junctions: Vec<Junction>,
+    capacitors: Vec<Capacitor>,
+    c_ii: Matrix,
+    c_ii_inverse: Matrix,
+    /// For each island, the list of (external index, coupling capacitance).
+    coupling: Vec<Vec<(usize, f64)>>,
+}
+
+impl TunnelSystem {
+    /// Starts building a new tunnel system.
+    #[must_use]
+    pub fn builder() -> TunnelSystemBuilder {
+        TunnelSystemBuilder::new()
+    }
+
+    /// Number of islands.
+    #[must_use]
+    pub fn island_count(&self) -> usize {
+        self.island_names.len()
+    }
+
+    /// Number of external electrodes.
+    #[must_use]
+    pub fn external_count(&self) -> usize {
+        self.external_names.len()
+    }
+
+    /// The junctions of the system, in insertion order.
+    #[must_use]
+    pub fn junctions(&self) -> &[Junction] {
+        &self.junctions
+    }
+
+    /// The capacitors of the system, in insertion order.
+    #[must_use]
+    pub fn capacitors(&self) -> &[Capacitor] {
+        &self.capacitors
+    }
+
+    /// Name of island `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn island_name(&self, i: usize) -> &str {
+        &self.island_names[i]
+    }
+
+    /// Name of external electrode `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn external_name(&self, k: usize) -> &str {
+        &self.external_names[k]
+    }
+
+    /// Finds an external electrode index by name.
+    #[must_use]
+    pub fn external_index(&self, name: &str) -> Option<usize> {
+        self.external_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+    }
+
+    /// Current voltage of external electrode `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn external_voltage(&self, k: usize) -> f64 {
+        self.external_voltages[k]
+    }
+
+    /// Sets the voltage of external electrode `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::UnknownNode`] if `k` is out of range and
+    /// [`OrthodoxError::InvalidParameter`] if the voltage is not finite.
+    pub fn set_external_voltage(&mut self, k: usize, voltage: f64) -> Result<(), OrthodoxError> {
+        if k >= self.external_voltages.len() {
+            return Err(OrthodoxError::UnknownNode(format!(
+                "external node {k} does not exist"
+            )));
+        }
+        if !voltage.is_finite() {
+            return Err(OrthodoxError::InvalidParameter(format!(
+                "external voltage must be finite, got {voltage}"
+            )));
+        }
+        self.external_voltages[k] = voltage;
+        Ok(())
+    }
+
+    /// Background (offset) charge of island `i` in units of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn background_charge(&self, i: usize) -> f64 {
+        self.background_charges[i]
+    }
+
+    /// Sets the background charge of island `i` (in units of `e`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::UnknownNode`] if `i` is out of range.
+    pub fn set_background_charge(&mut self, i: usize, q0: f64) -> Result<(), OrthodoxError> {
+        if i >= self.background_charges.len() {
+            return Err(OrthodoxError::UnknownNode(format!(
+                "island {i} does not exist"
+            )));
+        }
+        self.background_charges[i] = q0;
+        Ok(())
+    }
+
+    /// Total capacitance attached to island `i` (the `CΣ` of the charging
+    /// energy `e²/2CΣ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn total_island_capacitance(&self, i: usize) -> f64 {
+        self.c_ii[(i, i)]
+    }
+
+    /// Charging energy `e²/(2·CΣ)` of island `i` in joule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn charging_energy(&self, i: usize) -> f64 {
+        E * E / (2.0 * self.total_island_capacitance(i))
+    }
+
+    /// Island charge vector in coulomb for a given charge state:
+    /// `q_i = −e·n_i + e·q0_i`.
+    #[must_use]
+    pub fn island_charges(&self, state: &ChargeState) -> Vec<f64> {
+        state
+            .0
+            .iter()
+            .zip(&self.background_charges)
+            .map(|(&n, &q0)| -E * n as f64 + E * q0)
+            .collect()
+    }
+
+    /// Island potentials for a given charge state, in volt.
+    #[must_use]
+    pub fn island_potentials(&self, state: &ChargeState) -> Vec<f64> {
+        let q = self.island_charges(state);
+        let rhs: Vec<f64> = (0..self.island_count())
+            .map(|i| {
+                let s: f64 = self.coupling[i]
+                    .iter()
+                    .map(|&(k, c)| c * self.external_voltages[k])
+                    .sum();
+                q[i] + s
+            })
+            .collect();
+        self.c_ii_inverse.mul_vec(&rhs)
+    }
+
+    /// Potential of an endpoint given precomputed island potentials.
+    #[must_use]
+    pub fn endpoint_potential(&self, endpoint: Endpoint, island_potentials: &[f64]) -> f64 {
+        match endpoint {
+            Endpoint::Island(i) => island_potentials[i],
+            Endpoint::External(k) => self.external_voltages[k],
+        }
+    }
+
+    /// Work done by the voltage sources when the tunnelling electron of
+    /// `event` enters or leaves an external electrode, in joule.
+    ///
+    /// The invariant connecting the three energy methods is
+    /// `delta_free_energy(state, event) == electrostatic_energy(after) −
+    /// electrostatic_energy(before) − event_source_work(event)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's junction index is out of range.
+    #[must_use]
+    pub fn event_source_work(&self, event: TunnelEvent) -> f64 {
+        let (from, to) = self.event_endpoints(event);
+        let v = |e: Endpoint| match e {
+            Endpoint::External(k) => self.external_voltages[k],
+            Endpoint::Island(_) => 0.0,
+        };
+        let is_external = |e: Endpoint| matches!(e, Endpoint::External(_));
+        let mut work = 0.0;
+        if is_external(to) {
+            work += E * v(to);
+        }
+        if is_external(from) {
+            work -= E * v(from);
+        }
+        work
+    }
+
+    /// Electrostatic energy of a charge state (up to a state-independent
+    /// constant), in joule.
+    ///
+    /// This is the capacitive part only; the work done by the voltage sources
+    /// on tunnelling electrons is accounted for separately by
+    /// [`Self::event_source_work`]. See [`Self::delta_free_energy`] for the
+    /// quantity that decides whether an event is favourable.
+    #[must_use]
+    pub fn electrostatic_energy(&self, state: &ChargeState) -> f64 {
+        let q = self.island_charges(state);
+        let rhs: Vec<f64> = (0..self.island_count())
+            .map(|i| {
+                let s: f64 = self.coupling[i]
+                    .iter()
+                    .map(|&(k, c)| c * self.external_voltages[k])
+                    .sum();
+                q[i] + s
+            })
+            .collect();
+        let phi = self.c_ii_inverse.mul_vec(&rhs);
+        0.5 * rhs.iter().zip(&phi).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    /// All candidate tunnel events (two per junction).
+    #[must_use]
+    pub fn events(&self) -> Vec<TunnelEvent> {
+        let mut events = Vec::with_capacity(2 * self.junctions.len());
+        for j in 0..self.junctions.len() {
+            events.push(TunnelEvent {
+                junction: j,
+                direction: Direction::AToB,
+            });
+            events.push(TunnelEvent {
+                junction: j,
+                direction: Direction::BToA,
+            });
+        }
+        events
+    }
+
+    /// The `(from, to)` endpoints of an event (the electron moves from
+    /// `from` to `to`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's junction index is out of range.
+    #[must_use]
+    pub fn event_endpoints(&self, event: TunnelEvent) -> (Endpoint, Endpoint) {
+        let j = &self.junctions[event.junction];
+        match event.direction {
+            Direction::AToB => (j.a, j.b),
+            Direction::BToA => (j.b, j.a),
+        }
+    }
+
+    /// Free-energy change `ΔF` (joule) caused by the tunnel event in the
+    /// given charge state. Negative `ΔF` means the event is energetically
+    /// favourable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's junction index is out of range.
+    #[must_use]
+    pub fn delta_free_energy(&self, state: &ChargeState, event: TunnelEvent) -> f64 {
+        let potentials = self.island_potentials(state);
+        self.delta_free_energy_with_potentials(&potentials, event)
+    }
+
+    /// Same as [`Self::delta_free_energy`] but re-using island potentials
+    /// computed once for the current state — the hot path of the Monte-Carlo
+    /// loop, which evaluates every candidate event in the same state.
+    #[must_use]
+    pub fn delta_free_energy_with_potentials(
+        &self,
+        island_potentials: &[f64],
+        event: TunnelEvent,
+    ) -> f64 {
+        let (from, to) = self.event_endpoints(event);
+        let phi_from = self.endpoint_potential(from, island_potentials);
+        let phi_to = self.endpoint_potential(to, island_potentials);
+        let k = |a: Endpoint, b: Endpoint| -> f64 {
+            match (a, b) {
+                (Endpoint::Island(i), Endpoint::Island(j)) => self.c_ii_inverse[(i, j)],
+                _ => 0.0,
+            }
+        };
+        E * (phi_from - phi_to)
+            + 0.5 * E * E * (k(from, from) + k(to, to) - 2.0 * k(from, to))
+    }
+
+    /// Tunnel resistance of the junction involved in `event`, in ohm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's junction index is out of range.
+    #[must_use]
+    pub fn event_resistance(&self, event: TunnelEvent) -> f64 {
+        self.junctions[event.junction].resistance
+    }
+
+    /// Applies the event to a charge state, moving one electron between the
+    /// island endpoints involved (external endpoints are charge reservoirs
+    /// and are not tracked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's junction index is out of range.
+    pub fn apply_event(&self, state: &mut ChargeState, event: TunnelEvent) {
+        let (from, to) = self.event_endpoints(event);
+        if let Endpoint::Island(i) = from {
+            state.0[i] -= 1;
+        }
+        if let Endpoint::Island(i) = to {
+            state.0[i] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Canonical symmetric SET: drain (external), source (external, grounded),
+    /// gate (external) coupled to a single island through Cg.
+    fn symmetric_set(vd: f64, vg: f64, q0: f64) -> (TunnelSystem, TunnelEvent, TunnelEvent) {
+        let mut b = TunnelSystem::builder();
+        let island = b.island("island", q0);
+        let drain = b.external("drain", vd);
+        let source = b.external("source", 0.0);
+        let gate = b.external("gate", vg);
+        b.junction("J_d", drain, island, 1e-18, 100e3);
+        b.junction("J_s", island, source, 1e-18, 100e3);
+        b.capacitor("C_g", gate, island, 0.5e-18);
+        let system = b.build().unwrap();
+        // Event 0/1 belong to J_d, event 2/3 to J_s.
+        let onto_island = TunnelEvent {
+            junction: 0,
+            direction: Direction::AToB,
+        };
+        let off_island = TunnelEvent {
+            junction: 1,
+            direction: Direction::AToB,
+        };
+        (system, onto_island, off_island)
+    }
+
+    #[test]
+    fn builder_rejects_invalid_systems() {
+        // No islands.
+        let mut b = TunnelSystemBuilder::new();
+        let a = b.external("a", 0.0);
+        let c = b.external("c", 1.0);
+        b.junction("J", a, c, 1e-18, 1e5);
+        assert!(b.build().is_err());
+
+        // No junction.
+        let mut b = TunnelSystemBuilder::new();
+        let i = b.island("i", 0.0);
+        let g = b.external("g", 0.0);
+        b.capacitor("C", g, i, 1e-18);
+        assert!(b.build().is_err());
+
+        // Bad capacitance.
+        let mut b = TunnelSystemBuilder::new();
+        let i = b.island("i", 0.0);
+        let g = b.external("g", 0.0);
+        b.junction("J", g, i, -1e-18, 1e5);
+        assert!(b.build().is_err());
+
+        // Island without any connection.
+        let mut b = TunnelSystemBuilder::new();
+        let _lonely = b.island("lonely", 0.0);
+        let i = b.island("i", 0.0);
+        let g = b.external("g", 0.0);
+        b.junction("J", g, i, 1e-18, 1e5);
+        assert!(matches!(
+            b.build(),
+            Err(OrthodoxError::SingularCapacitanceMatrix(_))
+        ));
+
+        // Endpoint out of range.
+        let mut b = TunnelSystemBuilder::new();
+        let i = b.island("i", 0.0);
+        b.junction("J", i, Endpoint::External(7), 1e-18, 1e5);
+        assert!(matches!(b.build(), Err(OrthodoxError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn total_capacitance_and_charging_energy() {
+        let (system, _, _) = symmetric_set(0.0, 0.0, 0.0);
+        let c_total = system.total_island_capacitance(0);
+        assert!((c_total - 2.5e-18).abs() < 1e-30);
+        let ec = system.charging_energy(0);
+        assert!((ec - E * E / (2.0 * 2.5e-18)).abs() < 1e-25);
+    }
+
+    #[test]
+    fn island_potential_matches_hand_formula() {
+        let vd = 0.01;
+        let vg = 0.05;
+        let (system, _, _) = symmetric_set(vd, vg, 0.0);
+        let state = ChargeState(vec![2]);
+        let phi = system.island_potentials(&state)[0];
+        // phi = (q + C_d*V_d + C_g*V_g) / C_sigma with q = -2e.
+        let expected = (-2.0 * E + 1e-18 * vd + 0.5e-18 * vg) / 2.5e-18;
+        assert!((phi - expected).abs() < 1e-9 * expected.abs().max(1e-6));
+    }
+
+    #[test]
+    fn blockade_at_zero_gate_charge() {
+        // With q0 = 0, Vg = 0 and a tiny bias, both "electron onto island"
+        // events must cost energy (Coulomb blockade).
+        let (system, onto, _) = symmetric_set(1e-4, 0.0, 0.0);
+        let state = ChargeState::neutral(1);
+        let df_onto = system.delta_free_energy(&state, onto);
+        assert!(df_onto > 0.0, "ΔF = {df_onto} should be positive in blockade");
+        // The charging energy scale is e²/2CΣ ≈ 32 meV here.
+        let ec = system.charging_energy(0);
+        assert!(df_onto > 0.5 * ec);
+    }
+
+    #[test]
+    fn degeneracy_point_lifts_blockade() {
+        // At gate charge CgVg = e/2 the n=0 and n=1 states are degenerate,
+        // so the cost of adding an electron vanishes (up to the small bias).
+        let cg = 0.5e-18;
+        let vg = E / (2.0 * cg);
+        let (system, onto, _) = symmetric_set(0.0, vg, 0.0);
+        let state = ChargeState::neutral(1);
+        let df = system.delta_free_energy(&state, onto);
+        let ec = system.charging_energy(0);
+        assert!(
+            df.abs() < 1e-3 * ec,
+            "ΔF at the degeneracy point should be ≈ 0, got {df} (Ec = {ec})"
+        );
+    }
+
+    #[test]
+    fn background_charge_shifts_degeneracy_point() {
+        // A background charge of +0.5 e moves the degeneracy to Vg = 0.
+        let (system, onto, _) = symmetric_set(0.0, 0.0, 0.5);
+        let state = ChargeState::neutral(1);
+        let df = system.delta_free_energy(&state, onto);
+        let ec = system.charging_energy(0);
+        assert!(df.abs() < 1e-3 * ec);
+    }
+
+    #[test]
+    fn delta_free_energy_matches_textbook_double_junction() {
+        // Pure double junction (no gate): ΔF for tunnelling onto the island
+        // through the drain junction is (e/CΣ)(e/2 − q_I + C_s·V_d).
+        let vd = 0.002;
+        let mut b = TunnelSystem::builder();
+        let island = b.island("island", 0.0);
+        let drain = b.external("drain", vd);
+        let source = b.external("source", 0.0);
+        b.junction("J_d", drain, island, 1.5e-18, 50e3);
+        b.junction("J_s", island, source, 0.5e-18, 50e3);
+        let system = b.build().unwrap();
+        let state = ChargeState(vec![-1]); // one electron removed: q_I = +e
+        let event = TunnelEvent {
+            junction: 0,
+            direction: Direction::AToB,
+        };
+        let df = system.delta_free_energy(&state, event);
+        let c_sigma = 2e-18;
+        let q_i = E; // n = -1 means q = +e
+        let expected = (E / c_sigma) * (E / 2.0 - q_i + 0.5e-18 * vd);
+        assert!(
+            (df - expected).abs() < 1e-6 * expected.abs().max(1e-25),
+            "ΔF = {df}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_events_are_consistent() {
+        // ΔF(forward, state) == −ΔF(backward, state after forward).
+        let (system, onto, _) = symmetric_set(5e-3, 0.02, 0.1);
+        let mut state = ChargeState::neutral(1);
+        let df_forward = system.delta_free_energy(&state, onto);
+        system.apply_event(&mut state, onto);
+        let df_backward = system.delta_free_energy(&state, onto.reversed());
+        assert!(
+            (df_forward + df_backward).abs() < 1e-9 * df_forward.abs().max(1e-25),
+            "forward {df_forward} vs backward {df_backward}"
+        );
+    }
+
+    #[test]
+    fn delta_free_energy_equals_energy_difference_minus_source_work() {
+        let (system, onto, off) = symmetric_set(3e-3, 0.04, 0.2);
+        for event in [onto, off, onto.reversed(), off.reversed()] {
+            let state = ChargeState(vec![1]);
+            let mut after = state.clone();
+            system.apply_event(&mut after, event);
+            let df_direct = system.delta_free_energy(&state, event);
+            let df_from_f = system.electrostatic_energy(&after)
+                - system.electrostatic_energy(&state)
+                - system.event_source_work(event);
+            assert!(
+                (df_direct - df_from_f).abs() < 1e-9 * df_direct.abs().max(1e-25),
+                "event {event:?}: direct {df_direct} vs difference {df_from_f}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_event_moves_electrons_between_islands() {
+        let mut b = TunnelSystem::builder();
+        let i1 = b.island("i1", 0.0);
+        let i2 = b.island("i2", 0.0);
+        let lead = b.external("lead", 0.0);
+        b.junction("J1", lead, i1, 1e-18, 1e5);
+        b.junction("J12", i1, i2, 1e-18, 1e5);
+        let gate = b.external("g", 0.0);
+        b.capacitor("Cg1", gate, i1, 0.5e-18);
+        b.capacitor("Cg2", gate, i2, 0.5e-18);
+        let system = b.build().unwrap();
+
+        let mut state = ChargeState::neutral(2);
+        // Electron from lead onto island 1.
+        system.apply_event(
+            &mut state,
+            TunnelEvent {
+                junction: 0,
+                direction: Direction::AToB,
+            },
+        );
+        assert_eq!(state.0, vec![1, 0]);
+        // Electron from island 1 to island 2.
+        system.apply_event(
+            &mut state,
+            TunnelEvent {
+                junction: 1,
+                direction: Direction::AToB,
+            },
+        );
+        assert_eq!(state.0, vec![0, 1]);
+        assert_eq!(state.total_electrons(), 1);
+    }
+
+    #[test]
+    fn external_voltage_and_background_charge_setters() {
+        let (mut system, _, _) = symmetric_set(0.0, 0.0, 0.0);
+        system.set_external_voltage(0, 0.01).unwrap();
+        assert_eq!(system.external_voltage(0), 0.01);
+        assert!(system.set_external_voltage(9, 0.0).is_err());
+        assert!(system.set_external_voltage(0, f64::NAN).is_err());
+        system.set_background_charge(0, 0.25).unwrap();
+        assert_eq!(system.background_charge(0), 0.25);
+        assert!(system.set_background_charge(5, 0.1).is_err());
+        assert_eq!(system.external_index("gate"), Some(2));
+        assert_eq!(system.external_index("nope"), None);
+    }
+
+    #[test]
+    fn events_enumerates_two_per_junction() {
+        let (system, _, _) = symmetric_set(0.0, 0.0, 0.0);
+        assert_eq!(system.events().len(), 4);
+    }
+
+    proptest! {
+        /// The free-energy change of any event equals the electrostatic
+        /// energy difference minus the source work, for arbitrary biases,
+        /// background charges and starting states.
+        #[test]
+        fn prop_delta_f_is_a_difference(
+            vd in -0.05_f64..0.05,
+            vg in -0.2_f64..0.2,
+            q0 in -1.0_f64..1.0,
+            n in -3_i64..=3,
+            event_idx in 0_usize..4,
+        ) {
+            let (system, _, _) = symmetric_set(vd, vg, q0);
+            let events = system.events();
+            let event = events[event_idx];
+            let state = ChargeState(vec![n]);
+            let mut after = state.clone();
+            system.apply_event(&mut after, event);
+            let direct = system.delta_free_energy(&state, event);
+            let diff = system.electrostatic_energy(&after)
+                - system.electrostatic_energy(&state)
+                - system.event_source_work(event);
+            prop_assert!((direct - diff).abs() < 1e-9 * direct.abs().max(1e-24));
+        }
+
+        /// Energy is conserved around a cycle: tunnelling an electron onto
+        /// the island and immediately back must cost exactly zero in total.
+        #[test]
+        fn prop_cycle_energy_is_zero(
+            vd in -0.05_f64..0.05,
+            vg in -0.2_f64..0.2,
+            q0 in -1.0_f64..1.0,
+        ) {
+            let (system, onto, _) = symmetric_set(vd, vg, q0);
+            let mut state = ChargeState::neutral(1);
+            let df1 = system.delta_free_energy(&state, onto);
+            system.apply_event(&mut state, onto);
+            let df2 = system.delta_free_energy(&state, onto.reversed());
+            prop_assert!((df1 + df2).abs() < 1e-9 * df1.abs().max(1e-24));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Analysis-ready circuit representation and the operating-point result
+//! type.
+
+use crate::dc::{self, NewtonOptions};
+use crate::error::SpiceError;
+use se_netlist::{Netlist, Node};
+use std::collections::HashMap;
+
+/// A netlist prepared for MNA-based analysis: non-ground nodes and voltage
+/// sources are assigned rows of the MNA system.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    netlist: Netlist,
+    /// Non-ground node → unknown index (0-based).
+    node_rows: HashMap<Node, usize>,
+    /// Voltage-source name (lower case) → branch unknown index (0-based,
+    /// offset by the node count when used in the MNA system).
+    source_rows: HashMap<String, usize>,
+    /// Simulation temperature for the SET compact models, kelvin.
+    temperature: f64,
+}
+
+impl Circuit {
+    /// Prepares a netlist for analysis at the default temperature of 4.2 K
+    /// (the liquid-helium operating point typical of the cited hybrid
+    /// SET/CMOS experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Netlist`] if the netlist fails validation.
+    pub fn new(netlist: &Netlist) -> Result<Self, SpiceError> {
+        Circuit::with_temperature(netlist, 4.2)
+    }
+
+    /// Prepares a netlist for analysis at the given temperature (used by the
+    /// analytic SET compact model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Netlist`] for an invalid netlist and
+    /// [`SpiceError::InvalidArgument`] for a negative or non-finite
+    /// temperature.
+    pub fn with_temperature(netlist: &Netlist, temperature: f64) -> Result<Self, SpiceError> {
+        if temperature < 0.0 || !temperature.is_finite() {
+            return Err(SpiceError::InvalidArgument(format!(
+                "temperature must be non-negative and finite, got {temperature}"
+            )));
+        }
+        netlist.validate()?;
+        let mut node_rows = HashMap::new();
+        for node in netlist.nodes().iter() {
+            let next = node_rows.len();
+            node_rows.insert(node, next);
+        }
+        let mut source_rows = HashMap::new();
+        for element in netlist.voltage_sources() {
+            let next = source_rows.len();
+            source_rows.insert(element.name().to_ascii_lowercase(), next);
+        }
+        Ok(Circuit {
+            netlist: netlist.clone(),
+            node_rows,
+            source_rows,
+            temperature,
+        })
+    }
+
+    /// The underlying netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Simulation temperature in kelvin.
+    #[must_use]
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Number of non-ground nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_rows.len()
+    }
+
+    /// Number of voltage sources (extra MNA unknowns).
+    #[must_use]
+    pub fn source_count(&self) -> usize {
+        self.source_rows.len()
+    }
+
+    /// Total size of the MNA system.
+    #[must_use]
+    pub fn system_size(&self) -> usize {
+        self.node_count() + self.source_count()
+    }
+
+    /// Unknown index of a node (`None` for ground).
+    #[must_use]
+    pub fn node_row(&self, node: Node) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            self.node_rows.get(&node).copied()
+        }
+    }
+
+    /// MNA row of a voltage source's branch current.
+    #[must_use]
+    pub fn source_row(&self, name: &str) -> Option<usize> {
+        self.source_rows
+            .get(&name.to_ascii_lowercase())
+            .map(|&idx| self.node_count() + idx)
+    }
+
+    /// Computes the DC operating point with default Newton options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoConvergence`] if the Newton iteration fails
+    /// even with `gmin` stepping, or [`SpiceError::SingularSystem`] for a
+    /// structurally singular circuit.
+    pub fn dc_operating_point(&self) -> Result<OperatingPoint, SpiceError> {
+        dc::solve_dc(self, &NewtonOptions::default())
+    }
+
+    /// Computes the DC operating point with explicit Newton options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::dc_operating_point`].
+    pub fn dc_operating_point_with(
+        &self,
+        options: &NewtonOptions,
+    ) -> Result<OperatingPoint, SpiceError> {
+        dc::solve_dc(self, options)
+    }
+
+    /// Builds an operating point from a raw solution vector.
+    #[must_use]
+    pub(crate) fn operating_point_from_solution(&self, solution: Vec<f64>) -> OperatingPoint {
+        let mut node_voltages = HashMap::new();
+        for (node, &row) in &self.node_rows {
+            if let Some(name) = self.netlist.node_name(*node) {
+                node_voltages.insert(name.to_string(), solution[row]);
+            }
+        }
+        let mut source_currents = HashMap::new();
+        for (name, &idx) in &self.source_rows {
+            source_currents.insert(name.clone(), solution[self.node_count() + idx]);
+        }
+        OperatingPoint {
+            solution,
+            node_voltages,
+            source_currents,
+        }
+    }
+}
+
+/// The solved DC (or per-time-step) state of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    solution: Vec<f64>,
+    node_voltages: HashMap<String, f64>,
+    source_currents: HashMap<String, f64>,
+}
+
+impl OperatingPoint {
+    /// Voltage of the named node (volt); ground is always 0.
+    #[must_use]
+    pub fn voltage(&self, node: &str) -> Option<f64> {
+        if node == "0" || node.eq_ignore_ascii_case("gnd") {
+            return Some(0.0);
+        }
+        // Node names are stored with their original spelling; fall back to a
+        // case-insensitive scan.
+        self.node_voltages.get(node).copied().or_else(|| {
+            self.node_voltages
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(node))
+                .map(|(_, &v)| v)
+        })
+    }
+
+    /// Current through the named voltage source (ampere), flowing from its
+    /// positive terminal through the source to its negative terminal.
+    #[must_use]
+    pub fn source_current(&self, source: &str) -> Option<f64> {
+        self.source_currents
+            .get(&source.to_ascii_lowercase())
+            .copied()
+    }
+
+    /// The raw MNA solution vector (node voltages then branch currents).
+    #[must_use]
+    pub fn solution(&self) -> &[f64] {
+        &self.solution
+    }
+
+    /// Iterates over `(node name, voltage)` pairs.
+    pub fn voltages(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.node_voltages.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_netlist::parse_deck;
+
+    #[test]
+    fn rows_are_assigned_to_all_nodes_and_sources() {
+        let netlist =
+            parse_deck("divider\nV1 in 0 1.0\nR1 in out 1k\nR2 out 0 1k\n").unwrap();
+        let circuit = Circuit::new(&netlist).unwrap();
+        assert_eq!(circuit.node_count(), 2);
+        assert_eq!(circuit.source_count(), 1);
+        assert_eq!(circuit.system_size(), 3);
+        let in_node = netlist.find_node("in").unwrap();
+        assert!(circuit.node_row(in_node).is_some());
+        assert_eq!(circuit.node_row(Node::GROUND), None);
+        assert!(circuit.source_row("V1").is_some());
+        assert!(circuit.source_row("v1").is_some());
+        assert!(circuit.source_row("nope").is_none());
+    }
+
+    #[test]
+    fn invalid_netlist_is_rejected() {
+        let netlist = parse_deck("dangling\nV1 a 0 1\nR1 a b 1k\n").unwrap();
+        assert!(Circuit::new(&netlist).is_err());
+    }
+
+    #[test]
+    fn invalid_temperature_is_rejected() {
+        let netlist = parse_deck("ok\nV1 a 0 1\nR1 a 0 1k\n").unwrap();
+        assert!(Circuit::with_temperature(&netlist, -1.0).is_err());
+        assert!(Circuit::with_temperature(&netlist, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn operating_point_lookup_is_case_insensitive() {
+        let netlist = parse_deck("divider\nV1 In 0 2.0\nR1 In Out 1k\nR2 Out 0 3k\n").unwrap();
+        let circuit = Circuit::new(&netlist).unwrap();
+        let op = circuit.dc_operating_point().unwrap();
+        assert!((op.voltage("out").unwrap() - 1.5).abs() < 1e-6);
+        assert!((op.voltage("OUT").unwrap() - 1.5).abs() < 1e-6);
+        assert_eq!(op.voltage("0"), Some(0.0));
+        assert_eq!(op.voltage("does-not-exist"), None);
+        assert_eq!(op.voltages().count(), 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! MNA assembly and Newton–Raphson DC solution.
+
+use crate::circuit::{Circuit, OperatingPoint};
+use crate::devices::{
+    capacitor, diode::DiodeModel, mosfet::MosfetModel, resistor,
+    set_analytic::SetAnalyticModel, sources, Stamps,
+};
+use crate::error::SpiceError;
+use se_netlist::ElementKind;
+use se_numeric::{LuDecomposition, Matrix};
+use std::collections::HashMap;
+
+/// Options controlling the Newton–Raphson iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum number of Newton iterations per solve.
+    pub max_iterations: usize,
+    /// Absolute voltage convergence tolerance in volt.
+    pub abs_tolerance: f64,
+    /// Relative voltage convergence tolerance.
+    pub rel_tolerance: f64,
+    /// Minimum conductance added from every node to ground (SPICE `gmin`).
+    pub gmin: f64,
+    /// Maximum voltage change per node per Newton step (damping), in volt.
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 200,
+            abs_tolerance: 1e-9,
+            rel_tolerance: 1e-6,
+            gmin: 1e-12,
+            max_step: 0.5,
+        }
+    }
+}
+
+/// What the assembler is building: a DC system or one backward-Euler
+/// transient step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AnalysisMode<'a> {
+    /// DC: capacitors open.
+    Dc,
+    /// One transient step of length `dt` from `previous` (the full MNA
+    /// solution vector at the previous time point).
+    Transient {
+        /// Step size in seconds.
+        dt: f64,
+        /// Previous solution vector.
+        previous: &'a [f64],
+    },
+}
+
+/// Assembles the linearised MNA system around `solution`.
+///
+/// `source_overrides` maps voltage-source names (lower case) to values that
+/// replace their DC value — used by sweeps and time-dependent stimuli.
+pub(crate) fn assemble(
+    circuit: &Circuit,
+    solution: &[f64],
+    mode: AnalysisMode<'_>,
+    gmin: f64,
+    source_overrides: &HashMap<String, f64>,
+) -> (Matrix, Vec<f64>) {
+    let n = circuit.system_size();
+    let mut matrix = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let mut stamps = Stamps::new(&mut matrix, &mut rhs);
+
+    for element in circuit.netlist().elements() {
+        let nodes = element.nodes();
+        let row = |i: usize| circuit.node_row(nodes[i]);
+        match element.kind() {
+            ElementKind::Resistor { resistance } => {
+                resistor::stamp(&mut stamps, row(0), row(1), *resistance);
+            }
+            ElementKind::Capacitor { capacitance } => match mode {
+                AnalysisMode::Dc => {
+                    capacitor::stamp_dc(&mut stamps, row(0), row(1), *capacitance);
+                }
+                AnalysisMode::Transient { dt, previous } => {
+                    capacitor::stamp_transient(
+                        &mut stamps,
+                        row(0),
+                        row(1),
+                        *capacitance,
+                        dt,
+                        previous,
+                    );
+                }
+            },
+            ElementKind::TunnelJunction {
+                capacitance,
+                resistance,
+            } => {
+                // SPICE-level approximation: an ohmic tunnel resistance in
+                // parallel with the junction capacitance. This deliberately
+                // ignores Coulomb blockade — see the crate-level discussion.
+                resistor::stamp(&mut stamps, row(0), row(1), *resistance);
+                if let AnalysisMode::Transient { dt, previous } = mode {
+                    capacitor::stamp_transient(
+                        &mut stamps,
+                        row(0),
+                        row(1),
+                        *capacitance,
+                        dt,
+                        previous,
+                    );
+                }
+            }
+            ElementKind::VoltageSource { voltage } => {
+                let branch = circuit
+                    .source_row(element.name())
+                    .expect("every voltage source has a branch row");
+                let value = source_overrides
+                    .get(&element.name().to_ascii_lowercase())
+                    .copied()
+                    .unwrap_or(*voltage);
+                sources::stamp_voltage_source(&mut stamps, row(0), row(1), branch, value);
+            }
+            ElementKind::CurrentSource { current } => {
+                sources::stamp_current_source(&mut stamps, row(0), row(1), *current);
+            }
+            ElementKind::Diode {
+                saturation_current,
+                ideality,
+            } => {
+                DiodeModel::new(*saturation_current, *ideality).stamp(
+                    &mut stamps,
+                    row(0),
+                    row(1),
+                    solution,
+                );
+            }
+            ElementKind::Mosfet { params } => {
+                MosfetModel::new(*params).stamp(&mut stamps, row(0), row(1), row(2), solution);
+            }
+            ElementKind::SetTransistor { params } => {
+                SetAnalyticModel::new(*params, circuit.temperature()).stamp(
+                    &mut stamps,
+                    row(0),
+                    row(1),
+                    row(2),
+                    solution,
+                );
+            }
+        }
+    }
+
+    // gmin from every node to ground keeps otherwise-floating nodes solvable.
+    for node_row in 0..circuit.node_count() {
+        stamps.conductance(Some(node_row), None, gmin);
+    }
+
+    (matrix, rhs)
+}
+
+/// Runs the damped Newton iteration for the given mode.
+pub(crate) fn newton(
+    circuit: &Circuit,
+    options: &NewtonOptions,
+    mode: AnalysisMode<'_>,
+    initial: Vec<f64>,
+    source_overrides: &HashMap<String, f64>,
+) -> Result<Vec<f64>, SpiceError> {
+    newton_with_gmin(circuit, options, mode, initial, source_overrides, options.gmin)
+}
+
+fn newton_with_gmin(
+    circuit: &Circuit,
+    options: &NewtonOptions,
+    mode: AnalysisMode<'_>,
+    mut x: Vec<f64>,
+    source_overrides: &HashMap<String, f64>,
+    gmin: f64,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = circuit.system_size();
+    if x.len() != n {
+        x = vec![0.0; n];
+    }
+    let mut last_delta = f64::INFINITY;
+    for _ in 0..options.max_iterations {
+        let (matrix, rhs) = assemble(circuit, &x, mode, gmin, source_overrides);
+        let lu = LuDecomposition::new(&matrix)
+            .map_err(|e| SpiceError::SingularSystem(e.to_string()))?;
+        let x_new = lu.solve(&rhs)?;
+        // Raw Newton step size (before damping) decides convergence.
+        let max_delta = (0..n)
+            .map(|i| (x_new[i] - x[i]).abs())
+            .fold(0.0_f64, f64::max);
+        // Damped update.
+        for i in 0..n {
+            let mut delta = x_new[i] - x[i];
+            if delta.abs() > options.max_step {
+                delta = options.max_step * delta.signum();
+            }
+            x[i] += delta;
+        }
+        let scale = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if max_delta <= options.abs_tolerance + options.rel_tolerance * scale {
+            return Ok(x);
+        }
+        last_delta = max_delta;
+    }
+    Err(SpiceError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: last_delta,
+    })
+}
+
+/// Solves the DC operating point, falling back to `gmin` stepping when the
+/// plain Newton iteration does not converge.
+pub(crate) fn solve_dc(
+    circuit: &Circuit,
+    options: &NewtonOptions,
+) -> Result<OperatingPoint, SpiceError> {
+    solve_dc_with_overrides(circuit, options, &HashMap::new(), None)
+}
+
+/// DC solve with source overrides and an optional initial guess (used by
+/// sweeps and the transient initial condition).
+pub(crate) fn solve_dc_with_overrides(
+    circuit: &Circuit,
+    options: &NewtonOptions,
+    source_overrides: &HashMap<String, f64>,
+    initial: Option<Vec<f64>>,
+) -> Result<OperatingPoint, SpiceError> {
+    let start = initial.unwrap_or_else(|| vec![0.0; circuit.system_size()]);
+    match newton(
+        circuit,
+        options,
+        AnalysisMode::Dc,
+        start.clone(),
+        source_overrides,
+    ) {
+        Ok(solution) => Ok(circuit.operating_point_from_solution(solution)),
+        Err(_) => {
+            // gmin stepping: start from a heavily damped circuit and relax.
+            let mut x = start;
+            let mut gmin = 1e-3;
+            while gmin >= options.gmin {
+                x = newton_with_gmin(
+                    circuit,
+                    options,
+                    AnalysisMode::Dc,
+                    x,
+                    source_overrides,
+                    gmin,
+                )?;
+                gmin /= 100.0;
+            }
+            let solution = newton_with_gmin(
+                circuit,
+                options,
+                AnalysisMode::Dc,
+                x,
+                source_overrides,
+                options.gmin,
+            )?;
+            Ok(circuit.operating_point_from_solution(solution))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_netlist::parse_deck;
+
+    fn solve(deck: &str) -> OperatingPoint {
+        let netlist = parse_deck(deck).unwrap();
+        let circuit = Circuit::new(&netlist).unwrap();
+        circuit.dc_operating_point().unwrap()
+    }
+
+    #[test]
+    fn resistive_divider() {
+        let op = solve("divider\nV1 in 0 1.0\nR1 in out 1k\nR2 out 0 3k\n");
+        assert!((op.voltage("out").unwrap() - 0.75).abs() < 1e-9);
+        // Source current: 1 V across 4 kΩ, flowing out of the + terminal.
+        assert!((op.source_current("V1").unwrap() + 0.25e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let op = solve("isrc\nI1 0 out 1m\nR1 out 0 2k\n");
+        assert!((op.voltage("out").unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_forward_drop_is_about_600_millivolts() {
+        let op = solve("diode\nV1 in 0 5\nR1 in a 10k\nD1 a 0\n");
+        let va = op.voltage("a").unwrap();
+        assert!(va > 0.5 && va < 0.75, "diode drop {va}");
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_pulls_down() {
+        // NMOS with grounded source, gate well above threshold, drain through
+        // a resistor to 1.8 V: the drain must sit far below the supply.
+        let op = solve(
+            "cs amp\nVDD vdd 0 1.8\nVG g 0 1.2\nRD vdd d 50k\nM1 d g 0 NMOS\n",
+        );
+        let vd = op.voltage("d").unwrap();
+        assert!(vd < 0.4, "drain voltage {vd} should be pulled low");
+        // With the gate off the drain floats up to the supply.
+        let op = solve(
+            "cs amp off\nVDD vdd 0 1.8\nVG g 0 0.0\nRD vdd d 50k\nM1 d g 0 NMOS\n",
+        );
+        let vd = op.voltage("d").unwrap();
+        assert!((vd - 1.8).abs() < 1e-3, "drain voltage {vd} should float to VDD");
+    }
+
+    #[test]
+    fn tunnel_junctions_act_as_resistors_in_spice_mode() {
+        // Two equal junctions in series across 1 mV: the midpoint halves the
+        // bias, blockade is (deliberately) absent.
+        let op = solve("double junction\nV1 top 0 1m\nJ1 top mid C=1a R=100k\nJ2 mid 0 C=1a R=100k\n");
+        assert!((op.voltage("mid").unwrap() - 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_compact_model_modulates_a_voltage_divider() {
+        // SET in series with a resistor: at the gate peak the SET conducts
+        // and pulls the output down; in blockade the output stays high.
+        let period = se_units::constants::E / 1e-18;
+        let on_deck = format!(
+            "set divider\nVDD vdd 0 5m\nVG g 0 {}\nRL vdd out 10meg\nX1 out g 0 SET CG=1a CS=0.5a CD=0.5a RS=100k RD=100k\n",
+            period / 2.0
+        );
+        let off_deck = "set divider\nVDD vdd 0 5m\nVG g 0 0\nRL vdd out 10meg\nX1 out g 0 SET CG=1a CS=0.5a CD=0.5a RS=100k RD=100k\n".to_string();
+        let on = solve(&on_deck).voltage("out").unwrap();
+        let off = solve(&off_deck).voltage("out").unwrap();
+        assert!(
+            on < 0.6 * off,
+            "SET at its conductance peak should pull the output down: on {on}, off {off}"
+        );
+    }
+
+    #[test]
+    fn floating_node_is_handled_by_gmin() {
+        // A node connected only through a capacitor is floating in DC; gmin
+        // pins it to ground instead of producing a singular system.
+        let op = solve("float\nV1 a 0 1\nR1 a 0 1k\nC1 a f 1p\nC2 f 0 1p\n");
+        assert!(op.voltage("f").unwrap().abs() < 1.0);
+    }
+
+    #[test]
+    fn newton_options_control_iteration_budget() {
+        let netlist = parse_deck("diode\nV1 in 0 5\nR1 in a 10k\nD1 a 0\n").unwrap();
+        let circuit = Circuit::new(&netlist).unwrap();
+        let mut options = NewtonOptions::default();
+        options.max_iterations = 1;
+        assert!(circuit.dc_operating_point_with(&options).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Capacitor stamps: open circuit in DC, backward-Euler companion model in
+//! transient analysis.
+
+use super::{node_voltage, NodeIndex, Stamps};
+
+/// Stamps the backward-Euler companion model of a capacitor for one
+/// transient step of length `dt`: a conductance `C/dt` in parallel with a
+/// current source `C/dt · v_previous`.
+///
+/// # Panics
+///
+/// Panics if `capacitance` or `dt` is not strictly positive.
+pub fn stamp_transient(
+    stamps: &mut Stamps<'_>,
+    a: NodeIndex,
+    b: NodeIndex,
+    capacitance: f64,
+    dt: f64,
+    previous_solution: &[f64],
+) {
+    assert!(capacitance > 0.0, "capacitance must be positive");
+    assert!(dt > 0.0, "time step must be positive");
+    let geq = capacitance / dt;
+    let v_prev = node_voltage(previous_solution, a) - node_voltage(previous_solution, b);
+    stamps.conductance(a, b, geq);
+    // The companion current source injects geq * v_prev from b to a, which
+    // keeps the capacitor voltage continuous across the step.
+    stamps.current(b, a, geq * v_prev);
+}
+
+/// DC stamp of a capacitor: nothing (an ideal capacitor is an open circuit
+/// at DC). Present for symmetry and documentation purposes.
+pub fn stamp_dc(_stamps: &mut Stamps<'_>, _a: NodeIndex, _b: NodeIndex, _capacitance: f64) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_numeric::Matrix;
+
+    #[test]
+    fn transient_companion_matches_hand_calculation() {
+        let mut m = Matrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        // 1 pF, 1 ns step, previous voltage across = 0.5 V.
+        let prev = vec![0.5, 0.0];
+        stamp_transient(&mut s, Some(0), Some(1), 1e-12, 1e-9, &prev);
+        let geq = 1e-3;
+        assert!((m[(0, 0)] - geq).abs() < 1e-18);
+        assert!((m[(0, 1)] + geq).abs() < 1e-18);
+        // Companion current geq*v_prev flows from node 1 to node 0.
+        assert!((rhs[0] - geq * 0.5).abs() < 1e-18);
+        assert!((rhs[1] + geq * 0.5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dc_stamp_is_a_no_op() {
+        let mut m = Matrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        stamp_dc(&mut s, Some(0), Some(1), 1e-12);
+        assert_eq!(m.max_abs(), 0.0);
+        assert_eq!(rhs, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time step")]
+    fn zero_time_step_panics() {
+        let mut m = Matrix::zeros(1, 1);
+        let mut rhs = vec![0.0; 1];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        stamp_transient(&mut s, Some(0), None, 1e-12, 0.0, &[0.0]);
+    }
+}

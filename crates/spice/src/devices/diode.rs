@@ -1,0 +1,132 @@
+//! Shockley junction diode with exponent limiting.
+
+use super::{node_voltage, NodeIndex, Stamps};
+
+/// Thermal voltage at 300 K, used by the compact diode model.
+const THERMAL_VOLTAGE: f64 = 0.02585;
+
+/// Junction-voltage ceiling (in multiples of `n·Vt`) applied before
+/// evaluating the exponential, the classic SPICE convergence aid.
+const MAX_EXPONENT: f64 = 40.0;
+
+/// Shockley diode model `I = Is·(exp(V/(n·Vt)) − 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeModel {
+    /// Saturation current in ampere.
+    pub saturation_current: f64,
+    /// Ideality factor.
+    pub ideality: f64,
+}
+
+impl DiodeModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the saturation current is not strictly positive or the
+    /// ideality factor is not in `[1, 5]` (validated upstream by the netlist
+    /// layer).
+    #[must_use]
+    pub fn new(saturation_current: f64, ideality: f64) -> Self {
+        assert!(saturation_current > 0.0, "saturation current must be positive");
+        assert!(
+            (1.0..=5.0).contains(&ideality),
+            "ideality factor must lie in [1, 5]"
+        );
+        DiodeModel {
+            saturation_current,
+            ideality,
+        }
+    }
+
+    /// Evaluates the diode current and small-signal conductance at junction
+    /// voltage `v` (anode minus cathode), with exponent limiting.
+    #[must_use]
+    pub fn evaluate(&self, v: f64) -> (f64, f64) {
+        let n_vt = self.ideality * THERMAL_VOLTAGE;
+        let x = (v / n_vt).min(MAX_EXPONENT);
+        let exp = x.exp();
+        let current = self.saturation_current * (exp - 1.0);
+        let conductance = (self.saturation_current * exp / n_vt).max(1e-15);
+        (current, conductance)
+    }
+
+    /// Stamps the Newton-linearised diode between `anode` and `cathode`
+    /// around the present `solution`.
+    pub fn stamp(
+        &self,
+        stamps: &mut Stamps<'_>,
+        anode: NodeIndex,
+        cathode: NodeIndex,
+        solution: &[f64],
+    ) {
+        let v = node_voltage(solution, anode) - node_voltage(solution, cathode);
+        let (current, conductance) = self.evaluate(v);
+        let i_eq = current - conductance * v;
+        stamps.conductance(anode, cathode, conductance);
+        stamps.current(anode, cathode, i_eq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_numeric::Matrix;
+
+    #[test]
+    fn reverse_bias_current_saturates() {
+        let d = DiodeModel::new(1e-14, 1.0);
+        let (i, g) = d.evaluate(-1.0);
+        assert!((i + 1e-14).abs() < 1e-20);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn forward_current_grows_exponentially() {
+        let d = DiodeModel::new(1e-14, 1.0);
+        let (i1, _) = d.evaluate(0.6);
+        let (i2, _) = d.evaluate(0.66);
+        // 60 mV per decade (ideality 1) → one decade.
+        let ratio = i2 / i1;
+        assert!((ratio - 10.0).abs() / 10.0 < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn exponent_limiting_prevents_overflow() {
+        let d = DiodeModel::new(1e-14, 1.0);
+        let (i, g) = d.evaluate(100.0);
+        assert!(i.is_finite());
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn conductance_is_derivative_of_current() {
+        let d = DiodeModel::new(1e-14, 1.2);
+        let v = 0.55;
+        let h = 1e-7;
+        let (i_plus, _) = d.evaluate(v + h);
+        let (i_minus, _) = d.evaluate(v - h);
+        let numeric = (i_plus - i_minus) / (2.0 * h);
+        let (_, g) = d.evaluate(v);
+        assert!((numeric - g).abs() / g < 1e-4);
+    }
+
+    #[test]
+    fn stamp_produces_equivalent_linear_circuit() {
+        let d = DiodeModel::new(1e-14, 1.0);
+        let mut m = Matrix::zeros(1, 1);
+        let mut rhs = vec![0.0; 1];
+        let solution = vec![0.6];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        d.stamp(&mut s, Some(0), None, &solution);
+        let (i, g) = d.evaluate(0.6);
+        assert!((m[(0, 0)] - g).abs() < 1e-12 * g);
+        assert!((rhs[0] + (i - g * 0.6)).abs() < 1e-12 * i.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "ideality")]
+    fn bad_ideality_panics() {
+        let _ = DiodeModel::new(1e-14, 0.2);
+    }
+}

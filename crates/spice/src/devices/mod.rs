@@ -1,0 +1,164 @@
+//! Compact device models and their MNA stamps.
+//!
+//! Every device is expressed through [`Stamps`], a thin view over the MNA
+//! matrix and right-hand side that knows about the ground node (represented
+//! as `None`) so device code never has to special-case it.
+
+pub mod capacitor;
+pub mod diode;
+pub mod mosfet;
+pub mod resistor;
+pub mod set_analytic;
+pub mod sources;
+
+use se_numeric::Matrix;
+
+/// A node index in the reduced MNA system: `None` is ground, `Some(i)` is
+/// the `i`-th non-ground node.
+pub type NodeIndex = Option<usize>;
+
+/// Mutable view over the MNA matrix and right-hand side used by device
+/// stamps.
+#[derive(Debug)]
+pub struct Stamps<'a> {
+    matrix: &'a mut Matrix,
+    rhs: &'a mut [f64],
+}
+
+impl<'a> Stamps<'a> {
+    /// Creates a stamp view over an MNA matrix and right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or the right-hand side length does
+    /// not match the matrix dimension.
+    #[must_use]
+    pub fn new(matrix: &'a mut Matrix, rhs: &'a mut [f64]) -> Self {
+        assert!(matrix.is_square(), "MNA matrix must be square");
+        assert_eq!(matrix.rows(), rhs.len(), "rhs length must match matrix");
+        Stamps { matrix, rhs }
+    }
+
+    /// Adds a conductance `g` between two nodes (either may be ground).
+    pub fn conductance(&mut self, a: NodeIndex, b: NodeIndex, g: f64) {
+        if let Some(i) = a {
+            self.matrix.add_at(i, i, g);
+        }
+        if let Some(j) = b {
+            self.matrix.add_at(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (a, b) {
+            self.matrix.add_at(i, j, -g);
+            self.matrix.add_at(j, i, -g);
+        }
+    }
+
+    /// Adds a transconductance: a current into `out_plus` (and out of
+    /// `out_minus`) proportional to the voltage `V(in_plus) − V(in_minus)`.
+    pub fn transconductance(
+        &mut self,
+        out_plus: NodeIndex,
+        out_minus: NodeIndex,
+        in_plus: NodeIndex,
+        in_minus: NodeIndex,
+        gm: f64,
+    ) {
+        for (out, sign_out) in [(out_plus, 1.0), (out_minus, -1.0)] {
+            let Some(row) = out else { continue };
+            for (inp, sign_in) in [(in_plus, 1.0), (in_minus, -1.0)] {
+                let Some(col) = inp else { continue };
+                self.matrix.add_at(row, col, sign_out * sign_in * gm);
+            }
+        }
+    }
+
+    /// Adds a constant current `i` flowing from node `from`, through the
+    /// device, into node `to`.
+    pub fn current(&mut self, from: NodeIndex, to: NodeIndex, i: f64) {
+        if let Some(a) = from {
+            self.rhs[a] -= i;
+        }
+        if let Some(b) = to {
+            self.rhs[b] += i;
+        }
+    }
+
+    /// Adds an entry in an arbitrary matrix position (used by voltage-source
+    /// branch equations).
+    pub fn matrix_entry(&mut self, row: usize, col: usize, value: f64) {
+        self.matrix.add_at(row, col, value);
+    }
+
+    /// Adds to an arbitrary right-hand-side position.
+    pub fn rhs_entry(&mut self, row: usize, value: f64) {
+        self.rhs[row] += value;
+    }
+}
+
+/// Reads the voltage of a node from the solution vector (`0.0` for ground).
+#[must_use]
+pub fn node_voltage(solution: &[f64], node: NodeIndex) -> f64 {
+    match node {
+        Some(i) => solution[i],
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conductance_stamp_is_symmetric_and_conservative() {
+        let mut m = Matrix::zeros(3, 3);
+        let mut rhs = vec![0.0; 3];
+        let mut stamps = Stamps::new(&mut m, &mut rhs);
+        stamps.conductance(Some(0), Some(1), 2.0);
+        stamps.conductance(Some(1), None, 0.5);
+        assert_eq!(m[(0, 0)], 2.0);
+        assert_eq!(m[(1, 1)], 2.5);
+        assert_eq!(m[(0, 1)], -2.0);
+        assert_eq!(m[(1, 0)], -2.0);
+        // Ground connection only touches the diagonal.
+        assert_eq!(m[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn current_stamp_moves_charge_between_nodes() {
+        let mut m = Matrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut stamps = Stamps::new(&mut m, &mut rhs);
+        stamps.current(Some(0), Some(1), 1e-3);
+        stamps.current(None, Some(1), 2e-3);
+        drop(stamps);
+        assert_eq!(rhs[0], -1e-3);
+        assert_eq!(rhs[1], 3e-3);
+    }
+
+    #[test]
+    fn transconductance_stamp_signs() {
+        let mut m = Matrix::zeros(4, 4);
+        let mut rhs = vec![0.0; 4];
+        let mut stamps = Stamps::new(&mut m, &mut rhs);
+        stamps.transconductance(Some(0), Some(1), Some(2), Some(3), 1.5);
+        assert_eq!(m[(0, 2)], 1.5);
+        assert_eq!(m[(0, 3)], -1.5);
+        assert_eq!(m[(1, 2)], -1.5);
+        assert_eq!(m[(1, 3)], 1.5);
+    }
+
+    #[test]
+    fn node_voltage_of_ground_is_zero() {
+        let x = vec![1.0, 2.0];
+        assert_eq!(node_voltage(&x, None), 0.0);
+        assert_eq!(node_voltage(&x, Some(1)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_rhs_length_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 3];
+        let _ = Stamps::new(&mut m, &mut rhs);
+    }
+}

@@ -1,0 +1,220 @@
+//! Level-1 (Shichman–Hodges) MOSFET model.
+//!
+//! The hybrid SET/CMOS circuits of the paper (the Inokawa multiple-valued
+//! quantizer and the Uchida random-number generator) use the MOSFET purely
+//! as a gain / current-source element in series with an SET, so the square-
+//! law level-1 model with channel-length modulation is an adequate
+//! representation of the 0.18 µm-class devices they report.
+
+use super::{node_voltage, NodeIndex, Stamps};
+use se_netlist::{MosfetParams, MosfetType};
+
+/// Level-1 MOSFET evaluated quantities at one bias point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosfetOperatingPoint {
+    /// Drain current (ampere), flowing into the drain terminal.
+    pub id: f64,
+    /// Transconductance ∂Id/∂Vgs (siemens).
+    pub gm: f64,
+    /// Output conductance ∂Id/∂Vds (siemens).
+    pub gds: f64,
+}
+
+/// Level-1 MOSFET compact model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetModel {
+    params: MosfetParams,
+}
+
+impl MosfetModel {
+    /// Wraps the netlist parameters in an evaluable model.
+    #[must_use]
+    pub fn new(params: MosfetParams) -> Self {
+        MosfetModel { params }
+    }
+
+    /// The underlying parameters.
+    #[must_use]
+    pub fn params(&self) -> &MosfetParams {
+        &self.params
+    }
+
+    /// Evaluates the drain current and small-signal conductances at the
+    /// given terminal voltages (volt). `vgs`/`vds` are drain and gate
+    /// referenced to the source as usual.
+    #[must_use]
+    pub fn evaluate(&self, vgs: f64, vds: f64) -> MosfetOperatingPoint {
+        // Map PMOS onto the NMOS equations through sign reversal.
+        let sign = match self.params.polarity {
+            MosfetType::Nmos => 1.0,
+            MosfetType::Pmos => -1.0,
+        };
+        let vgs_eff = sign * vgs;
+        let vds_eff = sign * vds;
+        let vth = sign * self.params.vth; // positive number for both types
+        // The level-1 model is symmetric: for negative Vds, swap source and
+        // drain.
+        let (vgs_use, vds_use, swapped) = if vds_eff >= 0.0 {
+            (vgs_eff, vds_eff, false)
+        } else {
+            (vgs_eff - vds_eff, -vds_eff, true)
+        };
+        let kp = self.params.kp;
+        let lambda = self.params.lambda;
+        let vov = vgs_use - vth;
+
+        let (id, gm, gds) = if vov <= 0.0 {
+            // Cut-off: a tiny leakage conductance keeps Newton well posed.
+            (0.0, 0.0, 1e-12)
+        } else if vds_use < vov {
+            // Triode region.
+            let id = kp * (vov * vds_use - 0.5 * vds_use * vds_use) * (1.0 + lambda * vds_use);
+            let gm = kp * vds_use * (1.0 + lambda * vds_use);
+            let gds = kp * (vov - vds_use) * (1.0 + lambda * vds_use)
+                + kp * (vov * vds_use - 0.5 * vds_use * vds_use) * lambda;
+            (id, gm, gds.max(1e-12))
+        } else {
+            // Saturation.
+            let id = 0.5 * kp * vov * vov * (1.0 + lambda * vds_use);
+            let gm = kp * vov * (1.0 + lambda * vds_use);
+            let gds = 0.5 * kp * vov * vov * lambda;
+            (id, gm, gds.max(1e-12))
+        };
+
+        if swapped {
+            // Current reverses; conductances transform accordingly. In the
+            // swapped frame Id' = -Id(vgs - vds, -vds):
+            //   ∂/∂vgs  → -gm'
+            //   ∂/∂vds  → gm' + gds'
+            MosfetOperatingPoint {
+                id: -sign * id,
+                gm: -gm,
+                gds: (gm + gds).max(1e-12),
+            }
+        } else {
+            MosfetOperatingPoint {
+                id: sign * id,
+                gm,
+                gds,
+            }
+        }
+    }
+
+    /// Stamps the Newton-linearised MOSFET with terminals
+    /// `(drain, gate, source)` around the present `solution`.
+    pub fn stamp(
+        &self,
+        stamps: &mut Stamps<'_>,
+        drain: NodeIndex,
+        gate: NodeIndex,
+        source: NodeIndex,
+        solution: &[f64],
+    ) {
+        let vd = node_voltage(solution, drain);
+        let vg = node_voltage(solution, gate);
+        let vs = node_voltage(solution, source);
+        let op = self.evaluate(vg - vs, vd - vs);
+        // Companion: Id ≈ op.id + gm·(Δvgs) + gds·(Δvds)
+        let i_eq = op.id - op.gm * (vg - vs) - op.gds * (vd - vs);
+        stamps.conductance(drain, source, op.gds);
+        stamps.transconductance(drain, source, gate, source, op.gm);
+        stamps.current(drain, source, i_eq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_netlist::MosfetParams;
+
+    fn nmos() -> MosfetModel {
+        MosfetModel::new(MosfetParams::nmos_180nm())
+    }
+
+    fn pmos() -> MosfetModel {
+        MosfetModel::new(MosfetParams::pmos_180nm())
+    }
+
+    #[test]
+    fn cutoff_has_no_current() {
+        let op = nmos().evaluate(0.2, 1.0);
+        assert_eq!(op.id, 0.0);
+        assert_eq!(op.gm, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_is_square_law() {
+        let m = nmos();
+        let vth = m.params().vth;
+        let i1 = m.evaluate(vth + 0.2, 1.5).id;
+        let i2 = m.evaluate(vth + 0.4, 1.5).id;
+        // Doubling the overdrive quadruples the current (up to λ terms).
+        let ratio = i2 / i1;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn triode_region_behaves_like_a_resistor_at_small_vds() {
+        let m = nmos();
+        let vgs = 1.2;
+        let op = m.evaluate(vgs, 1e-3);
+        // Id ≈ kp·(vov)·vds.
+        let expected = m.params().kp * (vgs - m.params().vth) * 1e-3;
+        assert!((op.id - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn conductances_match_numerical_derivatives() {
+        let m = nmos();
+        for &(vgs, vds) in &[(0.8, 0.05), (0.8, 1.2), (1.4, 0.3), (1.4, 2.0)] {
+            let op = m.evaluate(vgs, vds);
+            let h = 1e-6;
+            let gm_num = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
+            let gds_num = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
+            assert!(
+                (op.gm - gm_num).abs() < 1e-4 * gm_num.abs().max(1e-9),
+                "gm mismatch at ({vgs}, {vds}): {} vs {}",
+                op.gm,
+                gm_num
+            );
+            assert!(
+                (op.gds - gds_num).abs() < 1e-4 * gds_num.abs().max(1e-9),
+                "gds mismatch at ({vgs}, {vds}): {} vs {}",
+                op.gds,
+                gds_num
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_vds_reverses_current() {
+        let m = nmos();
+        let forward = m.evaluate(1.2, 0.3).id;
+        let reverse = m.evaluate(1.2 - 0.3, -0.3).id;
+        // Swapping drain and source with the same terminal-to-terminal
+        // voltages gives the opposite current.
+        assert!((forward + reverse).abs() < 1e-9 * forward.abs());
+    }
+
+    #[test]
+    fn pmos_conducts_for_negative_gate_drive() {
+        let m = pmos();
+        let off = m.evaluate(0.0, -1.0).id;
+        let on = m.evaluate(-1.2, -1.0).id;
+        assert_eq!(off, 0.0);
+        assert!(on < 0.0, "PMOS drain current should be negative, got {on}");
+        assert!(on.abs() > 1e-5);
+    }
+
+    #[test]
+    fn pmos_conductances_match_numerical_derivatives() {
+        let m = pmos();
+        let (vgs, vds) = (-1.2, -0.8);
+        let op = m.evaluate(vgs, vds);
+        let h = 1e-6;
+        let gm_num = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
+        let gds_num = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
+        assert!((op.gm - gm_num).abs() < 1e-4 * gm_num.abs().max(1e-9));
+        assert!((op.gds - gds_num).abs() < 1e-4 * gds_num.abs().max(1e-9));
+    }
+}

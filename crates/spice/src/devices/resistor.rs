@@ -1,0 +1,39 @@
+//! Linear resistor stamp.
+
+use super::{NodeIndex, Stamps};
+
+/// Stamps a resistor of `resistance` ohm between nodes `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if `resistance` is not strictly positive (validated upstream by
+/// the netlist layer; the assertion guards against direct misuse).
+pub fn stamp(stamps: &mut Stamps<'_>, a: NodeIndex, b: NodeIndex, resistance: f64) {
+    assert!(resistance > 0.0, "resistance must be positive");
+    stamps.conductance(a, b, 1.0 / resistance);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_numeric::Matrix;
+
+    #[test]
+    fn stamp_adds_reciprocal_conductance() {
+        let mut m = Matrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        stamp(&mut s, Some(0), Some(1), 500.0);
+        assert!((m[(0, 0)] - 2e-3).abs() < 1e-15);
+        assert!((m[(0, 1)] + 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_panics() {
+        let mut m = Matrix::zeros(1, 1);
+        let mut rhs = vec![0.0; 1];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        stamp(&mut s, Some(0), None, 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Analytic (compact) single-electron-transistor model for SPICE-style
+//! simulation.
+//!
+//! This is the toolkit's counterpart of the analytic SET models the paper
+//! cites for SPICE integration (Wang–Porod; the MIB model used by
+//! Mahapatra et al.). Like those models it treats the SET in the
+//! *two-charge-state, sequential-tunnelling* approximation: at any bias only
+//! the two island occupations adjacent to the gate-induced charge matter,
+//! the four orthodox rates between them are evaluated in closed form, and
+//! the stationary current follows analytically. The model therefore
+//! reproduces the periodic Id–Vg characteristic (period `e/C_g`), its phase
+//! shift under background charge and the blockade diamonds at low bias, but
+//! — exactly like the published compact models — it misses multi-state
+//! effects at large bias (the Coulomb staircase), interacting SETs and
+//! cotunneling. Quantifying that gap against the Monte-Carlo engine is
+//! experiment E10.
+
+use super::{node_voltage, NodeIndex, Stamps};
+use se_netlist::SetParams;
+use se_units::constants::{BOLTZMANN, E};
+
+/// Analytic two-state SET compact model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetAnalyticModel {
+    params: SetParams,
+    temperature: f64,
+}
+
+impl SetAnalyticModel {
+    /// Creates a model at the given temperature (kelvin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperature is negative or not finite, or if any of the
+    /// device parameters are non-positive (validated upstream by the netlist
+    /// layer).
+    #[must_use]
+    pub fn new(params: SetParams, temperature: f64) -> Self {
+        assert!(
+            temperature >= 0.0 && temperature.is_finite(),
+            "temperature must be non-negative and finite"
+        );
+        assert!(
+            params.c_gate > 0.0 && params.c_source > 0.0 && params.c_drain > 0.0,
+            "SET capacitances must be positive"
+        );
+        assert!(
+            params.r_source > 0.0 && params.r_drain > 0.0,
+            "SET tunnel resistances must be positive"
+        );
+        SetAnalyticModel {
+            params,
+            temperature,
+        }
+    }
+
+    /// The device parameters.
+    #[must_use]
+    pub fn params(&self) -> &SetParams {
+        &self.params
+    }
+
+    /// Simulation temperature in kelvin.
+    #[must_use]
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Gate-voltage period of the Coulomb oscillation, `e/C_g`.
+    #[must_use]
+    pub fn gate_period(&self) -> f64 {
+        E / self.params.c_gate
+    }
+
+    /// Orthodox rate with the same limits as the physics layer, written out
+    /// locally because compact models are self-contained by construction.
+    fn rate(&self, delta_f: f64, resistance: f64) -> f64 {
+        let prefactor = 1.0 / (E * E * resistance);
+        if self.temperature == 0.0 {
+            return if delta_f < 0.0 { -delta_f * prefactor } else { 0.0 };
+        }
+        let kt = BOLTZMANN * self.temperature;
+        let x = delta_f / kt;
+        if x.abs() < 1e-9 {
+            kt * prefactor
+        } else if x > 500.0 {
+            0.0
+        } else if x < -500.0 {
+            -delta_f * prefactor
+        } else {
+            (-delta_f) * prefactor / (1.0 - x.exp())
+        }
+    }
+
+    /// Drain current (ampere) for the given gate-source and drain-source
+    /// voltages; the source terminal is the reference. Positive current
+    /// flows from drain to source for positive `vds`.
+    #[must_use]
+    pub fn drain_current(&self, vgs: f64, vds: f64) -> f64 {
+        let p = &self.params;
+        let c_sigma = p.c_gate + p.c_source + p.c_drain;
+        // Continuous gate-induced charge (in units of e), including the
+        // static background charge.
+        let q_cont = (p.c_gate * vgs + p.c_drain * vds) / E + p.background_charge;
+        // The two relevant occupations bracket the induced charge.
+        let n0 = q_cont.floor();
+
+        let phi = |n: f64| (-E * n + E * p.background_charge + p.c_drain * vds + p.c_gate * vgs) / c_sigma;
+        // Electron enters the island from a lead at `v_lead` while the
+        // island holds `n` electrons.
+        let df_in = |n: f64, v_lead: f64| E * (v_lead - phi(n)) + E * E / (2.0 * c_sigma);
+
+        // Rates between the two states n0 and n0+1.
+        let gamma_d_in = self.rate(df_in(n0, vds), p.r_drain);
+        let gamma_s_in = self.rate(df_in(n0, 0.0), p.r_source);
+        let gamma_d_out = self.rate(-df_in(n0, vds), p.r_drain);
+        let gamma_s_out = self.rate(-df_in(n0, 0.0), p.r_source);
+
+        let total = gamma_d_in + gamma_s_in + gamma_d_out + gamma_s_out;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        // Stationary two-state occupation.
+        let p1 = (gamma_d_in + gamma_s_in) / total;
+        let p0 = 1.0 - p1;
+        // Conventional drain current: electrons arriving at the drain minus
+        // electrons leaving it.
+        E * (p1 * gamma_d_out - p0 * gamma_d_in)
+    }
+
+    /// Small-signal transconductance and output conductance by central
+    /// finite differences: `(gm, gds)`.
+    #[must_use]
+    pub fn conductances(&self, vgs: f64, vds: f64) -> (f64, f64) {
+        let dv = 1e-6;
+        let gm = (self.drain_current(vgs + dv, vds) - self.drain_current(vgs - dv, vds))
+            / (2.0 * dv);
+        let gds = (self.drain_current(vgs, vds + dv) - self.drain_current(vgs, vds - dv))
+            / (2.0 * dv);
+        (gm, gds)
+    }
+
+    /// Stamps the Newton-linearised SET with terminals
+    /// `(drain, gate, source)` around the present `solution`.
+    pub fn stamp(
+        &self,
+        stamps: &mut Stamps<'_>,
+        drain: NodeIndex,
+        gate: NodeIndex,
+        source: NodeIndex,
+        solution: &[f64],
+    ) {
+        let vd = node_voltage(solution, drain);
+        let vg = node_voltage(solution, gate);
+        let vs = node_voltage(solution, source);
+        let vgs = vg - vs;
+        let vds = vd - vs;
+        let id = self.drain_current(vgs, vds);
+        let (gm, gds) = self.conductances(vgs, vds);
+        // Keep the linearised model passive enough for Newton stability.
+        let gds = gds.max(1e-12);
+        let i_eq = id - gm * vgs - gds * vds;
+        stamps.conductance(drain, source, gds);
+        stamps.transconductance(drain, source, gate, source, gm);
+        stamps.current(drain, source, i_eq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model(q0: f64, temperature: f64) -> SetAnalyticModel {
+        SetAnalyticModel::new(
+            SetParams::symmetric(1e-18, 0.5e-18, 100e3).with_background_charge(q0),
+            temperature,
+        )
+    }
+
+    #[test]
+    fn blockade_and_peak() {
+        let m = model(0.0, 1.0);
+        let blocked = m.drain_current(0.0, 1e-3);
+        let open = m.drain_current(m.gate_period() / 2.0, 1e-3);
+        assert!(open.abs() > 1e3 * blocked.abs());
+        assert!(open > 0.0);
+    }
+
+    #[test]
+    fn current_reverses_with_bias() {
+        let m = model(0.0, 1.0);
+        let vg = m.gate_period() / 2.0;
+        let plus = m.drain_current(vg, 1e-3);
+        let minus = m.drain_current(vg, -1e-3);
+        assert!(plus > 0.0);
+        assert!(minus < 0.0);
+        assert!((plus + minus).abs() < 0.05 * plus);
+    }
+
+    #[test]
+    fn characteristic_is_periodic_in_gate_voltage() {
+        let m = model(0.0, 2.0);
+        let period = m.gate_period();
+        for frac in [0.2, 0.5, 0.8] {
+            let a = m.drain_current(frac * period, 5e-4);
+            let b = m.drain_current((frac + 1.0) * period, 5e-4);
+            assert!(
+                (a - b).abs() < 1e-3 * a.abs().max(1e-15),
+                "current must repeat every e/Cg: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn background_charge_is_a_phase_shift() {
+        let q0 = 0.37;
+        let with_q0 = model(q0, 1.0);
+        let reference = model(0.0, 1.0);
+        let period = reference.gate_period();
+        for frac in [0.1, 0.4, 0.7] {
+            let a = with_q0.drain_current(frac * period, 1e-3);
+            let b = reference.drain_current((frac + q0) * period, 1e-3);
+            assert!(
+                (a - b).abs() < 1e-6 * a.abs().max(1e-15),
+                "background charge must only shift the phase: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_master_equation_reference_at_low_bias() {
+        // The compact model's raison d'être: match the detailed model where
+        // two charge states dominate.
+        let m = model(0.0, 1.0);
+        let set =
+            se_orthodox::set::SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+        let period = m.gate_period();
+        for frac in [0.25, 0.5, 0.75] {
+            let vg = frac * period;
+            let compact = m.drain_current(vg, 1e-3);
+            let exact = set.current(1e-3, vg, 0.0, 1.0).unwrap();
+            let scale = exact.abs().max(1e-15);
+            assert!(
+                (compact - exact).abs() < 0.05 * scale,
+                "compact {compact} vs exact {exact} at gate fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn deviates_from_detailed_model_at_high_bias() {
+        // At several charging energies of bias more than two charge states
+        // carry current: the compact model must *under*-estimate the exact
+        // current. This is the documented, intentional limitation.
+        let m = model(0.0, 1.0);
+        let set =
+            se_orthodox::set::SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+        let vds = 0.4; // e/CΣ = 80 mV, so this is 5 blockade widths.
+        let compact = m.drain_current(0.0, vds);
+        let exact = set.current(vds, 0.0, 0.0, 1.0).unwrap();
+        assert!(
+            compact < 0.8 * exact,
+            "compact model should fall below the exact staircase current: {compact} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn conductances_match_finite_differences_of_current() {
+        let m = model(0.1, 4.2);
+        let (gm, gds) = m.conductances(0.05, 2e-3);
+        assert!(gm.is_finite());
+        assert!(gds.is_finite());
+        // Conductance at a rising flank of the oscillation is positive.
+        let (gm_peak, _) = m.conductances(0.25 * m.gate_period(), 1e-3);
+        assert!(gm_peak > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn negative_temperature_panics() {
+        let _ = model(0.0, -1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// No current flows at zero drain bias, for any gate voltage,
+        /// background charge and temperature.
+        #[test]
+        fn prop_zero_bias_zero_current(
+            vg_frac in -2.0_f64..2.0,
+            q0 in -1.0_f64..1.0,
+            temp in 0.0_f64..300.0,
+        ) {
+            let m = model(q0, temp);
+            let i = m.drain_current(vg_frac * m.gate_period(), 0.0);
+            let scale = m.drain_current(m.gate_period() / 2.0, 1e-3).abs().max(1e-12);
+            prop_assert!(i.abs() < 1e-6 * scale);
+        }
+
+        /// The drain current is an increasing function of the drain bias at
+        /// the conductance peak.
+        #[test]
+        fn prop_current_monotone_in_bias_at_peak(vds in 1e-5_f64..5e-3) {
+            let m = model(0.0, 1.0);
+            let vg = m.gate_period() / 2.0;
+            let i1 = m.drain_current(vg, vds);
+            let i2 = m.drain_current(vg, vds * 1.1);
+            prop_assert!(i2 >= i1 * (1.0 - 1e-9));
+        }
+    }
+}

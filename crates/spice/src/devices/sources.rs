@@ -1,0 +1,71 @@
+//! Independent DC voltage and current source stamps.
+
+use super::{NodeIndex, Stamps};
+
+/// Stamps an ideal voltage source between `plus` and `minus` using the MNA
+/// branch-current formulation. `branch_row` is the extra unknown's row (the
+/// source current, flowing from `plus` through the source to `minus`).
+pub fn stamp_voltage_source(
+    stamps: &mut Stamps<'_>,
+    plus: NodeIndex,
+    minus: NodeIndex,
+    branch_row: usize,
+    voltage: f64,
+) {
+    if let Some(p) = plus {
+        stamps.matrix_entry(p, branch_row, 1.0);
+        stamps.matrix_entry(branch_row, p, 1.0);
+    }
+    if let Some(m) = minus {
+        stamps.matrix_entry(m, branch_row, -1.0);
+        stamps.matrix_entry(branch_row, m, -1.0);
+    }
+    stamps.rhs_entry(branch_row, voltage);
+}
+
+/// Stamps an ideal DC current source driving `current` amperes from node
+/// `from`, through the source, into node `to`.
+pub fn stamp_current_source(stamps: &mut Stamps<'_>, from: NodeIndex, to: NodeIndex, current: f64) {
+    stamps.current(from, to, current);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_numeric::Matrix;
+
+    #[test]
+    fn voltage_source_branch_equations() {
+        // 2 nodes + 1 branch unknown.
+        let mut m = Matrix::zeros(3, 3);
+        let mut rhs = vec![0.0; 3];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        stamp_voltage_source(&mut s, Some(0), Some(1), 2, 1.5);
+        assert_eq!(m[(0, 2)], 1.0);
+        assert_eq!(m[(2, 0)], 1.0);
+        assert_eq!(m[(1, 2)], -1.0);
+        assert_eq!(m[(2, 1)], -1.0);
+        assert_eq!(rhs[2], 1.5);
+    }
+
+    #[test]
+    fn grounded_voltage_source_skips_ground_entries() {
+        let mut m = Matrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        stamp_voltage_source(&mut s, Some(0), None, 1, 3.3);
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(rhs[1], 3.3);
+    }
+
+    #[test]
+    fn current_source_injects_into_rhs() {
+        let mut m = Matrix::zeros(2, 2);
+        let mut rhs = vec![0.0; 2];
+        let mut s = Stamps::new(&mut m, &mut rhs);
+        stamp_current_source(&mut s, Some(0), Some(1), 2e-6);
+        assert_eq!(rhs[0], -2e-6);
+        assert_eq!(rhs[1], 2e-6);
+    }
+}

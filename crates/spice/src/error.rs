@@ -1,0 +1,98 @@
+//! Error type for the SPICE engine.
+
+use se_netlist::NetlistError;
+use se_numeric::NumericError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building circuits or running analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The netlist was structurally invalid.
+    Netlist(NetlistError),
+    /// The Newton–Raphson iteration failed to converge.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+        /// Final residual norm in ampere.
+        residual: f64,
+    },
+    /// The MNA matrix was singular even after `gmin` regularisation.
+    SingularSystem(String),
+    /// A numerical routine failed.
+    Numeric(NumericError),
+    /// Invalid analysis arguments (unknown node/source, bad time step, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SpiceError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            SpiceError::SingularSystem(msg) => write!(f, "singular MNA system: {msg}"),
+            SpiceError::Numeric(e) => write!(f, "numerical error: {e}"),
+            SpiceError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Netlist(e) => Some(e),
+            SpiceError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SpiceError {
+    fn from(e: NetlistError) -> Self {
+        SpiceError::Netlist(e)
+    }
+}
+
+impl From<NumericError> for SpiceError {
+    fn from(e: NumericError) -> Self {
+        SpiceError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        let e = SpiceError::NoConvergence {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+        let e = SpiceError::SingularSystem("floating node".into());
+        assert!(e.to_string().contains("floating node"));
+        let e = SpiceError::InvalidArgument("bad step".into());
+        assert!(e.to_string().contains("bad step"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: SpiceError = NetlistError::Empty.into();
+        assert!(Error::source(&e).is_some());
+        let e: SpiceError = NumericError::SingularMatrix { pivot: 2 }.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! SPICE-class circuit simulator with single-electron-transistor compact
+//! models.
+//!
+//! The paper's Section 4 describes the first of the two simulator families
+//! used for single-electron circuit analysis: "an extension of SPICE with
+//! special SET models … [which] have the advantage to simulate large
+//! circuits in a well known and familiar tool environment, but are not yet
+//! able to deal with interacting SETs or … higher-order tunnelling effects".
+//! This crate is that family member, built from scratch:
+//!
+//! * modified nodal analysis with Newton–Raphson DC solution, `gmin`
+//!   regularisation and source stepping ([`dc`]);
+//! * DC sweeps ([`sweep`]) and backward-Euler transient analysis with
+//!   arbitrary source stimuli ([`transient`]);
+//! * compact device models ([`devices`]): resistor, capacitor, DC sources,
+//!   Shockley diode, level-1 MOSFET, and an analytic periodic SET model in
+//!   the spirit of the Wang–Porod / MIB SPICE models cited by the paper.
+//!
+//! Tunnel junctions appearing in a netlist are treated as ohmic resistors in
+//! parallel with their capacitance — precisely the approximation that makes
+//! SPICE-level simulation fast and *in*accurate for interacting SETs, which
+//! is the trade-off experiment E10 quantifies against the Monte-Carlo
+//! engine.
+//!
+//! # Example
+//!
+//! ```
+//! use se_spice::prelude::*;
+//!
+//! # fn main() -> Result<(), se_spice::SpiceError> {
+//! let deck = "resistive divider\nV1 in 0 1.0\nR1 in out 1k\nR2 out 0 1k\n";
+//! let netlist = se_netlist::parse_deck(deck).map_err(SpiceError::from)?;
+//! let circuit = Circuit::new(&netlist)?;
+//! let op = circuit.dc_operating_point()?;
+//! let v_out = op.voltage("out").expect("node exists");
+//! assert!((v_out - 0.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod dc;
+pub mod devices;
+pub mod error;
+pub mod sweep;
+pub mod transient;
+
+pub use circuit::{Circuit, OperatingPoint};
+pub use dc::NewtonOptions;
+pub use error::SpiceError;
+pub use sweep::{dc_sweep, SweepResult};
+pub use transient::{transient, Stimulus, TransientOptions, TransientResult};
+
+/// Commonly used types for driving the SPICE engine.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, OperatingPoint};
+    pub use crate::dc::NewtonOptions;
+    pub use crate::devices::set_analytic::SetAnalyticModel;
+    pub use crate::error::SpiceError;
+    pub use crate::sweep::{dc_sweep, SweepResult};
+    pub use crate::transient::{transient, Stimulus, TransientOptions, TransientResult};
+}

@@ -1,0 +1,71 @@
+//! Fundamental physical constants (2018 CODATA, SI units).
+//!
+//! Only the constants actually needed by orthodox single-electron-tunnelling
+//! theory are exposed; everything is a plain `f64` in SI units so that the
+//! physics code can use them directly in formulas.
+
+use crate::quantity::Joule;
+
+/// Elementary charge `e` in coulomb.
+pub const ELEMENTARY_CHARGE: Joule = Joule(1.602_176_634e-19);
+
+/// Elementary charge `e` as a bare `f64` in coulomb.
+///
+/// The typed constant [`ELEMENTARY_CHARGE`] is expressed in joule because the
+/// orthodox-theory code mostly uses `e` inside energy expressions
+/// (`e·V` products); this bare value is for charge bookkeeping.
+pub const E: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant `k_B` in joule per kelvin.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Planck constant `h` in joule second.
+pub const PLANCK: f64 = 6.626_070_15e-34;
+
+/// Reduced Planck constant `ħ = h / 2π` in joule second.
+pub const REDUCED_PLANCK: f64 = PLANCK / (2.0 * std::f64::consts::PI);
+
+/// Resistance quantum `R_Q = h / e²` ≈ 25.8 kΩ.
+///
+/// Tunnel junctions must have a tunnel resistance well above `R_Q` for the
+/// orthodox theory (localized electrons, sequential tunnelling) to apply; the
+/// cotunneling correction in `se-orthodox` is parameterised by `R_t / R_Q`.
+pub const RESISTANCE_QUANTUM: f64 = PLANCK / (E * E);
+
+/// Conductance quantum `G_Q = e² / h` in siemens.
+pub const CONDUCTANCE_QUANTUM: f64 = 1.0 / RESISTANCE_QUANTUM;
+
+/// Absolute zero expressed in degrees Celsius, for user-facing conversions.
+pub const ABSOLUTE_ZERO_CELSIUS: f64 = -273.15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_quantum_is_about_25_8_kohm() {
+        assert!((RESISTANCE_QUANTUM - 25_812.807).abs() < 0.5);
+    }
+
+    #[test]
+    fn conductance_quantum_is_inverse_of_resistance_quantum() {
+        assert!((CONDUCTANCE_QUANTUM * RESISTANCE_QUANTUM - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementary_charge_matches_bare_value() {
+        assert_eq!(ELEMENTARY_CHARGE.0, E);
+    }
+
+    #[test]
+    fn thermal_energy_at_room_temperature_is_about_25_mev() {
+        let kt = BOLTZMANN * 300.0;
+        let mev = kt / E * 1e3;
+        assert!((mev - 25.85).abs() < 0.2);
+    }
+
+    #[test]
+    fn reduced_planck_is_h_over_two_pi() {
+        assert!((REDUCED_PLANCK * 2.0 * std::f64::consts::PI - PLANCK).abs() < 1e-45);
+    }
+}

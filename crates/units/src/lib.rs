@@ -1,0 +1,48 @@
+//! Physical constants and strongly typed physical quantities used throughout
+//! the single-electronics toolkit.
+//!
+//! Single-electron circuits live at the scale where the elementary charge,
+//! attofarad capacitances and microelectronvolt energies meet. Mixing up a
+//! value in volts with one in millivolts, or a capacitance with a charge, is
+//! one of the easiest ways to get silently wrong Coulomb-blockade physics.
+//! This crate therefore provides:
+//!
+//! * [`constants`] — CODATA values of the elementary charge, Boltzmann
+//!   constant, Planck constant and derived quantities such as the resistance
+//!   quantum;
+//! * [`quantity`] — thin `f64` newtypes ([`Volt`], [`Ampere`], [`Farad`],
+//!   [`Coulomb`], [`Kelvin`], [`Second`], [`Ohm`], [`Joule`], [`Hertz`])
+//!   with the physically meaningful conversions between them;
+//! * [`prefix`] — parsing of SPICE-style magnitude suffixes (`1f`, `2.5meg`,
+//!   `10a`, …) used by the netlist parser;
+//! * [`temperature`] — helpers for thermal energy and the common
+//!   "charging energy vs. thermal energy" comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use se_units::quantity::{Farad, Kelvin};
+//! use se_units::temperature::{charging_energy, thermal_energy};
+//!
+//! // Charging energy of a 1 aF island vs. thermal energy at 4.2 K.
+//! let ec = charging_energy(Farad(1e-18));
+//! let kt = thermal_energy(Kelvin(4.2));
+//! assert!(ec.0 > 100.0 * kt.0, "blockade must dominate thermal smearing");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod prefix;
+pub mod quantity;
+pub mod temperature;
+
+pub use constants::{
+    BOLTZMANN, ELEMENTARY_CHARGE, PLANCK, REDUCED_PLANCK, RESISTANCE_QUANTUM,
+};
+pub use prefix::{parse_value, ParseValueError};
+pub use quantity::{
+    Ampere, Coulomb, Farad, Hertz, Joule, Kelvin, Ohm, Second, Volt,
+};
+pub use temperature::{charging_energy, thermal_energy, thermal_voltage};

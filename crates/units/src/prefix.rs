@@ -1,0 +1,279 @@
+//! Parsing of numeric values with SPICE-style magnitude suffixes.
+//!
+//! Netlist decks for single-electron circuits routinely contain values such
+//! as `1a` (1 attofarad), `100k` (100 kΩ) or `50m` (50 mV). This module
+//! implements the classic SPICE suffix rules, **including** the historical
+//! quirk that `m` means *milli* and `meg` means *mega*, plus the small
+//! suffixes (`f`, `a`, `z`, `y`) that matter at the single-electron scale.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`parse_value`] when a string is not a valid
+/// SPICE-style number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    input: String,
+    reason: ParseValueReason,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseValueReason {
+    Empty,
+    InvalidNumber,
+    UnknownSuffix(String),
+}
+
+impl ParseValueError {
+    /// The original input string that failed to parse.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            ParseValueReason::Empty => write!(f, "empty value"),
+            ParseValueReason::InvalidNumber => {
+                write!(f, "invalid numeric literal `{}`", self.input)
+            }
+            ParseValueReason::UnknownSuffix(s) => {
+                write!(f, "unknown magnitude suffix `{s}` in `{}`", self.input)
+            }
+        }
+    }
+}
+
+impl Error for ParseValueError {}
+
+/// Parses a SPICE-style value such as `1.5k`, `2meg`, `10a`, `3.3`, `1e-18`.
+///
+/// Suffix table (case-insensitive):
+///
+/// | suffix | factor  | | suffix | factor  |
+/// |--------|---------|-|--------|---------|
+/// | `t`    | 1e12    | | `u`    | 1e-6    |
+/// | `g`    | 1e9     | | `n`    | 1e-9    |
+/// | `meg`  | 1e6     | | `p`    | 1e-12   |
+/// | `k`    | 1e3     | | `f`    | 1e-15   |
+/// | `m`    | 1e-3    | | `a`    | 1e-18   |
+/// |        |         | | `z`    | 1e-21   |
+///
+/// Any trailing unit letters after a recognised suffix are ignored, in the
+/// SPICE tradition (`10pF` parses the same as `10p`).
+///
+/// # Errors
+///
+/// Returns [`ParseValueError`] if the string is empty, has no valid leading
+/// numeric literal, or carries an unrecognised suffix that is not a plain
+/// unit annotation.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), se_units::ParseValueError> {
+/// assert_eq!(se_units::parse_value("1a")?, 1e-18);
+/// assert_eq!(se_units::parse_value("2.5meg")?, 2.5e6);
+/// assert_eq!(se_units::parse_value("100k")?, 1e5);
+/// assert_eq!(se_units::parse_value("50m")?, 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_value(text: &str) -> Result<f64, ParseValueError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(ParseValueError {
+            input: text.to_string(),
+            reason: ParseValueReason::Empty,
+        });
+    }
+
+    // Split into the longest leading float literal and the suffix.
+    let bytes = trimmed.as_bytes();
+    let mut end = 0;
+    let mut seen_digit = false;
+    while end < bytes.len() {
+        let b = bytes[end] as char;
+        let ok = match b {
+            '0'..='9' => {
+                seen_digit = true;
+                true
+            }
+            '+' | '-' => end == 0 || matches!(bytes[end - 1] as char, 'e' | 'E'),
+            '.' => true,
+            'e' | 'E' => {
+                // Only part of the number if followed by digit or sign and we
+                // have already seen a digit (otherwise it is a suffix letter).
+                seen_digit
+                    && end + 1 < bytes.len()
+                    && matches!(bytes[end + 1] as char, '0'..='9' | '+' | '-')
+            }
+            _ => false,
+        };
+        if ok {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+
+    let (num_str, suffix) = trimmed.split_at(end);
+    let base: f64 = num_str.parse().map_err(|_| ParseValueError {
+        input: text.to_string(),
+        reason: ParseValueReason::InvalidNumber,
+    })?;
+
+    let factor = suffix_factor(suffix).ok_or_else(|| ParseValueError {
+        input: text.to_string(),
+        reason: ParseValueReason::UnknownSuffix(suffix.to_string()),
+    })?;
+
+    Ok(base * factor)
+}
+
+/// Returns the scaling factor for a SPICE suffix, or `None` if unknown.
+fn suffix_factor(suffix: &str) -> Option<f64> {
+    let s = suffix.to_ascii_lowercase();
+    if s.is_empty() {
+        return Some(1.0);
+    }
+    // `meg` must be checked before `m`.
+    let (factor, rest) = if let Some(rest) = s.strip_prefix("meg") {
+        (1e6, rest)
+    } else if let Some(rest) = s.strip_prefix('t') {
+        (1e12, rest)
+    } else if let Some(rest) = s.strip_prefix('g') {
+        (1e9, rest)
+    } else if let Some(rest) = s.strip_prefix('k') {
+        (1e3, rest)
+    } else if let Some(rest) = s.strip_prefix('m') {
+        (1e-3, rest)
+    } else if let Some(rest) = s.strip_prefix('u') {
+        (1e-6, rest)
+    } else if let Some(rest) = s.strip_prefix('n') {
+        (1e-9, rest)
+    } else if let Some(rest) = s.strip_prefix('p') {
+        (1e-12, rest)
+    } else if let Some(rest) = s.strip_prefix('f') {
+        (1e-15, rest)
+    } else if let Some(rest) = s.strip_prefix('a') {
+        (1e-18, rest)
+    } else if let Some(rest) = s.strip_prefix('z') {
+        (1e-21, rest)
+    } else {
+        // Pure unit annotation like "v" or "ohm": treat as factor 1 if it is
+        // alphabetic only.
+        if s.chars().all(|c| c.is_ascii_alphabetic()) {
+            (1.0, "")
+        } else {
+            return None;
+        }
+    };
+    // Whatever remains must be a unit annotation (letters only).
+    if rest.chars().all(|c| c.is_ascii_alphabetic()) {
+        Some(factor)
+    } else {
+        None
+    }
+}
+
+/// Formats a value using engineering notation with a SPICE suffix where one
+/// exists, e.g. `1.5e-18` → `"1.5a"`.
+#[must_use]
+pub fn format_engineering(value: f64) -> String {
+    if value == 0.0 || !value.is_finite() {
+        return format!("{value}");
+    }
+    const TABLE: &[(f64, &str)] = &[
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+        (1e-21, "z"),
+    ];
+    let magnitude = value.abs();
+    for &(factor, suffix) in TABLE {
+        if magnitude >= factor {
+            let scaled = value / factor;
+            return format!("{scaled:.4}{suffix}");
+        }
+    }
+    format!("{value:e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!(parse_value("42").unwrap(), 42.0);
+        assert_eq!(parse_value("-3.5").unwrap(), -3.5);
+        assert_eq!(parse_value("1e-18").unwrap(), 1e-18);
+        assert_eq!(parse_value("2.5E3").unwrap(), 2500.0);
+    }
+
+    #[test]
+    fn parses_suffixes() {
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("1K").unwrap(), 1e3);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("1m").unwrap(), 1e-3);
+        assert_eq!(parse_value("1u").unwrap(), 1e-6);
+        assert_eq!(parse_value("1n").unwrap(), 1e-9);
+        assert_eq!(parse_value("1p").unwrap(), 1e-12);
+        assert_eq!(parse_value("1f").unwrap(), 1e-15);
+        assert_eq!(parse_value("1a").unwrap(), 1e-18);
+        assert_eq!(parse_value("1z").unwrap(), 1e-21);
+        assert_eq!(parse_value("1t").unwrap(), 1e12);
+        assert_eq!(parse_value("1g").unwrap(), 1e9);
+    }
+
+    #[test]
+    fn ignores_unit_annotations() {
+        assert_eq!(parse_value("10pF").unwrap(), 10e-12);
+        assert_eq!(parse_value("100kOhm").unwrap(), 1e5);
+        assert_eq!(parse_value("3V").unwrap(), 3.0);
+        assert_eq!(parse_value("1aF").unwrap(), 1e-18);
+    }
+
+    #[test]
+    fn negative_and_exponent_with_suffix() {
+        assert_eq!(parse_value("-2.5k").unwrap(), -2500.0);
+        assert_eq!(parse_value("1.5e2m").unwrap(), 0.15);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("1.2.3").is_err());
+        assert!(parse_value("1k2").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_input() {
+        let err = parse_value("1q#").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("1q#"), "error message should cite the input: {text}");
+    }
+
+    #[test]
+    fn engineering_format_round_trip() {
+        for &value in &[1.5e-18, 2.2e3, 4.7e-12, 0.05, 3.0e6] {
+            let text = format_engineering(value);
+            let parsed = parse_value(&text).unwrap();
+            let rel = ((parsed - value) / value).abs();
+            assert!(rel < 1e-3, "{value} -> {text} -> {parsed}");
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Strongly typed physical quantities.
+//!
+//! Each quantity is a transparent newtype over `f64` in SI units. The types
+//! intentionally implement only the arithmetic that is physically meaningful
+//! (e.g. `Volt * Farad -> Coulomb`, `Volt / Ohm -> Ampere`); anything else
+//! must go through the `.0` field explicitly, which keeps unit errors visible
+//! in review.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the underlying value is finite.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volt.
+    Volt,
+    "V"
+);
+quantity!(
+    /// Electric current in ampere.
+    Ampere,
+    "A"
+);
+quantity!(
+    /// Capacitance in farad.
+    Farad,
+    "F"
+);
+quantity!(
+    /// Electric charge in coulomb.
+    Coulomb,
+    "C"
+);
+quantity!(
+    /// Thermodynamic temperature in kelvin.
+    Kelvin,
+    "K"
+);
+quantity!(
+    /// Time in second.
+    Second,
+    "s"
+);
+quantity!(
+    /// Resistance in ohm.
+    Ohm,
+    "Ohm"
+);
+quantity!(
+    /// Energy in joule.
+    Joule,
+    "J"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+// --- physically meaningful cross-type arithmetic -------------------------
+
+impl Mul<Farad> for Volt {
+    type Output = Coulomb;
+    /// `Q = C · V`
+    fn mul(self, rhs: Farad) -> Coulomb {
+        Coulomb(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volt> for Farad {
+    type Output = Coulomb;
+    /// `Q = C · V`
+    fn mul(self, rhs: Volt) -> Coulomb {
+        Coulomb(self.0 * rhs.0)
+    }
+}
+
+impl Div<Farad> for Coulomb {
+    type Output = Volt;
+    /// `V = Q / C`
+    fn div(self, rhs: Farad) -> Volt {
+        Volt(self.0 / rhs.0)
+    }
+}
+
+impl Div<Volt> for Coulomb {
+    type Output = Farad;
+    /// `C = Q / V`
+    fn div(self, rhs: Volt) -> Farad {
+        Farad(self.0 / rhs.0)
+    }
+}
+
+impl Div<Ohm> for Volt {
+    type Output = Ampere;
+    /// Ohm's law `I = V / R`.
+    fn div(self, rhs: Ohm) -> Ampere {
+        Ampere(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ohm> for Ampere {
+    type Output = Volt;
+    /// Ohm's law `V = I · R`.
+    fn mul(self, rhs: Ohm) -> Volt {
+        Volt(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Second> for Ampere {
+    type Output = Coulomb;
+    /// `Q = I · t`
+    fn mul(self, rhs: Second) -> Coulomb {
+        Coulomb(self.0 * rhs.0)
+    }
+}
+
+impl Div<Second> for Coulomb {
+    type Output = Ampere;
+    /// `I = Q / t`
+    fn div(self, rhs: Second) -> Ampere {
+        Ampere(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Coulomb> for Volt {
+    type Output = Joule;
+    /// `E = Q · V`
+    fn mul(self, rhs: Coulomb) -> Joule {
+        Joule(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volt> for Coulomb {
+    type Output = Joule;
+    /// `E = Q · V`
+    fn mul(self, rhs: Volt) -> Joule {
+        Joule(self.0 * rhs.0)
+    }
+}
+
+impl Div<Coulomb> for Joule {
+    type Output = Volt;
+    /// `V = E / Q`
+    fn div(self, rhs: Coulomb) -> Volt {
+        Volt(self.0 / rhs.0)
+    }
+}
+
+impl Div<Second> for f64 {
+    type Output = Hertz;
+    /// `f = 1 / t` (used for rates/periods).
+    fn div(self, rhs: Second) -> Hertz {
+        Hertz(self / rhs.0)
+    }
+}
+
+impl Hertz {
+    /// Returns the period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; a zero frequency yields an infinite period.
+    #[must_use]
+    pub fn period(self) -> Second {
+        Second(1.0 / self.0)
+    }
+}
+
+impl Second {
+    /// Returns the frequency `1/t`.
+    #[must_use]
+    pub fn frequency(self) -> Hertz {
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Joule {
+    /// Converts an energy to electronvolt.
+    #[must_use]
+    pub fn to_electronvolt(self) -> f64 {
+        self.0 / crate::constants::E
+    }
+
+    /// Creates an energy from a value in electronvolt.
+    #[must_use]
+    pub fn from_electronvolt(ev: f64) -> Self {
+        Joule(ev * crate::constants::E)
+    }
+}
+
+impl Coulomb {
+    /// Expresses the charge in units of the elementary charge `e`.
+    #[must_use]
+    pub fn in_elementary_charges(self) -> f64 {
+        self.0 / crate::constants::E
+    }
+
+    /// Creates a charge from a number of elementary charges.
+    #[must_use]
+    pub fn from_elementary_charges(n: f64) -> Self {
+        Coulomb(n * crate::constants::E)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::E;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let v = Volt(1.5);
+        let r = Ohm(100.0);
+        let i = v / r;
+        assert!((i.0 - 0.015).abs() < 1e-15);
+        let back = i * r;
+        assert!((back.0 - v.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn charge_voltage_capacitance_relations() {
+        let c = Farad(2e-18);
+        let v = Volt(0.5);
+        let q = v * c;
+        assert!((q.0 - 1e-18).abs() < 1e-30);
+        assert!((q / c - v).abs().0 < 1e-15);
+        assert!(((q / v).0 - c.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn energy_in_electronvolt() {
+        let e = Joule::from_electronvolt(1.0);
+        assert!((e.0 - E).abs() < 1e-30);
+        assert!((e.to_electronvolt() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementary_charge_round_trip() {
+        let q = Coulomb::from_elementary_charges(2.5);
+        assert!((q.in_elementary_charges() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Volt(1.0)), "1 V");
+        assert_eq!(format!("{}", Ohm(2.0)), "2 Ohm");
+    }
+
+    #[test]
+    fn like_quantity_ratio_is_dimensionless() {
+        let ratio: f64 = Farad(4.0) / Farad(2.0);
+        assert!((ratio - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Volt = [Volt(1.0), Volt(2.0), Volt(3.0)].into_iter().sum();
+        assert!((total.0 - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn period_frequency_round_trip() {
+        let f = Hertz(2.0e9);
+        let t = f.period();
+        assert!((t.frequency().0 - f.0).abs() < 1e-3);
+    }
+}

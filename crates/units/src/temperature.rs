@@ -1,0 +1,138 @@
+//! Thermal-energy helpers and the charging-energy comparisons that govern
+//! when Coulomb blockade is observable.
+//!
+//! The rule of thumb quoted in the paper — room-temperature operation needs
+//! structures in the few-nanometre regime — is quantified here: blockade is
+//! visible when the single-electron charging energy `E_C = e²/2CΣ` exceeds
+//! the thermal energy `k_B·T` by a comfortable factor (≈ 10–40×).
+
+use crate::constants::{BOLTZMANN, E};
+use crate::quantity::{Farad, Joule, Kelvin, Volt};
+
+/// Thermal energy `k_B · T`.
+///
+/// # Example
+///
+/// ```
+/// use se_units::{temperature::thermal_energy, Kelvin};
+/// let kt = thermal_energy(Kelvin(300.0));
+/// assert!((kt.to_electronvolt() - 0.02585).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn thermal_energy(temperature: Kelvin) -> Joule {
+    Joule(BOLTZMANN * temperature.0)
+}
+
+/// Thermal voltage `k_B · T / e` (≈ 25.85 mV at 300 K).
+#[must_use]
+pub fn thermal_voltage(temperature: Kelvin) -> Volt {
+    Volt(BOLTZMANN * temperature.0 / E)
+}
+
+/// Single-electron charging energy `E_C = e² / (2 · CΣ)` of an island with
+/// total capacitance `c_total`.
+///
+/// # Panics
+///
+/// Panics if `c_total` is not strictly positive — a zero-capacitance island
+/// has no well-defined electrostatics and indicates a malformed circuit.
+#[must_use]
+pub fn charging_energy(c_total: Farad) -> Joule {
+    assert!(
+        c_total.0 > 0.0,
+        "island total capacitance must be positive, got {c_total}"
+    );
+    Joule(E * E / (2.0 * c_total.0))
+}
+
+/// Maximum temperature at which Coulomb blockade remains observable for an
+/// island with total capacitance `c_total`, requiring
+/// `E_C >= margin · k_B · T`.
+///
+/// The conventional engineering margin is 10 (oscillations visible) to 40
+/// (logic-grade on/off ratio).
+///
+/// # Panics
+///
+/// Panics if `margin` is not strictly positive or `c_total` is not strictly
+/// positive.
+#[must_use]
+pub fn max_operating_temperature(c_total: Farad, margin: f64) -> Kelvin {
+    assert!(margin > 0.0, "margin must be positive, got {margin}");
+    let ec = charging_energy(c_total);
+    Kelvin(ec.0 / (margin * BOLTZMANN))
+}
+
+/// Island total capacitance required to keep Coulomb blockade observable at
+/// `temperature` with the given `margin` (inverse of
+/// [`max_operating_temperature`]).
+///
+/// # Panics
+///
+/// Panics if `temperature` or `margin` is not strictly positive.
+#[must_use]
+pub fn required_capacitance(temperature: Kelvin, margin: f64) -> Farad {
+    assert!(temperature.0 > 0.0, "temperature must be positive");
+    assert!(margin > 0.0, "margin must be positive");
+    Farad(E * E / (2.0 * margin * BOLTZMANN * temperature.0))
+}
+
+/// Rough island diameter (in metres) of a sphere with self-capacitance equal
+/// to `capacitance` in vacuum: `C = 4πε₀·r` ⇒ `d = C / (2πε₀)`.
+///
+/// This is the back-of-the-envelope link between "aF capacitance" and
+/// "few-nanometre structure" quoted in the paper.
+#[must_use]
+pub fn equivalent_island_diameter(capacitance: Farad) -> f64 {
+    const EPSILON_0: f64 = 8.854_187_812_8e-12;
+    capacitance.0 / (2.0 * std::f64::consts::PI * EPSILON_0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = thermal_voltage(Kelvin(300.0));
+        assert!((vt.0 - 0.02585).abs() < 2e-4);
+    }
+
+    #[test]
+    fn charging_energy_of_one_attofarad() {
+        // e²/2C for C = 1 aF is ~80 meV.
+        let ec = charging_energy(Farad(1e-18));
+        assert!((ec.to_electronvolt() - 0.0801).abs() < 2e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn charging_energy_rejects_zero_capacitance() {
+        let _ = charging_energy(Farad(0.0));
+    }
+
+    #[test]
+    fn room_temperature_operation_needs_sub_attofarad_islands() {
+        // Requiring E_C >= 10 kT at 300 K demands CΣ below ~0.31 aF.
+        let c = required_capacitance(Kelvin(300.0), 10.0);
+        assert!(c.0 < 0.35e-18, "required capacitance {c}");
+        assert!(c.0 > 0.2e-18, "required capacitance {c}");
+        // ...which corresponds to a structure of a few nanometres.
+        let d = equivalent_island_diameter(c);
+        assert!(d < 10e-9, "diameter {d} m should be in the nm regime");
+    }
+
+    #[test]
+    fn max_temperature_and_required_capacitance_are_inverse() {
+        let c = Farad(0.5e-18);
+        let t = max_operating_temperature(c, 20.0);
+        let c_back = required_capacitance(t, 20.0);
+        assert!((c_back.0 - c.0).abs() / c.0 < 1e-12);
+    }
+
+    #[test]
+    fn millikelvin_operation_allowed_for_femtofarad_islands() {
+        let t = max_operating_temperature(Farad(1e-15), 10.0);
+        assert!(t.0 < 1.0, "1 fF islands only work below 1 K, got {t}");
+    }
+}

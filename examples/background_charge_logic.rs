@@ -1,0 +1,41 @@
+//! Background-charge immunity: level-coded versus FM-coded SET logic.
+//!
+//! Reproduces the paper's central argument in miniature: a level-coded SET
+//! inverter is corrupted by random background charges, while a gate that
+//! codes its output in the oscillation *frequency* is immune, because
+//! background charge only shifts the phase of the periodic characteristic.
+//!
+//! Run with `cargo run --example background_charge_logic`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use single_electronics::logic::amfm::{
+    fm_coded_bit_error_rate, level_coded_bit_error_rate, FmCodedGate,
+};
+use single_electronics::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let inverter = SetInverter::reference()?;
+    let fm_gate = FmCodedGate::reference()?;
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let mut table = Table::new(
+        "Bit-error rate vs background-charge disorder amplitude (uniform in [-q0, q0])",
+        &["q0 max [e]", "level-coded BER", "FM-coded BER"],
+    );
+    for &q0_max in &[0.05, 0.1, 0.2, 0.3, 0.5] {
+        let level = level_coded_bit_error_rate(&inverter, &mut rng, q0_max, 60)?;
+        let fm = fm_coded_bit_error_rate(&fm_gate, &mut rng, q0_max, 16)?;
+        table.add_row(&[
+            format!("{q0_max:.2}"),
+            format!("{level:.3}"),
+            format!("{fm:.3}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "The FM-coded gate pays for its immunity with speed: it integrates {} oscillation periods per decision.",
+        fm_gate.expected_cycles().1
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Smoke tests of the application-level experiments: each of the paper's
+//! quantitative claims is exercised end-to-end at reduced size so the full
+//! pipeline (physics → simulators → applications) stays wired together.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use single_electronics::logic::amfm::{FmCodedGate, GateSpeedModel};
+use single_electronics::logic::noise::TelegraphNoiseSource;
+use single_electronics::logic::power::power_comparison;
+use single_electronics::orthodox::cotunneling::blockade_leakage_ratio;
+use single_electronics::prelude::*;
+
+#[test]
+fn e1_oscillation_period_and_phase() {
+    let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+    let period = set.gate_period();
+    // Period is e/Cg.
+    assert!((period - E / 1e-18).abs() < 1e-9 * period);
+    // Phase shifts with q0, amplitude does not: a background charge of q0 is
+    // exactly a gate shift of q0·(e/Cg), so compare point-by-point.
+    let q0 = 0.37;
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let clean = set.current(1e-3, (frac + q0) * period, 0.0, 1.0).unwrap();
+        let shifted = set.current(1e-3, frac * period, q0, 1.0).unwrap();
+        let scale = clean.abs().max(shifted.abs()).max(1e-18);
+        assert!(
+            (clean - shifted).abs() < 1e-6 * scale,
+            "phase-shift equivalence failed at {frac}: {clean} vs {shifted}"
+        );
+    }
+}
+
+#[test]
+fn e4_e5_temperature_and_gain_tradeoff() {
+    let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+    // Modulation washes out with temperature.
+    let cold = set.modulation_depth(1e-4, 0.0, 4.0).unwrap();
+    let hot = set.modulation_depth(1e-4, 0.0, 300.0).unwrap();
+    assert!(cold > hot);
+    // Raising Cg/Cj raises the gain but lowers the operating temperature.
+    let high_gain = SingleElectronTransistor::symmetric(4e-18, 0.5e-18, 100e3).unwrap();
+    assert!(high_gain.voltage_gain() > set.voltage_gain());
+    assert!(high_gain.max_operating_temperature(10.0) < set.max_operating_temperature(10.0));
+}
+
+#[test]
+fn e6_fm_gate_is_immune_to_worst_case_disorder() {
+    let gate = FmCodedGate::reference().unwrap();
+    for q0 in [-0.5, -0.1, 0.2, 0.5] {
+        assert!(!gate.evaluate(false, q0).unwrap());
+        assert!(gate.evaluate(true, q0).unwrap());
+    }
+}
+
+#[test]
+fn e8_rng_bits_pass_the_battery_and_comparison_holds() {
+    let mut generator = SetMosRng::reference().unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let bits = generator.generate(&mut rng, 2048).unwrap();
+    let report = RandomnessReport::evaluate(&bits).unwrap();
+    assert!(report.monobit.passed);
+    let mut source = TelegraphNoiseSource::reference().unwrap();
+    let trace = source.sample_trace(&mut rng, 5e-6, 2000).unwrap();
+    let comparison =
+        RngComparison::with_measured_noise(TelegraphNoiseSource::rms_noise(&trace));
+    assert!(comparison.power_orders_of_magnitude() > 6.0);
+    assert!(comparison.area_orders_of_magnitude() > 7.0);
+}
+
+#[test]
+fn e9_power_advantage_of_set_logic() {
+    let set_model = single_electronics::logic::power::SetLogicPowerModel::reference().unwrap();
+    let cmos_model = CmosPowerModel::inverter_180nm();
+    let rows = power_comparison(&set_model, &cmos_model, &[1e6, 1e9]).unwrap();
+    assert!(rows.iter().all(|row| row.ratio > 1e3));
+}
+
+#[test]
+fn e11_cotunneling_dominates_sequential_leakage_in_blockade() {
+    let charging_energy = 5e-21;
+    let low_r = blockade_leakage_ratio(2.0 * RESISTANCE_QUANTUM, charging_energy, 0.1 * charging_energy, 1.0)
+        .unwrap();
+    let high_r = blockade_leakage_ratio(200.0 * RESISTANCE_QUANTUM, charging_energy, 0.1 * charging_energy, 1.0)
+        .unwrap();
+    assert!(low_r > high_r);
+}
+
+#[test]
+fn e12_fm_logic_is_slower_but_still_gigahertz_class() {
+    let model = GateSpeedModel {
+        tunnel_resistance: 100e3,
+        drive_energy: 5e-21,
+        tunnel_events_per_period: 4.0,
+    };
+    assert!(model.tunnel_time() < 1e-12);
+    assert!(model.gate_delay(8) > model.gate_delay(1));
+    assert!(model.max_clock_frequency(8) > 1e9);
+}

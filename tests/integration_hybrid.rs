@@ -1,0 +1,66 @@
+//! Integration test of the hybrid co-simulator against a direct
+//! self-consistent solution of the same circuit.
+
+use single_electronics::prelude::*;
+
+fn deck(vg: f64, load: &str) -> String {
+    format!(
+        "hybrid set load\nVDD vdd 0 5m\nVG gate 0 {vg}\nRL vdd drain {load}\nJ1 drain island C=0.5a R=100k\nJ2 island 0 C=0.5a R=100k\nCG gate island 1a\n"
+    )
+}
+
+#[test]
+fn hybrid_solution_matches_direct_load_line_intersection() {
+    let set = SingleElectronTransistor::new(1e-18, 0.5e-18, 0.5e-18, 100e3, 100e3).unwrap();
+    let period = set.gate_period();
+    for &(vg_frac, load_ohm, load_text) in
+        &[(0.5, 10e6_f64, "10meg"), (0.25, 1e6, "1meg"), (0.5, 100e3, "100k")]
+    {
+        let vg = vg_frac * period;
+        let netlist = se_netlist::parse_deck(&deck(vg, load_text)).unwrap();
+        let solution = HybridSimulator::new(&netlist, HybridOptions::new(1.0))
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!(solution.converged());
+        let v_drain = solution.boundary_voltage("drain").unwrap();
+
+        // Direct solution: intersect the SET I(V) with the load line by
+        // bisection on the drain voltage.
+        let balance = |v: f64| (5e-3 - v) / load_ohm - set.current(v, vg, 0.0, 1.0).unwrap();
+        let (mut lo, mut hi) = (0.0, 5e-3);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if balance(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let direct = 0.5 * (lo + hi);
+        assert!(
+            (v_drain - direct).abs() < 0.05 * direct.max(1e-4),
+            "load {load_text}, vg {vg_frac} periods: hybrid {v_drain} vs direct {direct}"
+        );
+    }
+}
+
+#[test]
+fn hybrid_gate_sweep_preserves_oscillation_period() {
+    let period = E / 1e-18;
+    let mut outputs = Vec::new();
+    for i in 0..=8 {
+        let vg = 2.0 * period * i as f64 / 8.0;
+        let netlist = se_netlist::parse_deck(&deck(vg, "10meg")).unwrap();
+        let solution = HybridSimulator::new(&netlist, HybridOptions::new(1.0))
+            .unwrap()
+            .solve()
+            .unwrap();
+        outputs.push(solution.boundary_voltage("drain").unwrap());
+    }
+    // Points one full period apart (indices 0/4/8) agree.
+    assert!((outputs[0] - outputs[4]).abs() < 0.05 * outputs[0].abs().max(1e-4));
+    assert!((outputs[4] - outputs[8]).abs() < 0.05 * outputs[4].abs().max(1e-4));
+    // And the half-period point is pulled down relative to the valleys.
+    assert!(outputs[2] < outputs[0]);
+}

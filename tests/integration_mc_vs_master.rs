@@ -1,0 +1,105 @@
+//! Cross-engine integration test: the kinetic Monte-Carlo engine, the
+//! generic master-equation solver and the specialised single-SET reference
+//! must agree on the same physical device.
+
+use single_electronics::montecarlo::{
+    gate_sweep_kmc, gate_sweep_master, MonteCarloSimulator, SimulationOptions,
+};
+use single_electronics::orthodox::set::SingleElectronTransistor;
+use single_electronics::orthodox::TunnelSystemBuilder;
+use single_electronics::prelude::*;
+
+fn reference_system(vds: f64, vg: f64) -> TunnelSystem {
+    let mut builder = TunnelSystemBuilder::new();
+    let island = builder.island("island", 0.0);
+    let drain = builder.external("drain", vds);
+    let source = builder.external("source", 0.0);
+    let gate = builder.external("gate", vg);
+    builder.junction("JD", drain, island, 0.5e-18, 100e3);
+    builder.junction("JS", island, source, 0.5e-18, 100e3);
+    builder.capacitor("CG", gate, island, 1e-18);
+    builder.build().expect("valid reference system")
+}
+
+#[test]
+fn three_engines_agree_on_the_coulomb_oscillation() {
+    let vds = 1e-3;
+    let temperature = 1.0;
+    let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+    let period = set.gate_period();
+    let gate_values = [0.25 * period, 0.5 * period, 0.75 * period];
+
+    let system = reference_system(vds, 0.0);
+    let master = gate_sweep_master(&system, "gate", &gate_values, "JD", temperature).unwrap();
+    let kmc = gate_sweep_kmc(
+        &system,
+        "gate",
+        &gate_values,
+        "JD",
+        SimulationOptions::new(temperature).with_seed(11),
+        60_000,
+    )
+    .unwrap();
+
+    for ((vg, m), k) in gate_values.iter().zip(&master).zip(&kmc) {
+        let reference = set.current(vds, *vg, 0.0, temperature).unwrap();
+        let scale = reference.abs().max(1e-15);
+        assert!(
+            (m.current - reference).abs() < 0.03 * scale,
+            "master vs reference at Vg = {vg}: {} vs {reference}",
+            m.current
+        );
+        assert!(
+            (k.current - reference).abs() < 0.15 * scale,
+            "kmc vs reference at Vg = {vg}: {} vs {reference}",
+            k.current
+        );
+    }
+}
+
+#[test]
+fn background_charge_shifts_phase_in_every_engine() {
+    let vds = 1e-3;
+    let temperature = 1.0;
+    let q0 = 0.4;
+    let period = se_units::constants::E / 1e-18;
+
+    // Master equation with background charge on the island...
+    let mut disturbed = reference_system(vds, 0.3 * period);
+    disturbed.set_background_charge(0, q0).unwrap();
+    let master_disturbed = single_electronics::montecarlo::MasterEquation::new(disturbed, temperature)
+        .unwrap()
+        .solve()
+        .unwrap();
+
+    // ...equals the clean system with the gate advanced by q0 periods.
+    let shifted = reference_system(vds, (0.3 + q0) * period);
+    let master_shifted = single_electronics::montecarlo::MasterEquation::new(shifted, temperature)
+        .unwrap()
+        .solve()
+        .unwrap();
+
+    let a = master_disturbed.junction_current("JD").unwrap();
+    let b = master_shifted.junction_current("JD").unwrap();
+    assert!(
+        (a - b).abs() < 1e-6 * a.abs().max(1e-15),
+        "phase-shift equivalence: {a} vs {b}"
+    );
+}
+
+#[test]
+fn kmc_time_averages_are_reproducible_and_physical() {
+    let period = se_units::constants::E / 1e-18;
+    let system = reference_system(0.5e-3, 0.5 * period);
+    let mut sim =
+        MonteCarloSimulator::new(system, SimulationOptions::new(4.2).with_seed(3)).unwrap();
+    let result = sim.run_events(30_000).unwrap();
+    // Continuity between the two junctions.
+    let i_d = result.junction_current("JD").unwrap();
+    let i_s = result.junction_current("JS").unwrap();
+    assert!(i_d > 0.0);
+    assert!((i_d - i_s).abs() < 0.1 * i_d);
+    // Island occupation fluctuates around the degeneracy value of 1/2.
+    let occupation = result.mean_occupation(0).unwrap();
+    assert!(occupation > 0.2 && occupation < 0.8, "occupation {occupation}");
+}

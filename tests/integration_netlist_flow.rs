@@ -1,0 +1,79 @@
+//! End-to-end netlist flow: parse a deck, validate it, partition it, and
+//! feed the same circuit to the Monte-Carlo engine, the SPICE engine and the
+//! co-simulator.
+
+use single_electronics::montecarlo::{tunnel_system_from_netlist, MasterEquation};
+use single_electronics::prelude::*;
+
+const DECK: &str = "single SET with load
+* supply and gate
+VDD vdd 0 5m
+VG gate 0 0.08
+RL vdd drain 10meg
+J1 drain island C=0.5a R=100k
+J2 island 0 C=0.5a R=100k
+CG gate island 1a
+.end
+";
+
+#[test]
+fn deck_parses_validates_and_partitions() {
+    let netlist = se_netlist::parse_deck(DECK).unwrap();
+    assert_eq!(netlist.len(), 6);
+    netlist.validate().unwrap();
+    let islands = netlist.find_islands();
+    assert_eq!(islands.len(), 1);
+    assert_eq!(islands[0].nodes.len(), 1);
+    let split = se_netlist::partition::classify_elements(&netlist);
+    assert_eq!(split.monte_carlo.len(), 3); // J1, J2, CG
+    assert_eq!(split.spice.len(), 3); // VDD, VG, RL
+}
+
+#[test]
+fn monte_carlo_engine_consumes_the_pure_set_part() {
+    // Strip the load so every boundary node is source-driven.
+    let deck = "bare SET\nVD drain 0 1m\nVG gate 0 0.08\nJ1 drain island C=0.5a R=100k\nJ2 island 0 C=0.5a R=100k\nCG gate island 1a\n";
+    let netlist = se_netlist::parse_deck(deck).unwrap();
+    let system = tunnel_system_from_netlist(&netlist).unwrap();
+    assert_eq!(system.island_count(), 1);
+    let solution = MasterEquation::new(system, 1.0).unwrap().solve().unwrap();
+    let current = solution.junction_current("J1").unwrap();
+    assert!(current > 0.0, "gate at e/2Cg must conduct, got {current}");
+}
+
+#[test]
+fn spice_engine_consumes_the_same_topology_with_its_compact_model() {
+    // The same circuit expressed with the analytic SET compact model.
+    let deck = "compact SET with load\nVDD vdd 0 5m\nVG gate 0 0.08\nRL vdd drain 10meg\nX1 drain gate 0 SET CG=1a CS=0.5a CD=0.5a RS=100k RD=100k\n";
+    let netlist = se_netlist::parse_deck(deck).unwrap();
+    let circuit = Circuit::with_temperature(&netlist, 1.0).unwrap();
+    let op = circuit.dc_operating_point().unwrap();
+    let v_drain_compact = op.voltage("drain").unwrap();
+
+    // The hybrid co-simulation of the junction-level deck should land close
+    // to the compact-model result at this low bias.
+    let netlist = se_netlist::parse_deck(DECK).unwrap();
+    let solution = HybridSimulator::new(&netlist, HybridOptions::new(1.0))
+        .unwrap()
+        .solve()
+        .unwrap();
+    let v_drain_hybrid = solution.boundary_voltage("drain").unwrap();
+    assert!(
+        (v_drain_compact - v_drain_hybrid).abs() < 0.25 * v_drain_hybrid.abs().max(1e-4),
+        "compact {v_drain_compact} vs hybrid {v_drain_hybrid}"
+    );
+}
+
+#[test]
+fn malformed_decks_are_rejected_at_every_layer() {
+    // Parse error.
+    assert!(se_netlist::parse_deck("title\nQ1 a b 1k\n").is_err());
+    // Validation error (dangling node).
+    let netlist = se_netlist::parse_deck("title\nV1 a 0 1\nR1 a b 1k\n").unwrap();
+    assert!(netlist.validate().is_err());
+    assert!(Circuit::new(&netlist).is_err());
+    assert!(HybridSimulator::new(&netlist, HybridOptions::new(1.0)).is_err());
+    // No islands for the Monte-Carlo builder.
+    let rc = se_netlist::parse_deck("rc\nV1 a 0 1\nR1 a 0 1k\n").unwrap();
+    assert!(tunnel_system_from_netlist(&rc).is_err());
+}
