@@ -14,7 +14,9 @@ fn kmc_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = MonteCarloSimulator::new(
                 system.clone(),
-                SimulationOptions::new(1.0).with_seed(1).with_equilibration(100),
+                SimulationOptions::new(1.0)
+                    .with_seed(1)
+                    .with_equilibration(100),
             )
             .expect("valid system");
             sim.run_events(10_000).expect("run succeeds")
@@ -30,7 +32,9 @@ fn kmc_throughput(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sim = MonteCarloSimulator::new(
                         system.clone(),
-                        SimulationOptions::new(1.0).with_seed(2).with_equilibration(100),
+                        SimulationOptions::new(1.0)
+                            .with_seed(2)
+                            .with_equilibration(100),
                     )
                     .expect("valid system");
                     sim.run_events(2_000).expect("run succeeds")

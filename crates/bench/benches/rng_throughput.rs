@@ -31,7 +31,9 @@ fn rng_throughput(c: &mut Criterion) {
 
     group.bench_function("von_neumann_corrector_64k", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        let raw: Vec<bool> = (0..65_536).map(|_| rand::Rng::gen::<bool>(&mut rng)).collect();
+        let raw: Vec<bool> = (0..65_536)
+            .map(|_| rand::Rng::gen::<bool>(&mut rng))
+            .collect();
         b.iter(|| von_neumann_corrector(&raw));
     });
     group.finish();

@@ -1,0 +1,71 @@
+//! Criterion bench of the unified sweep layer: a 64×64 stability map of the
+//! reference SET through the master-equation engine, serial vs parallel.
+//!
+//! Besides the criterion timings it writes `BENCH_sweep.json` at the
+//! workspace root with the median wall-clock of both paths and the measured
+//! speedup, so CI can track sweep throughput over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_bench::reference_system;
+use se_engine::SweepRunner;
+use se_montecarlo::MasterEquation;
+use se_units::constants::E;
+use std::time::Instant;
+
+const GRID: usize = 64;
+
+fn median_seconds(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_map(runner: &SweepRunner, samples: usize) -> f64 {
+    let period = E / se_bench::REFERENCE_C_GATE;
+    let engine = MasterEquation::new(reference_system(0.0, 0.0, 0.0), 1.0)
+        .expect("reference system is valid");
+    let gate_values = se_engine::linspace(0.0, 1.5 * period, GRID).expect("valid gate grid");
+    let drain_values = se_engine::linspace(-0.12, 0.12, GRID).expect("valid drain grid");
+    let times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let map = runner
+                .stability_map(&engine, "gate", &gate_values, "drain", &drain_values, "JD")
+                .expect("map solves");
+            assert_eq!(map.as_flat().len(), GRID * GRID);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_seconds(times)
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(5);
+
+    group.bench_function("stability_map_64x64_serial", |b| {
+        let runner = SweepRunner::new().serial();
+        b.iter(|| time_map(&runner, 1));
+    });
+    group.bench_function("stability_map_64x64_parallel", |b| {
+        let runner = SweepRunner::new();
+        b.iter(|| time_map(&runner, 1));
+    });
+    group.finish();
+
+    // Structured record for CI tracking.
+    let serial = time_map(&SweepRunner::new().serial(), 3);
+    let parallel = time_map(&SweepRunner::new(), 3);
+    let threads = rayon::current_num_threads();
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"grid\": {GRID},\n  \"points\": {},\n  \"threads\": {threads},\n  \"serial_seconds\": {serial:.6},\n  \"parallel_seconds\": {parallel:.6},\n  \"speedup\": {:.3},\n  \"points_per_second_parallel\": {:.1}\n}}\n",
+        GRID * GRID,
+        serial / parallel,
+        GRID as f64 * GRID as f64 / parallel,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, &json).expect("BENCH_sweep.json is writable");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, sweep_throughput);
+criterion_main!(benches);

@@ -26,22 +26,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut accuracy = Table::new(
         "E10a: drain current of one SET at Vds = 1 mV [nA] — engine comparison",
-        &["Vg / period", "master equation", "kinetic MC", "analytic (SPICE) model"],
+        &[
+            "Vg / period",
+            "master equation",
+            "kinetic MC",
+            "analytic (SPICE) model",
+        ],
     );
-    for &frac in &[0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9] {
-        let vg = frac * period;
-        let exact = set.current(vds, vg, 0.0, temperature)?;
-        let system = reference_system(vds, vg, 0.0);
-        let mut kmc = MonteCarloSimulator::new(
-            system,
-            SimulationOptions::new(temperature).with_seed(10),
-        )?;
-        let kmc_current = kmc.run_events(40_000)?.junction_current("JD").unwrap_or(0.0);
-        let compact_current = compact.drain_current(vg, vds);
+    // Master-equation and kinetic-MC engines behind the unified trait, both
+    // swept in parallel by the same runner; the compact model stays a plain
+    // closed-form evaluation.
+    let fracs = [0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9];
+    let gate_values: Vec<f64> = fracs.iter().map(|f| f * period).collect();
+    let runner = SweepRunner::new().with_seed(10);
+    let master_engine = MasterEquation::new(reference_system(vds, 0.0, 0.0), temperature)?;
+    let master_sweep = runner.run(&master_engine, "gate", &gate_values, "JD")?;
+    let kmc_engine = MonteCarloSimulator::new(
+        reference_system(vds, 0.0, 0.0),
+        SimulationOptions::new(temperature).with_events_per_solve(40_000),
+    )?;
+    let kmc_sweep = runner.run(&kmc_engine, "gate", &gate_values, "JD")?;
+    for ((&frac, m), k) in fracs.iter().zip(&master_sweep).zip(&kmc_sweep) {
+        let compact_current = compact.drain_current(frac * period, vds);
         accuracy.add_row(&[
             format!("{frac:.2}"),
-            format!("{:.4}", exact * 1e9),
-            format!("{:.4}", kmc_current * 1e9),
+            format!("{:.4}", m.current * 1e9),
+            format!("{:.4}", k.current * 1e9),
             format!("{:.4}", compact_current * 1e9),
         ]);
     }
@@ -59,7 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (b) Run-time scaling with circuit size.
     let mut scaling = Table::new(
         "E10b: solve time vs number of islands (detailed engines) and SPICE nodes",
-        &["islands", "master equation [ms]", "kinetic MC, 10k events [ms]", "SPICE RC ladder, same node count [ms]"],
+        &[
+            "islands",
+            "master equation [ms]",
+            "kinetic MC, 10k events [ms]",
+            "SPICE RC ladder, same node count [ms]",
+        ],
     );
     for &islands in &[1usize, 2, 3, 4] {
         let system = chain_system(islands, 1e-3, 0.08);

@@ -6,7 +6,9 @@
 //! junction resistance in units of the resistance quantum — the physics the
 //! paper lists as missing from SPICE-level SET models.
 
-use single_electronics::orthodox::cotunneling::{blockade_leakage_ratio, cotunneling_rate, CotunnelingPath};
+use single_electronics::orthodox::cotunneling::{
+    blockade_leakage_ratio, cotunneling_rate, CotunnelingPath,
+};
 use single_electronics::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "E11: cotunneling vs sequential leakage deep in blockade (T = 1 K, eV = 0.1 E_C)",
-        &["R_t / R_Q", "cotunneling rate [1/s]", "cotunneling / sequential"],
+        &[
+            "R_t / R_Q",
+            "cotunneling rate [1/s]",
+            "cotunneling / sequential",
+        ],
     );
     for &ratio in &[2.0, 5.0, 10.0, 50.0, 200.0, 1000.0] {
         let resistance = ratio * RESISTANCE_QUANTUM;
@@ -27,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             intermediate_energy_2: charging_energy,
         };
         let rate = cotunneling_rate(&path, -bias_energy, temperature)?;
-        let leakage = blockade_leakage_ratio(resistance, charging_energy, bias_energy, temperature)?;
+        let leakage =
+            blockade_leakage_ratio(resistance, charging_energy, bias_energy, temperature)?;
         table.add_row(&[
             format!("{ratio:.0}"),
             format!("{rate:.3e}"),

@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "E12: gate delay and maximum clock vs number of oscillation periods per decision",
-        &["periods", "gate delay [ps]", "max clock [GHz]", "relative to level-coded"],
+        &[
+            "periods",
+            "gate delay [ps]",
+            "max clock [GHz]",
+            "relative to level-coded",
+        ],
     );
     let level_delay = model.gate_delay(1);
     for &periods in &[1usize, 2, 4, 8, 16, 32] {

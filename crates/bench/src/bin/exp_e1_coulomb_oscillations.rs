@@ -20,11 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["Vg / period", "q0 = 0", "q0 = 0.2", "q0 = 0.5"],
     );
     let points = 41;
+    // One parallel gate sweep per background charge through the unified
+    // sweep layer.
+    let sweeps: Vec<Vec<_>> = backgrounds
+        .iter()
+        .map(|&q0| set.gate_sweep(vds, 0.0, 2.0 * period, points, q0, temperature))
+        .collect::<Result<_, _>>()?;
     for i in 0..points {
-        let vg = 2.0 * period * i as f64 / (points - 1) as f64;
-        let mut row = vec![format!("{:.3}", vg / period)];
-        for &q0 in &backgrounds {
-            row.push(format!("{:.4}", set.current(vds, vg, q0, temperature)? * 1e9));
+        let mut row = vec![format!("{:.3}", sweeps[0][i].vgs / period)];
+        for sweep in &sweeps {
+            row.push(format!("{:.4}", sweep[i].current * 1e9));
         }
         table.add_row(&row);
     }
@@ -33,7 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Summary: period, amplitude and phase per background charge.
     let mut summary = Table::new(
         "E1 summary: period and amplitude are q0-invariant, the phase is not",
-        &["q0 [e]", "period [mV]", "peak current [nA]", "peak position / period"],
+        &[
+            "q0 [e]",
+            "period [mV]",
+            "peak current [nA]",
+            "peak position / period",
+        ],
     );
     for &q0 in &backgrounds {
         let sweep = set.gate_sweep(vds, 0.0, period, 201, q0, temperature)?;

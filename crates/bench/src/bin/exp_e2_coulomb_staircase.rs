@@ -14,15 +14,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "E2: Id(Vds) at the gate valley, T = 1 K [nA]",
-        &["Vds [mV]", "symmetric SET", "asymmetric SET (R_d = 100 R_s)"],
+        &[
+            "Vds [mV]",
+            "symmetric SET",
+            "asymmetric SET (R_d = 100 R_s)",
+        ],
     );
     let points = 41;
-    for i in 0..points {
-        let vds = 0.5 * i as f64 / (points - 1) as f64;
+    // Two parallel drain sweeps through the unified sweep layer.
+    let sym = symmetric.drain_sweep(0.0, 0.0, 0.5, points, 0.0, temperature)?;
+    let asym = asymmetric.drain_sweep(0.0, 0.0, 0.5, points, 0.0, temperature)?;
+    for (s, a) in sym.iter().zip(&asym) {
         table.add_row(&[
-            format!("{:.1}", vds * 1e3),
-            format!("{:.4}", symmetric.current(vds, 0.0, 0.0, temperature)? * 1e9),
-            format!("{:.5}", asymmetric.current(vds, 0.0, 0.0, temperature)? * 1e9),
+            format!("{:.1}", s.vds * 1e3),
+            format!("{:.4}", s.current * 1e9),
+            format!("{:.5}", a.current * 1e9),
         ]);
     }
     println!("{table}");

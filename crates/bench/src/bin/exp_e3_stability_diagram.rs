@@ -5,30 +5,26 @@
 //! touching points repeat every `e/C_g` along the gate axis.
 
 use se_bench::reference_system;
-use single_electronics::montecarlo::sweep::stability_map_master;
+use single_electronics::engine::linspace;
+use single_electronics::montecarlo::MasterEquation;
 use single_electronics::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let temperature = 1.0;
     let period = E / se_bench::REFERENCE_C_GATE;
-    let gate_points = 13;
-    let drain_points = 13;
-    let gate_values: Vec<f64> = (0..gate_points)
-        .map(|i| 1.5 * period * i as f64 / (gate_points - 1) as f64)
-        .collect();
-    let drain_values: Vec<f64> = (0..drain_points)
-        .map(|i| -0.12 + 0.24 * i as f64 / (drain_points - 1) as f64)
-        .collect();
+    let gate_values = linspace(0.0, 1.5 * period, 13)?;
+    let drain_values = linspace(-0.12, 0.12, 13)?;
 
-    let system = reference_system(0.0, 0.0, 0.0);
-    let map = stability_map_master(
-        &system,
+    // The master-equation engine behind the unified trait; every grid point
+    // of the map is an independent parallel task.
+    let engine = MasterEquation::new(reference_system(0.0, 0.0, 0.0), temperature)?;
+    let map = SweepRunner::new().stability_map(
+        &engine,
         "gate",
         &gate_values,
         "drain",
         &drain_values,
         "JD",
-        temperature,
     )?;
 
     let headers: Vec<String> = std::iter::once("Vg/period \\ Vds [mV]".to_string())
@@ -36,9 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("E3: |Id| on the stability plane [nA]", &header_refs);
-    for (vg, row) in gate_values.iter().zip(&map) {
+    for (i, vg) in map.outer_values().iter().enumerate() {
         let mut cells = vec![format!("{:.2}", vg / period)];
-        cells.extend(row.iter().map(|i| format!("{:.2}", i.abs() * 1e9)));
+        cells.extend(map.row(i).iter().map(|c| format!("{:.2}", c.abs() * 1e9)));
         table.add_row(&cells);
     }
     println!("{table}");

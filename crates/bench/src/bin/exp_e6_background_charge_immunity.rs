@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "E6: bit-error rate vs background-charge disorder (q0 uniform in [-q0max, q0max])",
-        &["q0max [e]", "level-coded BER", "FM-coded BER", "AM-coded errors (9 samples)"],
+        &[
+            "q0max [e]",
+            "level-coded BER",
+            "FM-coded BER",
+            "AM-coded errors (9 samples)",
+        ],
     );
     for &q0_max in &[0.05, 0.1, 0.2, 0.35, 0.5] {
         let level = level_coded_bit_error_rate(&inverter, &mut rng, q0_max, 80)?;
@@ -28,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut am_errors = 0usize;
         for i in 0..9 {
             let q0 = q0_max * (i as f64 / 4.0 - 1.0);
-            if am_gate.evaluate(true, q0)? != true || am_gate.evaluate(false, q0)? != false {
+            if !am_gate.evaluate(true, q0)? || am_gate.evaluate(false, q0)? {
                 am_errors += 1;
             }
         }
@@ -40,6 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{table}");
-    println!("level-coded logic degrades towards a 50% error rate; AM/FM-coded logic stays error-free");
+    println!(
+        "level-coded logic degrades towards a 50% error rate; AM/FM-coded logic stays error-free"
+    );
     Ok(())
 }

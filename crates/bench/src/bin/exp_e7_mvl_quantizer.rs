@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let swing = outputs.iter().cloned().fold(f64::MIN, f64::max)
         - outputs.iter().cloned().fold(f64::MAX, f64::min);
     println!("output plateaus over 4 periods : {plateaus}");
-    println!("output swing                   : {:.2} mV of a {:.0} mV supply", swing * 1e3, gate.supply * 1e3);
+    println!(
+        "output swing                   : {:.2} mV of a {:.0} mV supply",
+        swing * 1e3,
+        gate.supply * 1e3
+    );
     println!("devices used                   : 1 SET + 1 MOSFET");
     Ok(())
 }

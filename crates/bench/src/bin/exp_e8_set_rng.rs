@@ -45,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let comparison = RngComparison::with_measured_noise(rms);
     let mut table = Table::new(
         "E8b: SET/CMOS RNG vs conventional CMOS RNG (paper: 7 / 8 / 4 orders of magnitude)",
-        &["quantity", "SET/CMOS", "CMOS baseline", "advantage [orders]"],
+        &[
+            "quantity",
+            "SET/CMOS",
+            "CMOS baseline",
+            "advantage [orders]",
+        ],
     );
     table.add_row(&[
         "power [W]".into(),

@@ -48,8 +48,20 @@ pub fn reference_system(vds: f64, vg: f64, q0: f64) -> TunnelSystem {
     let drain = builder.external("drain", vds);
     let source = builder.external("source", 0.0);
     let gate = builder.external("gate", vg);
-    builder.junction("JD", drain, island, REFERENCE_C_JUNCTION, REFERENCE_R_JUNCTION);
-    builder.junction("JS", island, source, REFERENCE_C_JUNCTION, REFERENCE_R_JUNCTION);
+    builder.junction(
+        "JD",
+        drain,
+        island,
+        REFERENCE_C_JUNCTION,
+        REFERENCE_R_JUNCTION,
+    );
+    builder.junction(
+        "JS",
+        island,
+        source,
+        REFERENCE_C_JUNCTION,
+        REFERENCE_R_JUNCTION,
+    );
     builder.capacitor("CG", gate, island, REFERENCE_C_GATE);
     builder.build().expect("reference parameters are valid")
 }

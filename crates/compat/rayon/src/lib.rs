@@ -1,0 +1,214 @@
+//! Workspace-local stand-in for the `rayon` crate.
+//!
+//! The build environment of this repository has no access to a crate
+//! registry, so the sweep layer vendors the *exact subset* of the rayon API
+//! it uses: `into_par_iter()` over ranges, vectors and slices, `map`, and
+//! order-preserving `collect()`. Work is distributed over
+//! [`std::thread::scope`] with one chunk per available core; results are
+//! written back by index, so `collect()` returns items in input order —
+//! exactly the guarantee the deterministic sweep runner relies on.
+//!
+//! If a registry becomes available, replacing this crate with the real
+//! `rayon` is a one-line change in the workspace manifest (call sites are
+//! already API-compatible).
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// The number of worker threads a parallel iterator will fan out to.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map: applies `f` to every item, splitting the
+/// items into one contiguous chunk per worker. The first chunk runs on the
+/// calling thread, so a map only ever spawns `threads - 1` OS threads and a
+/// single-core machine pays no spawn overhead at all. (A persistent worker
+/// pool is what the real rayon brings; this shim keeps per-call scoped
+/// threads for simplicity.)
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    let run_chunk = |inputs: &mut [Option<T>], outputs: &mut [Option<R>]| {
+        for (input, output) in inputs.iter_mut().zip(outputs.iter_mut()) {
+            let item = input.take().expect("each slot is consumed exactly once");
+            *output = Some(f(item));
+        }
+    };
+    let run_chunk = &run_chunk;
+    std::thread::scope(|scope| {
+        let mut pairs = slots.chunks_mut(chunk).zip(results.chunks_mut(chunk));
+        let first = pairs.next();
+        for (inputs, outputs) in pairs {
+            scope.spawn(move || run_chunk(inputs, outputs));
+        }
+        if let Some((inputs, outputs)) = first {
+            run_chunk(inputs, outputs);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot was filled by its worker"))
+        .collect()
+}
+
+/// A parallel iterator that owns its items eagerly.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with a pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Applies `f` to every item in parallel (lazily; runs on `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items (no-op map), preserving order.
+    #[must_use]
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Runs the map across worker threads and collects the results in input
+    /// order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type produced by the iterator.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The (borrowed) item type.
+    type Item: Send;
+
+    /// Returns a parallel iterator over references to the items.
+    fn par_iter(&'a self) -> IntoParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn par_iter_over_slices_borrows() {
+        let values = vec![1.0_f64, 2.0, 3.0];
+        let doubled: Vec<f64> = values.par_iter().map(|v| 2.0 * v).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn results_match_serial_execution_bit_for_bit() {
+        let serial: Vec<f64> = (0..257).map(|i| (i as f64).sin().exp()).collect();
+        let parallel: Vec<f64> = (0..257)
+            .into_par_iter()
+            .map(|i| (i as f64).sin().exp())
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+}

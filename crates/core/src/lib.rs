@@ -18,11 +18,17 @@
 //! | Constants & quantities | `se-units` | [`units`] |
 //! | Numerics | `se-numeric` | [`numeric`] |
 //! | Netlists | `se-netlist` | [`netlist`] |
+//! | Unified engine trait & parallel sweeps | `se-engine` | [`engine`] |
 //! | Orthodox physics | `se-orthodox` | [`orthodox`] |
 //! | Monte-Carlo / master equation | `se-montecarlo` | [`montecarlo`] |
 //! | SPICE engine | `se-spice` | [`spice`] |
 //! | Co-simulation | `se-hybrid` | [`hybrid`] |
 //! | Logic & applications | `se-logic` | [`logic`] |
+//!
+//! Every simulator implements [`engine::StationaryEngine`] ("bias point in,
+//! junction currents out"), and every sweep — gate sweeps, staircases, 2-D
+//! stability maps — runs through the one parallel, deterministic
+//! [`engine::SweepRunner`].
 //!
 //! # Quickstart
 //!
@@ -43,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use se_engine as engine;
 pub use se_hybrid as hybrid;
 pub use se_logic as logic;
 pub use se_montecarlo as montecarlo;
@@ -57,6 +64,7 @@ pub mod report;
 /// The most commonly used types across the whole toolkit.
 pub mod prelude {
     pub use crate::report::Table;
+    pub use se_engine::{ControlId, ObservableId, StabilityMap, StationaryEngine, SweepRunner};
     pub use se_hybrid::{HybridOptions, HybridSimulator};
     pub use se_logic::amfm::{AmCodedGate, FmCodedGate, GateSpeedModel};
     pub use se_logic::encoding::{AmplitudeEncoding, FrequencyEncoding, LevelEncoding};
@@ -68,7 +76,7 @@ pub mod prelude {
     pub use se_montecarlo::prelude::*;
     pub use se_netlist::prelude::*;
     pub use se_orthodox::set::SingleElectronTransistor;
-    pub use se_orthodox::{ChargeState, TunnelSystem, TunnelSystemBuilder};
+    pub use se_orthodox::{AnalyticSetEngine, ChargeState, TunnelSystem, TunnelSystemBuilder};
     pub use se_spice::prelude::*;
     pub use se_units::constants::{BOLTZMANN, E, RESISTANCE_QUANTUM};
 }

@@ -1,0 +1,114 @@
+//! Shared sweep-grid construction.
+//!
+//! Every engine used to carry its own copy of `linspace` with its own error
+//! type and its own quirks (none of them accepted descending ranges, which
+//! made reverse-bias sweeps impossible without manual `rev()` gymnastics).
+//! This is now the single canonical implementation; the per-engine wrappers
+//! only convert [`GridError`] into their local error enums.
+
+use std::fmt;
+
+/// Errors of grid construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// Fewer than two points were requested.
+    TooFewPoints(usize),
+    /// The range endpoints coincide or are not finite.
+    DegenerateRange {
+        /// The requested start value (stringified to keep `Eq`).
+        start: String,
+        /// The requested stop value.
+        stop: String,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::TooFewPoints(points) => {
+                write!(f, "a sweep needs at least two points, got {points}")
+            }
+            GridError::DegenerateRange { start, stop } => write!(
+                f,
+                "sweep range must have distinct, finite endpoints, got [{start}, {stop}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Generates `points` evenly spaced values covering `[start, stop]`.
+///
+/// Ascending (`start < stop`) and descending (`start > stop`) ranges are
+/// both supported — a descending grid runs a reverse-bias sweep without any
+/// caller-side reversal. The first value is exactly `start` and the last is
+/// exactly `stop`.
+///
+/// # Errors
+///
+/// Returns [`GridError::TooFewPoints`] if `points < 2` and
+/// [`GridError::DegenerateRange`] if the endpoints coincide or are not
+/// finite.
+pub fn linspace(start: f64, stop: f64, points: usize) -> Result<Vec<f64>, GridError> {
+    if points < 2 {
+        return Err(GridError::TooFewPoints(points));
+    }
+    if start == stop || !start.is_finite() || !stop.is_finite() {
+        return Err(GridError::DegenerateRange {
+            start: start.to_string(),
+            stop: stop.to_string(),
+        });
+    }
+    let last = (points - 1) as f64;
+    Ok((0..points)
+        .map(|i| {
+            if i == points - 1 {
+                stop
+            } else {
+                start + (stop - start) * i as f64 / last
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_too_few_points_and_degenerate_ranges() {
+        assert_eq!(linspace(0.0, 1.0, 0), Err(GridError::TooFewPoints(0)));
+        assert_eq!(linspace(0.0, 1.0, 1), Err(GridError::TooFewPoints(1)));
+        assert!(matches!(
+            linspace(2.0, 2.0, 5),
+            Err(GridError::DegenerateRange { .. })
+        ));
+        assert!(linspace(f64::NAN, 1.0, 5).is_err());
+        assert!(linspace(0.0, f64::INFINITY, 5).is_err());
+    }
+
+    #[test]
+    fn ascending_grid_covers_the_range() {
+        let xs = linspace(0.0, 1.0, 5).unwrap();
+        assert_eq!(xs, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn descending_grid_enables_reverse_bias_sweeps() {
+        let xs = linspace(0.1, -0.1, 5).unwrap();
+        assert_eq!(xs.len(), 5);
+        assert_eq!(xs[0], 0.1);
+        assert_eq!(xs[4], -0.1);
+        for pair in xs.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let xs = linspace(-3.0, 7.0, 1001).unwrap();
+        assert_eq!(xs[0], -3.0);
+        assert_eq!(*xs.last().unwrap(), 7.0);
+    }
+}

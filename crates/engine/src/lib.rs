@@ -1,0 +1,115 @@
+//! The unified stationary-engine layer of the single-electronics toolkit.
+//!
+//! The paper's central contrast (Section 4) is between SPICE-style analytic
+//! SET models and detailed Monte-Carlo / master-equation simulators. This
+//! toolkit ships all three engine families, and all of its headline
+//! experiments — Coulomb oscillations, staircases, temperature washout,
+//! stability (Coulomb-diamond) maps — are *embarrassingly parallel grids of
+//! independent bias points*. This crate gives every engine one face and one
+//! execution layer:
+//!
+//! * [`StationaryEngine`] — "bias point in, junction currents out". An
+//!   engine resolves electrode/observable *names* to typed handles once
+//!   ([`ControlId`], [`ObservableId`]) and then solves stationary currents
+//!   at arbitrary control values;
+//! * [`SweepRunner`] — the single generic sweep loop used by the analytic
+//!   SET, the master-equation solver, the kinetic Monte-Carlo engine and
+//!   the SPICE DC engine. It fans bias points out across all cores with
+//!   rayon, and derives every point's RNG seed deterministically from the
+//!   sweep seed and the point index (see [`runner::derive_seed`]), so
+//!   **parallel and serial runs are bit-identical**;
+//! * [`grid`] — shared grid construction ([`grid::linspace`] supports
+//!   ascending *and* descending ranges, enabling reverse-bias sweeps).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod runner;
+
+pub use grid::{linspace, GridError};
+pub use runner::{derive_seed, StabilityMap, SweepPoint, SweepRunner};
+
+/// Typed handle to a swept control (an electrode or voltage source),
+/// returned by [`StationaryEngine::resolve_control`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlId(pub usize);
+
+/// Typed handle to a measured observable (a junction or source current),
+/// returned by [`StationaryEngine::resolve_observable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObservableId(pub usize);
+
+/// A stationary simulation engine: voltages in, stationary currents out.
+///
+/// Implementations must be cheap to share across threads (`Sync`); the
+/// [`SweepRunner`] calls [`StationaryEngine::stationary_current`] for many
+/// bias points concurrently, each call carrying its own derived seed.
+/// Deterministic engines (master equation, analytic models) simply ignore
+/// the seed; stochastic engines must use it as the *only* source of
+/// randomness so sweeps are reproducible.
+pub trait StationaryEngine: Sync {
+    /// The engine's error type.
+    type Error: std::error::Error + Send + 'static;
+
+    /// A short human-readable engine name (used in reports and benches).
+    fn engine_name(&self) -> &'static str;
+
+    /// Resolves a control name (electrode / voltage source) to a typed
+    /// handle, or errors if no such control exists.
+    fn resolve_control(&self, name: &str) -> Result<ControlId, Self::Error>;
+
+    /// Resolves an observable name (junction / source current) to a typed
+    /// handle, or errors if no such observable exists.
+    fn resolve_observable(&self, name: &str) -> Result<ObservableId, Self::Error>;
+
+    /// Solves the stationary state with the given control values applied
+    /// and returns the current (ampere) of each requested observable, in
+    /// order. One call performs one solve, however many observables are
+    /// read from it.
+    fn stationary_currents(
+        &self,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        seed: u64,
+    ) -> Result<Vec<f64>, Self::Error>;
+
+    /// Convenience wrapper for a single observable.
+    fn stationary_current(
+        &self,
+        controls: &[(ControlId, f64)],
+        observable: ObservableId,
+        seed: u64,
+    ) -> Result<f64, Self::Error> {
+        let currents = self.stationary_currents(controls, &[observable], seed)?;
+        Ok(currents
+            .first()
+            .copied()
+            .expect("stationary_currents returns one value per observable"))
+    }
+}
+
+impl<E: StationaryEngine + ?Sized> StationaryEngine for &E {
+    type Error = E::Error;
+
+    fn engine_name(&self) -> &'static str {
+        (**self).engine_name()
+    }
+
+    fn resolve_control(&self, name: &str) -> Result<ControlId, Self::Error> {
+        (**self).resolve_control(name)
+    }
+
+    fn resolve_observable(&self, name: &str) -> Result<ObservableId, Self::Error> {
+        (**self).resolve_observable(name)
+    }
+
+    fn stationary_currents(
+        &self,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        seed: u64,
+    ) -> Result<Vec<f64>, Self::Error> {
+        (**self).stationary_currents(controls, observables, seed)
+    }
+}

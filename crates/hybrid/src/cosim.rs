@@ -1,8 +1,13 @@
 //! The boundary-relaxation co-simulation engine.
 
 use crate::error::HybridError;
+use se_engine::{ObservableId, StationaryEngine};
+
+/// Junction currents and per-boundary-node drawn currents of one
+/// single-electron solve.
+type IslandCurrents = (HashMap<String, f64>, HashMap<String, f64>);
 use se_montecarlo::builder::tunnel_system_with_boundary_voltages;
-use se_montecarlo::{MasterEquation, MonteCarloSimulator, SimulationOptions};
+use se_montecarlo::{MasterEquation, MonteCarloError, MonteCarloSimulator, SimulationOptions};
 use se_netlist::{Element, Netlist, Node};
 use se_spice::{Circuit, NewtonOptions, OperatingPoint};
 use std::collections::HashMap;
@@ -113,15 +118,12 @@ impl HybridSolution {
     /// Final voltage of a boundary node (volt).
     #[must_use]
     pub fn boundary_voltage(&self, node: &str) -> Option<f64> {
-        self.boundary_voltages
-            .get(node)
-            .copied()
-            .or_else(|| {
-                self.boundary_voltages
-                    .iter()
-                    .find(|(k, _)| k.eq_ignore_ascii_case(node))
-                    .map(|(_, &v)| v)
-            })
+        self.boundary_voltages.get(node).copied().or_else(|| {
+            self.boundary_voltages
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(node))
+                .map(|(_, &v)| v)
+        })
     }
 
     /// Final voltage of any node of the conventional domain (volt).
@@ -193,10 +195,7 @@ impl HybridSimulator {
                 if node.is_ground() {
                     continue;
                 }
-                let name = netlist
-                    .node_name(node)
-                    .unwrap_or("boundary")
-                    .to_string();
+                let name = netlist.node_name(node).unwrap_or("boundary").to_string();
                 if !boundary_nodes.contains(&name) {
                     boundary_nodes.push(name);
                 }
@@ -209,10 +208,8 @@ impl HybridSimulator {
         // attached to it. This over-estimates the true differential
         // conductance (which vanishes in blockade), which is exactly what
         // makes the relaxation a contraction even for high-impedance loads.
-        let mut boundary_conductance: HashMap<String, f64> = boundary_nodes
-            .iter()
-            .map(|n| (n.clone(), 0.0))
-            .collect();
+        let mut boundary_conductance: HashMap<String, f64> =
+            boundary_nodes.iter().map(|n| (n.clone(), 0.0)).collect();
         for element in netlist.elements() {
             if !split.monte_carlo.iter().any(|n| n == element.name()) {
                 continue;
@@ -302,47 +299,55 @@ impl HybridSimulator {
         Ok(sub)
     }
 
+    /// Builds the configured detailed engine over `system` behind the
+    /// unified [`StationaryEngine`] face, together with the seed its
+    /// stationary solves should use. The returned engine solves all
+    /// junction currents of one boundary iteration in a single stationary
+    /// solve; stochastic engines re-sample the same stream each iteration
+    /// (exactly as the pre-trait dispatch did), deterministic engines
+    /// ignore the seed.
+    #[allow(clippy::type_complexity)]
+    fn island_engine(
+        &self,
+        system: se_orthodox::TunnelSystem,
+    ) -> Result<(Box<dyn StationaryEngine<Error = MonteCarloError>>, u64), HybridError> {
+        Ok(match self.options.engine {
+            IslandEngine::Master { window } => (
+                Box::new(
+                    MasterEquation::new(system, self.options.temperature)?.with_window(window)?,
+                ),
+                0,
+            ),
+            IslandEngine::MonteCarlo { events, seed } => (
+                Box::new(MonteCarloSimulator::new(
+                    system,
+                    SimulationOptions::new(self.options.temperature)
+                        .with_seed(seed)
+                        .with_events_per_solve(events),
+                )?),
+                seed,
+            ),
+        })
+    }
+
     /// Solves the single-electron domain at the given boundary voltages and
     /// returns `(junction currents, current drawn from each boundary node)`.
     fn solve_islands(
         &self,
         boundary_voltages: &HashMap<String, f64>,
-    ) -> Result<(HashMap<String, f64>, HashMap<String, f64>), HybridError> {
+    ) -> Result<IslandCurrents, HybridError> {
         let system = tunnel_system_with_boundary_voltages(&self.netlist, boundary_voltages)?;
-        let junction_currents: HashMap<String, f64> = match self.options.engine {
-            IslandEngine::Master { window } => {
-                let solver = MasterEquation::new(system.clone(), self.options.temperature)?
-                    .with_window(window)?;
-                let solution = solver.solve()?;
-                system
-                    .junctions()
-                    .iter()
-                    .map(|j| {
-                        (
-                            j.name.clone(),
-                            solution.junction_current(&j.name).unwrap_or(0.0),
-                        )
-                    })
-                    .collect()
-            }
-            IslandEngine::MonteCarlo { events, seed } => {
-                let mut sim = MonteCarloSimulator::new(
-                    system.clone(),
-                    SimulationOptions::new(self.options.temperature).with_seed(seed),
-                )?;
-                let result = sim.run_events(events)?;
-                system
-                    .junctions()
-                    .iter()
-                    .map(|j| {
-                        (
-                            j.name.clone(),
-                            result.junction_current(&j.name).unwrap_or(0.0),
-                        )
-                    })
-                    .collect()
-            }
-        };
+        let (engine, seed) = self.island_engine(system.clone())?;
+        // One stationary solve per relaxation step, reading every junction.
+        let observables: Vec<ObservableId> =
+            (0..system.junctions().len()).map(ObservableId).collect();
+        let currents = engine.stationary_currents(&[], &observables, seed)?;
+        let junction_currents: HashMap<String, f64> = system
+            .junctions()
+            .iter()
+            .zip(&currents)
+            .map(|(junction, &current)| (junction.name.clone(), current))
+            .collect();
 
         // Current drawn out of each boundary node: sum of junction currents
         // oriented away from that node.
@@ -352,7 +357,10 @@ impl HybridSimulator {
             .map(|n| (n.clone(), 0.0))
             .collect();
         for junction in system.junctions() {
-            let current = junction_currents.get(&junction.name).copied().unwrap_or(0.0);
+            let current = junction_currents
+                .get(&junction.name)
+                .copied()
+                .unwrap_or(0.0);
             for (endpoint, sign) in [(junction.a, 1.0), (junction.b, -1.0)] {
                 if let se_orthodox::Endpoint::External(k) = endpoint {
                     let name = system.external_name(k);
@@ -376,8 +384,7 @@ impl HybridSimulator {
     pub fn solve(&self) -> Result<HybridSolution, HybridError> {
         // Pure conventional circuit: nothing to relax.
         if self.island_count == 0 {
-            let circuit =
-                Circuit::with_temperature(&self.netlist, self.options.temperature)?;
+            let circuit = Circuit::with_temperature(&self.netlist, self.options.temperature)?;
             let op = circuit.dc_operating_point_with(&self.options.newton)?;
             return Ok(HybridSolution {
                 converged: true,
@@ -397,8 +404,7 @@ impl HybridSimulator {
             .iter()
             .map(|n| (n.clone(), 0.0))
             .collect();
-        let spice_netlist =
-            self.spice_netlist(&zero_injections, &self.boundary_conductance)?;
+        let spice_netlist = self.spice_netlist(&zero_injections, &self.boundary_conductance)?;
         let circuit = Circuit::with_temperature(&spice_netlist, self.options.temperature)?;
         let mut op = circuit.dc_operating_point_with(&self.options.newton)?;
         let mut boundary: HashMap<String, f64> = self
@@ -444,8 +450,7 @@ impl HybridSimulator {
                 .collect();
 
             let spice_netlist = self.spice_netlist(&corrected, &conductances)?;
-            let circuit =
-                Circuit::with_temperature(&spice_netlist, self.options.temperature)?;
+            let circuit = Circuit::with_temperature(&spice_netlist, self.options.temperature)?;
             op = circuit.dc_operating_point_with(&self.options.newton)?;
 
             residual = 0.0;
@@ -526,10 +531,9 @@ mod tests {
         // Self-consistency: the load-resistor current equals the SET current
         // computed by the exact single-SET reference at the converged bias.
         let i_load = (5e-3 - v_drain) / 10e6;
-        let set = se_orthodox::set::SingleElectronTransistor::new(
-            1e-18, 0.5e-18, 0.5e-18, 100e3, 100e3,
-        )
-        .unwrap();
+        let set =
+            se_orthodox::set::SingleElectronTransistor::new(1e-18, 0.5e-18, 0.5e-18, 100e3, 100e3)
+                .unwrap();
         let i_set = set.current(v_drain, vg, 0.0, 1.0).unwrap();
         assert!(
             (i_load - i_set).abs() < 0.05 * i_load.abs().max(1e-15),
@@ -607,6 +611,6 @@ mod tests {
         // The SET can only sink a few nanoamperes, so the MOSFET source
         // follower output is pulled down close to the SET's compliance.
         let v_drain = solution.boundary_voltage("drain").unwrap();
-        assert!(v_drain >= 0.0 && v_drain < 1.8);
+        assert!((0.0..1.8).contains(&v_drain));
     }
 }

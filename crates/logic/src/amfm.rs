@@ -116,7 +116,11 @@ impl FmCodedGate {
     /// # Errors
     ///
     /// Propagates physics errors.
-    pub fn output_record(&self, input: bool, background_charge: f64) -> Result<Vec<f64>, LogicError> {
+    pub fn output_record(
+        &self,
+        input: bool,
+        background_charge: f64,
+    ) -> Result<Vec<f64>, LogicError> {
         let c_gate = if input {
             self.c_gate_high
         } else {
@@ -251,13 +255,20 @@ impl AmCodedGate {
     /// # Errors
     ///
     /// Propagates physics errors.
-    pub fn output_record(&self, input: bool, background_charge: f64) -> Result<Vec<f64>, LogicError> {
+    pub fn output_record(
+        &self,
+        input: bool,
+        background_charge: f64,
+    ) -> Result<Vec<f64>, LogicError> {
         let bias = if input { self.bias_high } else { self.bias_low };
         let period = self.set.gate_period();
         let mut record = Vec::with_capacity(self.samples);
         for i in 0..self.samples {
             let vg = period * i as f64 / self.samples as f64;
-            record.push(self.set.current(bias, vg, background_charge, self.temperature)?);
+            record.push(
+                self.set
+                    .current(bias, vg, background_charge, self.temperature)?,
+            );
         }
         Ok(record)
     }
@@ -429,8 +440,7 @@ mod tests {
     fn level_coded_logic_fails_under_disorder_but_fm_does_not() {
         let mut rng = StdRng::seed_from_u64(2024);
         let inverter = SetInverter::reference().unwrap();
-        let level_ber =
-            level_coded_bit_error_rate(&inverter, &mut rng, 0.5, 40).unwrap();
+        let level_ber = level_coded_bit_error_rate(&inverter, &mut rng, 0.5, 40).unwrap();
         let gate = FmCodedGate::reference().unwrap();
         let fm_ber = fm_coded_bit_error_rate(&gate, &mut rng, 0.5, 20).unwrap();
         assert!(
@@ -457,7 +467,10 @@ mod tests {
             drive_energy: 5e-21,
             tunnel_events_per_period: 4.0,
         };
-        assert!(model.tunnel_time() < 1e-12, "tunnelling must be sub-picosecond");
+        assert!(
+            model.tunnel_time() < 1e-12,
+            "tunnelling must be sub-picosecond"
+        );
         let delay_level = model.gate_delay(1);
         let delay_fm = model.gate_delay(8);
         assert!(delay_fm > delay_level, "FM coding costs extra periods");

@@ -211,7 +211,7 @@ mod tests {
         /// background charge (a pure phase shift) cannot corrupt AM/FM-coded
         /// logic.
         #[test]
-        fn prop_am_fm_decoding_is_phase_invariant(phase in 0.0_f64..6.28) {
+        fn prop_am_fm_decoding_is_phase_invariant(phase in 0.0_f64..std::f64::consts::TAU) {
             let amplitude_enc = AmplitudeEncoding::new(0.5).unwrap();
             let frequency_enc = FrequencyEncoding::new(3, 9).unwrap();
             let strong = sine(90, 9.0, 1.0, phase);

@@ -105,11 +105,16 @@ impl SetInverter {
             (self.supply - v_out) / self.load_resistance - i_set
         };
         // The output always lies between ground and the supply rail.
-        let v = bisection(balance, 0.0, self.supply, RootFindOptions {
-            max_iterations: 200,
-            f_tolerance: 1e-18,
-            x_tolerance: 1e-12,
-        })?;
+        let v = bisection(
+            balance,
+            0.0,
+            self.supply,
+            RootFindOptions {
+                max_iterations: 200,
+                f_tolerance: 1e-18,
+                x_tolerance: 1e-12,
+            },
+        )?;
         Ok(v)
     }
 
@@ -133,8 +138,7 @@ impl SetInverter {
         }
         (0..points)
             .map(|i| {
-                let v_in =
-                    v_in_start + (v_in_stop - v_in_start) * i as f64 / (points - 1) as f64;
+                let v_in = v_in_start + (v_in_stop - v_in_start) * i as f64 / (points - 1) as f64;
                 Ok((v_in, self.output_voltage(v_in, background_charge)?))
             })
             .collect()
@@ -236,7 +240,9 @@ mod tests {
             .transfer_curve(0.0, inverter.gate_period(), 21, 0.0)
             .unwrap();
         assert_eq!(curve.len(), 21);
-        assert!(curve.iter().all(|(_, v)| *v >= 0.0 && *v <= inverter.supply() * 1.001));
+        assert!(curve
+            .iter()
+            .all(|(_, v)| *v >= 0.0 && *v <= inverter.supply() * 1.001));
     }
 
     #[test]

@@ -25,6 +25,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(a > b)` is the idiom this crate uses to reject NaN alongside ordinary
+// range violations.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod amfm;
 pub mod encoding;

@@ -64,11 +64,27 @@ impl MvlGate {
         let bias = netlist.node("bias");
         let input = netlist.node("in");
         let output = netlist.node("out");
-        netlist.add(Element::voltage_source("VDD", vdd, Node::GROUND, self.supply))?;
-        netlist.add(Element::voltage_source("VB", bias, Node::GROUND, self.load_bias))?;
+        netlist.add(Element::voltage_source(
+            "VDD",
+            vdd,
+            Node::GROUND,
+            self.supply,
+        ))?;
+        netlist.add(Element::voltage_source(
+            "VB",
+            bias,
+            Node::GROUND,
+            self.load_bias,
+        ))?;
         netlist.add(Element::voltage_source("VIN", input, Node::GROUND, 0.0))?;
         netlist.add(Element::mosfet("M1", vdd, bias, output, self.mosfet))?;
-        netlist.add(Element::set_transistor("X1", output, input, Node::GROUND, self.set))?;
+        netlist.add(Element::set_transistor(
+            "X1",
+            output,
+            input,
+            Node::GROUND,
+            self.set,
+        ))?;
         Ok(netlist)
     }
 

@@ -79,7 +79,11 @@ impl TelegraphNoiseSource {
         let v_empty = inverter.output_voltage(read_input, 0.0)?;
         let v_occupied = inverter.output_voltage(read_input, trap_amplitude)?;
         let raw_swing = (v_empty - v_occupied).abs();
-        let gain = if raw_swing > 0.0 { 0.24 / raw_swing } else { 240.0 };
+        let gain = if raw_swing > 0.0 {
+            0.24 / raw_swing
+        } else {
+            240.0
+        };
         TelegraphNoiseSource::new(inverter, trap, read_input, gain, 1.0)
     }
 
@@ -156,9 +160,7 @@ mod tests {
     fn constructor_validation() {
         let inverter = SetInverter::reference().unwrap();
         let trap = RandomTelegraphProcess::new(0.2, 1e6, 1e6).unwrap();
-        assert!(
-            TelegraphNoiseSource::new(inverter.clone(), trap.clone(), 0.0, 0.0, 1.0).is_err()
-        );
+        assert!(TelegraphNoiseSource::new(inverter.clone(), trap.clone(), 0.0, 0.0, 1.0).is_err());
         assert!(TelegraphNoiseSource::new(inverter, trap, 0.0, 100.0, 0.0).is_err());
     }
 
@@ -166,8 +168,8 @@ mod tests {
     fn output_levels_are_distinct_and_within_rails() {
         let source = TelegraphNoiseSource::reference().unwrap();
         let (empty, occupied) = source.output_levels().unwrap();
-        assert!(empty >= 0.0 && empty <= 1.0);
-        assert!(occupied >= 0.0 && occupied <= 1.0);
+        assert!((0.0..=1.0).contains(&empty));
+        assert!((0.0..=1.0).contains(&occupied));
         assert!(
             (empty - occupied).abs() > 0.05,
             "the trap must move the amplified output visibly: {empty} vs {occupied}"

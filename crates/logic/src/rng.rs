@@ -241,7 +241,9 @@ mod tests {
     fn von_neumann_corrector_removes_bias() {
         // Heavily biased raw bits.
         let mut rng = StdRng::seed_from_u64(7);
-        let raw: Vec<bool> = (0..20_000).map(|_| rand::Rng::gen::<f64>(&mut rng) < 0.8).collect();
+        let raw: Vec<bool> = (0..20_000)
+            .map(|_| rand::Rng::gen::<f64>(&mut rng) < 0.8)
+            .collect();
         let corrected = von_neumann_corrector(&raw);
         assert!(!corrected.is_empty());
         let ones = corrected.iter().filter(|&&b| b).count() as f64;

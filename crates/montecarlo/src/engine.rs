@@ -1,0 +1,254 @@
+//! [`StationaryEngine`] implementations for the two detailed simulators,
+//! plus the shared electrode/junction name resolver.
+//!
+//! Both the deterministic master-equation solver and the stochastic kinetic
+//! Monte-Carlo engine answer the same question — "what stationary current
+//! flows through this junction at this bias point?" — so both implement the
+//! unified trait and are driven by the same parallel
+//! [`se_engine::SweepRunner`]. The kinetic engine derives all of its
+//! randomness from the per-point seed handed in by the runner, which is
+//! what makes parallel KMC sweeps bit-identical to serial ones.
+
+use crate::error::MonteCarloError;
+use crate::kmc::{MonteCarloSimulator, SimulationOptions};
+use crate::master::MasterEquation;
+use se_engine::{ControlId, ObservableId, StationaryEngine};
+use se_orthodox::TunnelSystem;
+
+/// Resolves an external electrode name to its typed index.
+///
+/// This is the single resolver used by every sweep helper and trait
+/// implementation in this crate (it used to be copy-pasted three times).
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::InvalidArgument`] if no electrode has that
+/// name.
+pub fn resolve_electrode(system: &TunnelSystem, name: &str) -> Result<ControlId, MonteCarloError> {
+    system
+        .external_index(name)
+        .map(ControlId)
+        .ok_or_else(|| MonteCarloError::InvalidArgument(format!("no electrode named `{name}`")))
+}
+
+/// Resolves a junction name to its typed index.
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::InvalidArgument`] if no junction has that
+/// name.
+pub fn resolve_junction(
+    system: &TunnelSystem,
+    name: &str,
+) -> Result<ObservableId, MonteCarloError> {
+    system
+        .junctions()
+        .iter()
+        .position(|j| j.name == name)
+        .map(ObservableId)
+        .ok_or_else(|| MonteCarloError::InvalidArgument(format!("no junction named `{name}`")))
+}
+
+/// Applies control values to a copy of the system's electrodes.
+fn apply_controls(
+    system: &mut TunnelSystem,
+    controls: &[(ControlId, f64)],
+) -> Result<(), MonteCarloError> {
+    for &(ControlId(electrode), value) in controls {
+        system.set_external_voltage(electrode, value)?;
+    }
+    Ok(())
+}
+
+/// Reads the requested junction currents out of a name-keyed lookup.
+fn collect_observables(
+    system: &TunnelSystem,
+    observables: &[ObservableId],
+    current_of: impl Fn(&str) -> Option<f64>,
+) -> Result<Vec<f64>, MonteCarloError> {
+    observables
+        .iter()
+        .map(|&ObservableId(index)| {
+            let junction = system.junctions().get(index).ok_or_else(|| {
+                MonteCarloError::InvalidArgument(format!("unknown junction handle {index}"))
+            })?;
+            current_of(&junction.name).ok_or_else(|| {
+                MonteCarloError::InvalidArgument(format!(
+                    "no current recorded for junction `{}`",
+                    junction.name
+                ))
+            })
+        })
+        .collect()
+}
+
+impl StationaryEngine for MasterEquation {
+    type Error = MonteCarloError;
+
+    fn engine_name(&self) -> &'static str {
+        "master-equation"
+    }
+
+    fn resolve_control(&self, name: &str) -> Result<ControlId, MonteCarloError> {
+        resolve_electrode(self.system(), name)
+    }
+
+    fn resolve_observable(&self, name: &str) -> Result<ObservableId, MonteCarloError> {
+        resolve_junction(self.system(), name)
+    }
+
+    fn stationary_currents(
+        &self,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        _seed: u64,
+    ) -> Result<Vec<f64>, MonteCarloError> {
+        // Only clone when a control value actually has to be applied; the
+        // hybrid co-simulator's hot loop solves with the bias already baked
+        // into the system.
+        let solution = if controls.is_empty() {
+            self.solve()?
+        } else {
+            let mut solver = self.clone();
+            apply_controls(solver.system_mut(), controls)?;
+            solver.solve()?
+        };
+        collect_observables(self.system(), observables, |name| {
+            solution.junction_current(name)
+        })
+    }
+}
+
+impl StationaryEngine for MonteCarloSimulator {
+    type Error = MonteCarloError;
+
+    fn engine_name(&self) -> &'static str {
+        "kinetic-monte-carlo"
+    }
+
+    fn resolve_control(&self, name: &str) -> Result<ControlId, MonteCarloError> {
+        resolve_electrode(self.system(), name)
+    }
+
+    fn resolve_observable(&self, name: &str) -> Result<ObservableId, MonteCarloError> {
+        resolve_junction(self.system(), name)
+    }
+
+    /// One stationary solve = a fresh simulator seeded with `seed`, the
+    /// configured equilibration, and
+    /// [`SimulationOptions::events_per_solve`] measurement events. The
+    /// simulator's own RNG state is untouched, so trait-driven sweeps never
+    /// perturb an ongoing time-domain run. (The per-solve system clone and
+    /// constructor are a few vector copies — noise next to the thousands of
+    /// Gillespie steps each solve executes.)
+    fn stationary_currents(
+        &self,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        seed: u64,
+    ) -> Result<Vec<f64>, MonteCarloError> {
+        let mut system = self.system().clone();
+        apply_controls(&mut system, controls)?;
+        let options = SimulationOptions {
+            seed: Some(seed),
+            ..*self.options()
+        };
+        let mut simulator = MonteCarloSimulator::new(system, options)?;
+        let result = simulator.run_events(options.events_per_solve)?;
+        collect_observables(simulator.system(), observables, |name| {
+            result.junction_current(name)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_engine::SweepRunner;
+    use se_orthodox::TunnelSystemBuilder;
+    use se_units::constants::E;
+
+    fn set_system(vds: f64, vg: f64) -> TunnelSystem {
+        let mut b = TunnelSystemBuilder::new();
+        let island = b.island("island", 0.0);
+        let drain = b.external("drain", vds);
+        let source = b.external("source", 0.0);
+        let gate = b.external("gate", vg);
+        b.junction("JD", drain, island, 0.5e-18, 100e3);
+        b.junction("JS", island, source, 0.5e-18, 100e3);
+        b.capacitor("CG", gate, island, 1e-18);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn resolver_returns_typed_indices() {
+        let system = set_system(1e-3, 0.0);
+        assert_eq!(resolve_electrode(&system, "gate").unwrap(), ControlId(2));
+        assert_eq!(resolve_junction(&system, "JS").unwrap(), ObservableId(1));
+        assert!(resolve_electrode(&system, "island").is_err());
+        assert!(resolve_junction(&system, "CG").is_err());
+    }
+
+    #[test]
+    fn master_engine_matches_direct_solve() {
+        let vg = E / (2.0 * 1e-18);
+        let solver = MasterEquation::new(set_system(1e-3, 0.0), 1.0).unwrap();
+        let gate = solver.resolve_control("gate").unwrap();
+        let jd = solver.resolve_observable("JD").unwrap();
+        let via_trait = solver.stationary_current(&[(gate, vg)], jd, 7).unwrap();
+
+        let direct = MasterEquation::new(set_system(1e-3, vg), 1.0)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .junction_current("JD")
+            .unwrap();
+        assert!((via_trait - direct).abs() < 1e-9 * direct.abs().max(1e-18));
+    }
+
+    #[test]
+    fn kmc_engine_is_seed_deterministic_and_leaves_self_untouched() {
+        let vg = E / (2.0 * 1e-18);
+        let sim = MonteCarloSimulator::new(
+            set_system(1e-3, vg),
+            SimulationOptions::new(1.0)
+                .with_seed(5)
+                .with_events_per_solve(5_000),
+        )
+        .unwrap();
+        let jd = sim.resolve_observable("JD").unwrap();
+        let a = sim.stationary_current(&[], jd, 123).unwrap();
+        let b = sim.stationary_current(&[], jd, 123).unwrap();
+        let c = sim.stationary_current(&[], jd, 124).unwrap();
+        assert_eq!(a, b, "same seed, same current");
+        assert_ne!(a, c, "different seeds explore different event sequences");
+        assert_eq!(sim.time(), 0.0, "the shared simulator never advanced");
+    }
+
+    #[test]
+    fn both_engines_agree_through_the_runner() {
+        let system = set_system(1e-3, 0.0);
+        let period = E / 1e-18;
+        let values = [0.25 * period, 0.5 * period];
+
+        let master = MasterEquation::new(system.clone(), 1.0).unwrap();
+        let kmc = MonteCarloSimulator::new(
+            system,
+            SimulationOptions::new(1.0).with_events_per_solve(40_000),
+        )
+        .unwrap();
+
+        let runner = SweepRunner::new().with_seed(11);
+        let exact = runner.run(&master, "gate", &values, "JD").unwrap();
+        let sampled = runner.run(&kmc, "gate", &values, "JD").unwrap();
+        for (m, k) in exact.iter().zip(&sampled) {
+            let scale = m.current.abs().max(1e-15);
+            assert!(
+                (m.current - k.current).abs() < 0.15 * scale,
+                "master {} vs kmc {}",
+                m.current,
+                k.current
+            );
+        }
+    }
+}

@@ -93,11 +93,9 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         assert!(MonteCarloError::NoIslands.to_string().contains("islands"));
-        assert!(MonteCarloError::UndrivenBoundary {
-            node: "x".into()
-        }
-        .to_string()
-        .contains("`x`"));
+        assert!(MonteCarloError::UndrivenBoundary { node: "x".into() }
+            .to_string()
+            .contains("`x`"));
         assert!(MonteCarloError::StateSpaceTooLarge {
             states: 10_000,
             limit: 100

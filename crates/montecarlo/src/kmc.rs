@@ -25,17 +25,23 @@ pub struct SimulationOptions {
     /// Number of events used to equilibrate (discarded from observables)
     /// before measurement runs.
     pub equilibration_events: usize,
+    /// Measurement events per stationary solve when the simulator is driven
+    /// through the [`se_engine::StationaryEngine`] trait (sweeps, stability
+    /// maps, co-simulation).
+    pub events_per_solve: usize,
 }
 
 impl SimulationOptions {
-    /// Creates options for the given temperature with a random seed and a
-    /// default equilibration of 1000 events.
+    /// Creates options for the given temperature with a random seed, a
+    /// default equilibration of 1000 events and 40 000 measurement events
+    /// per stationary solve.
     #[must_use]
     pub fn new(temperature: f64) -> Self {
         SimulationOptions {
             temperature,
             seed: None,
             equilibration_events: 1000,
+            events_per_solve: 40_000,
         }
     }
 
@@ -50,6 +56,13 @@ impl SimulationOptions {
     #[must_use]
     pub fn with_equilibration(mut self, events: usize) -> Self {
         self.equilibration_events = events;
+        self
+    }
+
+    /// Sets the number of measurement events per stationary solve.
+    #[must_use]
+    pub fn with_events_per_solve(mut self, events: usize) -> Self {
+        self.events_per_solve = events;
         self
     }
 }
@@ -118,6 +131,12 @@ impl MonteCarloSimulator {
     #[must_use]
     pub fn system(&self) -> &TunnelSystem {
         &self.system
+    }
+
+    /// The options the simulator was created with.
+    #[must_use]
+    pub fn options(&self) -> &SimulationOptions {
+        &self.options
     }
 
     /// Mutable access to the tunnel system, used to change source voltages
@@ -407,7 +426,10 @@ mod tests {
             .unwrap()
             .junction_current("JD")
             .unwrap();
-        assert!(i_f * i_r < 0.0, "bias reversal must reverse the current: {i_f} vs {i_r}");
+        assert!(
+            i_f * i_r < 0.0,
+            "bias reversal must reverse the current: {i_f} vs {i_r}"
+        );
     }
 
     #[test]
@@ -422,7 +444,9 @@ mod tests {
         let system = b.build().unwrap();
         let mut sim = MonteCarloSimulator::new(
             system,
-            SimulationOptions::new(0.0).with_seed(1).with_equilibration(0),
+            SimulationOptions::new(0.0)
+                .with_seed(1)
+                .with_equilibration(0),
         )
         .unwrap();
         let step = sim.step().unwrap();

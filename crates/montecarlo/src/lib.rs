@@ -15,8 +15,10 @@
 //!   that enumerates charge states in a window and solves for the stationary
 //!   distribution exactly; the accuracy reference for small circuits.
 //!
-//! [`sweep`] runs bias sweeps with either engine, and [`builder`] converts
-//! netlists into tunnel systems.
+//! Both engines implement [`se_engine::StationaryEngine`], so [`sweep`]'s
+//! helpers (and anything else built on [`se_engine::SweepRunner`]) drive
+//! them through one parallel, deterministic execution layer; [`builder`]
+//! converts netlists into tunnel systems.
 //!
 //! # Example
 //!
@@ -40,11 +42,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same device through the unified sweep layer — the master-equation
+//! engine, swept in parallel across bias points:
+//!
+//! ```
+//! use se_montecarlo::prelude::*;
+//!
+//! # fn main() -> Result<(), se_montecarlo::MonteCarloError> {
+//! let deck = "single SET\n\
+//!             VD drain 0 1m\n\
+//!             VG gate 0 0\n\
+//!             J1 drain island C=1a R=100k\n\
+//!             J2 island 0 C=1a R=100k\n\
+//!             CG gate island 1a\n";
+//! let netlist = se_netlist::parse_deck(deck).map_err(MonteCarloError::from)?;
+//! let system = tunnel_system_from_netlist(&netlist)?;
+//! let solver = MasterEquation::new(system, 1.0)?;
+//! let values = se_montecarlo::sweep::linspace(0.0, 0.16, 9)?;
+//! let sweep = SweepRunner::new().run(&solver, "gate", &values, "J1")?;
+//! assert_eq!(sweep.len(), 9);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(a > b)` is the idiom this crate uses to reject NaN alongside ordinary
+// range violations.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod builder;
+pub mod engine;
 pub mod error;
 pub mod kmc;
 pub mod master;
@@ -52,19 +81,21 @@ pub mod observables;
 pub mod sweep;
 
 pub use builder::tunnel_system_from_netlist;
+pub use engine::{resolve_electrode, resolve_junction};
 pub use error::MonteCarloError;
 pub use kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};
-pub use observables::RunResult;
 pub use master::MasterEquation;
-pub use sweep::{gate_sweep_kmc, gate_sweep_master, drain_sweep_master, SweepPoint};
+pub use observables::RunResult;
+pub use sweep::{gate_sweep_kmc, gate_sweep_master, stability_map_master, SweepPoint};
 
 /// Commonly used types for driving the Monte-Carlo simulator.
 pub mod prelude {
     pub use crate::builder::tunnel_system_from_netlist;
     pub use crate::error::MonteCarloError;
     pub use crate::kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};
-    pub use crate::observables::RunResult;
     pub use crate::master::MasterEquation;
-    pub use crate::sweep::{drain_sweep_master, gate_sweep_kmc, gate_sweep_master, SweepPoint};
+    pub use crate::observables::RunResult;
+    pub use crate::sweep::{gate_sweep_kmc, gate_sweep_master, stability_map_master, SweepPoint};
+    pub use se_engine::{StationaryEngine, SweepRunner};
     pub use se_orthodox::{ChargeState, TunnelSystem};
 }

@@ -144,7 +144,7 @@ impl MasterEquation {
                 let df = self
                     .system
                     .delta_free_energy_with_potentials(&potentials, event);
-                if df < -1e-30 && best.map_or(true, |(b, _)| df < b) {
+                if df < -1e-30 && best.is_none_or(|(b, _)| df < b) {
                     best = Some((df, event));
                 }
             }
@@ -166,12 +166,12 @@ impl MasterEquation {
     pub fn solve(&self) -> Result<MasterSolution, MonteCarloError> {
         let islands = self.system.island_count();
         let span = (2 * self.window + 1) as usize;
-        let state_count = span
-            .checked_pow(islands as u32)
-            .ok_or(MonteCarloError::StateSpaceTooLarge {
-                states: usize::MAX,
-                limit: self.max_states,
-            })?;
+        let state_count =
+            span.checked_pow(islands as u32)
+                .ok_or(MonteCarloError::StateSpaceTooLarge {
+                    states: usize::MAX,
+                    limit: self.max_states,
+                })?;
         if state_count > self.max_states {
             return Err(MonteCarloError::StateSpaceTooLarge {
                 states: state_count,
@@ -451,7 +451,10 @@ mod tests {
         b.capacitor("Cg1", g, i1, 0.5e-18);
         b.capacitor("Cg2", g, i2, 0.5e-18);
         let system = b.build().unwrap();
-        let me = MasterEquation::new(system, 4.2).unwrap().with_window(2).unwrap();
+        let me = MasterEquation::new(system, 4.2)
+            .unwrap()
+            .with_window(2)
+            .unwrap();
         let solution = me.solve().unwrap();
         let total: f64 = solution.probabilities().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);

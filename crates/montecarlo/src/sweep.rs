@@ -2,47 +2,40 @@
 //!
 //! These helpers regenerate the classic SET characteristics: the periodic
 //! Id–Vg Coulomb oscillations, the Id–Vds blockade/staircase curve and the
-//! stability (Coulomb-diamond) map, using the exact master-equation solver
-//! or the stochastic kinetic Monte-Carlo engine over the same physics.
+//! stability (Coulomb-diamond) map. Since the unified-engine refactor they
+//! are thin wrappers over the shared, parallel
+//! [`se_engine::SweepRunner`] — every bias point is an independent task
+//! fanned out across all cores, with per-point RNG seeds derived
+//! deterministically from the sweep seed so parallel and serial runs are
+//! bit-identical.
 
+use crate::engine::{resolve_electrode, resolve_junction};
 use crate::error::MonteCarloError;
 use crate::kmc::{MonteCarloSimulator, SimulationOptions};
 use crate::master::MasterEquation;
+use se_engine::SweepRunner;
 use se_orthodox::TunnelSystem;
 
-/// One point of a bias sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SweepPoint {
-    /// The swept control value (a gate or drain voltage, in volt).
-    pub control: f64,
-    /// The measured junction current in ampere.
-    pub current: f64,
-}
+/// One point of a bias sweep (re-exported from the unified sweep layer).
+pub use se_engine::SweepPoint;
 
 /// Generates `points` evenly spaced values covering `[start, stop]`.
 ///
+/// Descending ranges (`start > stop`) are supported and produce the values
+/// in descending order — the natural way to run a reverse-bias sweep.
+///
 /// # Errors
 ///
-/// Returns [`MonteCarloError::InvalidArgument`] if `points < 2` or the range
-/// is degenerate.
+/// Returns [`MonteCarloError::InvalidArgument`] if `points < 2` or the
+/// range is degenerate (`start == stop` or non-finite endpoints).
 pub fn linspace(start: f64, stop: f64, points: usize) -> Result<Vec<f64>, MonteCarloError> {
-    if points < 2 {
-        return Err(MonteCarloError::InvalidArgument(
-            "a sweep needs at least two points".into(),
-        ));
-    }
-    if !(stop > start) {
-        return Err(MonteCarloError::InvalidArgument(format!(
-            "sweep range must satisfy start < stop, got [{start}, {stop}]"
-        )));
-    }
-    Ok((0..points)
-        .map(|i| start + (stop - start) * i as f64 / (points - 1) as f64)
-        .collect())
+    se_engine::linspace(start, stop, points)
+        .map_err(|e| MonteCarloError::InvalidArgument(e.to_string()))
 }
 
 /// Sweeps the named external electrode with the master-equation solver and
-/// measures the current through the named junction.
+/// measures the current through the named junction. Bias points run in
+/// parallel.
 ///
 /// # Errors
 ///
@@ -55,49 +48,17 @@ pub fn gate_sweep_master(
     junction: &str,
     temperature: f64,
 ) -> Result<Vec<SweepPoint>, MonteCarloError> {
-    let electrode_idx = system
-        .external_index(electrode)
-        .ok_or_else(|| MonteCarloError::InvalidArgument(format!("no electrode named `{electrode}`")))?;
-    if !system.junctions().iter().any(|j| j.name == junction) {
-        return Err(MonteCarloError::InvalidArgument(format!(
-            "no junction named `{junction}`"
-        )));
-    }
-    let mut solver = MasterEquation::new(system.clone(), temperature)?;
-    let mut points = Vec::with_capacity(values.len());
-    for &value in values {
-        solver.system_mut().set_external_voltage(electrode_idx, value)?;
-        let solution = solver.solve()?;
-        let current = solution
-            .junction_current(junction)
-            .expect("junction existence checked above");
-        points.push(SweepPoint {
-            control: value,
-            current,
-        });
-    }
-    Ok(points)
-}
-
-/// Alias of [`gate_sweep_master`] for drain sweeps — the mechanics are
-/// identical, only the swept electrode differs. Provided for readability of
-/// the experiment harnesses.
-///
-/// # Errors
-///
-/// See [`gate_sweep_master`].
-pub fn drain_sweep_master(
-    system: &TunnelSystem,
-    electrode: &str,
-    values: &[f64],
-    junction: &str,
-    temperature: f64,
-) -> Result<Vec<SweepPoint>, MonteCarloError> {
-    gate_sweep_master(system, electrode, values, junction, temperature)
+    let solver = MasterEquation::new(system.clone(), temperature)?;
+    SweepRunner::new().run(&solver, electrode, values, junction)
 }
 
 /// Sweeps the named electrode with the kinetic Monte-Carlo engine, running
-/// `events_per_point` measurement events at every bias value.
+/// `events_per_point` measurement events at every bias value. Bias points
+/// run in parallel, each with a seed derived from `options.seed` and the
+/// point index (see [`se_engine::derive_seed`]), so
+/// a seeded sweep is reproducible and independent of thread scheduling;
+/// an unseeded sweep (`options.seed == None`) draws a fresh sweep seed from
+/// the operating system, keeping repeated runs statistically independent.
 ///
 /// # Errors
 ///
@@ -111,41 +72,28 @@ pub fn gate_sweep_kmc(
     options: SimulationOptions,
     events_per_point: usize,
 ) -> Result<Vec<SweepPoint>, MonteCarloError> {
-    let electrode_idx = system
-        .external_index(electrode)
-        .ok_or_else(|| MonteCarloError::InvalidArgument(format!("no electrode named `{electrode}`")))?;
-    if !system.junctions().iter().any(|j| j.name == junction) {
-        return Err(MonteCarloError::InvalidArgument(format!(
-            "no junction named `{junction}`"
-        )));
-    }
     if events_per_point == 0 {
         return Err(MonteCarloError::InvalidArgument(
             "events_per_point must be at least 1".into(),
         ));
     }
-    let mut simulator = MonteCarloSimulator::new(system.clone(), options)?;
-    let mut points = Vec::with_capacity(values.len());
-    for &value in values {
-        simulator
-            .system_mut()
-            .set_external_voltage(electrode_idx, value)?;
-        simulator.reset_counters();
-        let result = simulator.run_events(events_per_point)?;
-        let current = result
-            .junction_current(junction)
-            .expect("junction existence checked above");
-        points.push(SweepPoint {
-            control: value,
-            current,
-        });
-    }
-    Ok(points)
+    let seed = options.seed.unwrap_or_else(|| {
+        use rand::{RngCore, SeedableRng};
+        rand::rngs::StdRng::from_entropy().next_u64()
+    });
+    let simulator = MonteCarloSimulator::new(
+        system.clone(),
+        options.with_events_per_solve(events_per_point),
+    )?;
+    SweepRunner::new()
+        .with_seed(seed)
+        .run(&simulator, electrode, values, junction)
 }
 
 /// Computes a stability (Coulomb-diamond) map: the junction current on a
 /// `gate × drain` voltage grid, using the master-equation solver. The result
-/// is row-major with gate as the outer loop.
+/// is row-major with gate as the outer loop. Every grid point — not just
+/// every row — is an independent parallel task.
 ///
 /// # Errors
 ///
@@ -159,17 +107,34 @@ pub fn stability_map_master(
     junction: &str,
     temperature: f64,
 ) -> Result<Vec<Vec<f64>>, MonteCarloError> {
-    let gate_idx = system.external_index(gate_electrode).ok_or_else(|| {
-        MonteCarloError::InvalidArgument(format!("no electrode named `{gate_electrode}`"))
-    })?;
-    let mut map = Vec::with_capacity(gate_values.len());
-    let mut working = system.clone();
-    for &vg in gate_values {
-        working.set_external_voltage(gate_idx, vg)?;
-        let row = drain_sweep_master(&working, drain_electrode, drain_values, junction, temperature)?;
-        map.push(row.into_iter().map(|p| p.current).collect());
-    }
-    Ok(map)
+    let solver = MasterEquation::new(system.clone(), temperature)?;
+    let map = SweepRunner::new().stability_map(
+        &solver,
+        gate_electrode,
+        gate_values,
+        drain_electrode,
+        drain_values,
+        junction,
+    )?;
+    Ok(map.into_rows())
+}
+
+/// Validates sweep probe names against a system without running anything —
+/// kept for callers that want early, cheap validation. Returns the typed
+/// `(electrode, junction)` indices.
+///
+/// # Errors
+///
+/// Returns [`MonteCarloError::InvalidArgument`] for unknown names.
+pub fn resolve_probe(
+    system: &TunnelSystem,
+    electrode: &str,
+    junction: &str,
+) -> Result<(se_engine::ControlId, se_engine::ObservableId), MonteCarloError> {
+    Ok((
+        resolve_electrode(system, electrode)?,
+        resolve_junction(system, junction)?,
+    ))
 }
 
 #[cfg(test)]
@@ -193,11 +158,16 @@ mod tests {
     #[test]
     fn linspace_validates_and_covers_range() {
         assert!(linspace(0.0, 1.0, 1).is_err());
-        assert!(linspace(1.0, 0.0, 5).is_err());
+        assert!(linspace(1.0, 1.0, 5).is_err());
         let xs = linspace(0.0, 1.0, 5).unwrap();
         assert_eq!(xs.len(), 5);
         assert_eq!(xs[0], 0.0);
         assert_eq!(xs[4], 1.0);
+        // Descending ranges drive reverse-bias sweeps.
+        let down = linspace(1.0, 0.0, 5).unwrap();
+        assert_eq!(down[0], 1.0);
+        assert_eq!(down[4], 0.0);
+        assert!(down.windows(2).all(|p| p[1] < p[0]));
     }
 
     #[test]
@@ -206,6 +176,8 @@ mod tests {
         let values = [0.0, 0.1];
         assert!(gate_sweep_master(&system, "nope", &values, "JD", 1.0).is_err());
         assert!(gate_sweep_master(&system, "gate", &values, "nope", 1.0).is_err());
+        assert!(resolve_probe(&system, "gate", "JD").is_ok());
+        assert!(resolve_probe(&system, "gate", "nope").is_err());
         assert!(gate_sweep_kmc(
             &system,
             "gate",
@@ -270,6 +242,17 @@ mod tests {
                 k.current
             );
         }
+    }
+
+    #[test]
+    fn kmc_sweep_is_reproducible_for_a_fixed_seed() {
+        let system = set_system();
+        let period = E / 1e-18;
+        let values = [0.4 * period, 0.5 * period, 0.6 * period];
+        let options = SimulationOptions::new(1.0).with_seed(21);
+        let a = gate_sweep_kmc(&system, "gate", &values, "JD", options, 5_000).unwrap();
+        let b = gate_sweep_kmc(&system, "gate", &values, "JD", options, 5_000).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -374,7 +374,11 @@ impl Element {
         minus: Node,
         voltage: f64,
     ) -> Result<Self, NetlistError> {
-        Element::new(name, vec![plus, minus], ElementKind::VoltageSource { voltage })
+        Element::new(
+            name,
+            vec![plus, minus],
+            ElementKind::VoltageSource { voltage },
+        )
     }
 
     /// Convenience constructor for a DC current source (current flows from
@@ -430,7 +434,11 @@ impl Element {
         source: Node,
         params: MosfetParams,
     ) -> Result<Self, NetlistError> {
-        Element::new(name, vec![drain, gate, source], ElementKind::Mosfet { params })
+        Element::new(
+            name,
+            vec![drain, gate, source],
+            ElementKind::Mosfet { params },
+        )
     }
 
     /// Convenience constructor for an analytic SET compact model with
@@ -510,9 +518,7 @@ mod tests {
         assert!(Element::current_source("I1", a, b, 1e-9).is_ok());
         assert!(Element::diode("D1", a, b, 1e-14, 1.0).is_ok());
         assert!(Element::mosfet("M1", a, b, Node::GROUND, MosfetParams::default()).is_ok());
-        assert!(
-            Element::set_transistor("X1", a, b, Node::GROUND, SetParams::default()).is_ok()
-        );
+        assert!(Element::set_transistor("X1", a, b, Node::GROUND, SetParams::default()).is_ok());
     }
 
     #[test]
@@ -572,10 +578,7 @@ mod tests {
 
     #[test]
     fn prefixes_are_spice_like() {
-        assert_eq!(
-            ElementKind::Resistor { resistance: 1.0 }.prefix(),
-            'R'
-        );
+        assert_eq!(ElementKind::Resistor { resistance: 1.0 }.prefix(), 'R');
         assert_eq!(
             ElementKind::TunnelJunction {
                 capacitance: 1e-18,

@@ -188,7 +188,12 @@ impl Netlist {
             if element.name().eq_ignore_ascii_case(name) {
                 if let ElementKind::VoltageSource { .. } = element.kind() {
                     let nodes = element.nodes().to_vec();
-                    *element = Element::voltage_source(element.name().to_string(), nodes[0], nodes[1], voltage)?;
+                    *element = Element::voltage_source(
+                        element.name().to_string(),
+                        nodes[0],
+                        nodes[1],
+                        voltage,
+                    )?;
                     return Ok(());
                 }
             }

@@ -267,9 +267,7 @@ fn parse_card(card: &str, line: usize, netlist: &mut Netlist) -> Result<Element,
             }
             Element::new(name, vec![d, g, s], ElementKind::SetTransistor { params })
         }
-        other => Err(err(format!(
-            "unknown device prefix `{other}` in `{card}`"
-        ))),
+        other => Err(err(format!("unknown device prefix `{other}` in `{card}`"))),
     }
 }
 

@@ -235,7 +235,10 @@ mod tests {
         let islands = find_islands(&n);
         assert_eq!(islands.len(), 1);
         assert_eq!(islands[0].nodes, vec![i]);
-        assert_eq!(islands[0].junctions, vec!["J1".to_string(), "J2".to_string()]);
+        assert_eq!(
+            islands[0].junctions,
+            vec!["J1".to_string(), "J2".to_string()]
+        );
         assert!(islands[0].boundary.contains(&d));
         assert!(islands[0].boundary.contains(&g));
         assert!(islands[0].boundary.contains(&Node::GROUND));
@@ -254,13 +257,19 @@ mod tests {
     fn nodes_touching_resistors_are_not_islands() {
         let mut n = Netlist::new("leaky");
         let a = n.node("a");
-        n.add(Element::voltage_source("V1", n.find_node("a").unwrap(), Node::GROUND, 1.0))
-            .ok();
+        n.add(Element::voltage_source(
+            "V1",
+            n.find_node("a").unwrap(),
+            Node::GROUND,
+            1.0,
+        ))
+        .ok();
         let b = n.node("b");
         n.add(Element::tunnel_junction("J1", a, b, 1e-18, 1e5))
             .unwrap();
         // The resistor makes `b` a conventional node.
-        n.add(Element::resistor("R1", b, Node::GROUND, 1e6)).unwrap();
+        n.add(Element::resistor("R1", b, Node::GROUND, 1e6))
+            .unwrap();
         assert!(find_islands(&n).is_empty());
     }
 

@@ -235,7 +235,8 @@ mod tests {
             .unwrap();
         n.add(Element::voltage_source("V2", a, Node::GROUND, 2.0))
             .unwrap();
-        n.add(Element::resistor("R1", a, Node::GROUND, 1e3)).unwrap();
+        n.add(Element::resistor("R1", a, Node::GROUND, 1e3))
+            .unwrap();
         let err = n.validate().unwrap_err();
         assert!(err.to_string().contains("loop of voltage sources"));
     }
@@ -250,8 +251,14 @@ mod tests {
             .unwrap();
         n.add(Element::tunnel_junction("J1", top, mid, 1e-18, 1e5))
             .unwrap();
-        n.add(Element::tunnel_junction("J2", mid, Node::GROUND, 1e-18, 1e5))
-            .unwrap();
+        n.add(Element::tunnel_junction(
+            "J2",
+            mid,
+            Node::GROUND,
+            1e-18,
+            1e5,
+        ))
+        .unwrap();
         assert!(n.validate().is_ok());
         let lonely = islands_without_gate(&n);
         assert_eq!(lonely, vec![mid]);

@@ -28,6 +28,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// `!(a < b)` is the idiom this crate uses to reject NaN alongside ordinary
+// range violations, and the LU / matrix hot paths keep the textbook
+// index-based loops for auditability against the reference algorithms.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod dft;

@@ -203,12 +203,8 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
         let inv = invert(&a).unwrap();
         let prod = a.mul_matrix(&inv).unwrap();
         let diff = &prod - &Matrix::identity(3);
@@ -217,8 +213,7 @@ mod tests {
 
     #[test]
     fn determinant_of_triangular_matrix() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 5.0], &[0.0, 0.0, 4.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 5.0], &[0.0, 0.0, 4.0]]).unwrap();
         let lu = LuDecomposition::new(&a).unwrap();
         assert!((lu.determinant() - 24.0).abs() < 1e-10);
     }

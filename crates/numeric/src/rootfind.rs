@@ -37,12 +37,7 @@ impl Default for RootFindOptions {
 /// Returns [`NumericError::NoConvergence`] if the tolerances are not met
 /// within the iteration budget, or [`NumericError::InvalidArgument`] if the
 /// derivative vanishes at an iterate.
-pub fn newton<F, D>(
-    f: F,
-    df: D,
-    x0: f64,
-    options: RootFindOptions,
-) -> Result<f64, NumericError>
+pub fn newton<F, D>(f: F, df: D, x0: f64, options: RootFindOptions) -> Result<f64, NumericError>
 where
     F: Fn(f64) -> f64,
     D: Fn(f64) -> f64,
@@ -165,8 +160,13 @@ mod tests {
 
     #[test]
     fn newton_finds_square_root() {
-        let root = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, RootFindOptions::default())
-            .unwrap();
+        let root = newton(
+            |x| x * x - 2.0,
+            |x| 2.0 * x,
+            1.0,
+            RootFindOptions::default(),
+        )
+        .unwrap();
         assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
     }
 
@@ -231,7 +231,7 @@ mod tests {
         fn prop_bisection_result_is_bracketed(r in -1.0_f64..1.0) {
             let f = move |x: f64| x - r;
             let root = bisection(f, -2.0, 2.0, RootFindOptions::default()).unwrap();
-            prop_assert!(root >= -2.0 && root <= 2.0);
+            prop_assert!((-2.0..=2.0).contains(&root));
             prop_assert!((root - r).abs() < 1e-6);
         }
     }

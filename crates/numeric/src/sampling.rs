@@ -94,11 +94,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Returns [`NumericError::InvalidArgument`] if `std_dev` is negative or not
 /// finite.
-pub fn normal<R: Rng + ?Sized>(
-    rng: &mut R,
-    mean: f64,
-    std_dev: f64,
-) -> Result<f64, NumericError> {
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> Result<f64, NumericError> {
     if std_dev < 0.0 || !std_dev.is_finite() {
         return Err(NumericError::InvalidArgument(format!(
             "standard deviation must be non-negative and finite, got {std_dev}"

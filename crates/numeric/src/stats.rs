@@ -259,7 +259,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_signal_is_negative_at_lag_one() {
-        let signal: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&signal, 1) < -0.9);
         assert!(autocorrelation(&signal, 2) > 0.9);
     }

@@ -1,0 +1,215 @@
+//! [`StationaryEngine`] adapter for the analytic SET model.
+//!
+//! The exact birth–death solver of [`SingleElectronTransistor`] is the
+//! toolkit's "SPICE-style analytic model" in the paper's taxonomy: a closed
+//! characteristic `I(V_ds, V_gs)` with no state enumeration. Wrapping it in
+//! an operating point (temperature and background charge) makes it drivable
+//! through the same trait — and therefore the same parallel
+//! [`se_engine::SweepRunner`] — as the detailed master-equation and kinetic
+//! Monte-Carlo engines.
+
+use crate::error::OrthodoxError;
+use crate::set::SingleElectronTransistor;
+use se_engine::{ControlId, ObservableId, StationaryEngine};
+
+/// Control handle values of [`AnalyticSetEngine`].
+const CONTROL_DRAIN: usize = 0;
+const CONTROL_GATE: usize = 1;
+
+/// The analytic SET model at a fixed operating point (temperature and
+/// background charge), exposing drain and gate as sweepable controls and
+/// the drain current as the observable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticSetEngine {
+    set: SingleElectronTransistor,
+    temperature: f64,
+    q0: f64,
+    base_vds: f64,
+    base_vgs: f64,
+}
+
+impl AnalyticSetEngine {
+    /// Wraps `set` at the given temperature (kelvin) and background charge
+    /// (units of `e`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::InvalidParameter`] for a negative or
+    /// non-finite temperature or a non-finite background charge.
+    pub fn new(
+        set: SingleElectronTransistor,
+        temperature: f64,
+        q0: f64,
+    ) -> Result<Self, OrthodoxError> {
+        if temperature < 0.0 || !temperature.is_finite() {
+            return Err(OrthodoxError::InvalidParameter(format!(
+                "temperature must be non-negative and finite, got {temperature}"
+            )));
+        }
+        if !q0.is_finite() {
+            return Err(OrthodoxError::InvalidParameter(
+                "background charge must be finite".into(),
+            ));
+        }
+        Ok(AnalyticSetEngine {
+            set,
+            temperature,
+            q0,
+            base_vds: 0.0,
+            base_vgs: 0.0,
+        })
+    }
+
+    /// Sets the default drain and gate voltages used when a sweep does not
+    /// override them (e.g. the fixed drain bias of a gate sweep).
+    #[must_use]
+    pub fn with_bias(mut self, vds: f64, vgs: f64) -> Self {
+        self.base_vds = vds;
+        self.base_vgs = vgs;
+        self
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn device(&self) -> &SingleElectronTransistor {
+        &self.set
+    }
+}
+
+impl SingleElectronTransistor {
+    /// The device as a [`StationaryEngine`] at the given operating point —
+    /// the entry point for driving the analytic model through the unified
+    /// sweep layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyticSetEngine::new`].
+    pub fn stationary_engine(
+        &self,
+        temperature: f64,
+        q0: f64,
+    ) -> Result<AnalyticSetEngine, OrthodoxError> {
+        AnalyticSetEngine::new(self.clone(), temperature, q0)
+    }
+}
+
+impl StationaryEngine for AnalyticSetEngine {
+    type Error = OrthodoxError;
+
+    fn engine_name(&self) -> &'static str {
+        "analytic-set"
+    }
+
+    fn resolve_control(&self, name: &str) -> Result<ControlId, OrthodoxError> {
+        match name.to_ascii_lowercase().as_str() {
+            "drain" | "vd" | "vds" => Ok(ControlId(CONTROL_DRAIN)),
+            "gate" | "vg" | "vgs" => Ok(ControlId(CONTROL_GATE)),
+            other => Err(OrthodoxError::InvalidParameter(format!(
+                "the analytic SET has no control named `{other}` (use `drain` or `gate`)"
+            ))),
+        }
+    }
+
+    fn resolve_observable(&self, name: &str) -> Result<ObservableId, OrthodoxError> {
+        match name.to_ascii_lowercase().as_str() {
+            "drain" | "jd" | "id" | "i" => Ok(ObservableId(0)),
+            other => Err(OrthodoxError::InvalidParameter(format!(
+                "the analytic SET has no observable named `{other}` (use `drain`)"
+            ))),
+        }
+    }
+
+    fn stationary_currents(
+        &self,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        _seed: u64,
+    ) -> Result<Vec<f64>, OrthodoxError> {
+        let mut vds = self.base_vds;
+        let mut vgs = self.base_vgs;
+        for &(ControlId(control), value) in controls {
+            match control {
+                CONTROL_DRAIN => vds = value,
+                CONTROL_GATE => vgs = value,
+                other => {
+                    return Err(OrthodoxError::InvalidParameter(format!(
+                        "unknown control handle {other}"
+                    )))
+                }
+            }
+        }
+        let current = self.set.current(vds, vgs, self.q0, self.temperature)?;
+        observables
+            .iter()
+            .map(|&ObservableId(observable)| {
+                if observable == 0 {
+                    Ok(current)
+                } else {
+                    Err(OrthodoxError::InvalidParameter(format!(
+                        "unknown observable handle {observable}"
+                    )))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_engine::SweepRunner;
+
+    fn engine() -> AnalyticSetEngine {
+        SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3)
+            .unwrap()
+            .stationary_engine(1.0, 0.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_operating_point() {
+        let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3).unwrap();
+        assert!(set.stationary_engine(-1.0, 0.0).is_err());
+        assert!(set.stationary_engine(1.0, f64::NAN).is_err());
+        assert!(set.stationary_engine(4.2, 0.3).is_ok());
+    }
+
+    #[test]
+    fn names_resolve_case_insensitively() {
+        let engine = engine();
+        assert_eq!(engine.resolve_control("Gate").unwrap(), ControlId(1));
+        assert_eq!(engine.resolve_control("VDS").unwrap(), ControlId(0));
+        assert_eq!(engine.resolve_observable("JD").unwrap(), ObservableId(0));
+        assert!(engine.resolve_control("bulk").is_err());
+        assert!(engine.resolve_observable("JS2").is_err());
+    }
+
+    #[test]
+    fn trait_currents_match_the_direct_model() {
+        let engine = engine().with_bias(1e-3, 0.0);
+        let period = engine.device().gate_period();
+        let vg = 0.5 * period;
+        let via_trait = engine
+            .stationary_current(
+                &[(engine.resolve_control("gate").unwrap(), vg)],
+                engine.resolve_observable("drain").unwrap(),
+                99,
+            )
+            .unwrap();
+        let direct = engine.device().current(1e-3, vg, 0.0, 1.0).unwrap();
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn runner_sweep_reproduces_the_oscillation_peak() {
+        let engine = engine().with_bias(1e-3, 0.0);
+        let period = engine.device().gate_period();
+        let values = se_engine::linspace(0.0, period, 41).unwrap();
+        let sweep = SweepRunner::new()
+            .run(&engine, "gate", &values, "drain")
+            .unwrap();
+        let peak = sweep.iter().map(|p| p.current).fold(f64::MIN, f64::max);
+        let valley = sweep[0].current.abs();
+        assert!(peak > 100.0 * valley.max(1e-18));
+    }
+}

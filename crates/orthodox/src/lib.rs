@@ -40,14 +40,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(a > b)` is the idiom this crate uses to reject NaN alongside ordinary
+// range violations.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod background;
 pub mod cotunneling;
+pub mod engine;
 pub mod error;
 pub mod rates;
 pub mod set;
 pub mod system;
 
+pub use engine::AnalyticSetEngine;
 pub use error::OrthodoxError;
 pub use rates::{tunnel_rate, tunnel_rate_zero_temperature};
 pub use system::{

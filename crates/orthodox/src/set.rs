@@ -19,6 +19,12 @@ use crate::error::OrthodoxError;
 use crate::rates::tunnel_rate;
 use se_units::constants::{BOLTZMANN, E};
 
+/// Shared grid construction with the crate's error type.
+fn grid(start: f64, stop: f64, points: usize) -> Result<Vec<f64>, OrthodoxError> {
+    se_engine::linspace(start, stop, points)
+        .map_err(|e| OrthodoxError::InvalidParameter(e.to_string()))
+}
+
 /// Exact orthodox model of a single SET.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SingleElectronTransistor {
@@ -96,7 +102,7 @@ impl SingleElectronTransistor {
     /// Returns [`OrthodoxError::InvalidParameter`] if `window` is zero or
     /// larger than 512.
     pub fn with_window(mut self, window: i64) -> Result<Self, OrthodoxError> {
-        if window < 1 || window > 512 {
+        if !(1..=512).contains(&window) {
             return Err(OrthodoxError::InvalidParameter(format!(
                 "charge window must lie in [1, 512], got {window}"
             )));
@@ -164,20 +170,12 @@ impl SingleElectronTransistor {
     /// [`crate::system::TunnelSystem`]; here it is written out explicitly for
     /// speed and testability.
     #[allow(clippy::too_many_arguments)]
-    fn delta_f_in(
-        &self,
-        n: i64,
-        vds: f64,
-        vgs: f64,
-        q0: f64,
-        c_other: f64,
-        v_lead: f64,
-    ) -> f64 {
+    fn delta_f_in(&self, n: i64, vds: f64, vgs: f64, q0: f64, c_other: f64, v_lead: f64) -> f64 {
         let c_sigma = self.total_capacitance();
         let q_island = -E * n as f64 + E * q0;
         // Island potential before the event.
-        let phi = (q_island + self.c_drain * vds + self.c_source * 0.0 + self.c_gate * vgs)
-            / c_sigma;
+        let phi =
+            (q_island + self.c_drain * vds + self.c_source * 0.0 + self.c_gate * vgs) / c_sigma;
         // Electron moves from the lead (potential v_lead) onto the island.
         let _ = c_other;
         E * (v_lead - phi) + E * E / (2.0 * c_sigma)
@@ -212,8 +210,7 @@ impl SingleElectronTransistor {
         }
 
         // Centre the charge window on the electrostatically preferred n.
-        let gate_charge =
-            (self.c_gate * vgs + self.c_drain * vds) / E + q0;
+        let gate_charge = (self.c_gate * vgs + self.c_drain * vds) / E + q0;
         let n_center = gate_charge.round() as i64;
         let lo = n_center - self.window;
         let hi = n_center + self.window;
@@ -266,7 +263,9 @@ impl SingleElectronTransistor {
     }
 
     /// Sweeps the gate voltage at fixed `vds`, returning one [`BiasPoint`]
-    /// per sample.
+    /// per sample. Runs through the shared parallel
+    /// [`se_engine::SweepRunner`], fanning bias points across all cores;
+    /// descending ranges (`vg_start > vg_stop`) are swept in that order.
     ///
     /// # Errors
     ///
@@ -281,30 +280,20 @@ impl SingleElectronTransistor {
         q0: f64,
         temperature: f64,
     ) -> Result<Vec<BiasPoint>, OrthodoxError> {
-        if points < 2 {
-            return Err(OrthodoxError::InvalidParameter(
-                "a sweep needs at least two points".into(),
-            ));
-        }
-        if !(vg_stop > vg_start) {
-            return Err(OrthodoxError::InvalidParameter(format!(
-                "sweep range must satisfy start < stop, got [{vg_start}, {vg_stop}]"
-            )));
-        }
-        (0..points)
-            .map(|i| {
-                let vgs = vg_start + (vg_stop - vg_start) * i as f64 / (points - 1) as f64;
-                Ok(BiasPoint {
-                    vds,
-                    vgs,
-                    current: self.current(vds, vgs, q0, temperature)?,
-                })
+        let values = grid(vg_start, vg_stop, points)?;
+        se_engine::SweepRunner::new().map_points(values.len(), |i, _seed| {
+            let vgs = values[i];
+            Ok(BiasPoint {
+                vds,
+                vgs,
+                current: self.current(vds, vgs, q0, temperature)?,
             })
-            .collect()
+        })
     }
 
     /// Sweeps the drain voltage at fixed `vgs` (the Coulomb-staircase /
-    /// blockade curve).
+    /// blockade curve), in parallel over bias points. A descending range
+    /// (`vd_start > vd_stop`) runs a reverse-bias sweep.
     ///
     /// # Errors
     ///
@@ -318,26 +307,15 @@ impl SingleElectronTransistor {
         q0: f64,
         temperature: f64,
     ) -> Result<Vec<BiasPoint>, OrthodoxError> {
-        if points < 2 {
-            return Err(OrthodoxError::InvalidParameter(
-                "a sweep needs at least two points".into(),
-            ));
-        }
-        if !(vd_stop > vd_start) {
-            return Err(OrthodoxError::InvalidParameter(format!(
-                "sweep range must satisfy start < stop, got [{vd_start}, {vd_stop}]"
-            )));
-        }
-        (0..points)
-            .map(|i| {
-                let vds = vd_start + (vd_stop - vd_start) * i as f64 / (points - 1) as f64;
-                Ok(BiasPoint {
-                    vds,
-                    vgs,
-                    current: self.current(vds, vgs, q0, temperature)?,
-                })
+        let values = grid(vd_start, vd_stop, points)?;
+        se_engine::SweepRunner::new().map_points(values.len(), |i, _seed| {
+            let vds = values[i];
+            Ok(BiasPoint {
+                vds,
+                vgs,
+                current: self.current(vds, vgs, q0, temperature)?,
             })
-            .collect()
+        })
     }
 
     /// Modulation depth `(I_max − I_min)/(I_max + I_min)` of the Coulomb
@@ -443,9 +421,7 @@ mod tests {
         let q0 = 0.3;
         for frac in [0.1, 0.35, 0.6, 0.85] {
             let with_q0 = set.current(1e-4, frac * period, q0, 0.1).unwrap();
-            let shifted = set
-                .current(1e-4, (frac + q0) * period, 0.0, 0.1)
-                .unwrap();
+            let shifted = set.current(1e-4, (frac + q0) * period, 0.0, 0.1).unwrap();
             assert!(
                 (with_q0 - shifted).abs() < 0.03 * with_q0.abs().max(1e-15),
                 "phase-shift equivalence failed at {frac}: {with_q0} vs {shifted}"
@@ -484,8 +460,30 @@ mod tests {
     fn sweep_validation() {
         let set = reference_set();
         assert!(set.gate_sweep(1e-4, 0.0, 1.0, 1, 0.0, 1.0).is_err());
-        assert!(set.gate_sweep(1e-4, 1.0, 0.0, 10, 0.0, 1.0).is_err());
         assert!(set.drain_sweep(0.0, 0.0, 0.0, 10, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn descending_sweeps_run_reverse_bias() {
+        // A descending drain sweep measures the reverse-bias branch in the
+        // order requested — no caller-side reversal.
+        let set = reference_set();
+        let sweep = set.drain_sweep(0.0, 0.05, -0.05, 11, 0.0, 0.1).unwrap();
+        assert_eq!(sweep.len(), 11);
+        assert_eq!(sweep[0].vds, 0.05);
+        assert_eq!(sweep[10].vds, -0.05);
+        assert!(sweep[0].current > 0.0);
+        assert!(sweep[10].current < 0.0);
+
+        // Descending gate sweeps mirror the ascending characteristic.
+        let period = set.gate_period();
+        let down = set.gate_sweep(1e-4, period, 0.0, 21, 0.0, 1.0).unwrap();
+        let up = set.gate_sweep(1e-4, 0.0, period, 21, 0.0, 1.0).unwrap();
+        for (d, u) in down.iter().zip(up.iter().rev()) {
+            assert!((d.vgs - u.vgs).abs() < 1e-9 * period);
+            let scale = d.current.abs().max(u.current.abs()).max(1e-18);
+            assert!((d.current - u.current).abs() < 1e-6 * scale);
+        }
     }
 
     proptest! {

@@ -232,11 +232,9 @@ impl TunnelSystemBuilder {
                 Endpoint::Island(i) if i >= n_islands => Err(OrthodoxError::UnknownNode(format!(
                     "{context} references island {i}, but only {n_islands} islands exist"
                 ))),
-                Endpoint::External(k) if k >= n_externals => {
-                    Err(OrthodoxError::UnknownNode(format!(
-                        "{context} references external node {k}, but only {n_externals} exist"
-                    )))
-                }
+                Endpoint::External(k) if k >= n_externals => Err(OrthodoxError::UnknownNode(
+                    format!("{context} references external node {k}, but only {n_externals} exist"),
+                )),
                 _ => Ok(()),
             }
         };
@@ -642,8 +640,7 @@ impl TunnelSystem {
                 _ => 0.0,
             }
         };
-        E * (phi_from - phi_to)
-            + 0.5 * E * E * (k(from, from) + k(to, to) - 2.0 * k(from, to))
+        E * (phi_from - phi_to) + 0.5 * E * E * (k(from, from) + k(to, to) - 2.0 * k(from, to))
     }
 
     /// Tunnel resistance of the junction involved in `event`, in ohm.
@@ -772,7 +769,10 @@ mod tests {
         let (system, onto, _) = symmetric_set(1e-4, 0.0, 0.0);
         let state = ChargeState::neutral(1);
         let df_onto = system.delta_free_energy(&state, onto);
-        assert!(df_onto > 0.0, "ΔF = {df_onto} should be positive in blockade");
+        assert!(
+            df_onto > 0.0,
+            "ΔF = {df_onto} should be positive in blockade"
+        );
         // The charging energy scale is e²/2CΣ ≈ 32 meV here.
         let ec = system.charging_energy(0);
         assert!(df_onto > 0.5 * ec);

@@ -210,8 +210,7 @@ mod tests {
 
     #[test]
     fn rows_are_assigned_to_all_nodes_and_sources() {
-        let netlist =
-            parse_deck("divider\nV1 in 0 1.0\nR1 in out 1k\nR2 out 0 1k\n").unwrap();
+        let netlist = parse_deck("divider\nV1 in 0 1.0\nR1 in out 1k\nR2 out 0 1k\n").unwrap();
         let circuit = Circuit::new(&netlist).unwrap();
         assert_eq!(circuit.node_count(), 2);
         assert_eq!(circuit.source_count(), 1);

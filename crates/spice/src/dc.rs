@@ -2,8 +2,8 @@
 
 use crate::circuit::{Circuit, OperatingPoint};
 use crate::devices::{
-    capacitor, diode::DiodeModel, mosfet::MosfetModel, resistor,
-    set_analytic::SetAnalyticModel, sources, Stamps,
+    capacitor, diode::DiodeModel, mosfet::MosfetModel, resistor, set_analytic::SetAnalyticModel,
+    sources, Stamps,
 };
 use crate::error::SpiceError;
 use se_netlist::ElementKind;
@@ -165,7 +165,14 @@ pub(crate) fn newton(
     initial: Vec<f64>,
     source_overrides: &HashMap<String, f64>,
 ) -> Result<Vec<f64>, SpiceError> {
-    newton_with_gmin(circuit, options, mode, initial, source_overrides, options.gmin)
+    newton_with_gmin(
+        circuit,
+        options,
+        mode,
+        initial,
+        source_overrides,
+        options.gmin,
+    )
 }
 
 fn newton_with_gmin(
@@ -183,8 +190,8 @@ fn newton_with_gmin(
     let mut last_delta = f64::INFINITY;
     for _ in 0..options.max_iterations {
         let (matrix, rhs) = assemble(circuit, &x, mode, gmin, source_overrides);
-        let lu = LuDecomposition::new(&matrix)
-            .map_err(|e| SpiceError::SingularSystem(e.to_string()))?;
+        let lu =
+            LuDecomposition::new(&matrix).map_err(|e| SpiceError::SingularSystem(e.to_string()))?;
         let x_new = lu.solve(&rhs)?;
         // Raw Newton step size (before damping) decides convergence.
         let max_delta = (0..n)
@@ -300,24 +307,24 @@ mod tests {
     fn nmos_common_source_amplifier_pulls_down() {
         // NMOS with grounded source, gate well above threshold, drain through
         // a resistor to 1.8 V: the drain must sit far below the supply.
-        let op = solve(
-            "cs amp\nVDD vdd 0 1.8\nVG g 0 1.2\nRD vdd d 50k\nM1 d g 0 NMOS\n",
-        );
+        let op = solve("cs amp\nVDD vdd 0 1.8\nVG g 0 1.2\nRD vdd d 50k\nM1 d g 0 NMOS\n");
         let vd = op.voltage("d").unwrap();
         assert!(vd < 0.4, "drain voltage {vd} should be pulled low");
         // With the gate off the drain floats up to the supply.
-        let op = solve(
-            "cs amp off\nVDD vdd 0 1.8\nVG g 0 0.0\nRD vdd d 50k\nM1 d g 0 NMOS\n",
-        );
+        let op = solve("cs amp off\nVDD vdd 0 1.8\nVG g 0 0.0\nRD vdd d 50k\nM1 d g 0 NMOS\n");
         let vd = op.voltage("d").unwrap();
-        assert!((vd - 1.8).abs() < 1e-3, "drain voltage {vd} should float to VDD");
+        assert!(
+            (vd - 1.8).abs() < 1e-3,
+            "drain voltage {vd} should float to VDD"
+        );
     }
 
     #[test]
     fn tunnel_junctions_act_as_resistors_in_spice_mode() {
         // Two equal junctions in series across 1 mV: the midpoint halves the
         // bias, blockade is (deliberately) absent.
-        let op = solve("double junction\nV1 top 0 1m\nJ1 top mid C=1a R=100k\nJ2 mid 0 C=1a R=100k\n");
+        let op =
+            solve("double junction\nV1 top 0 1m\nJ1 top mid C=1a R=100k\nJ2 mid 0 C=1a R=100k\n");
         assert!((op.voltage("mid").unwrap() - 0.5e-3).abs() < 1e-9);
     }
 
@@ -351,8 +358,10 @@ mod tests {
     fn newton_options_control_iteration_budget() {
         let netlist = parse_deck("diode\nV1 in 0 5\nR1 in a 10k\nD1 a 0\n").unwrap();
         let circuit = Circuit::new(&netlist).unwrap();
-        let mut options = NewtonOptions::default();
-        options.max_iterations = 1;
+        let options = NewtonOptions {
+            max_iterations: 1,
+            ..Default::default()
+        };
         assert!(circuit.dc_operating_point_with(&options).is_err());
     }
 }

@@ -28,7 +28,10 @@ impl DiodeModel {
     /// layer).
     #[must_use]
     pub fn new(saturation_current: f64, ideality: f64) -> Self {
-        assert!(saturation_current > 0.0, "saturation current must be positive");
+        assert!(
+            saturation_current > 0.0,
+            "saturation current must be positive"
+        );
         assert!(
             (1.0..=5.0).contains(&ideality),
             "ideality factor must lie in [1, 5]"

@@ -130,7 +130,6 @@ mod tests {
         let mut stamps = Stamps::new(&mut m, &mut rhs);
         stamps.current(Some(0), Some(1), 1e-3);
         stamps.current(None, Some(1), 2e-3);
-        drop(stamps);
         assert_eq!(rhs[0], -1e-3);
         assert_eq!(rhs[1], 3e-3);
     }

@@ -52,6 +52,7 @@ impl MosfetModel {
         let vgs_eff = sign * vgs;
         let vds_eff = sign * vds;
         let vth = sign * self.params.vth; // positive number for both types
+
         // The level-1 model is symmetric: for negative Vds, swap source and
         // drain.
         let (vgs_use, vds_use, swapped) = if vds_eff >= 0.0 {

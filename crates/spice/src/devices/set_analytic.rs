@@ -77,7 +77,11 @@ impl SetAnalyticModel {
     fn rate(&self, delta_f: f64, resistance: f64) -> f64 {
         let prefactor = 1.0 / (E * E * resistance);
         if self.temperature == 0.0 {
-            return if delta_f < 0.0 { -delta_f * prefactor } else { 0.0 };
+            return if delta_f < 0.0 {
+                -delta_f * prefactor
+            } else {
+                0.0
+            };
         }
         let kt = BOLTZMANN * self.temperature;
         let x = delta_f / kt;
@@ -105,7 +109,9 @@ impl SetAnalyticModel {
         // The two relevant occupations bracket the induced charge.
         let n0 = q_cont.floor();
 
-        let phi = |n: f64| (-E * n + E * p.background_charge + p.c_drain * vds + p.c_gate * vgs) / c_sigma;
+        let phi = |n: f64| {
+            (-E * n + E * p.background_charge + p.c_drain * vds + p.c_gate * vgs) / c_sigma
+        };
         // Electron enters the island from a lead at `v_lead` while the
         // island holds `n` electrons.
         let df_in = |n: f64, v_lead: f64| E * (v_lead - phi(n)) + E * E / (2.0 * c_sigma);
@@ -133,10 +139,10 @@ impl SetAnalyticModel {
     #[must_use]
     pub fn conductances(&self, vgs: f64, vds: f64) -> (f64, f64) {
         let dv = 1e-6;
-        let gm = (self.drain_current(vgs + dv, vds) - self.drain_current(vgs - dv, vds))
-            / (2.0 * dv);
-        let gds = (self.drain_current(vgs, vds + dv) - self.drain_current(vgs, vds - dv))
-            / (2.0 * dv);
+        let gm =
+            (self.drain_current(vgs + dv, vds) - self.drain_current(vgs - dv, vds)) / (2.0 * dv);
+        let gds =
+            (self.drain_current(vgs, vds + dv) - self.drain_current(vgs, vds - dv)) / (2.0 * dv);
         (gm, gds)
     }
 

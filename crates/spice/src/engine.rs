@@ -1,0 +1,139 @@
+//! [`StationaryEngine`] adapter for the SPICE DC engine.
+//!
+//! Controls are the circuit's DC voltage sources (swept by name, as in a
+//! `.dc` statement); observables are the branch currents through voltage
+//! sources. Every stationary solve is an independent cold-start Newton
+//! solution (with the solver's `gmin` stepping as the fallback), so bias
+//! points can run on any thread in any order with identical results.
+
+use crate::circuit::Circuit;
+use crate::dc::{solve_dc_with_overrides, NewtonOptions};
+use crate::error::SpiceError;
+use se_engine::{ControlId, ObservableId, StationaryEngine};
+use std::collections::HashMap;
+
+/// The SPICE DC engine as a [`StationaryEngine`]: a circuit plus Newton
+/// options.
+#[derive(Debug, Clone)]
+pub struct SpiceDcEngine {
+    circuit: Circuit,
+    options: NewtonOptions,
+    /// Voltage-source names (lower-cased), indexed by handle value.
+    sources: Vec<String>,
+}
+
+impl SpiceDcEngine {
+    /// Wraps a circuit with the given Newton options.
+    #[must_use]
+    pub fn new(circuit: Circuit, options: NewtonOptions) -> Self {
+        let sources = circuit
+            .netlist()
+            .elements()
+            .iter()
+            .filter(|e| e.is_voltage_source())
+            .map(|e| e.name().to_ascii_lowercase())
+            .collect();
+        SpiceDcEngine {
+            circuit,
+            options,
+            sources,
+        }
+    }
+
+    /// The wrapped circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    fn resolve_source(&self, name: &str) -> Result<usize, SpiceError> {
+        let lowered = name.to_ascii_lowercase();
+        self.sources
+            .iter()
+            .position(|s| *s == lowered)
+            .ok_or_else(|| SpiceError::InvalidArgument(format!("no voltage source named `{name}`")))
+    }
+}
+
+impl StationaryEngine for SpiceDcEngine {
+    type Error = SpiceError;
+
+    fn engine_name(&self) -> &'static str {
+        "spice-dc"
+    }
+
+    fn resolve_control(&self, name: &str) -> Result<ControlId, SpiceError> {
+        self.resolve_source(name).map(ControlId)
+    }
+
+    fn resolve_observable(&self, name: &str) -> Result<ObservableId, SpiceError> {
+        self.resolve_source(name).map(ObservableId)
+    }
+
+    fn stationary_currents(
+        &self,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        _seed: u64,
+    ) -> Result<Vec<f64>, SpiceError> {
+        let mut overrides = HashMap::new();
+        for &(ControlId(source), value) in controls {
+            let name = self.sources.get(source).ok_or_else(|| {
+                SpiceError::InvalidArgument(format!("unknown control handle {source}"))
+            })?;
+            overrides.insert(name.clone(), value);
+        }
+        let op = solve_dc_with_overrides(&self.circuit, &self.options, &overrides, None)?;
+        observables
+            .iter()
+            .map(|&ObservableId(source)| {
+                let name = self.sources.get(source).ok_or_else(|| {
+                    SpiceError::InvalidArgument(format!("unknown observable handle {source}"))
+                })?;
+                op.source_current(name).ok_or_else(|| {
+                    SpiceError::InvalidArgument(format!(
+                        "no branch current recorded for source `{name}`"
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_engine::SweepRunner;
+    use se_netlist::parse_deck;
+
+    fn divider_engine() -> SpiceDcEngine {
+        let netlist = parse_deck("divider\nV1 in 0 1\nR1 in out 1k\nR2 out 0 1k\n").unwrap();
+        SpiceDcEngine::new(Circuit::new(&netlist).unwrap(), NewtonOptions::default())
+    }
+
+    #[test]
+    fn source_names_resolve_case_insensitively() {
+        let engine = divider_engine();
+        assert!(engine.resolve_control("V1").is_ok());
+        assert!(engine.resolve_control("v1").is_ok());
+        assert!(engine.resolve_control("VX").is_err());
+        assert!(engine.resolve_observable("V1").is_ok());
+    }
+
+    #[test]
+    fn divider_sweep_through_the_runner_is_linear() {
+        let engine = divider_engine();
+        let values = se_engine::linspace(0.0, 2.0, 5).unwrap();
+        let v1 = SweepRunner::new()
+            .run(&engine, "V1", &values, "V1")
+            .unwrap();
+        // The source current of V1 is -V/(R1+R2).
+        for (point, &v) in v1.iter().zip(&values) {
+            assert!(
+                (point.current + v / 2e3).abs() < 1e-9,
+                "at {v}: {}",
+                point.current
+            );
+        }
+    }
+}

@@ -8,8 +8,8 @@
 //! able to deal with interacting SETs or … higher-order tunnelling effects".
 //! This crate is that family member, built from scratch:
 //!
-//! * modified nodal analysis with Newton–Raphson DC solution, `gmin`
-//!   regularisation and source stepping ([`dc`]);
+//! * modified nodal analysis with Newton–Raphson DC solution and `gmin`
+//!   stepping ([`dc`]);
 //! * DC sweeps ([`sweep`]) and backward-Euler transient analysis with
 //!   arbitrary source stimuli ([`transient`]);
 //! * compact device models ([`devices`]): resistor, capacitor, DC sources,
@@ -40,16 +40,21 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(a > b)` is the idiom this crate uses to reject NaN alongside ordinary
+// range violations.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod circuit;
 pub mod dc;
 pub mod devices;
+pub mod engine;
 pub mod error;
 pub mod sweep;
 pub mod transient;
 
 pub use circuit::{Circuit, OperatingPoint};
 pub use dc::NewtonOptions;
+pub use engine::SpiceDcEngine;
 pub use error::SpiceError;
 pub use sweep::{dc_sweep, SweepResult};
 pub use transient::{transient, Stimulus, TransientOptions, TransientResult};
@@ -59,6 +64,7 @@ pub mod prelude {
     pub use crate::circuit::{Circuit, OperatingPoint};
     pub use crate::dc::NewtonOptions;
     pub use crate::devices::set_analytic::SetAnalyticModel;
+    pub use crate::engine::SpiceDcEngine;
     pub use crate::error::SpiceError;
     pub use crate::sweep::{dc_sweep, SweepResult};
     pub use crate::transient::{transient, Stimulus, TransientOptions, TransientResult};

@@ -1,8 +1,9 @@
-//! DC sweeps.
+//! DC sweeps, built on the shared parallel [`se_engine::SweepRunner`].
 
 use crate::circuit::{Circuit, OperatingPoint};
 use crate::dc::{solve_dc_with_overrides, NewtonOptions};
 use crate::error::SpiceError;
+use se_engine::SweepRunner;
 use std::collections::HashMap;
 
 /// Result of a DC sweep: the swept values and the operating point at each.
@@ -65,8 +66,17 @@ impl SweepResult {
 }
 
 /// Sweeps the DC value of the named voltage source over `values`, solving
-/// the operating point at each value (each solution seeds the next point's
-/// Newton iteration, as in a real SPICE `.dc` sweep).
+/// the operating point at each value.
+///
+/// The first point is solved cold (the solver's `gmin` stepping handles
+/// hard starting points); its solution then seeds the Newton iteration of
+/// *every* remaining point, which are fanned out in parallel across cores
+/// by the shared [`SweepRunner`]. Because each point's initial guess
+/// depends only on the first point — never on its neighbour — results are
+/// independent of thread scheduling. Note this differs from a classic
+/// serial `.dc` continuation: on a multi-valued characteristic
+/// (hysteretic circuits) the sweep anchors to the branch of the first
+/// point instead of tracking branches point-to-point.
 ///
 /// # Errors
 ///
@@ -88,15 +98,18 @@ pub fn dc_sweep(
             "a DC sweep needs at least one value".into(),
         ));
     }
-    let mut points = Vec::with_capacity(values.len());
-    let mut previous: Option<Vec<f64>> = None;
-    for &value in values {
+    let lowered = source.to_ascii_lowercase();
+    let solve_at = |value: f64, initial: Option<Vec<f64>>| {
         let mut overrides = HashMap::new();
-        overrides.insert(source.to_ascii_lowercase(), value);
-        let op = solve_dc_with_overrides(circuit, options, &overrides, previous.clone())?;
-        previous = Some(op.solution().to_vec());
-        points.push(op);
-    }
+        overrides.insert(lowered.clone(), value);
+        solve_dc_with_overrides(circuit, options, &overrides, initial)
+    };
+    let anchor = solve_at(values[0], None)?;
+    let warm_start = anchor.solution().to_vec();
+    let mut points = SweepRunner::new().map_points(values.len() - 1, |i, _seed| {
+        solve_at(values[i + 1], Some(warm_start.clone()))
+    })?;
+    points.insert(0, anchor);
     Ok(SweepResult {
         source: source.to_string(),
         values: values.to_vec(),
@@ -105,25 +118,14 @@ pub fn dc_sweep(
 }
 
 /// Generates `points` evenly spaced values covering `[start, stop]`.
+/// Descending ranges (`start > stop`) are supported for reverse sweeps.
 ///
 /// # Errors
 ///
 /// Returns [`SpiceError::InvalidArgument`] if `points < 2` or the range is
 /// degenerate.
 pub fn linspace(start: f64, stop: f64, points: usize) -> Result<Vec<f64>, SpiceError> {
-    if points < 2 {
-        return Err(SpiceError::InvalidArgument(
-            "a sweep needs at least two points".into(),
-        ));
-    }
-    if !(stop > start) {
-        return Err(SpiceError::InvalidArgument(format!(
-            "sweep range must satisfy start < stop, got [{start}, {stop}]"
-        )));
-    }
-    Ok((0..points)
-        .map(|i| start + (stop - start) * i as f64 / (points - 1) as f64)
-        .collect())
+    se_engine::linspace(start, stop, points).map_err(|e| SpiceError::InvalidArgument(e.to_string()))
 }
 
 #[cfg(test)]
@@ -140,7 +142,11 @@ mod tests {
         assert!(dc_sweep(&circuit, "VX", &[0.0, 1.0], &options).is_err());
         assert!(dc_sweep(&circuit, "V1", &[], &options).is_err());
         assert!(linspace(0.0, 1.0, 1).is_err());
-        assert!(linspace(1.0, 0.0, 5).is_err());
+        assert!(linspace(1.0, 1.0, 5).is_err());
+        // Descending grids are allowed (reverse sweeps).
+        let down = linspace(1.0, 0.0, 5).unwrap();
+        assert_eq!(down[0], 1.0);
+        assert_eq!(down[4], 0.0);
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub mod prefix;
 pub mod quantity;
 pub mod temperature;
 
-pub use constants::{
-    BOLTZMANN, ELEMENTARY_CHARGE, PLANCK, REDUCED_PLANCK, RESISTANCE_QUANTUM,
-};
+pub use constants::{BOLTZMANN, ELEMENTARY_CHARGE, PLANCK, REDUCED_PLANCK, RESISTANCE_QUANTUM};
 pub use prefix::{parse_value, ParseValueError};
-pub use quantity::{
-    Ampere, Coulomb, Farad, Hertz, Joule, Kelvin, Ohm, Second, Volt,
-};
+pub use quantity::{Ampere, Coulomb, Farad, Hertz, Joule, Kelvin, Ohm, Second, Volt};
 pub use temperature::{charging_energy, thermal_energy, thermal_voltage};

@@ -264,7 +264,10 @@ mod tests {
     fn error_display_mentions_input() {
         let err = parse_value("1q#").unwrap_err();
         let text = err.to_string();
-        assert!(text.contains("1q#"), "error message should cite the input: {text}");
+        assert!(
+            text.contains("1q#"),
+            "error message should cite the input: {text}"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let solution = HybridSimulator::new(&netlist, HybridOptions::new(1.0))?.solve()?;
         table.add_row(&[
             format!("{:.3}", vg / period),
-            format!("{:.4}", solution.boundary_voltage("drain").unwrap_or(f64::NAN) * 1e3),
+            format!(
+                "{:.4}",
+                solution.boundary_voltage("drain").unwrap_or(f64::NAN) * 1e3
+            ),
             solution.iterations().to_string(),
         ]);
     }

@@ -16,8 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3)?;
     let period = set.gate_period();
     println!("gate period e/Cg      : {:.3} mV", period * 1e3);
-    println!("charging energy e²/2CΣ: {:.1} meV", set.charging_energy() / E * 1e3);
-    println!("max operating T (10x) : {:.0} K", set.max_operating_temperature(10.0));
+    println!(
+        "charging energy e²/2CΣ: {:.1} meV",
+        set.charging_energy() / E * 1e3
+    );
+    println!(
+        "max operating T (10x) : {:.0} K",
+        set.max_operating_temperature(10.0)
+    );
     println!();
 
     let mut table = Table::new(

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = SetMosRng::reference()?;
     let bits = generator.generate(&mut rng, 4096)?;
     let report = RandomnessReport::evaluate(&bits)?;
-    let mut table = Table::new("Randomness battery (4096 bits)", &["test", "statistic", "passed"]);
+    let mut table = Table::new(
+        "Randomness battery (4096 bits)",
+        &["test", "statistic", "passed"],
+    );
     table.add_row(&[
         "monobit".into(),
         format!("{:+.3}", report.monobit.statistic),
@@ -52,15 +55,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new("SET/CMOS RNG vs CMOS RNG", &["quantity", "value"]);
     table.add_row(&[
         "power advantage".into(),
-        format!("{:.1} orders of magnitude", comparison.power_orders_of_magnitude()),
+        format!(
+            "{:.1} orders of magnitude",
+            comparison.power_orders_of_magnitude()
+        ),
     ]);
     table.add_row(&[
         "area advantage".into(),
-        format!("{:.1} orders of magnitude", comparison.area_orders_of_magnitude()),
+        format!(
+            "{:.1} orders of magnitude",
+            comparison.area_orders_of_magnitude()
+        ),
     ]);
     table.add_row(&[
         "noise advantage".into(),
-        format!("{:.1} orders of magnitude", comparison.noise_orders_of_magnitude()),
+        format!(
+            "{:.1} orders of magnitude",
+            comparison.noise_orders_of_magnitude()
+        ),
     ]);
     println!("{table}");
     Ok(())

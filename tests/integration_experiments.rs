@@ -61,8 +61,7 @@ fn e8_rng_bits_pass_the_battery_and_comparison_holds() {
     assert!(report.monobit.passed);
     let mut source = TelegraphNoiseSource::reference().unwrap();
     let trace = source.sample_trace(&mut rng, 5e-6, 2000).unwrap();
-    let comparison =
-        RngComparison::with_measured_noise(TelegraphNoiseSource::rms_noise(&trace));
+    let comparison = RngComparison::with_measured_noise(TelegraphNoiseSource::rms_noise(&trace));
     assert!(comparison.power_orders_of_magnitude() > 6.0);
     assert!(comparison.area_orders_of_magnitude() > 7.0);
 }
@@ -78,10 +77,20 @@ fn e9_power_advantage_of_set_logic() {
 #[test]
 fn e11_cotunneling_dominates_sequential_leakage_in_blockade() {
     let charging_energy = 5e-21;
-    let low_r = blockade_leakage_ratio(2.0 * RESISTANCE_QUANTUM, charging_energy, 0.1 * charging_energy, 1.0)
-        .unwrap();
-    let high_r = blockade_leakage_ratio(200.0 * RESISTANCE_QUANTUM, charging_energy, 0.1 * charging_energy, 1.0)
-        .unwrap();
+    let low_r = blockade_leakage_ratio(
+        2.0 * RESISTANCE_QUANTUM,
+        charging_energy,
+        0.1 * charging_energy,
+        1.0,
+    )
+    .unwrap();
+    let high_r = blockade_leakage_ratio(
+        200.0 * RESISTANCE_QUANTUM,
+        charging_energy,
+        0.1 * charging_energy,
+        1.0,
+    )
+    .unwrap();
     assert!(low_r > high_r);
 }
 

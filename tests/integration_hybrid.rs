@@ -13,9 +13,11 @@ fn deck(vg: f64, load: &str) -> String {
 fn hybrid_solution_matches_direct_load_line_intersection() {
     let set = SingleElectronTransistor::new(1e-18, 0.5e-18, 0.5e-18, 100e3, 100e3).unwrap();
     let period = set.gate_period();
-    for &(vg_frac, load_ohm, load_text) in
-        &[(0.5, 10e6_f64, "10meg"), (0.25, 1e6, "1meg"), (0.5, 100e3, "100k")]
-    {
+    for &(vg_frac, load_ohm, load_text) in &[
+        (0.5, 10e6_f64, "10meg"),
+        (0.25, 1e6, "1meg"),
+        (0.5, 100e3, "100k"),
+    ] {
         let vg = vg_frac * period;
         let netlist = se_netlist::parse_deck(&deck(vg, load_text)).unwrap();
         let solution = HybridSimulator::new(&netlist, HybridOptions::new(1.0))

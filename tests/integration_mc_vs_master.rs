@@ -2,9 +2,7 @@
 //! generic master-equation solver and the specialised single-SET reference
 //! must agree on the same physical device.
 
-use single_electronics::montecarlo::{
-    gate_sweep_kmc, gate_sweep_master, MonteCarloSimulator, SimulationOptions,
-};
+use single_electronics::montecarlo::{MasterEquation, MonteCarloSimulator, SimulationOptions};
 use single_electronics::orthodox::set::SingleElectronTransistor;
 use single_electronics::orthodox::TunnelSystemBuilder;
 use single_electronics::prelude::*;
@@ -29,17 +27,19 @@ fn three_engines_agree_on_the_coulomb_oscillation() {
     let period = set.gate_period();
     let gate_values = [0.25 * period, 0.5 * period, 0.75 * period];
 
+    // Both detailed engines behind the unified trait, one parallel runner.
     let system = reference_system(vds, 0.0);
-    let master = gate_sweep_master(&system, "gate", &gate_values, "JD", temperature).unwrap();
-    let kmc = gate_sweep_kmc(
-        &system,
-        "gate",
-        &gate_values,
-        "JD",
-        SimulationOptions::new(temperature).with_seed(11),
-        60_000,
+    let runner = SweepRunner::new().with_seed(11);
+    let master_engine = MasterEquation::new(system.clone(), temperature).unwrap();
+    let master = runner
+        .run(&master_engine, "gate", &gate_values, "JD")
+        .unwrap();
+    let kmc_engine = MonteCarloSimulator::new(
+        system,
+        SimulationOptions::new(temperature).with_events_per_solve(60_000),
     )
     .unwrap();
+    let kmc = runner.run(&kmc_engine, "gate", &gate_values, "JD").unwrap();
 
     for ((vg, m), k) in gate_values.iter().zip(&master).zip(&kmc) {
         let reference = set.current(vds, *vg, 0.0, temperature).unwrap();
@@ -67,10 +67,11 @@ fn background_charge_shifts_phase_in_every_engine() {
     // Master equation with background charge on the island...
     let mut disturbed = reference_system(vds, 0.3 * period);
     disturbed.set_background_charge(0, q0).unwrap();
-    let master_disturbed = single_electronics::montecarlo::MasterEquation::new(disturbed, temperature)
-        .unwrap()
-        .solve()
-        .unwrap();
+    let master_disturbed =
+        single_electronics::montecarlo::MasterEquation::new(disturbed, temperature)
+            .unwrap()
+            .solve()
+            .unwrap();
 
     // ...equals the clean system with the gate advanced by q0 periods.
     let shifted = reference_system(vds, (0.3 + q0) * period);
@@ -101,5 +102,8 @@ fn kmc_time_averages_are_reproducible_and_physical() {
     assert!((i_d - i_s).abs() < 0.1 * i_d);
     // Island occupation fluctuates around the degeneracy value of 1/2.
     let occupation = result.mean_occupation(0).unwrap();
-    assert!(occupation > 0.2 && occupation < 0.8, "occupation {occupation}");
+    assert!(
+        occupation > 0.2 && occupation < 0.8,
+        "occupation {occupation}"
+    );
 }

@@ -6,8 +6,7 @@ use single_electronics::spice::sweep::linspace;
 
 #[test]
 fn rc_low_pass_transient_matches_the_analytic_time_constant() {
-    let netlist =
-        se_netlist::parse_deck("rc\nV1 in 0 0\nR1 in out 10k\nC1 out 0 100p\n").unwrap();
+    let netlist = se_netlist::parse_deck("rc\nV1 in 0 0\nR1 in out 10k\nC1 out 0 100p\n").unwrap();
     let circuit = Circuit::new(&netlist).unwrap();
     // Step from 0 to 1 V; tau = 1 µs.
     let stimulus = Stimulus::new().with_step("V1", 0.0, 1.0, 1e-12);
@@ -15,9 +14,17 @@ fn rc_low_pass_transient_matches_the_analytic_time_constant() {
     let out = result.node_waveform("out");
     let times = result.times();
     let idx_tau = times.iter().position(|&t| t >= 1e-6).unwrap();
-    assert!((out[idx_tau] - 0.632).abs() < 0.02, "V(tau) = {}", out[idx_tau]);
+    assert!(
+        (out[idx_tau] - 0.632).abs() < 0.02,
+        "V(tau) = {}",
+        out[idx_tau]
+    );
     let idx_3tau = times.iter().position(|&t| t >= 3e-6).unwrap();
-    assert!((out[idx_3tau] - 0.950).abs() < 0.02, "V(3 tau) = {}", out[idx_3tau]);
+    assert!(
+        (out[idx_3tau] - 0.950).abs() < 0.02,
+        "V(3 tau) = {}",
+        out[idx_3tau]
+    );
 }
 
 #[test]
@@ -32,7 +39,7 @@ fn hybrid_setmos_deck_parses_and_solves_end_to_end() {
     let circuit = Circuit::with_temperature(&netlist, 4.2).unwrap();
     let op = circuit.dc_operating_point().unwrap();
     let v_out = op.voltage("out").unwrap();
-    assert!(v_out >= -1e-3 && v_out <= 20e-3 + 1e-3, "out = {v_out}");
+    assert!((-1e-3..=21e-3).contains(&v_out), "out = {v_out}");
 }
 
 #[test]
@@ -40,15 +47,12 @@ fn spice_set_model_tracks_the_detailed_model_at_low_bias_only() {
     // The compact model matches the master-equation reference at low bias
     // and undershoots at high bias (no multi-state staircase): this is the
     // documented accuracy trade-off of SPICE-level SET simulation (E10).
-    let set_exact =
-        single_electronics::orthodox::set::SingleElectronTransistor::symmetric(
-            1e-18, 0.5e-18, 100e3,
-        )
-        .unwrap();
-    let compact = SetAnalyticModel::new(
-        se_netlist::SetParams::symmetric(1e-18, 0.5e-18, 100e3),
-        1.0,
-    );
+    let set_exact = single_electronics::orthodox::set::SingleElectronTransistor::symmetric(
+        1e-18, 0.5e-18, 100e3,
+    )
+    .unwrap();
+    let compact =
+        SetAnalyticModel::new(se_netlist::SetParams::symmetric(1e-18, 0.5e-18, 100e3), 1.0);
     let period = set_exact.gate_period();
 
     // Low bias: agreement within 5 %.
