@@ -1,0 +1,82 @@
+//! Criterion bench of the unified transient layer: a 32-run seed ensemble
+//! of pulsed KMC transients of the reference SET through the
+//! `TransientRunner`, serial vs parallel.
+//!
+//! Besides the criterion timings it writes `BENCH_transient.json` at the
+//! workspace root with the median wall-clock of both paths and the
+//! measured speedup, so CI tracks time-domain throughput alongside the
+//! stationary `BENCH_sweep.json` record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_bench::reference_system;
+use se_engine::{TransientRunner, Waveform};
+use se_montecarlo::{MonteCarloSimulator, SimulationOptions};
+use se_units::constants::E;
+use std::time::Instant;
+
+const REPEATS: usize = 32;
+const WINDOWS: usize = 40;
+
+fn median_seconds(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn ensemble(runner: &TransientRunner) -> usize {
+    let vg = E / (2.0 * se_bench::REFERENCE_C_GATE);
+    let engine = MonteCarloSimulator::new(
+        reference_system(0.0, vg, 0.0),
+        SimulationOptions::new(1.0).with_seed(1),
+    )
+    .expect("reference system is valid");
+    let pulse = Waveform::pulse(0.0, 1e-3, 5e-9, 5e-9, 10e-9).expect("valid pulse");
+    let times: Vec<f64> = (1..=WINDOWS).map(|i| i as f64 * 2.5e-9).collect();
+    let traces = runner
+        .run_repeats(&engine, &[("drain", pulse)], &["JD"], &times, REPEATS)
+        .expect("ensemble solves");
+    assert_eq!(traces.len(), REPEATS);
+    traces.iter().map(se_engine::TransientTrace::len).sum()
+}
+
+fn time_ensemble(runner: &TransientRunner, samples: usize) -> f64 {
+    let times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let total = ensemble(runner);
+            assert_eq!(total, REPEATS * WINDOWS);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_seconds(times)
+}
+
+fn transient_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_throughput");
+    group.sample_size(5);
+
+    group.bench_function("kmc_pulse_ensemble_32_serial", |b| {
+        let runner = TransientRunner::new().serial();
+        b.iter(|| ensemble(&runner));
+    });
+    group.bench_function("kmc_pulse_ensemble_32_parallel", |b| {
+        let runner = TransientRunner::new();
+        b.iter(|| ensemble(&runner));
+    });
+    group.finish();
+
+    // Structured record for CI tracking.
+    let serial = time_ensemble(&TransientRunner::new().serial(), 3);
+    let parallel = time_ensemble(&TransientRunner::new(), 3);
+    let threads = rayon::current_num_threads();
+    let json = format!(
+        "{{\n  \"bench\": \"transient_throughput\",\n  \"repeats\": {REPEATS},\n  \"windows\": {WINDOWS},\n  \"threads\": {threads},\n  \"serial_seconds\": {serial:.6},\n  \"parallel_seconds\": {parallel:.6},\n  \"speedup\": {:.3},\n  \"runs_per_second_parallel\": {:.1}\n}}\n",
+        serial / parallel,
+        REPEATS as f64 / parallel,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transient.json");
+    std::fs::write(path, &json).expect("BENCH_transient.json is writable");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, transient_throughput);
+criterion_main!(benches);

@@ -3,9 +3,16 @@
 //! An AM/FM gate needs several Coulomb-oscillation periods per decision, but
 //! each period only costs a few sub-picosecond tunnelling events, so the
 //! resulting gate delays stay deep in the gigahertz regime — the paper's
-//! "plenty of room to realise a fast SET logic".
+//! "plenty of room to realise a fast SET logic". Part two checks the claim
+//! in the time domain: a battery of drain pulse trains at increasing clock
+//! rates runs through the kinetic Monte-Carlo [`TransientEngine`] via the
+//! [`TransientRunner`] (one seeded run per clock rate, each on its own
+//! sample grid), and the gate keeps resolving on/off windows well into the
+//! gigahertz regime.
 
+use se_bench::reference_system;
 use single_electronics::logic::amfm::GateSpeedModel;
+use single_electronics::montecarlo::{MonteCarloSimulator, SimulationOptions};
 use single_electronics::orthodox::rates::intrinsic_tunnel_time;
 use single_electronics::prelude::*;
 
@@ -42,5 +49,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{table}");
     println!("even a 32-period FM decision stays above 1 GHz — the modulation scheme costs speed but not viability");
+
+    // Part two: verify the headroom with the event clock itself. Each
+    // clock rate pulses the drain of the reference SET (gate at the
+    // conductance peak) on its own half-period sample grid, so the rates
+    // run as separate deterministic KMC transients (seeded per clock)
+    // rather than as one ensemble — the cross-scenario ensemble path is
+    // exercised by tests/integration_transient.rs.
+    let vg = E / (2.0 * 1e-18);
+    let kmc = MonteCarloSimulator::new(
+        reference_system(0.0, vg, 0.0),
+        SimulationOptions::new(1.0).with_seed(12),
+    )?;
+    let clocks_ghz = [0.5, 1.0, 2.0, 4.0];
+
+    let mut switching = Table::new(
+        "E12b: pulse-train switching through the KMC transient engine (32 clock periods each)",
+        &[
+            "clock [GHz]",
+            "mean on-window I [nA]",
+            "mean off-window I [nA]",
+            "on/off",
+        ],
+    );
+    for (index, &f) in clocks_ghz.iter().enumerate() {
+        let period = 1e-9 / f;
+        let pulse = Waveform::pulse(0.0, 1e-3, 0.5 * period, 0.5 * period, period)?;
+        // Half-period samples over 32 periods: at multi-GHz clocks a
+        // single half-period window holds only a handful of tunnel
+        // events, so the on/off decision needs the average over many
+        // periods — exactly the paper's "several periods per decision".
+        let windows = 64;
+        let times: Vec<f64> = (1..=windows).map(|i| i as f64 * 0.5 * period).collect();
+        let trace = TransientRunner::new().with_seed(99 + index as u64).run(
+            &kmc,
+            &[("drain", pulse)],
+            &["JD"],
+            &times,
+        )?;
+        let mean = |parity: usize| {
+            let values: Vec<f64> = (0..windows)
+                .filter(|i| i % 2 == parity)
+                .map(|i| trace.at(i, 0))
+                .collect();
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        // Window k covers (t_{k-1}, t_k]; drives are evaluated at the
+        // window end, so even indices (ending at half-period marks) are the
+        // on-phase windows.
+        let (on, off) = (mean(0), mean(1));
+        switching.add_row(&[
+            format!("{f}"),
+            format!("{:.3}", on * 1e9),
+            format!("{:.3}", off * 1e9),
+            format!("{:.1}", (on / off.abs().max(1e-12)).abs()),
+        ]);
+    }
+    println!("{switching}");
+    println!("the on/off contrast survives multi-gigahertz clocking — switching is limited by the sub-picosecond tunnel time, not the modulation scheme");
     Ok(())
 }

@@ -28,9 +28,17 @@
 //! Every simulator implements [`engine::StationaryEngine`] ("bias point in,
 //! junction currents out"), and every sweep — gate sweeps, staircases, 2-D
 //! stability maps — runs through the one parallel, deterministic
-//! [`engine::SweepRunner`].
+//! [`engine::SweepRunner`]. The time domain mirrors the design: the SPICE
+//! integrator, the kinetic Monte-Carlo event clock, the hybrid
+//! co-simulator and the [`engine::QuasiStatic`] adapter all implement
+//! [`engine::TransientEngine`] ("initial state + stimulus waveforms in,
+//! sampled currents out"), driven by the same [`engine::Waveform`]
+//! vocabulary and fanned out by the ensemble-parallel
+//! [`engine::TransientRunner`]. Both runners derive per-run seeds with the
+//! same SplitMix64 discipline, so serial and parallel runs are
+//! bit-identical everywhere. See `docs/ARCHITECTURE.md` for the full map.
 //!
-//! # Quickstart
+//! # Quickstart: a 1-D stationary sweep
 //!
 //! ```
 //! use single_electronics::prelude::*;
@@ -42,6 +50,41 @@
 //! let sweep = set.gate_sweep(1e-3, 0.0, set.gate_period(), 41, 0.0, 1.0)?;
 //! let peak = sweep.iter().map(|p| p.current).fold(f64::MIN, f64::max);
 //! assert!(peak > 0.0);
+//!
+//! // The same device through the unified engine surface: any
+//! // StationaryEngine sweeps through the parallel, deterministic runner.
+//! let engine = set.stationary_engine(1.0, 0.0)?.with_bias(1e-3, 0.0);
+//! let values = single_electronics::engine::linspace(0.0, set.gate_period(), 41)?;
+//! let points = SweepRunner::new().with_seed(7).run(&engine, "gate", &values, "drain")?;
+//! assert_eq!(points.len(), 41);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Quickstart: a transient pulse run
+//!
+//! ```
+//! use single_electronics::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Lift the analytic SET into a transient backend and pulse its drain:
+//! // 0 → 1 mV pulses, 2 ns wide, 8 ns period, gate held at the
+//! // conductance peak.
+//! let set = SingleElectronTransistor::symmetric(1e-18, 0.5e-18, 100e3)?;
+//! let engine = QuasiStatic::new(set.stationary_engine(1.0, 0.0)?);
+//! let pulse = Waveform::pulse(0.0, 1e-3, 1e-9, 2e-9, 8e-9)?;
+//! let gate = Waveform::dc(0.5 * set.gate_period());
+//! let times = single_electronics::engine::sample_times(0.5e-9, 8e-9)?;
+//! let trace = TransientRunner::new().with_seed(7).run(
+//!     &engine,
+//!     &[("drain", pulse), ("gate", gate)],
+//!     &["drain"],
+//!     &times,
+//! )?;
+//! // The drain current follows the pulse train: on inside, off outside.
+//! let on = trace.at(3, 0).abs(); // t = 1.5 ns, inside the first pulse
+//! let off = trace.at(0, 0).abs(); // t = 0, before the first edge
+//! assert!(on > 10.0 * off.max(1e-18));
 //! # Ok(())
 //! # }
 //! ```
@@ -64,8 +107,11 @@ pub mod report;
 /// The most commonly used types across the whole toolkit.
 pub mod prelude {
     pub use crate::report::Table;
-    pub use se_engine::{ControlId, ObservableId, StabilityMap, StationaryEngine, SweepRunner};
-    pub use se_hybrid::{HybridOptions, HybridSimulator};
+    pub use se_engine::{
+        ControlId, ObservableId, QuasiStatic, Scenario, StabilityMap, StationaryEngine,
+        SweepRunner, TransientEngine, TransientRunner, TransientTrace, Waveform,
+    };
+    pub use se_hybrid::{HybridOptions, HybridSimulator, HybridTransientEngine, IslandEngine};
     pub use se_logic::amfm::{AmCodedGate, FmCodedGate, GateSpeedModel};
     pub use se_logic::encoding::{AmplitudeEncoding, FrequencyEncoding, LevelEncoding};
     pub use se_logic::gates::SetInverter;

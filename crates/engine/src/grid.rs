@@ -20,6 +20,12 @@ pub enum GridError {
         /// The requested stop value.
         stop: String,
     },
+    /// A transient sample grid is empty, non-finite, negative, or not
+    /// strictly increasing.
+    BadSampleTimes(
+        /// Human-readable description of the violation.
+        String,
+    ),
 }
 
 impl fmt::Display for GridError {
@@ -32,6 +38,9 @@ impl fmt::Display for GridError {
                 f,
                 "sweep range must have distinct, finite endpoints, got [{start}, {stop}]"
             ),
+            GridError::BadSampleTimes(reason) => {
+                write!(f, "invalid transient sample times: {reason}")
+            }
         }
     }
 }
@@ -72,6 +81,68 @@ pub fn linspace(start: f64, stop: f64, points: usize) -> Result<Vec<f64>, GridEr
         .collect())
 }
 
+/// Builds the uniform transient sample grid `[0, step, 2·step, …]` up to
+/// and including the last multiple of `step` that does not exceed
+/// `stop + step/2` (so `stop` itself is hit despite rounding).
+///
+/// ```
+/// let times = se_engine::grid::sample_times(1e-9, 4e-9).unwrap();
+/// assert_eq!(times.len(), 5);
+/// assert_eq!(times[0], 0.0);
+/// assert!((times[4] - 4e-9).abs() < 1e-21);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`GridError::BadSampleTimes`] for a non-positive or non-finite
+/// step, or a stop time smaller than one step.
+pub fn sample_times(step: f64, stop: f64) -> Result<Vec<f64>, GridError> {
+    if !(step > 0.0) || !step.is_finite() {
+        return Err(GridError::BadSampleTimes(format!(
+            "step must be positive and finite, got {step}"
+        )));
+    }
+    if !(stop >= step) || !stop.is_finite() {
+        return Err(GridError::BadSampleTimes(format!(
+            "stop must be at least one step, got {stop} with step {step}"
+        )));
+    }
+    let steps = (stop / step).round() as usize;
+    Ok((0..=steps).map(|i| i as f64 * step).collect())
+}
+
+/// Validates a transient sample grid: non-empty, finite, non-negative and
+/// strictly increasing. Every [`crate::TransientEngine`] backend runs its
+/// sample times through this check (mapped into its own error type).
+///
+/// # Errors
+///
+/// Returns [`GridError::BadSampleTimes`] describing the first violation.
+pub fn validate_sample_times(times: &[f64]) -> Result<(), GridError> {
+    if times.is_empty() {
+        return Err(GridError::BadSampleTimes(
+            "at least one sample time is required".into(),
+        ));
+    }
+    if !(times[0] >= 0.0) || !times[0].is_finite() {
+        return Err(GridError::BadSampleTimes(format!(
+            "sample times must start at or after t = 0, got {}",
+            times[0]
+        )));
+    }
+    for (index, pair) in times.windows(2).enumerate() {
+        if !(pair[1] > pair[0]) || !pair[1].is_finite() {
+            return Err(GridError::BadSampleTimes(format!(
+                "sample times must be strictly increasing and finite, got {} then {} at index {}",
+                pair[0],
+                pair[1],
+                index + 1
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +181,62 @@ mod tests {
         let xs = linspace(-3.0, 7.0, 1001).unwrap();
         assert_eq!(xs[0], -3.0);
         assert_eq!(*xs.last().unwrap(), 7.0);
+    }
+
+    // The PR-1 descending-range support left the `n = 0` / `n = 1` and
+    // reversed-bounds corners untested; these pin the edge behaviour down.
+
+    #[test]
+    fn zero_and_one_point_requests_error_for_reversed_bounds_too() {
+        assert_eq!(linspace(1.0, 0.0, 0), Err(GridError::TooFewPoints(0)));
+        assert_eq!(linspace(1.0, -1.0, 1), Err(GridError::TooFewPoints(1)));
+        assert_eq!(linspace(-5.0, -5.0, 0), Err(GridError::TooFewPoints(0)));
+    }
+
+    #[test]
+    fn two_point_grids_are_exactly_the_endpoints_in_either_direction() {
+        assert_eq!(linspace(0.25, 0.75, 2).unwrap(), vec![0.25, 0.75]);
+        assert_eq!(linspace(0.75, 0.25, 2).unwrap(), vec![0.75, 0.25]);
+        assert_eq!(linspace(-1.0, 1.0, 2).unwrap(), vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn reversed_bounds_mirror_the_ascending_grid() {
+        let up = linspace(-0.2, 0.4, 31).unwrap();
+        let down = linspace(0.4, -0.2, 31).unwrap();
+        for (a, b) in up.iter().zip(down.iter().rev()) {
+            assert!((a - b).abs() < 1e-15, "asymmetric grid: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sample_grid_covers_zero_to_stop_inclusive() {
+        let times = sample_times(0.5e-9, 2e-9).unwrap();
+        assert_eq!(times.len(), 5);
+        assert_eq!(times[0], 0.0);
+        assert!((times[4] - 2e-9).abs() < 1e-24);
+        validate_sample_times(&times).unwrap();
+    }
+
+    #[test]
+    fn sample_grid_rejects_degenerate_requests() {
+        assert!(matches!(
+            sample_times(0.0, 1e-9),
+            Err(GridError::BadSampleTimes(_))
+        ));
+        assert!(sample_times(-1e-9, 1e-9).is_err());
+        assert!(sample_times(1e-9, 0.5e-9).is_err());
+        assert!(sample_times(1e-9, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sample_time_validation_catches_each_violation() {
+        assert!(validate_sample_times(&[]).is_err());
+        assert!(validate_sample_times(&[-1e-9]).is_err());
+        assert!(validate_sample_times(&[0.0, 0.0]).is_err());
+        assert!(validate_sample_times(&[0.0, 2e-9, 1e-9]).is_err());
+        assert!(validate_sample_times(&[0.0, 1e-9, f64::NAN]).is_err());
+        assert!(validate_sample_times(&[0.0]).is_ok());
+        assert!(validate_sample_times(&[1e-9, 2e-9]).is_ok());
     }
 }

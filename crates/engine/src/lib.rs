@@ -1,12 +1,13 @@
-//! The unified stationary-engine layer of the single-electronics toolkit.
+//! The unified engine layer of the single-electronics toolkit: one
+//! stationary trait, one transient trait, and one deterministic parallel
+//! runner for each.
 //!
 //! The paper's central contrast (Section 4) is between SPICE-style analytic
-//! SET models and detailed Monte-Carlo / master-equation simulators. This
-//! toolkit ships all three engine families, and all of its headline
-//! experiments — Coulomb oscillations, staircases, temperature washout,
-//! stability (Coulomb-diamond) maps — are *embarrassingly parallel grids of
-//! independent bias points*. This crate gives every engine one face and one
-//! execution layer:
+//! SET models and detailed Monte-Carlo / master-equation simulators — and
+//! its closing argument is that device-level accuracy must compose with
+//! *circuit-level time-domain* simulation before real single-electron logic
+//! can be evaluated. This crate gives every engine of the toolkit one face
+//! and one execution layer in both domains:
 //!
 //! * [`StationaryEngine`] — "bias point in, junction currents out". An
 //!   engine resolves electrode/observable *names* to typed handles once
@@ -18,17 +19,36 @@
 //!   rayon, and derives every point's RNG seed deterministically from the
 //!   sweep seed and the point index (see [`runner::derive_seed`]), so
 //!   **parallel and serial runs are bit-identical**;
-//! * [`grid`] — shared grid construction ([`grid::linspace`] supports
-//!   ascending *and* descending ranges, enabling reverse-bias sweeps).
+//! * [`TransientEngine`] — "initial state + stimulus waveforms in, sampled
+//!   currents out". Implemented by the SPICE backward-Euler integrator, the
+//!   kinetic Monte-Carlo event clock and the hybrid co-simulator, and by
+//!   [`QuasiStatic`], which lifts any stationary engine into a sampling
+//!   transient backend;
+//! * [`TransientRunner`] — the ensemble loop of the time domain: seed
+//!   ensembles, corner sweeps and input-vector batteries run concurrently
+//!   under the same SplitMix64 per-run seeding discipline, so transient
+//!   ensembles are also bit-identical serial vs parallel;
+//! * [`Waveform`] — the shared stimulus vocabulary (step, ramp, pulse
+//!   train, PWL, sine) every transient backend consumes;
+//! * [`grid`] — shared grid construction: [`grid::linspace`] (ascending
+//!   *and* descending ranges) for bias sweeps, [`grid::sample_times`] and
+//!   [`grid::validate_sample_times`] for transient sample grids.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(a > b)` is the idiom this workspace uses to reject NaN alongside
+// ordinary range violations.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod grid;
 pub mod runner;
+pub mod transient;
+pub mod waveform;
 
-pub use grid::{linspace, GridError};
+pub use grid::{linspace, sample_times, validate_sample_times, GridError};
 pub use runner::{derive_seed, StabilityMap, SweepPoint, SweepRunner};
+pub use transient::{QuasiStatic, Scenario, TransientEngine, TransientRunner, TransientTrace};
+pub use waveform::{Waveform, WaveformError};
 
 /// Typed handle to a swept control (an electrode or voltage source),
 /// returned by [`StationaryEngine::resolve_control`].

@@ -91,6 +91,30 @@ fn split_mix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The parallel core shared by [`SweepRunner`] and
+/// [`crate::TransientRunner`]: evaluates `solve(index, derive_seed(seed,
+/// index))` for `count` indices — across all cores when `parallel` — and
+/// returns the results in index order, or the first error by index.
+pub(crate) fn map_indexed<T, Err, F>(
+    seed: u64,
+    parallel: bool,
+    count: usize,
+    solve: F,
+) -> Result<Vec<T>, Err>
+where
+    T: Send,
+    Err: Send,
+    F: Fn(usize, u64) -> Result<T, Err> + Sync,
+{
+    let solve_at = |i: usize| solve(i, derive_seed(seed, i as u64));
+    let results: Vec<Result<T, Err>> = if parallel {
+        (0..count).into_par_iter().map(solve_at).collect()
+    } else {
+        (0..count).map(solve_at).collect()
+    };
+    results.into_iter().collect()
+}
+
 /// The single generic sweep loop shared by every engine.
 ///
 /// A runner is a small value object holding the sweep seed and the
@@ -160,13 +184,7 @@ impl SweepRunner {
         Err: Send,
         F: Fn(usize, u64) -> Result<T, Err> + Sync,
     {
-        let solve_at = |i: usize| solve(i, derive_seed(self.seed, i as u64));
-        let results: Vec<Result<T, Err>> = if self.parallel {
-            (0..points).into_par_iter().map(solve_at).collect()
-        } else {
-            (0..points).map(solve_at).collect()
-        };
-        results.into_iter().collect()
+        map_indexed(self.seed, self.parallel, points, solve)
     }
 
     /// Runs a 1-D sweep: applies each value of `values` to `control` and

@@ -1,0 +1,423 @@
+//! Shared stimulus waveforms for the time domain.
+//!
+//! Every transient backend — the SPICE backward-Euler integrator, the
+//! kinetic Monte-Carlo event clock and the hybrid co-simulator — consumes
+//! the same [`Waveform`] description of a time-dependent source, so one
+//! pulse train drives all three engines identically. A waveform is a pure
+//! value object: evaluating it at a time `t` never mutates state, which is
+//! what lets the [`crate::TransientRunner`] fan whole scenario ensembles
+//! out across threads.
+//!
+//! ```
+//! use se_engine::Waveform;
+//!
+//! // A 1 GHz pulse train: 0 V → 1 mV, 0.2 ns delay, 0.4 ns wide pulses.
+//! let clock = Waveform::pulse(0.0, 1e-3, 0.2e-9, 0.4e-9, 1e-9).unwrap();
+//! assert_eq!(clock.value_at(0.0), 0.0);      // before the delay
+//! assert_eq!(clock.value_at(0.3e-9), 1e-3);  // inside the first pulse
+//! assert_eq!(clock.value_at(0.7e-9), 0.0);   // between pulses
+//! assert_eq!(clock.value_at(1.3e-9), 1e-3);  // the train repeats
+//! ```
+
+use std::fmt;
+
+/// Errors of waveform construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveformError(String);
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid waveform: {}", self.0)
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
+/// A time-dependent source value shared by every transient backend.
+///
+/// All variants are total functions of time: evaluation outside the
+/// "active" region clamps to the nearest defined value (a ramp holds its
+/// endpoints, a PWL holds its first and last points), so an engine can
+/// sample a waveform at any non-negative time without special-casing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// A constant level (a DC source that merely participates in a
+    /// transient).
+    Dc {
+        /// The constant value.
+        level: f64,
+    },
+    /// An ideal step from `before` to `after` at `at` seconds.
+    Step {
+        /// Value for `t < at`.
+        before: f64,
+        /// Value for `t >= at`.
+        after: f64,
+        /// Switching time, seconds.
+        at: f64,
+    },
+    /// A linear ramp from `start` to `stop` over `[t_start, t_stop]`,
+    /// holding the endpoint values outside that window.
+    Ramp {
+        /// Value at and before `t_start`.
+        start: f64,
+        /// Value at and after `t_stop`.
+        stop: f64,
+        /// Ramp begin, seconds.
+        t_start: f64,
+        /// Ramp end, seconds.
+        t_stop: f64,
+    },
+    /// A periodic pulse train: `low` until `delay`, then repeating periods
+    /// that begin with `width` seconds at `high` followed by `period -
+    /// width` seconds at `low`.
+    Pulse {
+        /// Baseline value.
+        low: f64,
+        /// Pulse-top value.
+        high: f64,
+        /// Time of the first rising edge, seconds.
+        delay: f64,
+        /// Pulse width, seconds.
+        width: f64,
+        /// Repetition period, seconds.
+        period: f64,
+    },
+    /// Piece-wise linear interpolation through `(time, value)` points,
+    /// holding the first value before the first point and the last value
+    /// after the last point.
+    Pwl {
+        /// The interpolation points, in strictly increasing time order.
+        points: Vec<(f64, f64)>,
+    },
+    /// A sinusoid `offset + amplitude·sin(2πf·t + phase)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency: f64,
+        /// Phase in radians.
+        phase: f64,
+    },
+}
+
+impl Waveform {
+    /// A constant source.
+    #[must_use]
+    pub fn dc(level: f64) -> Self {
+        Waveform::Dc { level }
+    }
+
+    /// An ideal step from `before` to `after` at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError`] for non-finite parameters.
+    pub fn step(before: f64, after: f64, at: f64) -> Result<Self, WaveformError> {
+        if !(before.is_finite() && after.is_finite() && at.is_finite()) {
+            return Err(WaveformError(format!(
+                "step parameters must be finite, got {before}, {after} at {at}"
+            )));
+        }
+        Ok(Waveform::Step { before, after, at })
+    }
+
+    /// A linear ramp from `start` to `stop` over `[t_start, t_stop]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError`] unless `t_start < t_stop` and all
+    /// parameters are finite.
+    pub fn ramp(start: f64, stop: f64, t_start: f64, t_stop: f64) -> Result<Self, WaveformError> {
+        if !(start.is_finite() && stop.is_finite() && t_start.is_finite() && t_stop.is_finite()) {
+            return Err(WaveformError("ramp parameters must be finite".into()));
+        }
+        if !(t_start < t_stop) {
+            return Err(WaveformError(format!(
+                "a ramp needs t_start < t_stop, got [{t_start}, {t_stop}]"
+            )));
+        }
+        Ok(Waveform::Ramp {
+            start,
+            stop,
+            t_start,
+            t_stop,
+        })
+    }
+
+    /// A periodic pulse train (see [`Waveform::Pulse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError`] unless `0 < width <= period`, `delay >= 0`
+    /// and all parameters are finite.
+    pub fn pulse(
+        low: f64,
+        high: f64,
+        delay: f64,
+        width: f64,
+        period: f64,
+    ) -> Result<Self, WaveformError> {
+        if !(low.is_finite() && high.is_finite() && delay.is_finite()) {
+            return Err(WaveformError("pulse parameters must be finite".into()));
+        }
+        if !(delay >= 0.0) {
+            return Err(WaveformError(format!(
+                "pulse delay must be non-negative, got {delay}"
+            )));
+        }
+        if !(width > 0.0 && width.is_finite() && period >= width && period.is_finite()) {
+            return Err(WaveformError(format!(
+                "a pulse train needs 0 < width <= period, got width {width}, period {period}"
+            )));
+        }
+        Ok(Waveform::Pulse {
+            low,
+            high,
+            delay,
+            width,
+            period,
+        })
+    }
+
+    /// A piece-wise linear waveform through the given `(time, value)`
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError`] for an empty point list, non-finite
+    /// entries, or times that are not strictly increasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Result<Self, WaveformError> {
+        if points.is_empty() {
+            return Err(WaveformError(
+                "a PWL waveform needs at least one point".into(),
+            ));
+        }
+        for &(t, v) in &points {
+            if !(t.is_finite() && v.is_finite()) {
+                return Err(WaveformError(format!(
+                    "PWL points must be finite, got ({t}, {v})"
+                )));
+            }
+        }
+        for pair in points.windows(2) {
+            if !(pair[1].0 > pair[0].0) {
+                return Err(WaveformError(format!(
+                    "PWL times must be strictly increasing, got {} then {}",
+                    pair[0].0, pair[1].0
+                )));
+            }
+        }
+        Ok(Waveform::Pwl { points })
+    }
+
+    /// A sinusoid `offset + amplitude·sin(2πf·t + phase)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError`] unless the frequency is positive and all
+    /// parameters are finite.
+    pub fn sine(
+        offset: f64,
+        amplitude: f64,
+        frequency: f64,
+        phase: f64,
+    ) -> Result<Self, WaveformError> {
+        if !(offset.is_finite() && amplitude.is_finite() && phase.is_finite()) {
+            return Err(WaveformError("sine parameters must be finite".into()));
+        }
+        if !(frequency > 0.0 && frequency.is_finite()) {
+            return Err(WaveformError(format!(
+                "sine frequency must be positive and finite, got {frequency}"
+            )));
+        }
+        Ok(Waveform::Sine {
+            offset,
+            amplitude,
+            frequency,
+            phase,
+        })
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc { level } => *level,
+            Waveform::Step { before, after, at } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            Waveform::Ramp {
+                start,
+                stop,
+                t_start,
+                t_stop,
+            } => {
+                if t <= *t_start {
+                    *start
+                } else if t >= *t_stop {
+                    *stop
+                } else {
+                    start + (stop - start) * (t - t_start) / (t_stop - t_start)
+                }
+            }
+            Waveform::Pulse {
+                low,
+                high,
+                delay,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *low;
+                }
+                // Edges are resolved with a relative tolerance of 1e-9 of
+                // the period: sample grids are built by accumulating
+                // floating-point times, so a sample meant to land exactly
+                // on an edge can arrive a few ULP on either side. Snapping
+                // puts such samples deterministically on the post-edge
+                // segment, keeping edge-aligned sampling reproducible.
+                let eps = 1e-9 * period;
+                let elapsed = t - delay;
+                let mut phase = elapsed - (elapsed / period).floor() * period;
+                if phase >= period - eps {
+                    phase = 0.0;
+                }
+                if phase < width - eps {
+                    *high
+                } else {
+                    *low
+                }
+            }
+            Waveform::Pwl { points } => {
+                let first = points[0];
+                let last = points[points.len() - 1];
+                if t <= first.0 {
+                    return first.1;
+                }
+                if t >= last.0 {
+                    return last.1;
+                }
+                let right = points
+                    .iter()
+                    .position(|&(pt, _)| pt > t)
+                    .expect("t < last point time");
+                let (t0, v0) = points[right - 1];
+                let (t1, v1) = points[right];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                phase,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * frequency * t + phase).sin(),
+        }
+    }
+
+    /// Samples the waveform at each of the given times.
+    #[must_use]
+    pub fn sample(&self, times: &[f64]) -> Vec<f64> {
+        times.iter().map(|&t| self.value_at(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Waveform::step(0.0, 1.0, f64::NAN).is_err());
+        assert!(Waveform::ramp(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(Waveform::ramp(0.0, 1.0, 2.0, 1.0).is_err());
+        assert!(Waveform::pulse(0.0, 1.0, -1.0, 1e-9, 2e-9).is_err());
+        assert!(Waveform::pulse(0.0, 1.0, 0.0, 0.0, 2e-9).is_err());
+        assert!(Waveform::pulse(0.0, 1.0, 0.0, 3e-9, 2e-9).is_err());
+        assert!(Waveform::pwl(vec![]).is_err());
+        assert!(Waveform::pwl(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(Waveform::pwl(vec![(f64::INFINITY, 1.0)]).is_err());
+        assert!(Waveform::sine(0.0, 1.0, 0.0, 0.0).is_err());
+        assert!(Waveform::sine(0.0, 1.0, -1e6, 0.0).is_err());
+    }
+
+    #[test]
+    fn step_switches_exactly_at_the_edge() {
+        let step = Waveform::step(0.0, 1.0, 1e-9).unwrap();
+        assert_eq!(step.value_at(0.999e-9), 0.0);
+        assert_eq!(step.value_at(1e-9), 1.0);
+        assert_eq!(step.value_at(2e-9), 1.0);
+    }
+
+    #[test]
+    fn ramp_clamps_its_endpoints() {
+        let ramp = Waveform::ramp(1.0, 3.0, 1.0, 3.0).unwrap();
+        assert_eq!(ramp.value_at(0.0), 1.0);
+        assert_eq!(ramp.value_at(2.0), 2.0);
+        assert_eq!(ramp.value_at(10.0), 3.0);
+    }
+
+    #[test]
+    fn pulse_train_repeats_with_its_period() {
+        let pulse = Waveform::pulse(-1.0, 1.0, 1e-9, 2e-9, 5e-9).unwrap();
+        assert_eq!(pulse.value_at(0.5e-9), -1.0);
+        assert_eq!(pulse.value_at(1.5e-9), 1.0);
+        assert_eq!(pulse.value_at(4.0e-9), -1.0);
+        // One period later the pattern repeats.
+        assert_eq!(pulse.value_at(6.5e-9), 1.0);
+        assert_eq!(pulse.value_at(9.0e-9), -1.0);
+    }
+
+    #[test]
+    fn pulse_edges_are_robust_to_accumulated_rounding() {
+        // Sample times built by accumulation (i · dt) carry rounding, so a
+        // sample aimed at an edge can land a few ULP past it; it must
+        // still read the post-edge value.
+        let pulse = Waveform::pulse(0.0, 1.0, 1e-9, 1e-9, 2e-9).unwrap();
+        for i in 1..200_u32 {
+            let t = f64::from(i) * 1e-9; // odd i: rising edges, even i: falling
+            let expected = if i % 2 == 1 { 1.0 } else { 0.0 };
+            assert_eq!(pulse.value_at(t), expected, "edge sample at i = {i}");
+            // A quarter period after each edge sits deep in the segment.
+            assert_eq!(
+                pulse.value_at(t + 0.5e-9),
+                expected,
+                "mid-segment after i = {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn pwl_interpolates_and_holds_ends() {
+        let pwl = Waveform::pwl(vec![(1.0, 0.0), (2.0, 10.0), (4.0, 10.0), (5.0, 0.0)]).unwrap();
+        assert_eq!(pwl.value_at(0.0), 0.0);
+        assert_eq!(pwl.value_at(1.5), 5.0);
+        assert_eq!(pwl.value_at(3.0), 10.0);
+        assert_eq!(pwl.value_at(4.5), 5.0);
+        assert_eq!(pwl.value_at(99.0), 0.0);
+    }
+
+    #[test]
+    fn sine_oscillates_around_its_offset() {
+        let sine = Waveform::sine(0.5, 0.25, 1e9, 0.0).unwrap();
+        assert!((sine.value_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((sine.value_at(0.25e-9) - 0.75).abs() < 1e-9);
+        assert!((sine.value_at(0.75e-9) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_pointwise_evaluation() {
+        let ramp = Waveform::ramp(0.0, 1.0, 0.0, 1.0).unwrap();
+        let times = [0.0, 0.25, 0.5, 1.0];
+        assert_eq!(
+            ramp.sample(&times),
+            times.iter().map(|&t| ramp.value_at(t)).collect::<Vec<_>>()
+        );
+    }
+}

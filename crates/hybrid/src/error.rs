@@ -73,6 +73,12 @@ impl From<SpiceError> for HybridError {
     }
 }
 
+impl From<se_engine::GridError> for HybridError {
+    fn from(e: se_engine::GridError) -> Self {
+        HybridError::InvalidArgument(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

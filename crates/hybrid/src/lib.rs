@@ -55,6 +55,8 @@
 
 pub mod cosim;
 pub mod error;
+pub mod transient;
 
-pub use cosim::{HybridOptions, HybridSimulator, HybridSolution};
+pub use cosim::{HybridOptions, HybridSimulator, HybridSolution, IslandEngine};
 pub use error::HybridError;
+pub use transient::HybridTransientEngine;

@@ -1,0 +1,279 @@
+//! Quasi-static transient co-simulation: the hybrid boundary-relaxation
+//! solver stepped along a stimulus inside a SPICE envelope.
+//!
+//! The single-electron domain settles on sub-nanosecond tunnelling time
+//! scales, while the conventional envelope (supplies, loads, logic inputs)
+//! changes on circuit time scales — so the correct time-domain model of a
+//! hybrid circuit under a slow stimulus is a *sequence of self-consistent
+//! stationary solutions*: at each sample time the source waveforms are
+//! frozen, the full boundary relaxation of [`HybridSimulator`] runs to
+//! convergence, and the converged junction currents are reported. This is
+//! exactly the co-simulation loop the paper calls for when evaluating
+//! single-electron logic inside a conventional environment.
+
+use crate::cosim::{HybridOptions, HybridSimulator, IslandEngine};
+use crate::error::HybridError;
+use se_engine::{derive_seed, ControlId, ObservableId, TransientEngine, TransientTrace, Waveform};
+use se_netlist::{Element, ElementKind, Netlist, Node};
+use std::collections::HashMap;
+
+/// The hybrid co-simulator as a [`TransientEngine`].
+///
+/// Drives are the netlist's voltage sources, observables are its tunnel
+/// junctions. Each sample time `t` rebuilds the netlist with every driven
+/// source held at its waveform value, runs the boundary relaxation to
+/// convergence and reports the stationary junction currents — so a trace
+/// is a row of self-consistent SPICE↔island solutions along the stimulus.
+///
+/// When the island domain runs the kinetic Monte-Carlo engine, sample `k`
+/// of a run with seed `s` solves with seed `derive_seed(s, k)`, keeping
+/// the whole trace reproducible and ensemble runs bit-identical serial vs
+/// parallel; the master-equation engine is deterministic and ignores the
+/// seed.
+#[derive(Debug, Clone)]
+pub struct HybridTransientEngine {
+    netlist: Netlist,
+    options: HybridOptions,
+    /// Voltage-source names (lower-cased), indexed by drive handle.
+    sources: Vec<String>,
+    /// Tunnel-junction names, indexed by observable handle.
+    junctions: Vec<String>,
+}
+
+impl HybridTransientEngine {
+    /// Prepares the engine: validates the netlist and options by building
+    /// a prototype [`HybridSimulator`], and indexes the drivable sources
+    /// and observable junctions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HybridSimulator::new`] validation errors.
+    pub fn new(netlist: &Netlist, options: HybridOptions) -> Result<Self, HybridError> {
+        // Surface bad options / bad netlists at construction, not per run.
+        HybridSimulator::new(netlist, options)?;
+        let sources = netlist
+            .elements()
+            .iter()
+            .filter(|e| e.is_voltage_source())
+            .map(|e| e.name().to_ascii_lowercase())
+            .collect();
+        let junctions = netlist
+            .elements()
+            .iter()
+            .filter(|e| matches!(e.kind(), ElementKind::TunnelJunction { .. }))
+            .map(|e| e.name().to_string())
+            .collect();
+        Ok(HybridTransientEngine {
+            netlist: netlist.clone(),
+            options,
+            sources,
+            junctions,
+        })
+    }
+
+    /// The co-simulation options.
+    #[must_use]
+    pub fn options(&self) -> &HybridOptions {
+        &self.options
+    }
+
+    /// The observable tunnel-junction names, in handle order.
+    #[must_use]
+    pub fn junction_names(&self) -> &[String] {
+        &self.junctions
+    }
+
+    /// Rebuilds the netlist with the given voltage-source values (keyed by
+    /// lower-cased name) replacing the originals.
+    fn netlist_with_sources(
+        &self,
+        overrides: &HashMap<String, f64>,
+    ) -> Result<Netlist, HybridError> {
+        let mut rebuilt = Netlist::new(self.netlist.title());
+        for element in self.netlist.elements() {
+            let nodes: Vec<Node> = element
+                .nodes()
+                .iter()
+                .map(|&n| {
+                    if n.is_ground() {
+                        Node::GROUND
+                    } else {
+                        rebuilt.node(self.netlist.node_name(n).unwrap_or("n"))
+                    }
+                })
+                .collect();
+            let kind = match element.kind() {
+                ElementKind::VoltageSource { voltage } => ElementKind::VoltageSource {
+                    voltage: overrides
+                        .get(&element.name().to_ascii_lowercase())
+                        .copied()
+                        .unwrap_or(*voltage),
+                },
+                other => other.clone(),
+            };
+            rebuilt.add(Element::new(element.name(), nodes, kind)?)?;
+        }
+        Ok(rebuilt)
+    }
+}
+
+impl TransientEngine for HybridTransientEngine {
+    type Error = HybridError;
+
+    fn engine_name(&self) -> &'static str {
+        "hybrid-cosim"
+    }
+
+    fn resolve_drive(&self, name: &str) -> Result<ControlId, HybridError> {
+        let lowered = name.to_ascii_lowercase();
+        self.sources
+            .iter()
+            .position(|s| *s == lowered)
+            .map(ControlId)
+            .ok_or_else(|| {
+                HybridError::InvalidArgument(format!("no voltage source named `{name}`"))
+            })
+    }
+
+    fn resolve_observable(&self, name: &str) -> Result<ObservableId, HybridError> {
+        self.junctions
+            .iter()
+            .position(|j| j == name)
+            .map(ObservableId)
+            .ok_or_else(|| {
+                HybridError::InvalidArgument(format!("no tunnel junction named `{name}`"))
+            })
+    }
+
+    fn transient_currents(
+        &self,
+        drives: &[(ControlId, Waveform)],
+        observables: &[ObservableId],
+        times: &[f64],
+        seed: u64,
+    ) -> Result<TransientTrace, HybridError> {
+        se_engine::transient::check_sample_times::<HybridError>(times)?;
+        // Resolve all handles before the first (expensive) relaxation
+        // solve, so bad handles fail fast and lookups run once.
+        let drive_names: Vec<(&String, &Waveform)> = drives
+            .iter()
+            .map(|&(ControlId(source), ref waveform)| {
+                self.sources
+                    .get(source)
+                    .map(|name| (name, waveform))
+                    .ok_or_else(|| {
+                        HybridError::InvalidArgument(format!("unknown drive handle {source}"))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        let junction_names: Vec<&String> = observables
+            .iter()
+            .map(|&ObservableId(junction)| {
+                self.junctions.get(junction).ok_or_else(|| {
+                    HybridError::InvalidArgument(format!("unknown observable handle {junction}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut currents = Vec::with_capacity(times.len() * observables.len());
+        for (index, &t) in times.iter().enumerate() {
+            let mut overrides = HashMap::new();
+            for &(name, waveform) in &drive_names {
+                overrides.insert(name.clone(), waveform.value_at(t));
+            }
+            let netlist = self.netlist_with_sources(&overrides)?;
+            let mut options = self.options;
+            if let IslandEngine::MonteCarlo { events, .. } = options.engine {
+                options.engine = IslandEngine::MonteCarlo {
+                    events,
+                    seed: derive_seed(seed, index as u64),
+                };
+            }
+            let solution = HybridSimulator::new(&netlist, options)?.solve()?;
+            for &name in &junction_names {
+                let current = solution.junction_current(name).ok_or_else(|| {
+                    HybridError::InvalidArgument(format!(
+                        "no current recorded for junction `{name}`"
+                    ))
+                })?;
+                currents.push(current);
+            }
+        }
+        Ok(TransientTrace::new(
+            times.to_vec(),
+            observables.len(),
+            currents,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_netlist::parse_deck;
+    use se_units::constants::E;
+
+    fn set_with_load_deck(vg: f64) -> String {
+        format!(
+            "hybrid set load\nVDD vdd 0 5m\nVG gate 0 {vg}\nRL vdd drain 10meg\nJ1 drain island C=0.5a R=100k\nJ2 island 0 C=0.5a R=100k\nCG gate island 1a\n"
+        )
+    }
+
+    #[test]
+    fn names_resolve_and_validate() {
+        let netlist = parse_deck(&set_with_load_deck(0.0)).unwrap();
+        let engine = HybridTransientEngine::new(&netlist, HybridOptions::new(1.0)).unwrap();
+        assert!(engine.resolve_drive("vg").is_ok());
+        assert!(engine.resolve_drive("VDD").is_ok());
+        assert!(engine.resolve_drive("RL").is_err());
+        assert!(engine.resolve_observable("J1").is_ok());
+        assert!(engine.resolve_observable("CG").is_err());
+        assert_eq!(engine.junction_names(), &["J1".to_string(), "J2".into()]);
+        assert!(HybridTransientEngine::new(&netlist, HybridOptions::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn gate_pulse_switches_the_set_between_blockade_and_conduction() {
+        // Pulse the gate from the blockade point to the conductance peak:
+        // the converged junction current must follow the pulse.
+        let vg_peak = E / (2.0 * 1e-18);
+        let netlist = parse_deck(&set_with_load_deck(0.0)).unwrap();
+        let engine = HybridTransientEngine::new(&netlist, HybridOptions::new(1.0)).unwrap();
+        let gate = engine.resolve_drive("VG").unwrap();
+        let j1 = engine.resolve_observable("J1").unwrap();
+        let pulse = Waveform::pulse(0.0, vg_peak, 2e-9, 4e-9, 100e-9).unwrap();
+        let times = [1e-9, 3e-9, 5e-9, 7e-9];
+        let trace = engine
+            .transient_currents(&[(gate, pulse)], &[j1], &times, 0)
+            .unwrap();
+        // Samples at 3 ns and 5 ns sit inside the pulse (conducting),
+        // samples at 1 ns and 7 ns outside it (blockaded).
+        let on = trace.at(1, 0).abs().min(trace.at(2, 0).abs());
+        let off = trace.at(0, 0).abs().max(trace.at(3, 0).abs());
+        assert!(on > 10.0 * off.max(1e-15), "on {on} vs off {off}");
+        // Deterministic master-equation islands: the trace reproduces.
+        let again = engine
+            .transient_currents(
+                &[(
+                    gate,
+                    Waveform::pulse(0.0, vg_peak, 2e-9, 4e-9, 100e-9).unwrap(),
+                )],
+                &[j1],
+                &times,
+                0,
+            )
+            .unwrap();
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn sample_grid_violations_are_rejected() {
+        let netlist = parse_deck(&set_with_load_deck(0.0)).unwrap();
+        let engine = HybridTransientEngine::new(&netlist, HybridOptions::new(1.0)).unwrap();
+        let j1 = engine.resolve_observable("J1").unwrap();
+        assert!(engine.transient_currents(&[], &[j1], &[], 0).is_err());
+        assert!(engine
+            .transient_currents(&[], &[j1], &[2e-9, 1e-9], 0)
+            .is_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! Background-charge-independent AM/FM-coded single-electron logic.
 //!
-//! Following Klunder's proposal (reference [1] of the paper), information is
+//! Following Klunder's proposal (reference \[1\] of the paper), information is
 //! not coded in a voltage level but in the *amplitude* or *frequency* of the
 //! SET's periodic Id–Vg characteristic, the two properties a background
 //! charge cannot touch. The physical knob is a *modulatable capacitance*:
@@ -11,7 +11,8 @@
 //!
 //! The gates below produce the raw output records (drain-current samples
 //! along a gate ramp), the decoders from [`crate::encoding`] turn them into
-//! bits, and [`bit_error_rate`] measures how often a random background
+//! bits, and [`level_coded_bit_error_rate`] / [`fm_coded_bit_error_rate`]
+//! measure how often a random background
 //! charge flips the result — the quantity compared against the level-coded
 //! inverter of [`crate::gates`] in experiment E6. [`GateSpeedModel`]
 //! quantifies the price: an AM/FM gate needs several oscillation periods per
@@ -22,9 +23,43 @@ use crate::encoding::{AmplitudeEncoding, FrequencyEncoding};
 use crate::error::LogicError;
 use crate::gates::SetInverter;
 use rand::Rng;
+use se_engine::{QuasiStatic, TransientRunner, Waveform};
 use se_orthodox::rates::intrinsic_tunnel_time;
 use se_orthodox::set::SingleElectronTransistor;
 use se_units::constants::E;
+
+/// The normalised duration of one AM/FM read: gate ramps are defined over
+/// `[0, RECORD_TIME]` and sampled on a uniform grid, mirroring the "sweep
+/// the gate once per decision" operation of the modulation-coded gates.
+const RECORD_TIME: f64 = 1.0;
+
+/// Samples the drain current of a SET along a gate-voltage ramp through
+/// the unified transient layer: the analytic device becomes a
+/// [`QuasiStatic`] transient backend and the ramp becomes a [`Waveform`],
+/// so AM and FM records run through exactly the engine surface the
+/// circuit-level experiments use.
+fn ramp_record(
+    set: &SingleElectronTransistor,
+    read_bias: f64,
+    background_charge: f64,
+    temperature: f64,
+    ramp_to: f64,
+    samples: usize,
+) -> Result<Vec<f64>, LogicError> {
+    let engine = QuasiStatic::new(
+        set.stationary_engine(temperature, background_charge)?
+            .with_bias(read_bias, 0.0),
+    );
+    // Sample i of `samples` sits at vg = ramp_to · i / samples: the grid
+    // stops one sample short of the ramp end, matching the historical
+    // per-sample loop (up to floating-point rounding).
+    let ramp = Waveform::ramp(0.0, ramp_to, 0.0, RECORD_TIME)?;
+    let times: Vec<f64> = (0..samples)
+        .map(|i| i as f64 * RECORD_TIME / samples as f64)
+        .collect();
+    let trace = TransientRunner::new().run(&engine, &[("gate", ramp)], &["drain"], &times)?;
+    Ok(trace.channel(0))
+}
 
 /// An FM-coded gate: the input bit selects one of two gate capacitances, so
 /// a fixed gate-voltage ramp produces a different number of Coulomb
@@ -127,12 +162,14 @@ impl FmCodedGate {
             self.c_gate_low
         };
         let set = SingleElectronTransistor::symmetric(c_gate, self.c_junction, self.r_junction)?;
-        let mut record = Vec::with_capacity(self.samples);
-        for i in 0..self.samples {
-            let vg = self.ramp_span * i as f64 / self.samples as f64;
-            record.push(set.current(self.read_bias, vg, background_charge, self.temperature)?);
-        }
-        Ok(record)
+        ramp_record(
+            &set,
+            self.read_bias,
+            background_charge,
+            self.temperature,
+            self.ramp_span,
+            self.samples,
+        )
     }
 
     /// Evaluates the gate: produces the record, counts its Coulomb
@@ -261,16 +298,14 @@ impl AmCodedGate {
         background_charge: f64,
     ) -> Result<Vec<f64>, LogicError> {
         let bias = if input { self.bias_high } else { self.bias_low };
-        let period = self.set.gate_period();
-        let mut record = Vec::with_capacity(self.samples);
-        for i in 0..self.samples {
-            let vg = period * i as f64 / self.samples as f64;
-            record.push(
-                self.set
-                    .current(bias, vg, background_charge, self.temperature)?,
-            );
-        }
-        Ok(record)
+        ramp_record(
+            &self.set,
+            bias,
+            background_charge,
+            self.temperature,
+            self.set.gate_period(),
+            self.samples,
+        )
     }
 
     /// Evaluates the gate with the matched amplitude decoder.

@@ -92,6 +92,18 @@ impl From<HybridError> for LogicError {
     }
 }
 
+impl From<se_engine::GridError> for LogicError {
+    fn from(e: se_engine::GridError) -> Self {
+        LogicError::InvalidArgument(e.to_string())
+    }
+}
+
+impl From<se_engine::WaveformError> for LogicError {
+    fn from(e: se_engine::WaveformError) -> Self {
+        LogicError::InvalidArgument(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,9 +11,10 @@
 //! original authors did), and extracts the multi-valued transfer curve.
 
 use crate::error::LogicError;
+use se_engine::Waveform;
 use se_netlist::{Element, MosfetParams, Netlist, Node, SetParams};
 use se_spice::sweep::{dc_sweep, linspace};
-use se_spice::{Circuit, NewtonOptions};
+use se_spice::{transient, Circuit, NewtonOptions, Stimulus, TransientOptions};
 
 /// Parameters of the SET/MOSFET literal gate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +108,55 @@ impl MvlGate {
         let sweep = dc_sweep(&circuit, "VIN", &values, &NewtonOptions::default())?;
         let outputs = sweep.node_voltages("out");
         Ok(values.into_iter().zip(outputs).collect())
+    }
+
+    /// Quantizes a time-domain input ramp: drives `VIN` with a
+    /// [`Waveform::Ramp`] from `v_in_start` to `v_in_stop` over
+    /// `ramp_time` seconds through the SPICE transient integrator and
+    /// returns `(v_in(t), v_out(t))` pairs at `points` uniform samples —
+    /// the literal gate acting as the paper's multi-level quantizer on a
+    /// live signal rather than on a precomputed DC grid.
+    ///
+    /// The gate's devices are static (no capacitors), so this coincides
+    /// with [`MvlGate::transfer_curve`] on the same input values; the
+    /// transient path is what lets the same circuit run inside larger
+    /// time-domain co-simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InvalidArgument`] for a degenerate range,
+    /// fewer than two points or a non-positive ramp time, and propagates
+    /// SPICE errors.
+    pub fn ramp_response(
+        &self,
+        v_in_start: f64,
+        v_in_stop: f64,
+        points: usize,
+        ramp_time: f64,
+    ) -> Result<Vec<(f64, f64)>, LogicError> {
+        if points < 2 {
+            return Err(LogicError::InvalidArgument(format!(
+                "a ramp response needs at least two points, got {points}"
+            )));
+        }
+        if !(ramp_time > 0.0) || !ramp_time.is_finite() {
+            return Err(LogicError::InvalidArgument(format!(
+                "ramp time must be positive and finite, got {ramp_time}"
+            )));
+        }
+        let netlist = self.netlist()?;
+        let circuit = Circuit::with_temperature(&netlist, self.temperature)?;
+        let ramp = Waveform::ramp(v_in_start, v_in_stop, 0.0, ramp_time)?;
+        let stimulus = Stimulus::new().with_source("VIN", ramp.clone());
+        let dt = ramp_time / (points - 1) as f64;
+        let result = transient(&circuit, &TransientOptions::new(dt, ramp_time), &stimulus)?;
+        let outputs = result.node_waveform("out");
+        Ok(result
+            .times()
+            .iter()
+            .map(|&t| ramp.value_at(t))
+            .zip(outputs)
+            .collect())
     }
 
     /// Counts the output plateaus (distinct logic levels) of a transfer
@@ -204,6 +254,36 @@ mod tests {
             plateaus >= 3,
             "a multiple-valued literal gate needs several plateaus, found {plateaus}"
         );
+    }
+
+    #[test]
+    fn ramp_response_quantizes_like_the_dc_transfer_curve() {
+        // No capacitors in the gate: the time-domain quantizer must agree
+        // with the DC transfer curve at every shared input value.
+        let gate = MvlGate::reference();
+        let period = gate.input_period();
+        let points = 41;
+        let dc = gate.transfer_curve(0.0, 2.0 * period, points).unwrap();
+        let ramped = gate.ramp_response(0.0, 2.0 * period, points, 1e-6).unwrap();
+        assert_eq!(ramped.len(), points);
+        for (&(vin_dc, vout_dc), &(vin_t, vout_t)) in dc.iter().zip(&ramped) {
+            assert!(
+                (vin_dc - vin_t).abs() < 1e-12 * period,
+                "{vin_dc} vs {vin_t}"
+            );
+            assert!(
+                (vout_dc - vout_t).abs() < 1e-6,
+                "at vin = {vin_dc}: dc {vout_dc} vs transient {vout_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn ramp_response_validates_inputs() {
+        let gate = MvlGate::reference();
+        assert!(gate.ramp_response(0.0, 0.1, 1, 1e-6).is_err());
+        assert!(gate.ramp_response(0.0, 0.1, 41, 0.0).is_err());
+        assert!(gate.ramp_response(0.0, 0.1, 41, f64::NAN).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Telegraph-noise generation: the raw randomness source of the SET/CMOS
 //! random-number generator.
 //!
-//! Uchida et al. (reference [3] of the paper) exploit the very property that
+//! Uchida et al. (reference \[3\] of the paper) exploit the very property that
 //! ruins level-coded SET logic: a single charge trap near the island
 //! produces a *random telegraph signal* whose amplitude, after amplification
 //! by the MOSFET in series with the SET, reaches an RMS value of about

@@ -1,6 +1,6 @@
 //! Power dissipation of single-electron logic versus CMOS.
 //!
-//! Mahapatra et al. (reference [4] of the paper) analysed the power budget
+//! Mahapatra et al. (reference \[4\] of the paper) analysed the power budget
 //! of SET logic with a SPICE-level model; the paper cites that analysis as
 //! part of the case that chip area and power — not speed — are the real
 //! strong points of single-electronics. The models here follow the same

@@ -86,6 +86,12 @@ impl From<NumericError> for MonteCarloError {
     }
 }
 
+impl From<se_engine::GridError> for MonteCarloError {
+    fn from(e: se_engine::GridError) -> Self {
+        MonteCarloError::InvalidArgument(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -166,6 +166,46 @@ impl MonteCarloSimulator {
         self.frozen
     }
 
+    /// Net number of electrons that have tunnelled from endpoint `a` to
+    /// endpoint `b` of each junction (indexed like
+    /// [`TunnelSystem::junctions`]) since the counters were last reset.
+    /// Differences of these counters across a time window are what the
+    /// transient sampling layer turns into window-averaged currents.
+    #[must_use]
+    pub fn net_transfers(&self) -> &[i64] {
+        &self.net_transfers
+    }
+
+    /// Advances the event clock to at least `t` (absolute simulation time,
+    /// seconds), executing tunnel events as they come. If the system
+    /// freezes (every rate zero — deep blockade at zero temperature) the
+    /// clock jumps directly to `t`: time passes, no charge moves. A later
+    /// call after the drive voltages change re-evaluates the rates, so a
+    /// frozen system thaws as soon as an event becomes favourable.
+    ///
+    /// This is the trait-driven sampling face of the engine's internal
+    /// Gillespie loop: callers alternate `run_until` with voltage updates
+    /// and read [`Self::net_transfers`] between calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] for a non-finite
+    /// target time, and propagates [`Self::step`] errors.
+    pub fn run_until(&mut self, t: f64) -> Result<(), MonteCarloError> {
+        if !t.is_finite() {
+            return Err(MonteCarloError::InvalidArgument(format!(
+                "target time must be finite, got {t}"
+            )));
+        }
+        while self.time < t {
+            if self.step()?.is_none() {
+                self.time = t;
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// Resets the time, transfer counters and event counter, keeping the
     /// current charge state (used after equilibration and between sweep
     /// points).
@@ -510,6 +550,49 @@ mod tests {
         let result = sim.run_for(2e-9).unwrap();
         assert!(result.total_time() >= 2e-9);
         assert!(result.events() > 0);
+    }
+
+    #[test]
+    fn run_until_advances_the_clock_and_counts_transfers() {
+        let mut sim = set_at_peak(1e-3, 1.0);
+        assert!(sim.run_until(f64::NAN).is_err());
+        sim.run_until(1e-9).unwrap();
+        assert!(sim.time() >= 1e-9);
+        let early: Vec<i64> = sim.net_transfers().to_vec();
+        sim.run_until(20e-9).unwrap();
+        assert!(sim.time() >= 20e-9);
+        // At the conductance peak, charge keeps flowing through the drain
+        // junction as the clock advances.
+        assert!(sim.net_transfers()[0].abs() > early[0].abs());
+    }
+
+    #[test]
+    fn run_until_jumps_through_frozen_blockade() {
+        // Zero temperature, zero bias: every event is uphill, so the clock
+        // must jump to the target time with no transfers.
+        let mut b = TunnelSystemBuilder::new();
+        let island = b.island("island", 0.0);
+        let drain = b.external("drain", 1e-5);
+        let source = b.external("source", 0.0);
+        b.junction("JD", drain, island, 0.5e-18, 100e3);
+        b.junction("JS", island, source, 0.5e-18, 100e3);
+        let system = b.build().unwrap();
+        let mut sim = MonteCarloSimulator::new(
+            system,
+            SimulationOptions::new(0.0)
+                .with_seed(1)
+                .with_equilibration(0),
+        )
+        .unwrap();
+        sim.run_until(5e-9).unwrap();
+        assert_eq!(sim.time(), 5e-9);
+        assert!(sim.is_frozen());
+        assert!(sim.net_transfers().iter().all(|&n| n == 0));
+        // Raising the drain bias far above the blockade threshold thaws it.
+        sim.system_mut().set_external_voltage(0, 0.5).unwrap();
+        sim.run_until(6e-9).unwrap();
+        assert!(!sim.is_frozen());
+        assert!(sim.net_transfers()[0] != 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper's Section 4 contrasts two simulator families: SPICE extensions
 //! with analytic SET models, and "detailed Monte-Carlo simulators, such as
-//! SIMON, [which] capture all the necessary physics but are limited in terms
+//! SIMON, \[which\] capture all the necessary physics but are limited in terms
 //! of circuit size". This crate is the Monte-Carlo family member of the
 //! toolkit. It consumes a [`se_netlist::Netlist`] (or a hand-built
 //! [`se_orthodox::TunnelSystem`]) and offers two engines over the same

@@ -46,6 +46,12 @@ impl From<NumericError> for OrthodoxError {
     }
 }
 
+impl From<se_engine::GridError> for OrthodoxError {
+    fn from(err: se_engine::GridError) -> Self {
+        OrthodoxError::InvalidParameter(err.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

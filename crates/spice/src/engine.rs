@@ -46,7 +46,19 @@ impl SpiceDcEngine {
         &self.circuit
     }
 
-    fn resolve_source(&self, name: &str) -> Result<usize, SpiceError> {
+    /// The circuit's voltage-source names (lower-cased), indexed by handle
+    /// value; shared with the transient engine so both faces resolve names
+    /// identically.
+    pub(crate) fn source_names(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// The Newton options the engine was created with.
+    pub(crate) fn newton_options(&self) -> &NewtonOptions {
+        &self.options
+    }
+
+    pub(crate) fn resolve_source(&self, name: &str) -> Result<usize, SpiceError> {
         let lowered = name.to_ascii_lowercase();
         self.sources
             .iter()

@@ -65,6 +65,12 @@ impl From<NumericError> for SpiceError {
     }
 }
 
+impl From<se_engine::GridError> for SpiceError {
+    fn from(e: se_engine::GridError) -> Self {
+        SpiceError::InvalidArgument(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

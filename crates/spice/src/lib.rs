@@ -3,7 +3,7 @@
 //!
 //! The paper's Section 4 describes the first of the two simulator families
 //! used for single-electron circuit analysis: "an extension of SPICE with
-//! special SET models … [which] have the advantage to simulate large
+//! special SET models … \[which\] have the advantage to simulate large
 //! circuits in a well known and familiar tool environment, but are not yet
 //! able to deal with interacting SETs or … higher-order tunnelling effects".
 //! This crate is that family member, built from scratch:
@@ -11,7 +11,7 @@
 //! * modified nodal analysis with Newton–Raphson DC solution and `gmin`
 //!   stepping ([`dc`]);
 //! * DC sweeps ([`sweep`]) and backward-Euler transient analysis with
-//!   arbitrary source stimuli ([`transient`]);
+//!   arbitrary source stimuli ([`mod@transient`]);
 //! * compact device models ([`devices`]): resistor, capacitor, DC sources,
 //!   Shockley diode, level-1 MOSFET, and an analytic periodic SET model in
 //!   the spirit of the Wang–Porod / MIB SPICE models cited by the paper.
@@ -57,7 +57,7 @@ pub use dc::NewtonOptions;
 pub use engine::SpiceDcEngine;
 pub use error::SpiceError;
 pub use sweep::{dc_sweep, SweepResult};
-pub use transient::{transient, Stimulus, TransientOptions, TransientResult};
+pub use transient::{transient, SpiceTransientEngine, Stimulus, TransientOptions, TransientResult};
 
 /// Commonly used types for driving the SPICE engine.
 pub mod prelude {
@@ -67,5 +67,7 @@ pub mod prelude {
     pub use crate::engine::SpiceDcEngine;
     pub use crate::error::SpiceError;
     pub use crate::sweep::{dc_sweep, SweepResult};
-    pub use crate::transient::{transient, Stimulus, TransientOptions, TransientResult};
+    pub use crate::transient::{
+        transient, SpiceTransientEngine, Stimulus, TransientOptions, TransientResult,
+    };
 }
