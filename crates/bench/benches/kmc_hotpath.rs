@@ -1,0 +1,186 @@
+//! Criterion bench of the incremental physics core: kinetic Monte-Carlo
+//! event throughput (incremental `LiveState` loop vs the pre-refactor
+//! full-recompute loop) and the sparse master-equation state-space solve.
+//!
+//! Besides the criterion timings it writes `BENCH_kmc.json` at the
+//! workspace root with events/sec for both loops, the measured speedup,
+//! and the states/sec of a master-equation solve an order of magnitude
+//! beyond the old dense-LU state limit, so CI can track the hot path over
+//! time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_bench::chain_system;
+use se_montecarlo::{MasterEquation, MonteCarloSimulator, SimulationOptions};
+use se_numeric::sampling::{exponential_waiting_time, select_weighted};
+use se_orthodox::{rates::tunnel_rate, ChargeState, TunnelSystem};
+use se_units::constants::E;
+use std::time::Instant;
+
+/// Islands in the KMC bench circuit (the acceptance gate asks for ≥ 4).
+const ISLANDS: usize = 8;
+/// Measured events per sample.
+const EVENTS: usize = 50_000;
+/// Drain bias: far enough above the chain's Coulomb threshold that events
+/// flow steadily at every gate phase.
+const VDS: f64 = 0.15;
+/// All islands gated to the charge-degeneracy point.
+const VG: f64 = E / (2.0 * se_bench::REFERENCE_C_GATE);
+/// Dilution-refrigerator operating point (kT ≪ charging energy), the
+/// regime single-electron circuits actually run in.
+const TEMPERATURE: f64 = 0.1;
+/// The master-equation bench solves at 1 K so thermal mixing populates a
+/// representative share of the enumerated states.
+const MASTER_TEMPERATURE: f64 = 1.0;
+/// The dense-LU implementation's state cap, the yardstick for the sparse
+/// state-space acceptance ratio.
+const OLD_DENSE_STATE_LIMIT: usize = 20_000;
+/// Master-equation bench: 4-island chain, window ±11 → 23⁴ = 279 841
+/// states, 14× the old dense limit.
+const MASTER_ISLANDS: usize = 4;
+const MASTER_WINDOW: i64 = 11;
+
+fn bench_chain() -> TunnelSystem {
+    chain_system(ISLANDS, VDS, VG)
+}
+
+/// The seed-code measurement loop (`run_events`), reconstructed on the
+/// public API: per event, a fresh event enumeration, a full `K⁻¹`-product
+/// potential solve with its intermediate buffers, per-event validated rate
+/// calls and the occupation-tracking state clone — the baseline the
+/// incremental loop is measured against (the validation proptests pin that
+/// both produce the same physics).
+fn run_full_recompute_loop(system: &TunnelSystem, events: usize, seed: u64) -> (u64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = ChargeState::neutral(system.island_count());
+    let mut occupation_time = vec![0.0; system.island_count()];
+    let mut time = 0.0;
+    let mut last_time = 0.0;
+    let mut executed = 0_u64;
+    for _ in 0..events {
+        let before: Vec<i64> = state.0.clone();
+        let candidates = system.events();
+        let potentials = system.island_potentials(&state);
+        let mut rates = Vec::with_capacity(candidates.len());
+        let mut total = 0.0;
+        for &event in &candidates {
+            let df = system.delta_free_energy_with_potentials(&potentials, event);
+            let rate = tunnel_rate(df, system.event_resistance(event), TEMPERATURE)
+                .expect("valid rate parameters");
+            rates.push(rate);
+            total += rate;
+        }
+        if total <= 0.0 {
+            break;
+        }
+        time += exponential_waiting_time(&mut rng, total).expect("positive total rate");
+        let chosen = select_weighted(&mut rng, &rates).expect("positive total rate");
+        system.apply_event(&mut state, candidates[chosen]);
+        let dwell = time - last_time;
+        for (acc, &n) in occupation_time.iter_mut().zip(&before) {
+            *acc += dwell * n as f64;
+        }
+        last_time = time;
+        executed += 1;
+    }
+    black_box(occupation_time);
+    (executed, time)
+}
+
+fn run_incremental_loop(system: &TunnelSystem, events: usize, seed: u64) -> (u64, f64) {
+    let mut sim = MonteCarloSimulator::new(
+        system.clone(),
+        SimulationOptions::new(TEMPERATURE)
+            .with_seed(seed)
+            .with_equilibration(0),
+    )
+    .expect("valid system");
+    let result = sim.run_events(events).expect("run succeeds");
+    (result.events(), result.total_time())
+}
+
+fn time_events_per_sec(samples: usize, mut f: impl FnMut(u64) -> (u64, f64)) -> f64 {
+    let mut best = 0.0_f64;
+    for sample in 0..samples {
+        let start = Instant::now();
+        let (executed, time) = f(sample as u64 + 1);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            executed == EVENTS as u64,
+            "the chain froze after {executed} events"
+        );
+        assert!(time > 0.0);
+        best = best.max(EVENTS as f64 / elapsed);
+    }
+    best
+}
+
+fn master_states() -> usize {
+    (2 * MASTER_WINDOW as usize + 1).pow(MASTER_ISLANDS as u32)
+}
+
+fn solve_large_master() -> f64 {
+    let system = chain_system(MASTER_ISLANDS, 1e-3, VG);
+    let solver = MasterEquation::new(system, MASTER_TEMPERATURE)
+        .expect("valid system")
+        .with_window(MASTER_WINDOW)
+        .expect("valid window");
+    let start = Instant::now();
+    let solution = solver.solve().expect("sparse solve succeeds");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(solution.states().len(), master_states());
+    let total: f64 = solution.probabilities().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    elapsed
+}
+
+fn kmc_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmc_hotpath");
+    group.sample_size(10);
+
+    let system = bench_chain();
+    group.bench_function("chain8_50k_events_incremental", |b| {
+        b.iter(|| black_box(run_incremental_loop(&system, EVENTS, 1)));
+    });
+    group.bench_function("chain8_50k_events_full_recompute", |b| {
+        b.iter(|| black_box(run_full_recompute_loop(&system, EVENTS, 1)));
+    });
+    group.finish();
+
+    let mut master_group = c.benchmark_group("master_sparse");
+    master_group.sample_size(10);
+    master_group.bench_function("chain4_window11_279841_states", |b| {
+        b.iter(solve_large_master);
+    });
+    master_group.finish();
+
+    // Structured record for CI tracking and the acceptance gate.
+    let system = bench_chain();
+    let incremental = time_events_per_sec(5, |seed| run_incremental_loop(&system, EVENTS, seed));
+    let baseline = time_events_per_sec(5, |seed| run_full_recompute_loop(&system, EVENTS, seed));
+    let master_seconds = (0..3)
+        .map(|_| solve_large_master())
+        .fold(f64::MAX, f64::min);
+    let states = master_states();
+    let json = format!(
+        "{{\n  \"bench\": \"kmc_hotpath\",\n  \"islands\": {ISLANDS},\n  \"events\": {EVENTS},\n  \
+         \"events_per_sec_incremental\": {incremental:.1},\n  \
+         \"events_per_sec_full_recompute\": {baseline:.1},\n  \
+         \"speedup\": {:.2},\n  \
+         \"master_islands\": {MASTER_ISLANDS},\n  \"master_window\": {MASTER_WINDOW},\n  \
+         \"master_states\": {states},\n  \"master_solve_seconds\": {master_seconds:.6},\n  \
+         \"master_states_per_sec\": {:.1},\n  \
+         \"old_dense_state_limit\": {OLD_DENSE_STATE_LIMIT},\n  \
+         \"state_space_ratio\": {:.2}\n}}\n",
+        incremental / baseline,
+        states as f64 / master_seconds,
+        states as f64 / OLD_DENSE_STATE_LIMIT as f64,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kmc.json");
+    std::fs::write(path, &json).expect("BENCH_kmc.json is writable");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, kmc_hotpath);
+criterion_main!(benches);

@@ -5,13 +5,23 @@
 //! total rate, selects one event with probability proportional to its rate,
 //! and applies it. Net electron transfers through every junction are
 //! counted, so time-averaged junction currents fall out directly.
+//!
+//! The step loop runs on the incremental hot path of
+//! [`se_orthodox::live`]: island potentials live in a [`LiveState`] and are
+//! corrected with one `K`-column axpy per event instead of being re-solved,
+//! every per-event ΔF is O(1), the [`RateContext`] keeps the ΔF-independent
+//! rate factors persistent, and the loop is allocation-free. Drive-voltage
+//! and background-charge changes made through
+//! [`MonteCarloSimulator::system_mut`] are folded in lazily at the next
+//! step (`LiveState::sync`), so the public mutate-then-run protocol is
+//! unchanged.
 
 use crate::error::MonteCarloError;
 use crate::observables::RunResult;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use se_numeric::sampling::{exponential_waiting_time, select_weighted};
-use se_orthodox::{rates::tunnel_rate, ChargeState, TunnelEvent, TunnelSystem};
+use rand::{Rng, SeedableRng};
+use se_numeric::sampling::exponential_waiting_time;
+use se_orthodox::{ChargeState, LiveState, RateContext, TunnelEvent, TunnelSystem};
 use se_units::constants::E;
 use std::collections::HashMap;
 
@@ -84,7 +94,15 @@ pub struct MonteCarloSimulator {
     system: TunnelSystem,
     options: SimulationOptions,
     rng: StdRng,
-    state: ChargeState,
+    /// Charge state plus incrementally-maintained island potentials.
+    live: LiveState,
+    /// Persistent ΔF-independent rate factors (junction prefactors, kT).
+    rate_ctx: RateContext,
+    /// Reusable per-event rate buffer — keeps the step loop allocation-free.
+    rates: Vec<f64>,
+    /// Set by [`Self::system_mut`]: the next step must fold pending drive /
+    /// background changes into the live state before evaluating rates.
+    drives_dirty: bool,
     time: f64,
     /// Net number of electrons that have tunnelled from endpoint `a` to
     /// endpoint `b` of each junction.
@@ -115,11 +133,16 @@ impl MonteCarloSimulator {
         };
         let islands = system.island_count();
         let junctions = system.junctions().len();
+        let rate_ctx = RateContext::new(&system, options.temperature)?;
+        let live = LiveState::new(&system, ChargeState::neutral(islands));
         Ok(MonteCarloSimulator {
             system,
             options,
             rng,
-            state: ChargeState::neutral(islands),
+            live,
+            rate_ctx,
+            rates: vec![0.0; 2 * junctions],
+            drives_dirty: false,
             time: 0.0,
             net_transfers: vec![0; junctions],
             events_executed: 0,
@@ -141,15 +164,27 @@ impl MonteCarloSimulator {
 
     /// Mutable access to the tunnel system, used to change source voltages
     /// or background charges between runs (counters should normally be
-    /// reset afterwards with [`Self::reset_counters`]).
+    /// reset afterwards with [`Self::reset_counters`]). Any changes are
+    /// folded into the cached island potentials at the next step.
     pub fn system_mut(&mut self) -> &mut TunnelSystem {
+        self.drives_dirty = true;
         &mut self.system
+    }
+
+    /// Folds pending drive/background changes into the live state. Cheap
+    /// when nothing is pending (one flag test), so the step loop never pays
+    /// the comparison pass for runs that do not touch the drives.
+    fn sync_drives(&mut self) {
+        if self.drives_dirty {
+            self.live.sync(&self.system);
+            self.drives_dirty = false;
+        }
     }
 
     /// Current charge state.
     #[must_use]
     pub fn state(&self) -> &ChargeState {
-        &self.state
+        self.live.state()
     }
 
     /// Current simulation time in seconds.
@@ -221,35 +256,30 @@ impl MonteCarloSimulator {
     /// Executes a single tunnel event. Returns the event that occurred, or
     /// `None` if the system is frozen (no event has a non-zero rate).
     ///
+    /// This is the incremental hot path: pending drive/background changes
+    /// are folded in with precomputed response columns
+    /// ([`LiveState::sync`]), every candidate rate refreshes only its
+    /// ΔF-dependent factor ([`RateContext::fill_rates`] into a reusable
+    /// buffer), and applying the chosen event is an O(islands) potential
+    /// correction — no linear solve, no allocation.
+    ///
     /// # Errors
     ///
-    /// Propagates rate-evaluation errors (invalid temperature or junction
-    /// parameters, which cannot occur for a validated system).
+    /// Propagates waiting-time sampling errors (which cannot occur for the
+    /// finite, positive total rate this method establishes first).
     pub fn step(&mut self) -> Result<Option<TunnelEvent>, MonteCarloError> {
-        let events = self.system.events();
-        let potentials = self.system.island_potentials(&self.state);
-        let mut rates = Vec::with_capacity(events.len());
-        let mut total = 0.0;
-        for &event in &events {
-            let df = self
-                .system
-                .delta_free_energy_with_potentials(&potentials, event);
-            let rate = tunnel_rate(
-                df,
-                self.system.event_resistance(event),
-                self.options.temperature,
-            )?;
-            rates.push(rate);
-            total += rate;
-        }
+        self.sync_drives();
+        let total = self
+            .rate_ctx
+            .fill_rates(&self.system, &self.live, &mut self.rates);
         if total <= 0.0 {
             self.frozen = true;
             return Ok(None);
         }
         let dt = exponential_waiting_time(&mut self.rng, total)?;
-        let chosen = select_weighted(&mut self.rng, &rates)?;
-        let event = events[chosen];
-        self.system.apply_event(&mut self.state, event);
+        let chosen = select_event(&mut self.rng, &self.rates, total);
+        let event = self.system.event(chosen);
+        self.live.apply(&self.system, event);
         self.time += dt;
         self.events_executed += 1;
         match event.direction {
@@ -290,22 +320,14 @@ impl MonteCarloSimulator {
             ));
         }
         self.equilibrate()?;
-        let mut occupation_time = vec![0.0; self.system.island_count()];
-        let mut last_time = self.time;
+        let mut occupation = OccupationTracker::new(self.system.island_count(), self.time);
         for _ in 0..events {
-            let before: Vec<i64> = self.state.0.clone();
             match self.step()? {
-                Some(_) => {
-                    let dwell = self.time - last_time;
-                    for (acc, &n) in occupation_time.iter_mut().zip(&before) {
-                        *acc += dwell * n as f64;
-                    }
-                    last_time = self.time;
-                }
+                Some(event) => occupation.record(&self.system, self.live.state(), event, self.time),
                 None => break,
             }
         }
-        Ok(self.collect(occupation_time))
+        Ok(self.collect(occupation.finish(self.live.state(), self.time)))
     }
 
     /// Runs until the simulation clock advances by `duration` seconds
@@ -323,22 +345,18 @@ impl MonteCarloSimulator {
         }
         self.equilibrate()?;
         let t_end = self.time + duration;
-        let mut occupation_time = vec![0.0; self.system.island_count()];
-        let mut last_time = self.time;
+        let mut occupation = OccupationTracker::new(self.system.island_count(), self.time);
         while self.time < t_end {
-            let before: Vec<i64> = self.state.0.clone();
             match self.step()? {
-                Some(_) => {
-                    let dwell = (self.time - last_time).min(t_end - last_time);
-                    for (acc, &n) in occupation_time.iter_mut().zip(&before) {
-                        *acc += dwell * n as f64;
-                    }
-                    last_time = self.time;
-                }
+                Some(event) => occupation.record(&self.system, self.live.state(), event, self.time),
                 None => break,
             }
         }
-        Ok(self.collect(occupation_time))
+        // The final event may overshoot `t_end`; occupation is integrated
+        // over the full elapsed window so that `collect`'s division by the
+        // elapsed time yields a consistent time average (currents use the
+        // same window through the transfer counters).
+        Ok(self.collect(occupation.finish(self.live.state(), self.time)))
     }
 
     /// Records a time-domain trace of `events` tunnel events (no
@@ -356,10 +374,11 @@ impl MonteCarloSimulator {
             ));
         }
         let mut trace = Vec::with_capacity(events + 1);
+        self.sync_drives();
         trace.push(TracePoint {
             time: self.time,
-            electrons: self.state.0.clone(),
-            potentials: self.system.island_potentials(&self.state),
+            electrons: self.live.state().0.clone(),
+            potentials: self.live.potentials().to_vec(),
         });
         for _ in 0..events {
             if self.step()?.is_none() {
@@ -367,8 +386,8 @@ impl MonteCarloSimulator {
             }
             trace.push(TracePoint {
                 time: self.time,
-                electrons: self.state.0.clone(),
-                potentials: self.system.island_potentials(&self.state),
+                electrons: self.live.state().0.clone(),
+                potentials: self.live.potentials().to_vec(),
             });
         }
         Ok(trace)
@@ -402,6 +421,81 @@ impl MonteCarloSimulator {
             self.frozen,
         )
     }
+}
+
+/// Time-weighted island-occupation accumulator.
+///
+/// The occupation integral `∫ n_i dt` is piecewise constant and only
+/// changes when an event touches island `i`, so instead of accumulating
+/// `dwell · n` across **all** islands every step (which needs a copy of the
+/// pre-event state), each island carries the start time of its current
+/// segment and settles the finished segment only when its charge actually
+/// changes — O(islands touched) per event.
+struct OccupationTracker {
+    occupation_time: Vec<f64>,
+    segment_start: Vec<f64>,
+}
+
+impl OccupationTracker {
+    fn new(islands: usize, start: f64) -> Self {
+        OccupationTracker {
+            occupation_time: vec![0.0; islands],
+            segment_start: vec![start; islands],
+        }
+    }
+
+    /// Settles the finished segments of the islands `event` touched.
+    /// `state` is the post-event charge state and `t` the (possibly
+    /// clamped) event time.
+    #[inline]
+    fn record(&mut self, system: &TunnelSystem, state: &ChargeState, event: TunnelEvent, t: f64) {
+        let (from, to) = system.event_endpoints(event);
+        if let se_orthodox::Endpoint::Island(i) = from {
+            // The electron just left: the segment that ended held n + 1.
+            self.occupation_time[i] += (state.0[i] + 1) as f64 * (t - self.segment_start[i]);
+            self.segment_start[i] = t;
+        }
+        if let se_orthodox::Endpoint::Island(i) = to {
+            self.occupation_time[i] += (state.0[i] - 1) as f64 * (t - self.segment_start[i]);
+            self.segment_start[i] = t;
+        }
+    }
+
+    /// Settles every island's open segment up to `t_end` and returns the
+    /// per-island occupation times.
+    fn finish(mut self, state: &ChargeState, t_end: f64) -> Vec<f64> {
+        for (i, occ) in self.occupation_time.iter_mut().enumerate() {
+            *occ += state.0[i] as f64 * (t_end - self.segment_start[i]);
+        }
+        self.occupation_time
+    }
+}
+
+/// Selects the event index with probability `rates[i] / total`.
+///
+/// This is [`se_numeric::sampling::select_weighted`] minus the per-call
+/// validation pass: the step loop has already established that every rate
+/// is finite and non-negative and that `total > 0`. The round-off fallback
+/// is the same — if `total` (summed junction-pairwise) lands marginally
+/// above the linear scan's accumulation, the last non-zero rate wins.
+#[inline]
+fn select_event<R: Rng + ?Sized>(rng: &mut R, rates: &[f64], total: f64) -> usize {
+    let target = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    for (i, &w) in rates.iter().enumerate() {
+        // Skipping zero rates leaves the accumulation unchanged and spares
+        // the frozen majority of a cold circuit's events the fp add.
+        if w > 0.0 {
+            acc += w;
+            if target < acc {
+                return i;
+            }
+        }
+    }
+    rates
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("the total rate was positive")
 }
 
 #[cfg(test)]

@@ -10,10 +10,16 @@
 //!
 //! * [`kmc::MonteCarloSimulator`] — a kinetic Monte-Carlo (Gillespie) engine
 //!   that samples individual tunnel events; handles any island count, gives
-//!   time-domain traces and noise, optionally includes cotunneling events;
+//!   time-domain traces and noise, optionally includes cotunneling events.
+//!   Its step loop runs on the incremental hot path of
+//!   [`se_orthodox::live`]: cached island potentials, O(1) per-event ΔF, a
+//!   persistent rate table, no per-step allocation;
 //! * [`master::MasterEquation`] — a deterministic master-equation solver
-//!   that enumerates charge states in a window and solves for the stationary
-//!   distribution exactly; the accuracy reference for small circuits.
+//!   that enumerates charge states in a window around the ground state and
+//!   solves for the stationary distribution; the accuracy reference. The
+//!   generator is assembled sparsely (CSR over the state lattice) and
+//!   solved iteratively, so the enumeration scales to hundreds of
+//!   thousands of states.
 //!
 //! Both engines implement [`se_engine::StationaryEngine`], so [`sweep`]'s
 //! helpers (and anything else built on [`se_engine::SweepRunner`]) drive

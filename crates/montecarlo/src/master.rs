@@ -1,25 +1,38 @@
 //! Deterministic master-equation solver.
 //!
-//! For small circuits the stationary state of the orthodox model can be
-//! computed exactly: enumerate the charge states in a window around the
-//! electrostatic ground state, assemble the transition-rate matrix from the
-//! same orthodox rates the Monte-Carlo engine samples, and solve the linear
-//! system for the stationary probability distribution. This is the accuracy
-//! reference used to validate the Monte-Carlo engine (and the analytic
-//! SPICE model) in experiment E10, exactly the role the paper assigns to
-//! "detailed" simulators.
+//! The stationary state of the orthodox model can be computed without
+//! sampling: enumerate the charge states in a window around the
+//! electrostatic ground state, assemble the transition-rate generator from
+//! the same orthodox rates the Monte-Carlo engine samples, and solve for
+//! the stationary probability distribution. This is the accuracy reference
+//! used to validate the Monte-Carlo engine (and the analytic SPICE model)
+//! in experiment E10, exactly the role the paper assigns to "detailed"
+//! simulators.
+//!
+//! The state space is handled sparsely: each charge state couples to at
+//! most two neighbours per junction, so the generator is assembled as CSR
+//! triplets over the mixed-radix state lattice (per-event index offsets,
+//! no hash lookups) and the stationary distribution comes from the
+//! Gauss–Seidel iteration in [`se_numeric::sparse`]. Together with the
+//! incremental [`LiveState`] walk of the enumeration (one axpy per lattice
+//! step instead of a dense solve per state), this lets the default
+//! enumeration window cover hundreds of thousands of states — the old
+//! dense-LU implementation capped out at 20 000.
 
 use crate::error::MonteCarloError;
-use se_numeric::{LuDecomposition, Matrix};
-use se_orthodox::{rates::tunnel_rate, ChargeState, TunnelSystem};
+use se_numeric::sparse::{stationary_distribution, CsrMatrix, StationaryOptions};
+use se_orthodox::{ChargeState, Endpoint, LiveState, RateContext, TunnelEvent, TunnelSystem};
 use se_units::constants::E;
 use std::collections::HashMap;
 
 /// Default half-width of the per-island charge window.
 const DEFAULT_WINDOW: i64 = 3;
 
-/// Default maximum number of enumerated states.
-const DEFAULT_MAX_STATES: usize = 20_000;
+/// Default maximum number of enumerated states. The sparse generator and
+/// iterative stationary solve keep both memory and time roughly linear in
+/// this number (times the junction count); the old dense-LU path was capped
+/// at 20 000 states.
+const DEFAULT_MAX_STATES: usize = 400_000;
 
 /// Stationary solution of the master equation.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +131,22 @@ impl MasterEquation {
         Ok(self)
     }
 
+    /// Sets the maximum number of enumerated states (the guard against
+    /// accidentally exponential windows, default 400 000).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonteCarloError::InvalidArgument`] if `max_states == 0`.
+    pub fn with_max_states(mut self, max_states: usize) -> Result<Self, MonteCarloError> {
+        if max_states == 0 {
+            return Err(MonteCarloError::InvalidArgument(
+                "the state limit must be at least 1".into(),
+            ));
+        }
+        self.max_states = max_states;
+        Ok(self)
+    }
+
     /// The tunnel system being solved.
     #[must_use]
     pub fn system(&self) -> &TunnelSystem {
@@ -132,28 +161,43 @@ impl MasterEquation {
 
     /// Finds the electrostatic ground state by greedy descent from the
     /// charge-neutral state.
+    ///
+    /// At a conducting bias point no true minimum exists — the sources do
+    /// work, so the free energy keeps decreasing around the
+    /// current-carrying cycle. The descent therefore stops at the first
+    /// revisited charge state; because every step strictly lowers the free
+    /// energy, the stopping state is the lowest-free-energy state seen,
+    /// deterministic, and a natural center for the enumeration window.
+    /// (The pre-sparse implementation span through its full iteration
+    /// bound at every conducting point instead, which dominated
+    /// small-sweep wall-clock.)
     #[must_use]
     pub fn ground_state(&self) -> ChargeState {
-        let mut state = ChargeState::neutral(self.system.island_count());
-        // Each step strictly lowers the free energy, so the loop terminates;
-        // bound it anyway for robustness against degenerate cases.
+        let islands = self.system.island_count();
+        let mut live = LiveState::new(&self.system, ChargeState::neutral(islands));
+        let mut visited: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+        visited.insert(live.state().0.clone());
+        // Bounded for robustness; descent paths and cycles are short.
         for _ in 0..10_000 {
-            let potentials = self.system.island_potentials(&state);
-            let mut best: Option<(f64, se_orthodox::TunnelEvent)> = None;
-            for event in self.system.events() {
-                let df = self
-                    .system
-                    .delta_free_energy_with_potentials(&potentials, event);
-                if df < -1e-30 && best.is_none_or(|(b, _)| df < b) {
-                    best = Some((df, event));
+            let mut best_step: Option<(f64, TunnelEvent)> = None;
+            for idx in 0..self.system.event_count() {
+                let event = self.system.event(idx);
+                let df = live.delta_free_energy(&self.system, event);
+                if df < -1e-30 && best_step.is_none_or(|(b, _)| df < b) {
+                    best_step = Some((df, event));
                 }
             }
-            match best {
-                Some((_, event)) => self.system.apply_event(&mut state, event),
+            match best_step {
+                Some((_, event)) => {
+                    live.apply(&self.system, event);
+                    if !visited.insert(live.state().0.clone()) {
+                        break;
+                    }
+                }
                 None => break,
             }
         }
-        state
+        live.into_state()
     }
 
     /// Solves for the stationary distribution and junction currents.
@@ -162,7 +206,9 @@ impl MasterEquation {
     ///
     /// Returns [`MonteCarloError::StateSpaceTooLarge`] if the enumeration
     /// exceeds the state limit, and propagates numerical errors from the
-    /// linear solve.
+    /// iterative stationary solve (including
+    /// [`se_numeric::NumericError::NoConvergence`] if the Gauss–Seidel
+    /// iteration exhausts its sweep budget).
     pub fn solve(&self) -> Result<MasterSolution, MonteCarloError> {
         let islands = self.system.island_count();
         let span = (2 * self.window + 1) as usize;
@@ -180,134 +226,145 @@ impl MasterEquation {
         }
 
         let center = self.ground_state();
-
-        // Enumerate all states in the window around the ground state.
-        let mut states = Vec::with_capacity(state_count);
-        let mut index: HashMap<Vec<i64>, usize> = HashMap::with_capacity(state_count);
-        let mut counter = vec![0usize; islands];
-        loop {
-            let state: Vec<i64> = counter
-                .iter()
-                .zip(&center.0)
-                .map(|(&c, &base)| base - self.window + c as i64)
-                .collect();
-            index.insert(state.clone(), states.len());
-            states.push(ChargeState(state));
-            // Advance the mixed-radix counter.
-            let mut i = 0;
-            loop {
-                if i == islands {
-                    break;
-                }
-                counter[i] += 1;
-                if counter[i] < span {
-                    break;
-                }
-                counter[i] = 0;
-                i += 1;
-            }
-            if i == islands {
-                break;
-            }
-        }
-
-        // Assemble the generator matrix A where A[j][i] is the rate from
-        // state i to state j and the diagonal holds the negative total
-        // outflow.
-        let n = states.len();
-        let mut a = Matrix::zeros(n, n);
+        let rate_ctx = RateContext::new(&self.system, self.temperature)?;
         let events = self.system.events();
-        // Per-junction current accumulators need the rates again, so keep
-        // them per (state, event).
-        let mut event_rates = vec![vec![0.0; events.len()]; n];
-        for (i, state) in states.iter().enumerate() {
-            let potentials = self.system.island_potentials(state);
-            for (e_idx, &event) in events.iter().enumerate() {
-                let df = self
-                    .system
-                    .delta_free_energy_with_potentials(&potentials, event);
-                let rate = tunnel_rate(df, self.system.event_resistance(event), self.temperature)?;
-                event_rates[i][e_idx] = rate;
+        let event_count = events.len();
+
+        // The enumeration is a mixed-radix counter over the window box
+        // around the ground state: island `i` is digit `i` with place value
+        // `span^i`, so the state at counter value `index` has
+        // `n_i = center_i − window + digit_i(index)`. An event shifts at
+        // most two digits by ±1, which makes its target state a *constant*
+        // index offset away — the whole generator assembles with integer
+        // arithmetic, no state hashing.
+        let place: Vec<i64> = (0..islands)
+            .scan(1_i64, |acc, _| {
+                let p = *acc;
+                *acc *= span as i64;
+                Some(p)
+            })
+            .collect();
+        struct EventGeometry {
+            /// Index offset of the target state.
+            offset: i64,
+            /// Digit moves: (island, ±1).
+            moves: Vec<(usize, i64)>,
+        }
+        let geometry: Vec<EventGeometry> = events
+            .iter()
+            .map(|&event| {
+                let (from, to) = self.system.event_endpoints(event);
+                let mut moves = Vec::with_capacity(2);
+                if let Endpoint::Island(i) = from {
+                    moves.push((i, -1_i64));
+                }
+                if let Endpoint::Island(i) = to {
+                    moves.push((i, 1_i64));
+                }
+                let offset = moves.iter().map(|&(i, d)| d * place[i]).sum();
+                EventGeometry { offset, moves }
+            })
+            .collect();
+        let ground_index =
+            usize::try_from((0..islands).map(|i| self.window * place[i]).sum::<i64>())
+                .expect("the ground state is inside its own window");
+
+        // Walk the lattice with an incrementally-updated LiveState (one
+        // axpy per counter step) and assemble the off-diagonal inflow
+        // triplets plus the total out-rate of every state. Rates towards
+        // states outside the window are dropped entirely (they neither
+        // appear as inflows nor count into the out-rate), exactly as in the
+        // dense implementation.
+        let first = ChargeState(center.0.iter().map(|&c| c - self.window).collect());
+        let mut live = LiveState::new(&self.system, first);
+        let mut digits = vec![0_usize; islands];
+        let mut states = Vec::with_capacity(state_count);
+        let mut event_rates = vec![0.0_f64; state_count * event_count];
+        let mut out_rate = vec![0.0_f64; state_count];
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        let mut scratch = Vec::with_capacity(event_count);
+
+        for index in 0..state_count {
+            states.push(live.state().clone());
+            rate_ctx.fill_rates(&self.system, &live, &mut scratch);
+            event_rates[index * event_count..(index + 1) * event_count].copy_from_slice(&scratch);
+            for (e, geo) in geometry.iter().enumerate() {
+                let rate = scratch[e];
                 if rate <= 0.0 {
                     continue;
                 }
-                let mut target = state.clone();
-                self.system.apply_event(&mut target, event);
-                if let Some(&j) = index.get(&target.0) {
-                    a.add_at(j, i, rate);
-                    a.add_at(i, i, -rate);
+                let in_window = geo.moves.iter().all(|&(i, d)| {
+                    let digit = digits[i] as i64 + d;
+                    (0..span as i64).contains(&digit)
+                });
+                if !in_window {
+                    continue;
+                }
+                let target = (index as i64 + geo.offset) as usize;
+                triplets.push((target, index, rate));
+                out_rate[index] += rate;
+            }
+            // Advance the mixed-radix counter, keeping the live state in
+            // lockstep (a wrap of digit `i` steps the island back by the
+            // full span; the carry target steps forward by one).
+            if index + 1 < state_count {
+                let mut i = 0;
+                loop {
+                    digits[i] += 1;
+                    if digits[i] < span {
+                        live.shift_island(&self.system, i, 1);
+                        break;
+                    }
+                    digits[i] = 0;
+                    live.shift_island(&self.system, i, -(span as i64 - 1));
+                    i += 1;
                 }
             }
         }
 
-        // Rescale the generator so its entries are O(1): the stationary
-        // condition A·p = 0 is invariant under scaling, but mixing 10¹³-scale
-        // tunnel rates with the O(1) normalisation row would make the LU
-        // factorisation reject perfectly good pivots.
-        let rate_scale = a.max_abs();
-        if rate_scale > 0.0 {
-            a.scale(1.0 / rate_scale);
-        }
-
-        // Regularise isolated states: at low temperature every rate out of a
-        // deeply blockaded state can underflow to exactly zero, leaving an
-        // all-zero column and a singular generator. A vanishingly small
-        // escape rate towards the ground state (10⁻¹² of the fastest rate)
-        // makes the chain irreducible without affecting any junction
-        // current, which is computed from the real event rates only.
-        let ground_index = *index
-            .get(&center.0)
-            .expect("the ground state is inside its own window");
-        let epsilon = 1e-12;
-        for i in 0..n {
+        // Regularise isolated states: at low temperature every rate out of
+        // a deeply blockaded state can underflow to exactly zero, leaving
+        // an absorbing state that is not the ground state. A vanishingly
+        // small escape rate towards the ground state (10⁻¹² of the largest
+        // total out-rate) makes the chain irreducible without affecting any
+        // junction current, which is computed from the real event rates
+        // only.
+        let rate_scale = out_rate.iter().fold(0.0_f64, |m, &v| m.max(v));
+        let epsilon = 1e-12 * if rate_scale > 0.0 { rate_scale } else { 1.0 };
+        for (i, out) in out_rate.iter_mut().enumerate() {
             if i == ground_index {
                 continue;
             }
-            a.add_at(ground_index, i, epsilon);
-            a.add_at(i, i, -epsilon);
+            triplets.push((ground_index, i, epsilon));
+            *out += epsilon;
         }
 
-        // Replace the last row by the normalisation condition Σ p = 1.
-        let mut rhs = vec![0.0; n];
-        for col in 0..n {
-            a[(n - 1, col)] = 1.0;
-        }
-        rhs[n - 1] = 1.0;
+        let inflow = CsrMatrix::from_triplets(state_count, state_count, &triplets)?;
+        // The ground state anchors the iteration: its balance equation is
+        // the one the normalisation condition replaces (as in the dense
+        // implementation), and the regularisation above guarantees every
+        // state drains towards it.
+        let probabilities = stationary_distribution(
+            &inflow,
+            &out_rate,
+            ground_index,
+            &StationaryOptions::default(),
+        )?;
 
-        let lu = LuDecomposition::new(&a)?;
-        let mut probabilities = lu.solve(&rhs)?;
-        // Clamp tiny negative round-off and renormalise.
-        for p in &mut probabilities {
-            if *p < 0.0 && *p > -1e-9 {
-                *p = 0.0;
-            }
-        }
-        let total: f64 = probabilities.iter().sum();
-        if total > 0.0 {
-            for p in &mut probabilities {
-                *p /= total;
-            }
-        }
-
-        // Junction currents.
+        // Junction currents: net a→b tunnel rate weighted by the stationary
+        // occupation, using the *real* event rates (out-of-window targets
+        // included — charge that leaves the window still crossed the
+        // junction). Events keep their canonical order, so junction `j`
+        // owns rate slots `2j` (a→b) and `2j + 1` (b→a).
         let mut junction_currents = HashMap::new();
         for (j_idx, junction) in self.system.junctions().iter().enumerate() {
             let mut net_rate = 0.0;
-            for (i, _) in states.iter().enumerate() {
-                let p = probabilities[i];
+            for (i, &p) in probabilities.iter().enumerate() {
                 if p == 0.0 {
                     continue;
                 }
-                for (e_idx, &event) in events.iter().enumerate() {
-                    if event.junction != j_idx {
-                        continue;
-                    }
-                    let sign = match event.direction {
-                        se_orthodox::Direction::AToB => 1.0,
-                        se_orthodox::Direction::BToA => -1.0,
-                    };
-                    net_rate += sign * p * event_rates[i][e_idx];
-                }
+                let row = &event_rates[i * event_count..(i + 1) * event_count];
+                net_rate += p * (row[2 * j_idx] - row[2 * j_idx + 1]);
             }
             junction_currents.insert(junction.name.clone(), -E * net_rate);
         }
@@ -343,6 +400,7 @@ mod tests {
         assert!(MasterEquation::new(system.clone(), -1.0).is_err());
         let me = MasterEquation::new(system, 1.0).unwrap();
         assert!(me.clone().with_window(0).is_err());
+        assert!(me.clone().with_max_states(0).is_err());
     }
 
     #[test]
@@ -427,12 +485,21 @@ mod tests {
         b.junction("J2", i1, i2, 1e-18, 1e5);
         b.junction("J3", i2, s, 1e-18, 1e5);
         let system = b.build().unwrap();
-        let me = MasterEquation::new(system, 1.0)
+        let me = MasterEquation::new(system.clone(), 1.0)
             .unwrap()
-            .with_window(100)
+            .with_window(400)
             .unwrap();
         assert!(matches!(
             me.solve(),
+            Err(MonteCarloError::StateSpaceTooLarge { .. })
+        ));
+        // A caller-supplied limit tightens the guard further.
+        let small = MasterEquation::new(system, 1.0)
+            .unwrap()
+            .with_max_states(10)
+            .unwrap();
+        assert!(matches!(
+            small.solve(),
             Err(MonteCarloError::StateSpaceTooLarge { .. })
         ));
     }
@@ -462,5 +529,36 @@ mod tests {
         let i1c = solution.junction_current("J1").unwrap();
         let i3c = solution.junction_current("J3").unwrap();
         assert!((i1c - i3c).abs() < 1e-6 * i1c.abs().max(1e-18));
+    }
+
+    #[test]
+    fn state_spaces_beyond_the_old_dense_limit_solve() {
+        // A 2-island window of ±100 enumerates 201² = 40 401 states — past
+        // the old dense-LU cap of 20 000 — and still solves within the
+        // default limits of the sparse path.
+        let mut b = TunnelSystemBuilder::new();
+        let i1 = b.island("i1", 0.0);
+        let i2 = b.island("i2", 0.0);
+        let s = b.external("s", 1e-3);
+        let d = b.external("d", 0.0);
+        b.junction("J1", s, i1, 1e-18, 1e5);
+        b.junction("J2", i1, i2, 1e-18, 1e5);
+        b.junction("J3", i2, d, 1e-18, 1e5);
+        let system = b.build().unwrap();
+        let me = MasterEquation::new(system, 1.0)
+            .unwrap()
+            .with_window(100)
+            .unwrap();
+        let solution = me.solve().unwrap();
+        assert_eq!(solution.states().len(), 201 * 201);
+        let total: f64 = solution.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let i1c = solution.junction_current("J1").unwrap();
+        let i3c = solution.junction_current("J3").unwrap();
+        assert!((i1c - i3c).abs() < 1e-6 * i1c.abs().max(1e-18));
+        // The distribution concentrates on the handful of physical states;
+        // the vast window padding carries no weight.
+        let neutral = ChargeState(vec![0, 0]);
+        assert!(solution.probability_of(&neutral) > 0.5);
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! The simulators in this workspace need a small, predictable set of
 //! numerical tools: dense linear algebra for capacitance matrices and
-//! modified nodal analysis, root finding for Newton iterations, statistics
+//! modified nodal analysis, sparse (CSR) matrices and an iterative
+//! stationary solver for the master-equation state space, root finding for
+//! Newton iterations, statistics
 //! and histograms for Monte-Carlo observables and randomness analysis, a
 //! discrete Fourier transform for the FM-coded logic demodulation, and simple
 //! interpolation for tabulated device characteristics.
@@ -43,8 +45,10 @@ pub mod lu;
 pub mod matrix;
 pub mod rootfind;
 pub mod sampling;
+pub mod sparse;
 pub mod stats;
 
 pub use error::NumericError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
+pub use sparse::CsrMatrix;

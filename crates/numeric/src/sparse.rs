@@ -1,0 +1,446 @@
+//! Compressed-sparse-row matrices and an iterative stationary-distribution
+//! solver for continuous-time Markov chains.
+//!
+//! The master-equation solver in `se-montecarlo` assembles a transition-rate
+//! generator whose row count equals the number of enumerated charge states.
+//! A dense n×n matrix plus LU factorisation caps that enumeration at a few
+//! thousand states; the generator is in fact extremely sparse (each state
+//! couples to at most two states per junction), so this module provides
+//!
+//! * [`CsrMatrix`] — a read-optimised CSR matrix built from triplets, and
+//! * [`stationary_distribution`] — a Gauss–Seidel iteration for the
+//!   stationary balance `p_i · D_i = Σ_j Q[i][j] · p_j` of a conservative
+//!   generator split into its off-diagonal inflow matrix `Q` and the
+//!   total out-rate vector `D`.
+//!
+//! The Gauss–Seidel split is the natural one for a rate matrix: every
+//! update is a ratio of non-negative numbers, so the iterates stay
+//! non-negative and the sweep is scale-invariant (multiplying all rates by
+//! a constant changes nothing), which is exactly the invariance the
+//! stationary condition itself has.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// Compressed-sparse-row matrix of `f64` values.
+///
+/// Entries are stored row by row in the order the triplets were supplied;
+/// duplicate `(row, col)` positions are allowed and act additively in every
+/// operation (matrix–vector products and row sums), which matches the
+/// "stamping" semantics of the dense [`Matrix::add_at`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplet order within a row is preserved; duplicates are kept and act
+    /// additively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for zero dimensions or
+    /// out-of-range indices and [`NumericError::InvalidArgument`] for
+    /// non-finite values.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, NumericError> {
+        if rows == 0 || cols == 0 {
+            return Err(NumericError::DimensionMismatch {
+                expected: "at least 1x1".into(),
+                found: format!("{rows}x{cols}"),
+            });
+        }
+        let mut counts = vec![0usize; rows];
+        for &(r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(NumericError::DimensionMismatch {
+                    expected: format!("indices within {rows}x{cols}"),
+                    found: format!("entry at ({r}, {c})"),
+                });
+            }
+            if !v.is_finite() {
+                return Err(NumericError::InvalidArgument(format!(
+                    "matrix entry at ({r}, {c}) must be finite, got {v}"
+                )));
+            }
+            counts[r] += 1;
+        }
+        // Counting sort by row: prefix-sum the counts into row offsets, then
+        // scatter (stable within each row).
+        let mut row_ptr = vec![0usize; rows + 1];
+        for r in 0..rows {
+            row_ptr[r + 1] = row_ptr[r] + counts[r];
+        }
+        let nnz = row_ptr[rows];
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        let mut cursor = row_ptr.clone();
+        for &(r, c, v) in triplets {
+            let slot = cursor[r];
+            col_idx[slot] = c;
+            values[slot] = v;
+            cursor[r] += 1;
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (duplicates counted individually).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        assert!(r < self.rows, "row index out of bounds");
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Matrix × vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            out[r] = cols.iter().zip(vals).map(|(&c, &x)| x * v[c]).sum();
+        }
+        out
+    }
+
+    /// Densifies the matrix (duplicates summed) — intended for tests and
+    /// small-scale diagnostics only.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m.add_at(r, c, v);
+            }
+        }
+        m
+    }
+}
+
+/// Options for [`stationary_distribution`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationaryOptions {
+    /// Convergence threshold on the largest absolute per-state probability
+    /// change across one sweep (the probabilities sum to 1, so this is an
+    /// absolute tolerance).
+    pub tolerance: f64,
+    /// Maximum number of Gauss–Seidel sweeps before giving up.
+    pub max_sweeps: usize,
+}
+
+impl Default for StationaryOptions {
+    fn default() -> Self {
+        StationaryOptions {
+            tolerance: 1e-13,
+            max_sweeps: 20_000,
+        }
+    }
+}
+
+/// Solves the stationary balance of a continuous-time Markov chain by
+/// anchored Gauss–Seidel iteration.
+///
+/// `inflow` holds the off-diagonal rates — `inflow[i][j]` is the transition
+/// rate from state `j` into state `i` — and `out_rate[i]` is the total rate
+/// out of state `i` (which may exceed the row sums of `inflow` when some
+/// transitions leave the modelled state set). The returned vector satisfies
+/// `p_i = Σ_j inflow[i][j]·p_j / out_rate[i]` for every `i ≠ anchor` to
+/// within the tolerance and sums to 1.
+///
+/// The `anchor` state's own balance equation is dropped and replaced by the
+/// normalisation condition — exactly the substitution a direct solver makes
+/// when it overwrites one generator row with `Σ p = 1`. During the
+/// iteration the anchor is pinned at probability 1 and every other state
+/// relaxes against it, so probability ratios as steep as Boltzmann factors
+/// of `e^±700` (deep Coulomb blockade) pose no stability problem: the
+/// dominant mass never moves, and tiny components converge from 0 upwards
+/// instead of crashing the pivot from above. The anchor must be a state
+/// that carries non-vanishing stationary probability (for a regularised
+/// master equation, the ground state); anchoring a transient state yields
+/// the distribution conditioned on that state's basin.
+///
+/// States with `out_rate == 0` other than the anchor are never updated and
+/// keep probability 0; callers with genuinely absorbing non-anchor states
+/// should regularise first (the master-equation layer adds a vanishing
+/// escape rate towards the ground state for exactly this reason).
+///
+/// Sweeps alternate forward and backward, which propagates probability
+/// along chain-like topologies in both directions and converges
+/// substantially faster than one-directional sweeps on the charge-state
+/// lattices this crate is used for. The iteration is deterministic: the
+/// same inputs produce bit-identical output on every run.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] for inconsistent shapes or
+/// an out-of-range anchor, [`NumericError::InvalidArgument`] for negative
+/// or non-finite rates, and [`NumericError::NoConvergence`] if the
+/// tolerance is not reached within `max_sweeps` or the probability ratios
+/// overflow (the anchor carries essentially no stationary probability).
+pub fn stationary_distribution(
+    inflow: &CsrMatrix,
+    out_rate: &[f64],
+    anchor: usize,
+    options: &StationaryOptions,
+) -> Result<Vec<f64>, NumericError> {
+    let n = inflow.rows();
+    if inflow.cols() != n || out_rate.len() != n || anchor >= n {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("{n}x{n} inflow matrix, out-rate length {n}, anchor < {n}"),
+            found: format!(
+                "{}x{} matrix, out-rate length {}, anchor {anchor}",
+                inflow.rows(),
+                inflow.cols(),
+                out_rate.len()
+            ),
+        });
+    }
+    for (i, &d) in out_rate.iter().enumerate() {
+        if d < 0.0 || !d.is_finite() {
+            return Err(NumericError::InvalidArgument(format!(
+                "out-rate of state {i} must be non-negative and finite, got {d}"
+            )));
+        }
+    }
+    if inflow.values.iter().any(|&v| v < 0.0) {
+        return Err(NumericError::InvalidArgument(
+            "inflow rates must be non-negative".into(),
+        ));
+    }
+
+    // Probability mass propagates outward from the pinned anchor.
+    let mut p = vec![0.0; n];
+    p[anchor] = 1.0;
+    if n == 1 {
+        return Ok(p);
+    }
+    let mut normalised = vec![0.0; n];
+    let mut previous = vec![0.0; n];
+    previous[anchor] = 1.0;
+    let update = |p: &mut [f64], i: usize| {
+        if i != anchor && out_rate[i] > 0.0 {
+            let (cols, vals) = inflow.row(i);
+            let inflow_sum: f64 = cols.iter().zip(vals).map(|(&c, &x)| x * p[c]).sum();
+            p[i] = inflow_sum / out_rate[i];
+        }
+    };
+    for sweep in 0..options.max_sweeps {
+        if sweep % 2 == 0 {
+            for i in 0..n {
+                update(&mut p, i);
+            }
+        } else {
+            for i in (0..n).rev() {
+                update(&mut p, i);
+            }
+        }
+        let total: f64 = p.iter().sum();
+        if !total.is_finite() {
+            return Err(NumericError::NoConvergence {
+                iterations: sweep + 1,
+                residual: total,
+            });
+        }
+        for (norm, &x) in normalised.iter_mut().zip(&p) {
+            *norm = x / total;
+        }
+        let delta = normalised
+            .iter()
+            .zip(&previous)
+            .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()));
+        if delta <= options.tolerance {
+            return Ok(normalised);
+        }
+        previous.copy_from_slice(&normalised);
+    }
+    let residual = normalised
+        .iter()
+        .zip(&previous)
+        .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()));
+    Err(NumericError::NoConvergence {
+        iterations: options.max_sweeps,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_builds_and_densifies() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 0, -1.5), (0, 1, 3.0)]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        let dense = m.to_dense();
+        assert_eq!(dense[(0, 1)], 5.0, "duplicates act additively");
+        assert_eq!(dense[(1, 0)], -1.5);
+        assert_eq!(dense[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn from_triplets_rejects_bad_input() {
+        assert!(CsrMatrix::from_triplets(0, 1, &[]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let triplets = [
+            (0usize, 0usize, 1.0),
+            (0, 2, 2.0),
+            (1, 1, -3.0),
+            (2, 0, 0.5),
+            (2, 2, 4.0),
+        ];
+        let sparse = CsrMatrix::from_triplets(3, 3, &triplets).unwrap();
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(sparse.mul_vec(&v), sparse.to_dense().mul_vec(&v));
+    }
+
+    #[test]
+    fn two_state_chain_has_analytic_stationary_distribution() {
+        // 0 → 1 at rate a, 1 → 0 at rate b: p = (b, a) / (a + b).
+        let (a, b) = (3.0e9, 1.0e9);
+        let inflow = CsrMatrix::from_triplets(2, 2, &[(1, 0, a), (0, 1, b)]).unwrap();
+        let p =
+            stationary_distribution(&inflow, &[a, b], 0, &StationaryOptions::default()).unwrap();
+        assert!((p[0] - b / (a + b)).abs() < 1e-12);
+        assert!((p[1] - a / (a + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birth_death_chain_matches_detailed_balance() {
+        // Birth rate λ, death rate μ per level: p_k ∝ (λ/μ)^k.
+        let n = 20;
+        let (lambda, mu) = (2.0e8, 5.0e8);
+        let mut triplets = Vec::new();
+        let mut out = vec![0.0; n];
+        for k in 0..n - 1 {
+            triplets.push((k + 1, k, lambda));
+            triplets.push((k, k + 1, mu));
+            out[k] += lambda;
+            out[k + 1] += mu;
+        }
+        let inflow = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
+        let p = stationary_distribution(&inflow, &out, 0, &StationaryOptions::default()).unwrap();
+        let r = lambda / mu;
+        for k in 1..n {
+            let expected = p[0] * r.powi(k as i32);
+            // The solver stops on an absolute tolerance (the probabilities
+            // sum to 1), so small tail probabilities carry a few extra
+            // digits of relative error.
+            assert!(
+                (p[k] - expected).abs() < 1e-8 * expected.max(1e-12),
+                "level {k}: {} vs {expected}",
+                p[k]
+            );
+        }
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorbing_state_collects_all_probability() {
+        // State 2 has no way out: everything must end up there.
+        let inflow =
+            CsrMatrix::from_triplets(3, 3, &[(1, 0, 1.0e9), (2, 1, 2.0e9), (2, 0, 0.5e9)]).unwrap();
+        let out = [1.5e9, 2.0e9, 0.0];
+        // The absorbing state is the only one with stationary mass, so it
+        // is the anchor.
+        let p = stationary_distribution(&inflow, &out, 2, &StationaryOptions::default()).unwrap();
+        assert!(p[2] > 1.0 - 1e-12, "absorbing probability {}", p[2]);
+        assert!(p[0] < 1e-12 && p[1] < 1e-12);
+    }
+
+    #[test]
+    fn solver_rejects_invalid_input() {
+        let inflow = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(
+            stationary_distribution(&inflow, &[1.0], 0, &StationaryOptions::default()).is_err()
+        );
+        assert!(
+            stationary_distribution(&inflow, &[1.0, -1.0], 0, &StationaryOptions::default())
+                .is_err()
+        );
+        assert!(
+            stationary_distribution(&inflow, &[1.0, 1.0], 2, &StationaryOptions::default())
+                .is_err(),
+            "out-of-range anchor"
+        );
+        let negative = CsrMatrix::from_triplets(2, 2, &[(0, 1, -1.0)]).unwrap();
+        assert!(
+            stationary_distribution(&negative, &[1.0, 1.0], 0, &StationaryOptions::default())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn solver_reports_no_convergence_on_tiny_budget() {
+        let inflow = CsrMatrix::from_triplets(2, 2, &[(1, 0, 1.0e9), (0, 1, 3.0e9)]).unwrap();
+        let err = stationary_distribution(
+            &inflow,
+            &[1.0e9, 3.0e9],
+            0,
+            &StationaryOptions {
+                tolerance: 1e-300,
+                max_sweeps: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NumericError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn single_state_is_trivially_stationary() {
+        let inflow = CsrMatrix::from_triplets(1, 1, &[]).unwrap();
+        let p = stationary_distribution(&inflow, &[0.0], 0, &StationaryOptions::default()).unwrap();
+        assert_eq!(p, vec![1.0]);
+    }
+}

@@ -14,6 +14,10 @@
 //!   electrostatics ([`system`]);
 //! * [`tunnel_rate`] — the orthodox rate formula with its zero-temperature
 //!   and zero-energy limits handled explicitly ([`rates`]);
+//! * [`live`] — the incremental hot path: [`LiveState`] caches island
+//!   potentials with O(islands) per-event updates (making per-event ΔF
+//!   O(1)), and [`RateContext`] is the persistent rate table both the
+//!   Monte-Carlo loop and the master-equation assembly share;
 //! * [`cotunneling`] — the inelastic cotunneling rate estimate used to show
 //!   when sequential-only simulation under-estimates blockade leakage;
 //! * [`background`] — static offset charges, random-telegraph and
@@ -48,12 +52,14 @@ pub mod background;
 pub mod cotunneling;
 pub mod engine;
 pub mod error;
+pub mod live;
 pub mod rates;
 pub mod set;
 pub mod system;
 
 pub use engine::AnalyticSetEngine;
 pub use error::OrthodoxError;
+pub use live::{LiveState, RateContext};
 pub use rates::{tunnel_rate, tunnel_rate_zero_temperature};
 pub use system::{
     Capacitor, ChargeState, Direction, Endpoint, Junction, TunnelEvent, TunnelSystem,

@@ -22,8 +22,9 @@ use se_units::constants::{BOLTZMANN, E};
 const SERIES_WINDOW: f64 = 1e-9;
 
 /// Exponent beyond which the Boltzmann suppression is treated as exact zero
-/// to avoid overflow in `exp`.
-const MAX_EXPONENT: f64 = 500.0;
+/// to avoid overflow in `exp` (crate-visible so the hot-path rate table can
+/// precompute the matching ΔF cutoff).
+pub(crate) const MAX_EXPONENT: f64 = 500.0;
 
 /// Orthodox tunnel rate (events per second) for a free-energy change
 /// `delta_f` (joule), tunnel resistance `resistance` (ohm) and temperature
@@ -68,11 +69,32 @@ pub fn tunnel_rate(delta_f: f64, resistance: f64, temperature: f64) -> Result<f6
     if temperature == 0.0 {
         return Ok(tunnel_rate_zero_temperature(delta_f, resistance));
     }
-
     let kt = BOLTZMANN * temperature;
-    let x = delta_f / kt;
-    let prefactor = 1.0 / (E * E * resistance);
+    Ok(rate_from_parts(
+        delta_f,
+        1.0 / (E * E * resistance),
+        kt,
+        1.0 / kt,
+    ))
+}
 
+/// The orthodox rate formula for a precomputed junction prefactor
+/// `1/(e²·R_t)`, thermal energy `kt = k_B·T` and its reciprocal — the
+/// infallible, inline core shared by [`tunnel_rate`] and the hot-path rate
+/// table of [`crate::live::RateContext`], so every engine evaluates exactly
+/// the same limits (series window at `ΔF → 0`, hard zero beyond the
+/// Boltzmann overflow exponent). The reciprocal is taken as a parameter so
+/// hot loops can hoist the division out of the per-event path.
+#[inline]
+pub(crate) fn rate_from_parts(delta_f: f64, prefactor: f64, kt: f64, inv_kt: f64) -> f64 {
+    if kt == 0.0 {
+        return if delta_f < 0.0 {
+            -delta_f * prefactor
+        } else {
+            0.0
+        };
+    }
+    let x = delta_f * inv_kt;
     let rate = if x.abs() < SERIES_WINDOW {
         // ΔF → 0 limit: Γ → kT / (e² R).
         kt * prefactor
@@ -85,7 +107,7 @@ pub fn tunnel_rate(delta_f: f64, resistance: f64, temperature: f64) -> Result<f6
     } else {
         (-delta_f) * prefactor / (1.0 - x.exp())
     };
-    Ok(rate.max(0.0))
+    rate.max(0.0)
 }
 
 /// Zero-temperature limit of the orthodox rate: `−ΔF/(e²R)` for favourable

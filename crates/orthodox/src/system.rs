@@ -31,7 +31,7 @@
 //! result used by Monte-Carlo simulators of the SIMON family.
 
 use crate::error::OrthodoxError;
-use se_numeric::{LuDecomposition, Matrix};
+use se_numeric::{LuDecomposition, Matrix, NumericError};
 use se_units::constants::E;
 
 /// One end of a capacitive branch: either a charge-quantised island or an
@@ -316,12 +316,71 @@ impl TunnelSystemBuilder {
             }
         }
 
-        let lu = LuDecomposition::new(&c_ii).map_err(|_| {
-            OrthodoxError::SingularCapacitanceMatrix(
-                "island capacitance matrix could not be factorised".into(),
-            )
+        let lu = LuDecomposition::new(&c_ii).map_err(|err| match err {
+            // Elimination columns are never permuted, so the pivot column is
+            // the island whose row became linearly dependent — name it.
+            NumericError::SingularMatrix { pivot } => {
+                OrthodoxError::SingularCapacitanceMatrix(format!(
+                    "island capacitance matrix is singular at elimination column {pivot} \
+                     (island `{}`): its capacitive couplings are linearly dependent on the \
+                     other islands' — typically a group of islands connected only to each \
+                     other with no path to any external electrode",
+                    self.island_names[pivot]
+                ))
+            }
+            other => OrthodoxError::Numeric(other),
         })?;
         let inverse = lu.inverse()?;
+
+        // Per-junction self-charging constant K_aa + K_bb − 2·K_ab (external
+        // endpoints contribute zero), the state-independent half of ΔF.
+        let k_entry = |e: Endpoint, f: Endpoint| match (e, f) {
+            (Endpoint::Island(i), Endpoint::Island(j)) => inverse[(i, j)],
+            _ => 0.0,
+        };
+        let self_charging = self
+            .junctions
+            .iter()
+            .map(|j| k_entry(j.a, j.a) + k_entry(j.b, j.b) - 2.0 * k_entry(j.a, j.b))
+            .collect();
+
+        // Per-junction potential response of one a→b tunnel event:
+        // Δφ = e·K[:,a] − e·K[:,b] (island endpoints only). Applying an
+        // event to cached potentials is then a single ±axpy of this column.
+        let event_response = self
+            .junctions
+            .iter()
+            .map(|j| {
+                (0..n_islands)
+                    .map(|t| {
+                        let col = |e: Endpoint| match e {
+                            Endpoint::Island(i) => inverse[(t, i)],
+                            Endpoint::External(_) => 0.0,
+                        };
+                        E * (col(j.a) - col(j.b))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Per-electrode potential response ∂φ/∂V_k = K · C(:,k): a voltage
+        // step on electrode k moves every island potential by one axpy of
+        // this column, which is what keeps drive changes O(islands) on the
+        // incremental hot path.
+        let drive_response = (0..n_externals)
+            .map(|k| {
+                let rhs: Vec<f64> = (0..n_islands)
+                    .map(|i| {
+                        coupling[i]
+                            .iter()
+                            .filter(|&&(electrode, _)| electrode == k)
+                            .map(|&(_, c)| c)
+                            .sum()
+                    })
+                    .collect();
+                inverse.mul_vec(&rhs)
+            })
+            .collect();
 
         Ok(TunnelSystem {
             island_names: self.island_names.clone(),
@@ -333,6 +392,9 @@ impl TunnelSystemBuilder {
             c_ii,
             c_ii_inverse: inverse,
             coupling,
+            self_charging,
+            event_response,
+            drive_response,
         })
     }
 }
@@ -351,6 +413,16 @@ pub struct TunnelSystem {
     c_ii_inverse: Matrix,
     /// For each island, the list of (external index, coupling capacitance).
     coupling: Vec<Vec<(usize, f64)>>,
+    /// Per-junction self-charging constant `K_aa + K_bb − 2·K_ab` (1/farad).
+    self_charging: Vec<f64>,
+    /// Per-junction island-potential change of one a→b tunnel event
+    /// (volt): `e·K[:,a] − e·K[:,b]`, zero contribution for external
+    /// endpoints.
+    event_response: Vec<Vec<f64>>,
+    /// Per-external-electrode island-potential response `K · C(:,k)`
+    /// (dimensionless): the change of every island potential per volt of
+    /// electrode `k`.
+    drive_response: Vec<Vec<f64>>,
 }
 
 impl TunnelSystem {
@@ -580,18 +652,34 @@ impl TunnelSystem {
     /// All candidate tunnel events (two per junction).
     #[must_use]
     pub fn events(&self) -> Vec<TunnelEvent> {
-        let mut events = Vec::with_capacity(2 * self.junctions.len());
-        for j in 0..self.junctions.len() {
-            events.push(TunnelEvent {
-                junction: j,
-                direction: Direction::AToB,
-            });
-            events.push(TunnelEvent {
-                junction: j,
-                direction: Direction::BToA,
-            });
+        (0..self.event_count()).map(|i| self.event(i)).collect()
+    }
+
+    /// Number of candidate tunnel events (two per junction).
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        2 * self.junctions.len()
+    }
+
+    /// The candidate tunnel event with canonical index `index`: events are
+    /// ordered `(junction 0, a→b)`, `(junction 0, b→a)`, `(junction 1, a→b)`,
+    /// … — the same order [`Self::events`] enumerates. This is the
+    /// allocation-free face of the enumeration used by the hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.event_count()`.
+    #[must_use]
+    pub fn event(&self, index: usize) -> TunnelEvent {
+        assert!(index < self.event_count(), "event index out of bounds");
+        TunnelEvent {
+            junction: index / 2,
+            direction: if index.is_multiple_of(2) {
+                Direction::AToB
+            } else {
+                Direction::BToA
+            },
         }
-        events
     }
 
     /// The `(from, to)` endpoints of an event (the electron moves from
@@ -634,13 +722,40 @@ impl TunnelSystem {
         let (from, to) = self.event_endpoints(event);
         let phi_from = self.endpoint_potential(from, island_potentials);
         let phi_to = self.endpoint_potential(to, island_potentials);
-        let k = |a: Endpoint, b: Endpoint| -> f64 {
-            match (a, b) {
-                (Endpoint::Island(i), Endpoint::Island(j)) => self.c_ii_inverse[(i, j)],
-                _ => 0.0,
-            }
-        };
-        E * (phi_from - phi_to) + 0.5 * E * E * (k(from, from) + k(to, to) - 2.0 * k(from, to))
+        E * (phi_from - phi_to) + 0.5 * E * E * self.self_charging[event.junction]
+    }
+
+    /// The self-charging constant `K_aa + K_bb − 2·K_ab` of a junction
+    /// (1/farad), precomputed at build time. `e²/2` times this constant is
+    /// the state- and direction-independent part of the junction's ΔF, which
+    /// is what makes per-event free-energy evaluation O(1) once island
+    /// potentials are cached (see [`crate::live::LiveState`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `junction` is out of range.
+    #[must_use]
+    pub fn junction_self_charging(&self, junction: usize) -> f64 {
+        self.self_charging[junction]
+    }
+
+    /// Row `i` of the precomputed inverse island capacitance matrix
+    /// `K = C_II⁻¹` (equal to column `i`: `C_II` is symmetric). Adding
+    /// `Δq·K[i]` to the island potentials is the O(islands) incremental
+    /// update for a charge change `Δq` on island `i`.
+    pub(crate) fn inverse_row(&self, i: usize) -> &[f64] {
+        self.c_ii_inverse.row(i)
+    }
+
+    /// The island-potential response `∂φ/∂V_k` of external electrode `k`.
+    pub(crate) fn drive_response(&self, k: usize) -> &[f64] {
+        &self.drive_response[k]
+    }
+
+    /// The island-potential change caused by one a→b tunnel event across
+    /// junction `j` (negate for b→a).
+    pub(crate) fn junction_response(&self, j: usize) -> &[f64] {
+        &self.event_response[j]
     }
 
     /// Tunnel resistance of the junction involved in `event`, in ohm.
@@ -916,6 +1031,60 @@ mod tests {
     fn events_enumerates_two_per_junction() {
         let (system, _, _) = symmetric_set(0.0, 0.0, 0.0);
         assert_eq!(system.events().len(), 4);
+        assert_eq!(system.event_count(), 4);
+        for (i, event) in system.events().into_iter().enumerate() {
+            assert_eq!(system.event(i), event, "canonical order at index {i}");
+        }
+    }
+
+    #[test]
+    fn singular_capacitance_error_names_the_degenerate_island() {
+        // Two islands coupled only to each other: C_II = [[c, −c], [−c, c]]
+        // is singular even though both diagonal entries are positive.
+        let mut b = TunnelSystemBuilder::new();
+        let i1 = b.island("inner1", 0.0);
+        let i2 = b.island("inner2", 0.0);
+        b.junction("J", i1, i2, 1e-18, 1e5);
+        match b.build().unwrap_err() {
+            OrthodoxError::SingularCapacitanceMatrix(msg) => {
+                assert!(
+                    msg.contains("`inner2`") && msg.contains("column 1"),
+                    "message should name the degenerate island and row: {msg}"
+                );
+            }
+            other => panic!("expected a singular-capacitance error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_charging_table_matches_inverse_matrix_expression() {
+        let mut b = TunnelSystem::builder();
+        let i1 = b.island("i1", 0.0);
+        let i2 = b.island("i2", 0.0);
+        let lead = b.external("lead", 0.0);
+        b.junction("J1", lead, i1, 1.5e-18, 1e5);
+        b.junction("J12", i1, i2, 0.7e-18, 2e5);
+        b.capacitor("Cg", lead, i2, 0.4e-18);
+        let system = b.build().unwrap();
+        // Lead junction: only the island end contributes (K_aa of island 0).
+        let neutral = ChargeState::neutral(2);
+        let potentials = system.island_potentials(&neutral);
+        for event in system.events() {
+            // ΔF from the table must equal the explicit two-potential form.
+            let df = system.delta_free_energy_with_potentials(&potentials, event);
+            let df_full = system.delta_free_energy(&neutral, event);
+            assert!((df - df_full).abs() < 1e-9 * df.abs().max(1e-25));
+        }
+        // The island–island junction constant is K_00 + K_11 − 2·K_01 > 0.
+        assert!(system.junction_self_charging(1) > 0.0);
+        // And it is direction-independent by construction: events 2 and 3
+        // (both directions of J12) share the same self-charging cost.
+        let c = system.junction_self_charging(1);
+        let ev_ab = system.event(2);
+        let ev_ba = system.event(3);
+        let sum =
+            system.delta_free_energy(&neutral, ev_ab) + system.delta_free_energy(&neutral, ev_ba);
+        assert!((sum - E * E * c).abs() < 1e-9 * sum.abs().max(1e-30));
     }
 
     proptest! {
