@@ -1,0 +1,211 @@
+//! `sesim` — run a SPICE-style simulation deck end to end.
+//!
+//! ```text
+//! sesim deck.cir                 parse, compile, run, print tables
+//! sesim deck.cir --csv out.csv   also export CSV (per-analysis suffixes)
+//! sesim deck.cir --json out.json also export JSON
+//! sesim deck.cir --engine kmc    override the deck's .options engine
+//! sesim deck.cir --serial        single-threaded execution (same results)
+//! sesim deck.cir --plan          compile and report the plan, don't run
+//! ```
+//!
+//! The deck carries the circuit *and* the analysis commands (`.dc`,
+//! `.tran`, `.options`, `.print`); `sesim` parses it with
+//! `se_netlist::parse_full_deck`, compiles it with `se_sim::compile`
+//! (partition-driven engine auto-selection) and executes it through the
+//! parallel runners. Parser diagnostics and the engine rationale go to
+//! stderr; result tables go to stdout.
+
+use se_netlist::{parse_full_deck, EnginePreference};
+use se_sim::{compile, execute, execute_serial, SimulationResult};
+use single_electronics::report::Table;
+use std::process::ExitCode;
+
+/// Rows above this threshold are summarised on stdout instead of printed
+/// in full (exports always carry every row).
+const MAX_PRINTED_ROWS: usize = 64;
+
+struct Args {
+    deck_path: String,
+    csv: Option<String>,
+    json: Option<String>,
+    engine: Option<EnginePreference>,
+    serial: bool,
+    plan_only: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: sesim <deck.cir> [--csv PATH] [--json PATH] [--engine NAME] [--serial] [--plan]\n\
+     \n\
+     Runs a SPICE-style deck (.dc / .tran / .options / .print cards) through\n\
+     the partition-selected engine and prints one table per analysis.\n\
+     --engine NAME overrides the deck's .options engine\n\
+     (auto, analytic, master, kmc, spice, hybrid)."
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    argv.next(); // program name
+    let mut deck_path = None;
+    let mut csv = None;
+    let mut json = None;
+    let mut engine = None;
+    let mut serial = false;
+    let mut plan_only = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--csv" => csv = Some(argv.next().ok_or("--csv needs a path")?),
+            "--json" => json = Some(argv.next().ok_or("--json needs a path")?),
+            "--engine" => {
+                let name = argv.next().ok_or("--engine needs a name")?;
+                engine = Some(EnginePreference::parse(&name)?);
+            }
+            "--serial" => serial = true,
+            "--plan" => plan_only = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => {
+                if deck_path.replace(other.to_string()).is_some() {
+                    return Err("exactly one deck file is expected".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        deck_path: deck_path.ok_or("a deck file is required")?,
+        csv,
+        json,
+        engine,
+        serial,
+        plan_only,
+    })
+}
+
+/// Splices an analysis index into an export path: `out.csv` → `out-2.csv`
+/// for the second analysis (the first keeps the bare name). Only the file
+/// name is rewritten — dots in directory components are left alone.
+fn export_path(base: &str, index: usize) -> String {
+    if index == 0 {
+        return base.to_string();
+    }
+    let (dir, file) = match base.rsplit_once('/') {
+        Some((dir, file)) => (Some(dir), file),
+        None => (None, base),
+    };
+    let renamed = match file.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{}.{ext}", index + 1),
+        _ => format!("{file}-{}", index + 1),
+    };
+    match dir {
+        Some(dir) => format!("{dir}/{renamed}"),
+        None => renamed,
+    }
+}
+
+fn print_result(result: &SimulationResult) {
+    println!("## {} — engine: {}", result.label(), result.engine());
+    if result.len() > MAX_PRINTED_ROWS {
+        println!(
+            "({} rows x {} columns; use --csv or --json to export the full table)",
+            result.len(),
+            result.columns().len()
+        );
+        return;
+    }
+    let headers: Vec<&str> = result.columns().iter().map(String::as_str).collect();
+    let mut table = Table::new(result.label(), &headers);
+    for row in result.rows() {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.4e}")).collect();
+        table.add_row(&cells);
+    }
+    print!("{table}");
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.deck_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", args.deck_path))?;
+    let mut deck = parse_full_deck(&text).map_err(|e| e.to_string())?;
+    for diagnostic in &deck.diagnostics {
+        eprintln!("sesim: warning: {diagnostic}");
+    }
+    if let Some(engine) = args.engine {
+        deck.options.engine = engine;
+    }
+    let plan = compile(&deck).map_err(|e| e.to_string())?;
+    eprintln!("sesim: deck `{}`", plan.title);
+    for run in &plan.runs {
+        eprintln!(
+            "sesim: {} -> engine {} ({})",
+            run.label,
+            run.engine.name(),
+            run.rationale
+        );
+    }
+    if args.plan_only {
+        return Ok(());
+    }
+    let results = if args.serial {
+        execute_serial(&deck, &plan)
+    } else {
+        execute(&deck, &plan)
+    }
+    .map_err(|e| e.to_string())?;
+
+    for (index, result) in results.iter().enumerate() {
+        if index > 0 {
+            println!();
+        }
+        print_result(result);
+        if let Some(base) = &args.csv {
+            let path = export_path(base, index);
+            std::fs::write(&path, result.to_csv())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("sesim: wrote {path}");
+        }
+        if let Some(base) = &args.json {
+            let path = export_path(base, index);
+            std::fs::write(&path, result.to_json())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("sesim: wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("sesim: {message}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(1);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sesim: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::export_path;
+
+    #[test]
+    fn export_paths_suffix_only_the_file_name() {
+        assert_eq!(export_path("out.csv", 0), "out.csv");
+        assert_eq!(export_path("out.csv", 1), "out-2.csv");
+        assert_eq!(export_path("out", 2), "out-3");
+        // A dot in a directory component must not be split.
+        assert_eq!(export_path("runs.v1/out", 1), "runs.v1/out-2");
+        assert_eq!(export_path("runs.v1/out.csv", 1), "runs.v1/out-2.csv");
+        // Hidden files keep their leading dot.
+        assert_eq!(export_path(".hidden", 1), ".hidden-2");
+    }
+}

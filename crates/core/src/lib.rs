@@ -24,6 +24,7 @@
 //! | SPICE engine | `se-spice` | [`spice`] |
 //! | Co-simulation | `se-hybrid` | [`hybrid`] |
 //! | Logic & applications | `se-logic` | [`logic`] |
+//! | Deck pipeline & `sesim` | `se-sim` | [`sim`] |
 //!
 //! Every simulator implements [`engine::StationaryEngine`] ("bias point in,
 //! junction currents out"), and every sweep — gate sweeps, staircases, 2-D
@@ -88,6 +89,36 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Quickstart: run a deck
+//!
+//! No Rust required at all: a SPICE-style deck carries the circuit *and*
+//! the analysis commands, and [`sim::run_deck`] (or the `sesim` binary)
+//! parses, compiles and executes it — the partition picks the engine.
+//!
+//! ```
+//! use single_electronics::sim::run_deck;
+//!
+//! # fn main() -> Result<(), single_electronics::sim::SimError> {
+//! let deck = "\
+//! single SET gate sweep
+//! VD drain 0 1m
+//! VG gate 0 0
+//! J1 drain island C=0.5a R=100k
+//! J2 island 0 C=0.5a R=100k
+//! CG gate island 1a
+//! .options temp=1 seed=7
+//! .dc VG 0 0.16 8m
+//! .print dc i(J1)
+//! .end
+//! ";
+//! let run = run_deck(deck)?;
+//! // Pure tunnel-junction deck: the compiler picked the master equation.
+//! assert_eq!(run.results[0].engine(), "master-equation");
+//! assert_eq!(run.results[0].len(), 21);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -99,6 +130,7 @@ pub use se_montecarlo as montecarlo;
 pub use se_netlist as netlist;
 pub use se_numeric as numeric;
 pub use se_orthodox as orthodox;
+pub use se_sim as sim;
 pub use se_spice as spice;
 pub use se_units as units;
 
@@ -123,6 +155,10 @@ pub mod prelude {
     pub use se_netlist::prelude::*;
     pub use se_orthodox::set::SingleElectronTransistor;
     pub use se_orthodox::{AnalyticSetEngine, ChargeState, TunnelSystem, TunnelSystemBuilder};
+    pub use se_sim::{
+        compile, execute, execute_serial, run_deck, DeckRun, EngineChoice, SimError,
+        SimulationPlan, SimulationResult,
+    };
     pub use se_spice::prelude::*;
     pub use se_units::constants::{BOLTZMANN, E, RESISTANCE_QUANTUM};
 }

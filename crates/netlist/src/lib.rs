@@ -14,6 +14,8 @@
 //! * [`element`] — the device zoo ([`Element`]) with physical parameters;
 //! * [`netlist`] — the [`Netlist`] container and its builder API;
 //! * [`parser`] — a SPICE-flavoured text-deck parser (`.cir` style);
+//! * [`directive`] — the typed analysis AST (`.dc`, `.tran`, `.options`,
+//!   `.print`) the parser attaches to a [`Deck`];
 //! * [`validate`] — structural checks (dangling nodes, floating islands,
 //!   non-positive element values);
 //! * [`partition`] — connected-component analysis that finds
@@ -46,7 +48,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(a > b)` is the idiom this workspace uses to reject NaN alongside
+// ordinary range violations.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod directive;
 pub mod element;
 pub mod error;
 pub mod netlist;
@@ -55,16 +61,22 @@ pub mod parser;
 pub mod partition;
 pub mod validate;
 
+pub use directive::{
+    Analysis, AnalysisOptions, Deck, EnginePreference, ParseDiagnostic, SweepSpec,
+};
 pub use element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
 pub use error::NetlistError;
 pub use netlist::{IntoElement, Netlist};
 pub use node::{Node, NodeMap};
-pub use parser::parse_deck;
+pub use parser::{parse_deck, parse_full_deck};
+pub use partition::{partition_report, PartitionReport};
 
 /// Convenient glob-import of the most commonly used netlist types.
 pub mod prelude {
+    pub use crate::directive::{Analysis, AnalysisOptions, Deck, EnginePreference, SweepSpec};
     pub use crate::element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
     pub use crate::error::NetlistError;
     pub use crate::netlist::Netlist;
     pub use crate::node::Node;
+    pub use crate::parser::{parse_deck, parse_full_deck};
 }

@@ -186,6 +186,170 @@ pub struct DomainSplit {
     pub spice: Vec<String>,
 }
 
+/// One conventional element bridging the single-electron domain at a named
+/// boundary node — the structural reason a deck needs the hybrid
+/// co-simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridBridge {
+    /// Name of the boundary node.
+    pub node: String,
+    /// Conventional (non-source, non-capacitive) elements touching it.
+    pub elements: Vec<String>,
+}
+
+/// A named, human-readable view of [`classify_elements`]: which engine
+/// family a netlist belongs to, and — for mixed netlists — exactly which
+/// nodes and elements force the hybrid path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionReport {
+    /// The underlying element classification.
+    pub split: DomainSplit,
+    /// Names of all island nodes.
+    pub island_nodes: Vec<String>,
+    /// Conventional elements: SPICE-domain elements that are neither
+    /// voltage sources nor purely capacitive. Empty for a pure
+    /// single-electron netlist.
+    pub conventional_elements: Vec<String>,
+    /// Boundary nodes where conventional elements meet the single-electron
+    /// domain, with the elements that touch each.
+    pub bridges: Vec<HybridBridge>,
+}
+
+impl PartitionReport {
+    /// Returns `true` if the netlist has at least one single-electron
+    /// island.
+    #[must_use]
+    pub fn has_islands(&self) -> bool {
+        !self.split.islands.is_empty()
+    }
+
+    /// Returns `true` if the netlist is purely single-electron: islands
+    /// exist and every other element is a voltage source or a capacitor —
+    /// i.e. the whole netlist lowers onto one `TunnelSystem`.
+    #[must_use]
+    pub fn is_pure_single_electron(&self) -> bool {
+        self.has_islands() && self.conventional_elements.is_empty()
+    }
+
+    /// Returns `true` if the netlist is purely conventional (no islands).
+    #[must_use]
+    pub fn is_pure_conventional(&self) -> bool {
+        !self.has_islands()
+    }
+
+    /// Returns `true` if the netlist mixes both domains and therefore needs
+    /// the hybrid co-simulator.
+    #[must_use]
+    pub fn is_mixed(&self) -> bool {
+        self.has_islands() && !self.conventional_elements.is_empty()
+    }
+
+    /// Human-readable reasons a mixed netlist needs the hybrid path, naming
+    /// the boundary nodes and the conventional elements behind each. Empty
+    /// unless [`PartitionReport::is_mixed`].
+    #[must_use]
+    pub fn hybrid_reasons(&self) -> Vec<String> {
+        if !self.is_mixed() {
+            return Vec::new();
+        }
+        let mut reasons: Vec<String> = self
+            .bridges
+            .iter()
+            .map(|bridge| {
+                format!(
+                    "boundary node `{}` couples the island domain to conventional element{} {}",
+                    bridge.node,
+                    if bridge.elements.len() == 1 { "" } else { "s" },
+                    bridge
+                        .elements
+                        .iter()
+                        .map(|e| format!("`{e}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .collect();
+        let bridged: HashSet<&String> = self
+            .bridges
+            .iter()
+            .flat_map(|b| b.elements.iter())
+            .collect();
+        for element in &self.conventional_elements {
+            if !bridged.contains(element) {
+                reasons.push(format!(
+                    "conventional element `{element}` requires the SPICE domain"
+                ));
+            }
+        }
+        reasons
+    }
+}
+
+/// Builds the [`PartitionReport`] of a netlist: the domain split plus the
+/// named nodes and elements that determine engine selection.
+#[must_use]
+pub fn partition_report(netlist: &Netlist) -> PartitionReport {
+    let split = classify_elements(netlist);
+    let name_of = |node: Node| -> String {
+        if node.is_ground() {
+            "0".to_string()
+        } else {
+            netlist.node_name(node).unwrap_or("?").to_string()
+        }
+    };
+    let mut island_nodes: Vec<String> = split
+        .islands
+        .iter()
+        .flat_map(|island| island.nodes.iter().map(|&n| name_of(n)))
+        .collect();
+    island_nodes.sort();
+
+    let conventional_elements: Vec<String> = split
+        .spice
+        .iter()
+        .filter(|name| {
+            netlist
+                .element(name)
+                .is_some_and(|element| !element.is_voltage_source() && !element.is_capacitive())
+        })
+        .cloned()
+        .collect();
+    let conventional_set: HashSet<&str> =
+        conventional_elements.iter().map(String::as_str).collect();
+
+    let mut bridges = Vec::new();
+    let mut seen_nodes: HashSet<Node> = HashSet::new();
+    for island in &split.islands {
+        for &node in &island.boundary {
+            if node.is_ground() || !seen_nodes.insert(node) {
+                continue;
+            }
+            let mut elements: Vec<String> = netlist
+                .elements()
+                .iter()
+                .filter(|e| conventional_set.contains(e.name()) && e.nodes().contains(&node))
+                .map(|e| e.name().to_string())
+                .collect();
+            if elements.is_empty() {
+                continue;
+            }
+            elements.sort();
+            bridges.push(HybridBridge {
+                node: name_of(node),
+                elements,
+            });
+        }
+    }
+    bridges.sort_by(|a, b| a.node.cmp(&b.node));
+
+    PartitionReport {
+        split,
+        island_nodes,
+        conventional_elements,
+        bridges,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +481,102 @@ mod tests {
     fn empty_netlist_has_no_islands() {
         let n = Netlist::new("empty");
         assert!(find_islands(&n).is_empty());
+    }
+
+    #[test]
+    fn pure_single_electron_netlists_are_reported_as_such() {
+        let report = partition_report(&double_dot());
+        assert!(report.is_pure_single_electron());
+        assert!(!report.is_mixed());
+        assert!(!report.is_pure_conventional());
+        assert_eq!(
+            report.island_nodes,
+            vec!["i1".to_string(), "i2".to_string()]
+        );
+        assert!(report.conventional_elements.is_empty());
+        assert!(report.hybrid_reasons().is_empty());
+    }
+
+    #[test]
+    fn pure_conventional_netlists_have_no_islands() {
+        let mut n = Netlist::new("rc");
+        let a = n.node("a");
+        let b = n.node("b");
+        n.add(Element::voltage_source("V1", a, Node::GROUND, 1.0))
+            .unwrap();
+        n.add(Element::resistor("R1", a, b, 1e3)).unwrap();
+        n.add(Element::resistor("R2", b, Node::GROUND, 1e3))
+            .unwrap();
+        let report = partition_report(&n);
+        assert!(report.is_pure_conventional());
+        assert!(!report.has_islands());
+        assert!(report.hybrid_reasons().is_empty());
+    }
+
+    #[test]
+    fn mixed_netlists_name_the_bridge_nodes_and_elements() {
+        // A SET whose drain is fed through a load resistor: `drain` is the
+        // bridge node, `RL` the conventional element behind it.
+        let mut n = Netlist::new("hybrid");
+        let vdd = n.node("vdd");
+        let drain = n.node("drain");
+        let island = n.node("island");
+        let gate = n.node("gate");
+        n.add(Element::voltage_source("VDD", vdd, Node::GROUND, 5e-3))
+            .unwrap();
+        n.add(Element::voltage_source("VG", gate, Node::GROUND, 0.08))
+            .unwrap();
+        n.add(Element::resistor("RL", vdd, drain, 10e6)).unwrap();
+        n.add(Element::tunnel_junction("J1", drain, island, 0.5e-18, 1e5))
+            .unwrap();
+        n.add(Element::tunnel_junction(
+            "J2",
+            island,
+            Node::GROUND,
+            0.5e-18,
+            1e5,
+        ))
+        .unwrap();
+        n.add(Element::capacitor("CG", gate, island, 1e-18))
+            .unwrap();
+
+        let report = partition_report(&n);
+        assert!(report.is_mixed());
+        assert_eq!(report.conventional_elements, vec!["RL".to_string()]);
+        assert_eq!(report.bridges.len(), 1);
+        assert_eq!(report.bridges[0].node, "drain");
+        assert_eq!(report.bridges[0].elements, vec!["RL".to_string()]);
+        let reasons = report.hybrid_reasons();
+        assert_eq!(reasons.len(), 1);
+        assert!(reasons[0].contains("`drain`"), "{reasons:?}");
+        assert!(reasons[0].contains("`RL`"), "{reasons:?}");
+    }
+
+    #[test]
+    fn off_boundary_conventional_elements_are_still_reported() {
+        // The MOSFET hangs off the source side, not directly on an island
+        // boundary — the report must still name it as a hybrid reason.
+        let mut n = double_dot();
+        let vdd = n.node("vdd");
+        let mid = n.node("mid");
+        n.add(Element::voltage_source("VDD", vdd, Node::GROUND, 1.8))
+            .unwrap();
+        n.add(Element::mosfet(
+            "M1",
+            vdd,
+            mid,
+            Node::GROUND,
+            crate::element::MosfetParams::default(),
+        ))
+        .unwrap();
+        n.add(Element::resistor("RB", mid, Node::GROUND, 1e6))
+            .unwrap();
+        let report = partition_report(&n);
+        assert!(report.is_mixed());
+        let reasons = report.hybrid_reasons();
+        assert!(
+            reasons.iter().any(|r| r.contains("`M1`")),
+            "off-boundary element must be named: {reasons:?}"
+        );
     }
 }

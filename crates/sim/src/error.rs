@@ -1,0 +1,121 @@
+//! The unified error type of the deck pipeline.
+
+use se_engine::{GridError, WaveformError};
+use se_hybrid::HybridError;
+use se_montecarlo::MonteCarloError;
+use se_netlist::NetlistError;
+use se_orthodox::OrthodoxError;
+use se_spice::SpiceError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors of deck compilation and execution — every backend's error plus
+/// the compiler's own planning failures.
+#[derive(Debug)]
+pub enum SimError {
+    /// Netlist parsing / validation failed.
+    Netlist(NetlistError),
+    /// The orthodox physics layer (analytic SET) failed.
+    Orthodox(OrthodoxError),
+    /// The Monte-Carlo / master-equation layer failed.
+    MonteCarlo(MonteCarloError),
+    /// The SPICE layer failed.
+    Spice(SpiceError),
+    /// The hybrid co-simulator failed.
+    Hybrid(HybridError),
+    /// A sweep or sample grid could not be built.
+    Grid(GridError),
+    /// A stimulus waveform was invalid.
+    Waveform(WaveformError),
+    /// The deck could not be compiled onto an engine (engine selection,
+    /// probe resolution, unsupported analysis for the chosen backend, …).
+    Plan(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SimError::Orthodox(e) => write!(f, "analytic SET error: {e}"),
+            SimError::MonteCarlo(e) => write!(f, "monte-carlo error: {e}"),
+            SimError::Spice(e) => write!(f, "spice error: {e}"),
+            SimError::Hybrid(e) => write!(f, "hybrid error: {e}"),
+            SimError::Grid(e) => write!(f, "grid error: {e}"),
+            SimError::Waveform(e) => write!(f, "waveform error: {e}"),
+            SimError::Plan(message) => write!(f, "plan error: {message}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            SimError::Orthodox(e) => Some(e),
+            SimError::MonteCarlo(e) => Some(e),
+            SimError::Spice(e) => Some(e),
+            SimError::Hybrid(e) => Some(e),
+            SimError::Grid(e) => Some(e),
+            SimError::Waveform(e) => Some(e),
+            SimError::Plan(_) => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+impl From<OrthodoxError> for SimError {
+    fn from(e: OrthodoxError) -> Self {
+        SimError::Orthodox(e)
+    }
+}
+
+impl From<MonteCarloError> for SimError {
+    fn from(e: MonteCarloError) -> Self {
+        SimError::MonteCarlo(e)
+    }
+}
+
+impl From<SpiceError> for SimError {
+    fn from(e: SpiceError) -> Self {
+        SimError::Spice(e)
+    }
+}
+
+impl From<HybridError> for SimError {
+    fn from(e: HybridError) -> Self {
+        SimError::Hybrid(e)
+    }
+}
+
+impl From<GridError> for SimError {
+    fn from(e: GridError) -> Self {
+        SimError::Grid(e)
+    }
+}
+
+impl From<WaveformError> for SimError {
+    fn from(e: WaveformError) -> Self {
+        SimError::Waveform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+        let err = SimError::Plan("no engine fits".into());
+        assert!(err.to_string().contains("no engine fits"));
+        assert!(err.source().is_none());
+        let wrapped = SimError::from(GridError::TooFewPoints(1));
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,197 @@
+//! The plan executor: runs every planned analysis through the parallel
+//! runners and collects [`SimulationResult`] tables.
+
+use crate::backend::{build_stationary, build_transient, StationaryBackend};
+use crate::error::SimError;
+use crate::plan::{PlannedAnalysis, PlannedRun, SimulationPlan};
+use crate::result::SimulationResult;
+use se_engine::{
+    ObservableId, StationaryEngine, SweepRunner, TransientEngine, TransientRunner, Waveform,
+};
+use se_netlist::Deck;
+
+/// Executes a compiled plan against its deck, fanning bias points and
+/// samples out across all cores.
+///
+/// Every run uses the deck seed through the shared SplitMix64 discipline
+/// of [`SweepRunner`] / [`TransientRunner`], so results are bit-identical
+/// to [`execute_serial`].
+///
+/// # Errors
+///
+/// Propagates backend construction and solve errors.
+pub fn execute(deck: &Deck, plan: &SimulationPlan) -> Result<Vec<SimulationResult>, SimError> {
+    execute_with(deck, plan, true)
+}
+
+/// Single-threaded [`execute`] (identical results; useful for profiling
+/// and determinism tests).
+///
+/// # Errors
+///
+/// See [`execute`].
+pub fn execute_serial(
+    deck: &Deck,
+    plan: &SimulationPlan,
+) -> Result<Vec<SimulationResult>, SimError> {
+    execute_with(deck, plan, false)
+}
+
+fn execute_with(
+    deck: &Deck,
+    plan: &SimulationPlan,
+    parallel: bool,
+) -> Result<Vec<SimulationResult>, SimError> {
+    plan.runs
+        .iter()
+        .map(|run| execute_run(deck, plan, run, parallel))
+        .collect()
+}
+
+/// Provenance metadata shared by every result of a plan.
+fn metadata(plan: &SimulationPlan, run: &PlannedRun, engine_name: &str) -> Vec<(String, String)> {
+    vec![
+        ("deck".into(), plan.title.clone()),
+        ("engine".into(), engine_name.to_string()),
+        ("engine_choice".into(), run.engine.name().to_string()),
+        ("rationale".into(), run.rationale.clone()),
+        ("temperature_k".into(), format!("{:?}", plan.temperature)),
+        ("seed".into(), plan.seed.to_string()),
+    ]
+}
+
+fn execute_run(
+    deck: &Deck,
+    plan: &SimulationPlan,
+    run: &PlannedRun,
+    parallel: bool,
+) -> Result<SimulationResult, SimError> {
+    match &run.analysis {
+        PlannedAnalysis::Sweep { control, values } => {
+            let backend = build_stationary(&deck.netlist, &deck.options, run.engine)?;
+            let runner = sweep_runner(plan.seed, parallel);
+            let control_id = backend.resolve_control(control)?;
+            let observable_ids = resolve_stationary_observables(&backend, &run.observables)?;
+            let rows = runner.map_points(values.len(), |index, seed| {
+                let currents = backend.stationary_currents(
+                    &[(control_id, values[index])],
+                    &observable_ids,
+                    seed,
+                )?;
+                let mut row = Vec::with_capacity(1 + currents.len());
+                row.push(values[index]);
+                row.extend(currents);
+                Ok::<_, SimError>(row)
+            })?;
+            let mut columns = vec![control.clone()];
+            columns.extend(current_columns(&run.observables));
+            Ok(SimulationResult::new(
+                run.label.clone(),
+                backend.engine_name(),
+                columns,
+                rows,
+                metadata(plan, run, backend.engine_name()),
+            ))
+        }
+        PlannedAnalysis::Map {
+            outer_control,
+            outer_values,
+            inner_control,
+            inner_values,
+        } => {
+            let backend = build_stationary(&deck.netlist, &deck.options, run.engine)?;
+            let runner = sweep_runner(plan.seed, parallel);
+            let outer_id = backend.resolve_control(outer_control)?;
+            let inner_id = backend.resolve_control(inner_control)?;
+            let observable_ids = resolve_stationary_observables(&backend, &run.observables)?;
+            let n_inner = inner_values.len();
+            let rows = runner.map_points(outer_values.len() * n_inner, |index, seed| {
+                let outer_value = outer_values[index / n_inner];
+                let inner_value = inner_values[index % n_inner];
+                let currents = backend.stationary_currents(
+                    &[(outer_id, outer_value), (inner_id, inner_value)],
+                    &observable_ids,
+                    seed,
+                )?;
+                let mut row = Vec::with_capacity(2 + currents.len());
+                row.push(outer_value);
+                row.push(inner_value);
+                row.extend(currents);
+                Ok::<_, SimError>(row)
+            })?;
+            let mut columns = vec![outer_control.clone(), inner_control.clone()];
+            columns.extend(current_columns(&run.observables));
+            Ok(SimulationResult::new(
+                run.label.clone(),
+                backend.engine_name(),
+                columns,
+                rows,
+                metadata(plan, run, backend.engine_name()),
+            ))
+        }
+        PlannedAnalysis::Transient { step, times } => {
+            let backend = build_transient(&deck.netlist, &deck.options, run.engine, *step)?;
+            let runner = transient_runner(plan.seed, parallel);
+            let drives: Vec<(&str, Waveform)> = deck
+                .waveforms
+                .iter()
+                .map(|(name, waveform)| (name.as_str(), waveform.clone()))
+                .collect();
+            let observables: Vec<&str> = run.observables.iter().map(String::as_str).collect();
+            let trace = runner.run(&backend, &drives, &observables, times)?;
+            let rows: Vec<Vec<f64>> = (0..trace.len())
+                .map(|index| {
+                    let mut row = Vec::with_capacity(1 + run.observables.len());
+                    row.push(trace.times()[index]);
+                    row.extend_from_slice(trace.row(index));
+                    row
+                })
+                .collect();
+            let mut columns = vec!["t".to_string()];
+            columns.extend(current_columns(&run.observables));
+            Ok(SimulationResult::new(
+                run.label.clone(),
+                backend.engine_name(),
+                columns,
+                rows,
+                metadata(plan, run, backend.engine_name()),
+            ))
+        }
+    }
+}
+
+fn sweep_runner(seed: u64, parallel: bool) -> SweepRunner {
+    let runner = SweepRunner::new().with_seed(seed);
+    if parallel {
+        runner
+    } else {
+        runner.serial()
+    }
+}
+
+fn transient_runner(seed: u64, parallel: bool) -> TransientRunner {
+    let runner = TransientRunner::new().with_seed(seed);
+    if parallel {
+        runner
+    } else {
+        runner.serial()
+    }
+}
+
+fn resolve_stationary_observables(
+    backend: &StationaryBackend,
+    names: &[String],
+) -> Result<Vec<ObservableId>, SimError> {
+    names
+        .iter()
+        .map(|name| backend.resolve_observable(name))
+        .collect()
+}
+
+/// Column names of the observable currents: `I(J1)`, `I(VD)`, …
+fn current_columns(observables: &[String]) -> Vec<String> {
+    observables
+        .iter()
+        .map(|name| format!("I({name})"))
+        .collect()
+}
