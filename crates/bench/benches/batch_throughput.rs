@@ -1,0 +1,109 @@
+//! Criterion bench of multi-deck batch execution: every example deck
+//! through the one shared `se-exec` scheduler, single-threaded and with
+//! the full worker pool.
+//!
+//! Besides the criterion timings it writes `BENCH_batch.json` at the
+//! workspace root with the median wall-clock of both modes and the derived
+//! decks-per-second and points-per-second rates, so CI can track batch
+//! throughput over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_exec::Workers;
+use se_netlist::{parse_full_deck, Deck};
+use se_sim::{run_deck_batch, ExecOptions};
+use std::time::Instant;
+
+fn example_decks() -> Vec<(String, Deck)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/decks");
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("examples/decks exists")
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "cir"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_stem()
+                .expect("deck file has a stem")
+                .to_string_lossy()
+                .into_owned();
+            let text = std::fs::read_to_string(&path).expect("deck is readable");
+            (name, parse_full_deck(&text).expect("example deck parses"))
+        })
+        .collect()
+}
+
+/// Runs the whole batch once, returning the total row count.
+fn run_once(decks: &[(String, Deck)], workers: Workers) -> usize {
+    let outcomes = run_deck_batch(
+        decks.to_vec(),
+        &ExecOptions {
+            workers,
+            ..ExecOptions::default()
+        },
+    );
+    outcomes
+        .into_iter()
+        .map(|outcome| {
+            outcome
+                .results
+                .expect("example decks run clean")
+                .iter()
+                .map(se_sim::SimulationResult::len)
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+fn median_seconds(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_batch(decks: &[(String, Deck)], workers: Workers, samples: usize) -> (f64, usize) {
+    let mut points = 0;
+    let times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            points = run_once(decks, workers);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    (median_seconds(times), points)
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let decks = example_decks();
+    assert!(decks.len() >= 5, "all example decks are in the batch");
+    let mut group = c.benchmark_group("batch_throughput");
+    group.bench_function("examples_one_scheduler_parallel", |b| {
+        b.iter(|| run_once(&decks, Workers::Auto));
+    });
+    group.bench_function("examples_one_scheduler_serial", |b| {
+        b.iter(|| run_once(&decks, Workers::Serial));
+    });
+    group.finish();
+
+    // Structured record for CI tracking.
+    let (serial_seconds, points) = time_batch(&decks, Workers::Serial, 7);
+    let (parallel_seconds, parallel_points) = time_batch(&decks, Workers::Auto, 7);
+    assert_eq!(points, parallel_points, "modes must visit identical grids");
+    let threads = rayon::current_num_threads();
+    let json = format!(
+        "{{\n  \"bench\": \"batch_throughput\",\n  \"decks\": {},\n  \"total_points\": {points},\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_seconds:.9},\n  \"parallel_seconds\": {parallel_seconds:.9},\n  \"decks_per_second_serial\": {:.1},\n  \"decks_per_second_parallel\": {:.1},\n  \"points_per_second_serial\": {:.1},\n  \"points_per_second_parallel\": {:.1}\n}}\n",
+        decks.len(),
+        decks.len() as f64 / serial_seconds,
+        decks.len() as f64 / parallel_seconds,
+        points as f64 / serial_seconds,
+        points as f64 / parallel_seconds,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    std::fs::write(path, &json).expect("BENCH_batch.json is writable");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, batch_throughput);
+criterion_main!(benches);

@@ -1,24 +1,37 @@
-//! `sesim` — run a SPICE-style simulation deck end to end.
+//! `sesim` — run SPICE-style simulation decks end to end.
 //!
 //! ```text
-//! sesim deck.cir                 parse, compile, run, print tables
-//! sesim deck.cir --csv out.csv   also export CSV (per-analysis suffixes)
-//! sesim deck.cir --json out.json also export JSON
-//! sesim deck.cir --engine kmc    override the deck's .options engine
-//! sesim deck.cir --serial        single-threaded execution (same results)
-//! sesim deck.cir --plan          compile and report the plan, don't run
+//! sesim deck.cir                   parse, compile, run, print tables
+//! sesim deck.cir --csv out.csv     stream CSV while running (per-analysis suffixes)
+//! sesim deck.cir --json out.json   also export JSON
+//! sesim deck.cir --engine kmc      override the deck's .options engine
+//! sesim deck.cir --serial          single-threaded execution (same results)
+//! sesim deck.cir --jobs 4          cap the shared worker pool at 4 workers
+//! sesim deck.cir --chunk 32        32 bias points per scheduled task
+//! sesim deck.cir --plan            compile and report the plan, don't run
+//! sesim --batch 'decks/*.cir'      run every matching deck through ONE scheduler
+//! sesim deck.cir --checkpoint ck/  persist completed chunks under ck/
+//! sesim deck.cir --checkpoint ck/ --resume   restore them (bit-identical)
+//! sesim deck.cir --quiet           errors only: no tables, no chatter
 //! ```
 //!
 //! The deck carries the circuit *and* the analysis commands (`.dc`,
 //! `.tran`, `.options`, `.print`); `sesim` parses it with
 //! `se_netlist::parse_full_deck`, compiles it with `se_sim::compile`
 //! (partition-driven engine auto-selection) and executes it through the
-//! parallel runners. Parser diagnostics and the engine rationale go to
-//! stderr; result tables go to stdout.
+//! `se-exec` job substrate — all decks and analyses share one chunked
+//! worker pool. Parser diagnostics, progress and the engine rationale go
+//! to stderr; result tables go to stdout, so `--csv`/`--json` output and
+//! piped stdout stay machine-clean. The exit code is 0 only if every deck
+//! ran to completion.
 
-use se_netlist::{parse_full_deck, EnginePreference};
-use se_sim::{compile, execute, execute_serial, SimulationResult};
+use se_exec::Workers;
+use se_netlist::{parse_full_deck, Deck, EnginePreference};
+use se_sim::{
+    compile, execute_with_options, run_deck_batch, ExecOptions, SimulationPlan, SimulationResult,
+};
 use single_electronics::report::Table;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Rows above this threshold are summarised on stdout instead of printed
@@ -26,81 +39,193 @@ use std::process::ExitCode;
 const MAX_PRINTED_ROWS: usize = 64;
 
 struct Args {
-    deck_path: String,
+    decks: Vec<String>,
+    batch: Vec<String>,
     csv: Option<String>,
     json: Option<String>,
     engine: Option<EnginePreference>,
     serial: bool,
+    jobs: Option<usize>,
+    chunk: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    quiet: bool,
+    progress: bool,
     plan_only: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: sesim <deck.cir> [--csv PATH] [--json PATH] [--engine NAME] [--serial] [--plan]\n\
+    "usage: sesim <deck.cir> [options]\n\
+     \u{20}      sesim --batch '<glob>' [options]\n\
      \n\
-     Runs a SPICE-style deck (.dc / .tran / .options / .print cards) through\n\
+     Runs SPICE-style decks (.dc / .tran / .options / .print cards) through\n\
      the partition-selected engine and prints one table per analysis.\n\
-     --engine NAME overrides the deck's .options engine\n\
-     (auto, analytic, master, kmc, spice, hybrid)."
+     \n\
+     --batch PATTERN   run every matching deck through one shared scheduler\n\
+     \u{20}                 (repeatable; * and ? match within the file name)\n\
+     --csv PATH        stream results to CSV while running\n\
+     --json PATH       export JSON after running\n\
+     --engine NAME     override the deck's .options engine\n\
+     \u{20}                 (auto, analytic, master, kmc, spice, hybrid)\n\
+     --serial          single-threaded execution (identical results)\n\
+     --jobs N          cap the worker pool at N workers\n\
+     --chunk N         N work items per scheduled task\n\
+     --checkpoint DIR  persist completed chunks under DIR\n\
+     --resume          restore completed chunks from DIR (bit-identical)\n\
+     --progress        throttled per-analysis progress lines on stderr\n\
+     --quiet           errors only: no tables, no warnings, no chatter\n\
+     --plan            compile and report the plan, don't run"
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     argv.next(); // program name
-    let mut deck_path = None;
-    let mut csv = None;
-    let mut json = None;
-    let mut engine = None;
-    let mut serial = false;
-    let mut plan_only = false;
+    let mut args = Args {
+        decks: Vec::new(),
+        batch: Vec::new(),
+        csv: None,
+        json: None,
+        engine: None,
+        serial: false,
+        jobs: None,
+        chunk: None,
+        checkpoint: None,
+        resume: false,
+        quiet: false,
+        progress: false,
+        plan_only: false,
+    };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--csv" => csv = Some(argv.next().ok_or("--csv needs a path")?),
-            "--json" => json = Some(argv.next().ok_or("--json needs a path")?),
+            "--batch" => args
+                .batch
+                .push(argv.next().ok_or("--batch needs a glob pattern")?),
+            "--csv" => args.csv = Some(argv.next().ok_or("--csv needs a path")?),
+            "--json" => args.json = Some(argv.next().ok_or("--json needs a path")?),
             "--engine" => {
                 let name = argv.next().ok_or("--engine needs a name")?;
-                engine = Some(EnginePreference::parse(&name)?);
+                args.engine = Some(EnginePreference::parse(&name)?);
             }
-            "--serial" => serial = true,
-            "--plan" => plan_only = true,
+            "--jobs" => {
+                let n = argv.next().ok_or("--jobs needs a count")?;
+                let n: usize = n.parse().map_err(|_| format!("--jobs: bad count `{n}`"))?;
+                if n == 0 {
+                    return Err("--jobs needs a count of at least 1".into());
+                }
+                args.jobs = Some(n);
+            }
+            "--chunk" => {
+                let n = argv.next().ok_or("--chunk needs a size")?;
+                let n: usize = n.parse().map_err(|_| format!("--chunk: bad size `{n}`"))?;
+                if n == 0 {
+                    return Err("--chunk needs a size of at least 1".into());
+                }
+                args.chunk = Some(n);
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(PathBuf::from(
+                    argv.next().ok_or("--checkpoint needs a directory")?,
+                ));
+            }
+            "--resume" => args.resume = true,
+            "--serial" => args.serial = true,
+            "--quiet" => args.quiet = true,
+            "--progress" => args.progress = true,
+            "--plan" => args.plan_only = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
-            other => {
-                if deck_path.replace(other.to_string()).is_some() {
-                    return Err("exactly one deck file is expected".into());
-                }
-            }
+            other => args.decks.push(other.to_string()),
         }
     }
-    Ok(Args {
-        deck_path: deck_path.ok_or("a deck file is required")?,
-        csv,
-        json,
-        engine,
-        serial,
-        plan_only,
-    })
+    if args.decks.is_empty() && args.batch.is_empty() {
+        return Err("a deck file (or --batch pattern) is required".into());
+    }
+    if args.decks.len() > 1 && args.batch.is_empty() {
+        return Err("exactly one deck file is expected (use --batch for many)".into());
+    }
+    if args.serial && args.jobs.is_some() {
+        return Err("--serial and --jobs are mutually exclusive".into());
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err("--resume needs --checkpoint DIR".into());
+    }
+    Ok(args)
 }
 
-/// Splices an analysis index into an export path: `out.csv` → `out-2.csv`
-/// for the second analysis (the first keeps the bare name). Only the file
-/// name is rewritten — dots in directory components are left alone.
-fn export_path(base: &str, index: usize) -> String {
-    if index == 0 {
-        return base.to_string();
+/// Matches a `*`/`?` wildcard pattern against a file name (iterative, no
+/// backtracking blow-up).
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let (p, t): (Vec<char>, Vec<char>) = (pattern.chars().collect(), text.chars().collect());
+    let (mut pi, mut ti) = (0, 0);
+    let (mut star, mut mark) = (None, 0);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            mark = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
     }
-    let (dir, file) = match base.rsplit_once('/') {
-        Some((dir, file)) => (Some(dir), file),
-        None => (None, base),
-    };
-    let renamed = match file.rsplit_once('.') {
-        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{}.{ext}", index + 1),
-        _ => format!("{file}-{}", index + 1),
-    };
-    match dir {
-        Some(dir) => format!("{dir}/{renamed}"),
-        None => renamed,
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
     }
+    pi == p.len()
+}
+
+/// Expands one `--batch` pattern: wildcards match within the final path
+/// component only; a pattern without wildcards names a file literally.
+fn expand_pattern(pattern: &str) -> Result<Vec<String>, String> {
+    if !pattern.contains(['*', '?']) {
+        return Ok(vec![pattern.to_string()]);
+    }
+    let (dir, file_pattern) = match pattern.rsplit_once('/') {
+        Some((dir, file)) => (dir.to_string(), file),
+        None => (".".to_string(), pattern),
+    };
+    if dir.contains(['*', '?']) {
+        return Err(format!(
+            "`{pattern}`: wildcards are only supported in the file name, not in directories"
+        ));
+    }
+    let entries =
+        std::fs::read_dir(&dir).map_err(|e| format!("cannot read directory `{dir}`: {e}"))?;
+    let mut matches: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter(|entry| entry.path().is_file())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| glob_match(file_pattern, name))
+        .map(|name| {
+            if dir == "." && !pattern.starts_with("./") {
+                name
+            } else {
+                format!("{dir}/{name}")
+            }
+        })
+        .collect();
+    matches.sort();
+    if matches.is_empty() {
+        return Err(format!("`{pattern}` matched no files"));
+    }
+    Ok(matches)
+}
+
+/// The file stem of a deck path: `examples/decks/set.cir` → `set`.
+fn deck_stem(path: &str) -> String {
+    let file = path.rsplit_once('/').map_or(path, |(_, file)| file);
+    let stem = match file.rsplit_once('.') {
+        Some((stem, _)) if !stem.is_empty() => stem,
+        _ => file,
+    };
+    stem.to_string()
 }
 
 fn print_result(result: &SimulationResult) {
@@ -122,55 +247,239 @@ fn print_result(result: &SimulationResult) {
     print!("{table}");
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    let text = std::fs::read_to_string(&args.deck_path)
-        .map_err(|e| format!("cannot read `{}`: {e}", args.deck_path))?;
+/// Loads and parses one deck, printing diagnostics to stderr.
+fn load_deck(path: &str, args: &Args) -> Result<Deck, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut deck = parse_full_deck(&text).map_err(|e| e.to_string())?;
-    for diagnostic in &deck.diagnostics {
-        eprintln!("sesim: warning: {diagnostic}");
+    if !args.quiet {
+        for diagnostic in &deck.diagnostics {
+            eprintln!("sesim: warning: {path}: {diagnostic}");
+        }
     }
     if let Some(engine) = args.engine {
         deck.options.engine = engine;
     }
-    let plan = compile(&deck).map_err(|e| e.to_string())?;
-    eprintln!("sesim: deck `{}`", plan.title);
-    for run in &plan.runs {
-        eprintln!(
-            "sesim: {} -> engine {} ({})",
-            run.label,
-            run.engine.name(),
-            run.rationale
-        );
-    }
-    if args.plan_only {
-        return Ok(());
-    }
-    let results = if args.serial {
-        execute_serial(&deck, &plan)
-    } else {
-        execute(&deck, &plan)
-    }
-    .map_err(|e| e.to_string())?;
+    Ok(deck)
+}
 
+fn exec_options(args: &Args, label: String) -> ExecOptions {
+    ExecOptions {
+        workers: if args.serial {
+            Workers::Serial
+        } else {
+            match args.jobs {
+                Some(n) => Workers::Count(n),
+                None => Workers::Auto,
+            }
+        },
+        chunk: args.chunk,
+        checkpoint: args.checkpoint.clone(),
+        resume: args.resume,
+        progress: (args.progress || !args.batch.is_empty()) && !args.quiet,
+        csv: args.csv.clone(),
+        label: Some(label),
+        cancel: None,
+    }
+}
+
+/// Compiles one deck, printing the plan to stderr, and returns the plan
+/// so the caller never has to compile twice.
+fn report_plan(deck: &Deck, args: &Args, name: &str) -> Result<SimulationPlan, String> {
+    let plan = compile(deck).map_err(|e| e.to_string())?;
+    if !args.quiet {
+        eprintln!("sesim: deck `{}` ({name})", plan.title);
+        for run in &plan.runs {
+            eprintln!(
+                "sesim: {} -> engine {} ({})",
+                run.label,
+                run.engine.name(),
+                run.rationale
+            );
+        }
+    }
+    Ok(plan)
+}
+
+/// Prints results and writes the post-hoc JSON export. `csv_base` is only
+/// used to *announce* the files the substrate already streamed.
+/// `json_written` tracks every JSON path of the invocation: adversarial
+/// deck names can make two decks' spliced paths collide, and silently
+/// overwriting one deck's export with another's must be refused.
+fn emit_results(
+    results: &[SimulationResult],
+    args: &Args,
+    csv_base: Option<&str>,
+    json_base: Option<&str>,
+    json_written: &mut std::collections::HashSet<String>,
+) -> Result<(), String> {
     for (index, result) in results.iter().enumerate() {
-        if index > 0 {
-            println!();
+        if !args.quiet {
+            if index > 0 {
+                println!();
+            }
+            print_result(result);
+            if let Some(base) = csv_base {
+                eprintln!("sesim: wrote {}", se_sim::export_path(base, index));
+            }
         }
-        print_result(result);
-        if let Some(base) = &args.csv {
-            let path = export_path(base, index);
-            std::fs::write(&path, result.to_csv())
-                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            eprintln!("sesim: wrote {path}");
-        }
-        if let Some(base) = &args.json {
-            let path = export_path(base, index);
+        if let Some(base) = json_base {
+            let path = se_sim::export_path(base, index);
+            if !json_written.insert(path.clone()) {
+                return Err(format!(
+                    "JSON export path `{path}` collides with an earlier export — rename \
+                     the decks or choose a different export base"
+                ));
+            }
             std::fs::write(&path, result.to_json())
                 .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            eprintln!("sesim: wrote {path}");
+            if !args.quiet {
+                eprintln!("sesim: wrote {path}");
+            }
         }
     }
     Ok(())
+}
+
+/// Single-deck mode: the historical behaviour, now over the substrate.
+fn run_single(args: &Args) -> Result<(), String> {
+    let path = &args.decks[0];
+    let deck = load_deck(path, args)?;
+    let plan = report_plan(&deck, args, path)?;
+    if args.plan_only {
+        return Ok(());
+    }
+    let results = execute_with_options(&deck, &plan, &exec_options(args, deck_stem(path)))
+        .map_err(|e| e.to_string())?;
+    let mut json_written = std::collections::HashSet::new();
+    emit_results(
+        &results,
+        args,
+        args.csv.as_deref(),
+        args.json.as_deref(),
+        &mut json_written,
+    )
+}
+
+/// Assigns each deck path a unique batch name: the file stem, with a
+/// `-2`, `-3`, … suffix on collisions (two `set.cir` files in different
+/// directories must not share CSV exports or checkpoint directories).
+/// Candidates are checked against *every* name already taken, so a
+/// generated `x-2` can never collide with a literal `x-2.cir` stem.
+fn unique_names(paths: &[String]) -> Vec<String> {
+    let mut taken = std::collections::HashSet::new();
+    paths
+        .iter()
+        .map(|path| {
+            let stem = deck_stem(path);
+            let mut name = stem.clone();
+            let mut n = 1_usize;
+            while !taken.insert(name.clone()) {
+                n += 1;
+                name = format!("{stem}-{n}");
+            }
+            name
+        })
+        .collect()
+}
+
+/// Batch mode: every matching deck through one shared scheduler.
+fn run_batch_mode(args: &Args) -> Result<(), String> {
+    let mut paths: Vec<String> = Vec::new();
+    for pattern in &args.batch {
+        paths.extend(expand_pattern(pattern)?);
+    }
+    paths.extend(args.decks.iter().cloned());
+    // Global, order-preserving dedup: overlapping patterns (or a pattern
+    // plus an explicit path) must not run a deck twice — two jobs with one
+    // name would clobber each other's CSV exports and checkpoints.
+    let mut seen = std::collections::HashSet::new();
+    paths.retain(|path| seen.insert(path.clone()));
+    let total = paths.len();
+    let names = unique_names(&paths);
+
+    let mut decks: Vec<(String, Deck)> = Vec::with_capacity(paths.len());
+    let mut failures = 0usize;
+    for (path, name) in paths.iter().zip(names) {
+        match load_deck(path, args) {
+            Ok(deck) => {
+                if args.plan_only {
+                    if let Err(message) = report_plan(&deck, args, path) {
+                        eprintln!("sesim: error: {path}: {message}");
+                        failures += 1;
+                    }
+                } else {
+                    decks.push((name, deck));
+                }
+            }
+            Err(message) => {
+                eprintln!("sesim: error: {message}");
+                failures += 1;
+            }
+        }
+    }
+    if args.plan_only {
+        return if failures == 0 {
+            Ok(())
+        } else {
+            Err(format!("{failures} of {total} decks failed to compile"))
+        };
+    }
+
+    if !args.quiet {
+        eprintln!("sesim: batch of {} decks on one scheduler", decks.len());
+    }
+    let outcomes = run_deck_batch(decks, &exec_options(args, "batch".into()));
+    let mut ok = 0usize;
+    let mut first = true;
+    let mut json_written = std::collections::HashSet::new();
+    for outcome in &outcomes {
+        match &outcome.results {
+            Ok(results) => {
+                ok += 1;
+                if !args.quiet {
+                    if !first {
+                        println!();
+                    }
+                    println!("# deck {}", outcome.name);
+                    first = false;
+                }
+                let csv_base = args
+                    .csv
+                    .as_ref()
+                    .map(|base| se_sim::deck_export_base(base, &outcome.name));
+                let json_base = args
+                    .json
+                    .as_ref()
+                    .map(|base| se_sim::deck_export_base(base, &outcome.name));
+                emit_results(
+                    results,
+                    args,
+                    csv_base.as_deref(),
+                    json_base.as_deref(),
+                    &mut json_written,
+                )?;
+            }
+            Err(e) => {
+                eprintln!("sesim: error: deck {}: {e}", outcome.name);
+                failures += 1;
+            }
+        }
+    }
+    if !args.quiet {
+        eprintln!("sesim: batch done — {ok} ok, {failures} failed");
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {total} decks failed"));
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if args.batch.is_empty() {
+        run_single(args)
+    } else {
+        run_batch_mode(args)
+    }
 }
 
 fn main() -> ExitCode {
@@ -195,17 +504,40 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::export_path;
+    use super::{deck_stem, glob_match, unique_names};
 
     #[test]
-    fn export_paths_suffix_only_the_file_name() {
-        assert_eq!(export_path("out.csv", 0), "out.csv");
-        assert_eq!(export_path("out.csv", 1), "out-2.csv");
-        assert_eq!(export_path("out", 2), "out-3");
-        // A dot in a directory component must not be split.
-        assert_eq!(export_path("runs.v1/out", 1), "runs.v1/out-2");
-        assert_eq!(export_path("runs.v1/out.csv", 1), "runs.v1/out-2.csv");
-        // Hidden files keep their leading dot.
-        assert_eq!(export_path(".hidden", 1), ".hidden-2");
+    fn glob_matching_covers_star_and_question_mark() {
+        assert!(glob_match("*.cir", "set_staircase.cir"));
+        assert!(glob_match("set_*.cir", "set_staircase.cir"));
+        assert!(!glob_match("set_*.cir", "pulse_train.cir"));
+        assert!(glob_match("pulse_trai?.cir", "pulse_train.cir"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("a*b*c", "a-x-b-y"));
+        assert!(!glob_match("?", ""));
+        assert!(glob_match("**", "x"));
+    }
+
+    #[test]
+    fn colliding_deck_stems_get_unique_batch_names() {
+        let paths = vec![
+            "a/set.cir".to_string(),
+            "b/set.cir".into(),
+            "c/other.cir".into(),
+            "d/set.cir".into(),
+        ];
+        assert_eq!(unique_names(&paths), vec!["set", "set-2", "other", "set-3"]);
+        // A generated suffix must not collide with a literal `-2` stem.
+        let tricky = vec!["x-2.cir".to_string(), "a/x.cir".into(), "b/x.cir".into()];
+        assert_eq!(unique_names(&tricky), vec!["x-2", "x", "x-3"]);
+    }
+
+    #[test]
+    fn deck_stems_strip_directories_and_extensions() {
+        assert_eq!(deck_stem("examples/decks/set.cir"), "set");
+        assert_eq!(deck_stem("set.cir"), "set");
+        assert_eq!(deck_stem("set"), "set");
+        assert_eq!(deck_stem(".hidden"), ".hidden");
     }
 }

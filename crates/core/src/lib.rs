@@ -18,6 +18,7 @@
 //! | Constants & quantities | `se-units` | [`units`] |
 //! | Numerics | `se-numeric` | [`numeric`] |
 //! | Netlists | `se-netlist` | [`netlist`] |
+//! | Execution substrate (jobs, sinks, checkpoints) | `se-exec` | [`exec`] |
 //! | Unified engine trait & parallel sweeps | `se-engine` | [`engine`] |
 //! | Orthodox physics | `se-orthodox` | [`orthodox`] |
 //! | Monte-Carlo / master equation | `se-montecarlo` | [`montecarlo`] |
@@ -124,6 +125,7 @@
 #![warn(missing_docs)]
 
 pub use se_engine as engine;
+pub use se_exec as exec;
 pub use se_hybrid as hybrid;
 pub use se_logic as logic;
 pub use se_montecarlo as montecarlo;
@@ -143,6 +145,10 @@ pub mod prelude {
         ControlId, ObservableId, QuasiStatic, Scenario, StabilityMap, StationaryEngine,
         SweepRunner, TransientEngine, TransientRunner, TransientTrace, Waveform,
     };
+    pub use se_exec::{
+        CancelToken, CheckpointStore, CsvSink, JobBuilder, JobSpec, ProgressSink, ResultSink,
+        TableSink, Workers,
+    };
     pub use se_hybrid::{HybridOptions, HybridSimulator, HybridTransientEngine, IslandEngine};
     pub use se_logic::amfm::{AmCodedGate, FmCodedGate, GateSpeedModel};
     pub use se_logic::encoding::{AmplitudeEncoding, FrequencyEncoding, LevelEncoding};
@@ -156,8 +162,9 @@ pub mod prelude {
     pub use se_orthodox::set::SingleElectronTransistor;
     pub use se_orthodox::{AnalyticSetEngine, ChargeState, TunnelSystem, TunnelSystemBuilder};
     pub use se_sim::{
-        compile, execute, execute_serial, run_deck, DeckRun, EngineChoice, SimError,
-        SimulationPlan, SimulationResult,
+        compile, execute, execute_serial, execute_with_options, run_deck, run_deck_batch,
+        BatchOutcome, DeckRun, EngineChoice, ExecOptions, SimError, SimulationPlan,
+        SimulationResult,
     };
     pub use se_spice::prelude::*;
     pub use se_units::constants::{BOLTZMANN, E, RESISTANCE_QUANTUM};

@@ -15,10 +15,12 @@
 //!   at arbitrary control values;
 //! * [`SweepRunner`] — the single generic sweep loop used by the analytic
 //!   SET, the master-equation solver, the kinetic Monte-Carlo engine and
-//!   the SPICE DC engine. It fans bias points out across all cores with
-//!   rayon, and derives every point's RNG seed deterministically from the
-//!   sweep seed and the point index (see [`runner::derive_seed`]), so
-//!   **parallel and serial runs are bit-identical**;
+//!   the SPICE DC engine. It is a thin adapter over the [`se_exec`] job
+//!   substrate: bias points fan out across all cores in chunks, and every
+//!   point's RNG seed derives deterministically from the sweep seed and
+//!   the point index (see [`runner::derive_seed`], re-exported from
+//!   [`se_exec::seed`] — the single source of truth), so **serial,
+//!   parallel, chunked and resumed runs are bit-identical**;
 //! * [`TransientEngine`] — "initial state + stimulus waveforms in, sampled
 //!   currents out". Implemented by the SPICE backward-Euler integrator, the
 //!   kinetic Monte-Carlo event clock and the hybrid co-simulator, and by

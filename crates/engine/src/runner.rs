@@ -1,7 +1,8 @@
-//! The generic, parallel, deterministic sweep runner.
+//! The generic, parallel, deterministic sweep runner — a thin adapter over
+//! the [`se_exec`] job substrate.
 
 use crate::StationaryEngine;
-use rayon::prelude::*;
+use se_exec::{ExecError, JobSpec};
 
 /// One point of a 1-D bias sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,37 +68,22 @@ impl StabilityMap {
     }
 }
 
-/// Derives the RNG seed of bias point `index` from the sweep seed:
-/// `SplitMix64(SplitMix64(seed) ⊕ index)`.
-///
-/// The sweep seed is avalanche-mixed *before* the point index is XORed in.
-/// With a raw `seed ⊕ index` combiner, two sweeps with nearby seeds (42
-/// and 43, say) would share almost all per-point streams at permuted
-/// indices — silently correlating "independent" repeat runs; mixing first
-/// pushes such collisions to astronomically unlikely index offsets. The
-/// derivation depends only on `(seed, index)` — never on thread
-/// scheduling — which is what makes parallel sweeps bit-identical to
-/// serial ones.
-#[must_use]
-pub fn derive_seed(seed: u64, index: u64) -> u64 {
-    split_mix64(split_mix64(seed) ^ index)
-}
-
-/// One round of the SplitMix64 avalanche function.
-fn split_mix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+/// The toolkit-wide per-item seed derivation, re-exported from its single
+/// source of truth, [`se_exec::seed`]:
+/// `SplitMix64(SplitMix64(seed) ⊕ index)`. The derivation depends only on
+/// `(seed, index)` — never on thread scheduling or chunking — which is
+/// what makes parallel sweeps bit-identical to serial ones.
+pub use se_exec::seed::derive_seed;
 
 /// The parallel core shared by [`SweepRunner`] and
 /// [`crate::TransientRunner`]: evaluates `solve(index, derive_seed(seed,
-/// index))` for `count` indices — across all cores when `parallel` — and
-/// returns the results in index order, or the first error by index.
+/// index))` for `count` indices through the [`se_exec`] substrate —
+/// chunked across all cores when `parallel` — and returns the results in
+/// index order, or the first error by index.
 pub(crate) fn map_indexed<T, Err, F>(
     seed: u64,
     parallel: bool,
+    chunk: Option<usize>,
     count: usize,
     solve: F,
 ) -> Result<Vec<T>, Err>
@@ -106,25 +92,41 @@ where
     Err: Send,
     F: Fn(usize, u64) -> Result<T, Err> + Sync,
 {
-    let solve_at = |i: usize| solve(i, derive_seed(seed, i as u64));
-    let results: Vec<Result<T, Err>> = if parallel {
-        (0..count).into_par_iter().map(solve_at).collect()
-    } else {
-        (0..count).map(solve_at).collect()
-    };
-    results.into_iter().collect()
+    let mut spec = JobSpec::new(count).with_seed(seed);
+    if let Some(chunk) = chunk {
+        spec = spec.with_chunk(chunk);
+    }
+    if !parallel {
+        spec = spec.serial();
+    }
+    match se_exec::run_collect(&spec, &mut (), solve) {
+        Ok(items) => Ok(items),
+        Err(ExecError::Job { error, .. }) => Err(error),
+        Err(other) => unreachable!(
+            "collect-only jobs cannot fail outside the solver ({})",
+            match other {
+                ExecError::Sink(_) => "sink",
+                ExecError::Checkpoint(_) => "checkpoint",
+                ExecError::Cancelled { .. } => "cancelled",
+                ExecError::Job { .. } => "job",
+            }
+        ),
+    }
 }
 
-/// The single generic sweep loop shared by every engine.
+/// The single generic sweep loop shared by every engine — a thin adapter
+/// over the [`se_exec`] job substrate.
 ///
-/// A runner is a small value object holding the sweep seed and the
-/// parallelism switch. Both execution modes visit the same points with the
-/// same derived seeds, so toggling [`SweepRunner::serial`] never changes
+/// A runner is a small value object holding the sweep seed, the
+/// parallelism switch and an optional chunk size. Every execution mode
+/// visits the same points with the same derived seeds, so toggling
+/// [`SweepRunner::serial`] or [`SweepRunner::with_chunk`] never changes
 /// results — only scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepRunner {
     seed: u64,
     parallel: bool,
+    chunk: Option<usize>,
 }
 
 impl Default for SweepRunner {
@@ -134,12 +136,13 @@ impl Default for SweepRunner {
 }
 
 impl SweepRunner {
-    /// A parallel runner with seed 0.
+    /// A parallel runner with seed 0 and automatic chunking.
     #[must_use]
     pub fn new() -> Self {
         SweepRunner {
             seed: 0,
             parallel: true,
+            chunk: None,
         }
     }
 
@@ -147,6 +150,15 @@ impl SweepRunner {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets how many consecutive points one scheduled task solves (see
+    /// [`se_exec::JobSpec::with_chunk`]); larger chunks amortize per-task
+    /// overhead on cheap engines. Results never depend on it.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk);
         self
     }
 
@@ -170,6 +182,12 @@ impl SweepRunner {
         self.parallel
     }
 
+    /// The explicit chunk size, if one was set.
+    #[must_use]
+    pub fn chunk(&self) -> Option<usize> {
+        self.chunk
+    }
+
     /// The parallel core every sweep is built on: evaluates
     /// `solve(index, derived_seed)` for `points` indices — across all cores
     /// when the runner is parallel — and returns the results in index
@@ -184,7 +202,7 @@ impl SweepRunner {
         Err: Send,
         F: Fn(usize, u64) -> Result<T, Err> + Sync,
     {
-        map_indexed(self.seed, self.parallel, points, solve)
+        map_indexed(self.seed, self.parallel, self.chunk, points, solve)
     }
 
     /// Runs a 1-D sweep: applies each value of `values` to `control` and
@@ -389,20 +407,27 @@ mod tests {
     }
 
     #[test]
-    fn derived_seeds_are_decorrelated() {
-        let a = derive_seed(7, 0);
-        let b = derive_seed(7, 1);
-        assert_ne!(a, b);
-        assert_ne!(a ^ b, 1, "must not be a pure xor of the index");
+    fn derive_seed_is_the_substrate_derivation() {
+        // The historical `se_engine::derive_seed` path must keep producing
+        // the exact values the substrate pins (see `se_exec::seed`).
+        assert_eq!(derive_seed(42, 0), 0x57e1_faba_6510_7204);
+        assert_eq!(derive_seed(42, 7), se_exec::derive_seed(42, 7));
     }
 
     #[test]
-    fn nearby_sweep_seeds_do_not_share_point_streams() {
-        // With a raw `seed ^ index` combiner, sweeps seeded 42 and 43 would
-        // reuse each other's per-point seeds at indices permuted by 1.
-        let a: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
-        let b: Vec<u64> = (0..64).map(|i| derive_seed(43, i)).collect();
-        let shared = a.iter().filter(|s| b.contains(s)).count();
-        assert_eq!(shared, 0, "adjacent sweep seeds must give disjoint streams");
+    fn chunked_sweeps_are_bit_identical_to_unchunked() {
+        let values: Vec<f64> = (0..101).map(|i| i as f64 * 1e-3).collect();
+        let baseline = SweepRunner::new()
+            .with_seed(11)
+            .run(&ToyEngine, "gate", &values, "I")
+            .unwrap();
+        for chunk in [1, 7, 64, 1000] {
+            let chunked = SweepRunner::new()
+                .with_seed(11)
+                .with_chunk(chunk)
+                .run(&ToyEngine, "gate", &values, "I")
+                .unwrap();
+            assert_eq!(chunked, baseline, "chunk={chunk}");
+        }
     }
 }

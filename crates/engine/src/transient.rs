@@ -236,6 +236,7 @@ impl Scenario {
 pub struct TransientRunner {
     seed: u64,
     parallel: bool,
+    chunk: Option<usize>,
 }
 
 impl Default for TransientRunner {
@@ -245,12 +246,13 @@ impl Default for TransientRunner {
 }
 
 impl TransientRunner {
-    /// A parallel runner with seed 0.
+    /// A parallel runner with seed 0 and automatic chunking.
     #[must_use]
     pub fn new() -> Self {
         TransientRunner {
             seed: 0,
             parallel: true,
+            chunk: None,
         }
     }
 
@@ -258,6 +260,14 @@ impl TransientRunner {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets how many consecutive runs one scheduled task executes (see
+    /// [`se_exec::JobSpec::with_chunk`]). Results never depend on it.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk);
         self
     }
 
@@ -346,9 +356,13 @@ impl TransientRunner {
             .iter()
             .map(|scenario| Self::resolve_drives(engine, scenario.drives()))
             .collect::<Result<_, _>>()?;
-        map_indexed(self.seed, self.parallel, scenarios.len(), |index, seed| {
-            engine.transient_currents(&resolved[index], &observables, times, seed)
-        })
+        map_indexed(
+            self.seed,
+            self.parallel,
+            self.chunk,
+            scenarios.len(),
+            |index, seed| engine.transient_currents(&resolved[index], &observables, times, seed),
+        )
     }
 
     /// Runs `repeats` statistically independent repetitions of the *same*
@@ -374,7 +388,7 @@ impl TransientRunner {
             .collect();
         let resolved = Self::resolve_drives(engine, &owned)?;
         let observables = Self::resolve_observables(engine, observables)?;
-        map_indexed(self.seed, self.parallel, repeats, |_, seed| {
+        map_indexed(self.seed, self.parallel, self.chunk, repeats, |_, seed| {
             engine.transient_currents(&resolved, &observables, times, seed)
         })
     }

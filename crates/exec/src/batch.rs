@@ -1,0 +1,97 @@
+//! The shared worker pool: one scheduler for any number of jobs.
+//!
+//! [`run_batch`] flattens the pending chunks of every job into one task
+//! list — interleaved round-robin so each job makes front-to-back progress
+//! concurrently — and lets a bounded set of rayon workers claim tasks from
+//! an atomic cursor. Because each [`crate::Job`] emits to its sink in
+//! index order under its own lock, sharing the pool changes *scheduling
+//! only*, never results.
+
+use crate::cancel::CancelToken;
+use crate::job::{ChunkTask, Workers};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs every pending chunk of every task on one shared worker pool.
+///
+/// The flattened task list interleaves tasks round-robin (each task makes
+/// front-to-back progress concurrently) while preserving every task's
+/// internal chunk order. Cancellation is cooperative: once `cancel`
+/// fires, workers stop claiming tasks and abandon half-computed chunks.
+///
+/// Call each job's [`crate::Job::finish`] afterwards to surface errors and
+/// collect results.
+pub fn run_batch(tasks: &[&dyn ChunkTask], workers: Workers, cancel: &CancelToken) {
+    let mut flat: Vec<(usize, usize)> = Vec::new();
+    let deepest = tasks.iter().map(|t| t.pending()).max().unwrap_or(0);
+    for slot in 0..deepest {
+        for (index, task) in tasks.iter().enumerate() {
+            if slot < task.pending() {
+                flat.push((index, slot));
+            }
+        }
+    }
+    if flat.is_empty() {
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let work = |_worker: usize| loop {
+        if cancel.is_cancelled() {
+            return;
+        }
+        let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&(task, slot)) = flat.get(claimed) else {
+            return;
+        };
+        tasks[task].run_pending(slot, cancel);
+    };
+    let worker_count = workers.resolve(flat.len());
+    if worker_count <= 1 {
+        work(0);
+    } else {
+        (0..worker_count)
+            .into_par_iter()
+            .map(work)
+            .collect::<Vec<()>>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBuilder, JobSpec};
+    use crate::sink::TableSink;
+
+    /// Two jobs of different sizes through one pool: both complete, both
+    /// in order, and the outcome matches their serial runs.
+    #[test]
+    fn heterogeneous_jobs_share_one_pool() {
+        let solve_a = |i: usize, seed: u64| Ok::<_, std::io::Error>(vec![i as f64, seed as f64]);
+        let solve_b = |i: usize, _seed: u64| Ok::<_, std::io::Error>(vec![-(i as f64)]);
+        let mut sink_a = TableSink::new();
+        let mut sink_b = TableSink::new();
+        let job_a = JobBuilder::new(JobSpec::new(17).with_seed(1).with_chunk(3))
+            .collect()
+            .build(&mut sink_a, solve_a)
+            .unwrap();
+        let job_b = JobBuilder::new(JobSpec::new(5).with_seed(2).with_chunk(2))
+            .collect()
+            .build(&mut sink_b, solve_b)
+            .unwrap();
+        run_batch(&[&job_a, &job_b], Workers::Count(4), &CancelToken::new());
+        let (a, report_a) = job_a.finish().unwrap();
+        let (b, _) = job_b.finish().unwrap();
+        assert_eq!(report_a.computed, 17);
+        assert_eq!(a.len(), 17);
+        assert_eq!(a[16][0], 16.0);
+        assert_eq!(a[16][1], JobSpec::new(17).with_seed(1).item_seed(16) as f64);
+        assert_eq!(b.len(), 5);
+        assert_eq!(sink_a.rows().len(), 17);
+        assert_eq!(sink_b.rows()[4], vec![-4.0]);
+    }
+
+    #[test]
+    fn empty_batches_are_a_no_op() {
+        run_batch(&[], Workers::Auto, &CancelToken::new());
+    }
+}

@@ -1,0 +1,52 @@
+//! Cooperative cancellation for long-running jobs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag shared between a job's owner and its
+/// workers.
+///
+/// Cancellation is *cooperative*: the scheduler polls the token between
+/// chunks and between items, finishes nothing new once it is set, and
+/// reports how far the job got. Checkpointed jobs keep every chunk that
+/// completed before the cancel, so a later resume picks up exactly where
+/// the run stopped.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_share_state_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+}

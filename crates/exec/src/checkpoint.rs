@@ -1,0 +1,377 @@
+//! Checkpoint/resume: a completed-chunk manifest plus bit-exact chunk
+//! payload files, so an interrupted job restarts from the last finished
+//! chunk and reproduces an uninterrupted run bit-identically.
+//!
+//! Layout under a [`CheckpointStore`] root:
+//!
+//! ```text
+//! <root>/<job-id>/manifest.txt    header + one "chunk <id> <len>" line per chunk
+//! <root>/<job-id>/chunk-<id>.txt  one encoded item per line
+//! ```
+//!
+//! Durability protocol: a chunk's payload file is fully written and flushed
+//! *before* its manifest line is appended, so every chunk the manifest
+//! lists is complete on disk. Floats are stored as raw IEEE-754 bit
+//! patterns (hex), which is what makes a resumed run *bit*-identical — no
+//! decimal round-trip is involved.
+
+use crate::job::JobSpec;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Lossless one-line-per-item serialization for checkpointable job items.
+///
+/// `decode(encode(x)) == x` must hold exactly (for floats: the same bit
+/// pattern), and the encoding must not contain newlines.
+pub trait Codec: Sized {
+    /// Appends the item's encoding (newline-free) to `out`.
+    fn encode(&self, out: &mut String);
+
+    /// Parses one encoded line back into an item, or `None` if the line is
+    /// corrupt.
+    fn decode(line: &str) -> Option<Self>;
+}
+
+/// Encodes one float as its raw bit pattern.
+fn encode_f64(value: f64, out: &mut String) {
+    let _ = write!(out, "{:016x}", value.to_bits());
+}
+
+/// Decodes one raw-bit-pattern float.
+fn decode_f64(text: &str) -> Option<f64> {
+    u64::from_str_radix(text, 16).ok().map(f64::from_bits)
+}
+
+/// A flat row of floats: space-separated bit patterns.
+impl Codec for Vec<f64> {
+    fn encode(&self, out: &mut String) {
+        for (i, &v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            encode_f64(v, out);
+        }
+    }
+
+    fn decode(line: &str) -> Option<Self> {
+        if line.trim().is_empty() {
+            return Some(Vec::new());
+        }
+        line.split_whitespace().map(decode_f64).collect()
+    }
+}
+
+/// A block of rows (e.g. a whole transient trace): rows joined with `;`.
+impl Codec for Vec<Vec<f64>> {
+    fn encode(&self, out: &mut String) {
+        for (i, row) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            row.encode(out);
+        }
+    }
+
+    fn decode(line: &str) -> Option<Self> {
+        if line.trim().is_empty() {
+            return Some(Vec::new());
+        }
+        line.split(';').map(Vec::<f64>::decode).collect()
+    }
+}
+
+/// Replaces every character outside `[A-Za-z0-9._-]` with `_`, so deck
+/// titles and file paths make safe job directory names.
+#[must_use]
+pub fn sanitize_job_id(id: &str) -> String {
+    let cleaned: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "job".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// A directory of per-job checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    root: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `root` (created lazily on first write).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        CheckpointStore { root: root.into() }
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of one job's checkpoint: the sanitized id plus a
+    /// short hash of the *raw* id. Sanitization is lossy (`a b` and `a_b`
+    /// both sanitize to `a_b`), so the hash keeps distinct jobs in
+    /// distinct directories — two jobs share a directory only if their raw
+    /// ids are identical.
+    #[must_use]
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        let tag = content_fingerprint(id) as u32;
+        self.root.join(format!("{}-{tag:08x}", sanitize_job_id(id)))
+    }
+}
+
+/// A stable FNV-1a content fingerprint, for guarding checkpoints against
+/// resumption under *changed inputs* (an edited deck, say) that happen to
+/// keep the same job geometry.
+#[must_use]
+pub fn content_fingerprint(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The manifest header a job writes; resuming against a different job
+/// geometry — or a different input fingerprint — is refused rather than
+/// silently restoring stale results.
+fn header_line(spec: &JobSpec, fingerprint: u64) -> String {
+    format!(
+        "se-exec-checkpoint v1 items={} seed={} chunk={} fp={fingerprint:016x}",
+        spec.items(),
+        spec.seed(),
+        spec.chunk_size()
+    )
+}
+
+/// One job's open checkpoint: the manifest handle plus the payload
+/// directory. Writing is thread-safe (chunks complete on worker threads).
+#[derive(Debug)]
+pub(crate) struct JobCheckpoint {
+    dir: PathBuf,
+    manifest: Mutex<fs::File>,
+}
+
+impl JobCheckpoint {
+    /// Opens (or creates) a job checkpoint. With `resume`, previously
+    /// completed chunks are loaded through `decode`; without it, any
+    /// existing checkpoint is discarded. Returns the handle plus the
+    /// restored `chunk id → items` map.
+    ///
+    /// Robustness: a torn manifest tail or an unreadable chunk file just
+    /// drops that chunk (it is recomputed, bit-identically); a manifest
+    /// written by a *different* job geometry is a hard error.
+    pub(crate) fn open<T>(
+        dir: PathBuf,
+        spec: &JobSpec,
+        fingerprint: u64,
+        resume: bool,
+        decode: fn(&str) -> Option<T>,
+    ) -> io::Result<(Self, BTreeMap<usize, Vec<T>>)> {
+        let manifest_path = dir.join("manifest.txt");
+        let header = header_line(spec, fingerprint);
+        let mut restored = BTreeMap::new();
+        if resume && manifest_path.exists() {
+            let text = fs::read_to_string(&manifest_path)?;
+            let mut lines = text.lines();
+            match lines.next() {
+                None => {}
+                Some(found) if found == header => {
+                    for line in lines {
+                        let Some((id, len)) = parse_manifest_line(line) else {
+                            break; // torn tail — recompute everything after
+                        };
+                        if id >= spec.chunk_count() || len != spec.chunk_range(id).len() {
+                            continue;
+                        }
+                        if let Some(items) = load_chunk(&dir, id, len, decode) {
+                            restored.insert(id, items);
+                        }
+                    }
+                }
+                Some(found) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint at `{}` was written by a different job: found \
+                             `{found}`, expected `{header}` — clear the checkpoint \
+                             directory or rerun with the original geometry",
+                            dir.display()
+                        ),
+                    ));
+                }
+            }
+        } else if !resume && dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        fs::create_dir_all(&dir)?;
+        // Rewrite the manifest from scratch: the header plus one line per
+        // chunk that survived loading. Chunks computed from here on append.
+        let mut manifest = fs::File::create(&manifest_path)?;
+        writeln!(manifest, "{header}")?;
+        for (&id, items) in &restored {
+            writeln!(manifest, "chunk {id} {}", items.len())?;
+        }
+        manifest.flush()?;
+        Ok((
+            JobCheckpoint {
+                dir,
+                manifest: Mutex::new(manifest),
+            },
+            restored,
+        ))
+    }
+
+    /// Persists one completed chunk: payload file first (flushed), then the
+    /// manifest line — the ordering the resume path relies on.
+    pub(crate) fn record(&self, chunk: usize, lines: &[String]) -> io::Result<()> {
+        let path = self.dir.join(format!("chunk-{chunk}.txt"));
+        let mut payload = String::new();
+        for line in lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        fs::write(&path, payload)?;
+        let mut manifest = self
+            .manifest
+            .lock()
+            .expect("a worker panicked while appending to the manifest");
+        writeln!(manifest, "chunk {chunk} {}", lines.len())?;
+        manifest.flush()
+    }
+}
+
+/// Parses one `chunk <id> <len>` manifest line.
+fn parse_manifest_line(line: &str) -> Option<(usize, usize)> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("chunk") {
+        return None;
+    }
+    let id = parts.next()?.parse().ok()?;
+    let len = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((id, len))
+}
+
+/// Loads one chunk payload, or `None` if it is missing or corrupt.
+fn load_chunk<T>(
+    dir: &Path,
+    id: usize,
+    len: usize,
+    decode: fn(&str) -> Option<T>,
+) -> Option<Vec<T>> {
+    let text = fs::read_to_string(dir.join(format!("chunk-{id}.txt"))).ok()?;
+    let items: Vec<T> = text.lines().map(decode).collect::<Option<_>>()?;
+    (items.len() == len).then_some(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("se-exec-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn f64_codec_round_trips_bit_patterns() {
+        for value in [0.0, -0.0, 1.5e-19, f64::NAN, f64::INFINITY, -7.25] {
+            let mut line = String::new();
+            vec![value, 1.0].encode(&mut line);
+            let back = Vec::<f64>::decode(&line).unwrap();
+            assert_eq!(back.len(), 2);
+            assert_eq!(back[0].to_bits(), value.to_bits());
+        }
+        assert_eq!(Vec::<f64>::decode("").unwrap(), Vec::<f64>::new());
+        assert!(Vec::<f64>::decode("zz").is_none());
+    }
+
+    #[test]
+    fn row_block_codec_round_trips() {
+        let block = vec![vec![1.0, 2.0], vec![3.5e-9, -0.0]];
+        let mut line = String::new();
+        block.encode(&mut line);
+        assert_eq!(Vec::<Vec<f64>>::decode(&line).unwrap(), block);
+        assert_eq!(Vec::<Vec<f64>>::decode("").unwrap(), Vec::<Vec<f64>>::new());
+    }
+
+    #[test]
+    fn job_ids_are_sanitized() {
+        assert_eq!(sanitize_job_id("decks/set.cir a0"), "decks_set.cir_a0");
+        assert_eq!(sanitize_job_id(""), "job");
+    }
+
+    #[test]
+    fn record_then_resume_restores_only_listed_complete_chunks() {
+        let root = temp_dir("roundtrip");
+        let spec = JobSpec::new(10).with_seed(3).with_chunk(4); // chunks: 4,4,2
+        let store = CheckpointStore::new(&root);
+        let dir = store.job_dir("demo");
+        let (ckpt, restored) =
+            JobCheckpoint::open(dir.clone(), &spec, 0, true, Vec::<f64>::decode).unwrap();
+        assert!(restored.is_empty());
+        let rows: Vec<String> = (0..4)
+            .map(|i| {
+                let mut s = String::new();
+                vec![i as f64].encode(&mut s);
+                s
+            })
+            .collect();
+        ckpt.record(1, &rows).unwrap();
+        drop(ckpt);
+
+        // A stray, unlisted chunk file must be ignored.
+        fs::write(dir.join("chunk-0.txt"), "garbage\n").unwrap();
+        let (_ckpt, restored) =
+            JobCheckpoint::open(dir.clone(), &spec, 0, true, Vec::<f64>::decode).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[&1].len(), 4);
+        assert_eq!(restored[&1][2], vec![2.0]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mismatched_geometry_is_refused_and_fresh_runs_wipe() {
+        let root = temp_dir("mismatch");
+        let store = CheckpointStore::new(&root);
+        let dir = store.job_dir("demo");
+        let spec = JobSpec::new(10).with_chunk(4);
+        let (ckpt, _) =
+            JobCheckpoint::open(dir.clone(), &spec, 0, false, Vec::<f64>::decode).unwrap();
+        ckpt.record(0, &vec!["0000000000000000".to_string(); 4])
+            .unwrap();
+        drop(ckpt);
+
+        let other = JobSpec::new(10).with_chunk(5);
+        let err =
+            JobCheckpoint::open(dir.clone(), &other, 0, true, Vec::<f64>::decode).unwrap_err();
+        assert!(err.to_string().contains("different job"), "{err}");
+
+        // A non-resume open over the same dir starts fresh.
+        let (_ckpt, restored) =
+            JobCheckpoint::open(dir.clone(), &other, 0, false, Vec::<f64>::decode).unwrap();
+        assert!(restored.is_empty());
+        assert!(!dir.join("chunk-0.txt").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,119 @@
+//! Multi-deck batch execution: any number of decks, one shared scheduler.
+//!
+//! Every analysis of every deck becomes one substrate job, and all of them
+//! share a single chunked worker pool ([`se_exec::run_batch`]) — so a
+//! directory of small decks saturates a machine just as well as one huge
+//! sweep, and a failing deck never takes its neighbours down. Per-deck
+//! failures (compile errors, solve errors, export I/O) are reported in the
+//! per-deck [`BatchOutcome`]; per-deck CSV exports are spliced as
+//! `out-<deck>.csv`, and checkpoint/resume works per analysis exactly as
+//! in single-deck execution.
+
+use crate::error::SimError;
+use crate::exec::{prepare_deck, run_prepared, ExecOptions};
+use crate::plan::compile;
+use crate::result::SimulationResult;
+use se_netlist::Deck;
+
+/// What one deck of a batch produced.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The deck's batch name (used for progress labels, checkpoint ids and
+    /// CSV splicing).
+    pub name: String,
+    /// One result table per analysis, or the deck's first error.
+    pub results: Result<Vec<SimulationResult>, SimError>,
+}
+
+/// Splices a deck name into an export base path: `out.csv` + `staircase` →
+/// `out-staircase.csv` (per-analysis `-2`, `-3`, … suffixes are appended
+/// on top by [`crate::exec::export_path`]).
+#[must_use]
+pub fn deck_export_base(base: &str, deck: &str) -> String {
+    crate::exec::splice_export_suffix(base, deck)
+}
+
+/// Runs every deck's every analysis through one shared worker pool.
+///
+/// `decks` pairs a display name (a file stem, say) with a parsed deck; the
+/// name prefixes progress labels and checkpoint job ids and is spliced
+/// into CSV export paths. The outcomes come back in input order, one per
+/// deck, with failures contained per deck.
+pub fn run_deck_batch(decks: Vec<(String, Deck)>, options: &ExecOptions) -> Vec<BatchOutcome> {
+    let mut names = Vec::with_capacity(decks.len());
+    let groups = decks
+        .iter()
+        .map(|(name, deck)| {
+            names.push(name.clone());
+            let plan = compile(deck)?;
+            let per_deck = ExecOptions {
+                csv: options
+                    .csv
+                    .as_ref()
+                    .map(|base| deck_export_base(base, name)),
+                label: Some(name.clone()),
+                ..options.clone()
+            };
+            prepare_deck(deck, &plan, name, &per_deck)
+        })
+        .collect();
+    names
+        .into_iter()
+        .zip(run_prepared(groups, options))
+        .map(|(name, results)| BatchOutcome { name, results })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_netlist::parse_full_deck;
+
+    const SET_DECK: &str = "single SET\nVD drain 0 1m\nVG gate 0 0\nJ1 drain island C=0.5a R=100k\nJ2 island 0 C=0.5a R=100k\nCG gate island 1a\n.options temp=1 seed=3\n.dc VG 0 0.16 16m\n.print dc i(J1)\n";
+
+    #[test]
+    fn deck_export_bases_are_spliced_before_the_extension() {
+        assert_eq!(deck_export_base("out.csv", "a"), "out-a.csv");
+        assert_eq!(
+            deck_export_base("runs.v1/out.csv", "a"),
+            "runs.v1/out-a.csv"
+        );
+        assert_eq!(deck_export_base("out", "a"), "out-a");
+    }
+
+    #[test]
+    fn batches_isolate_per_deck_failures() {
+        let good = parse_full_deck(SET_DECK).unwrap();
+        let bad = parse_full_deck(&SET_DECK.replace(".dc VG 0 0.16 16m\n", "")).unwrap();
+        let outcomes = run_deck_batch(
+            vec![
+                ("good".to_string(), good.clone()),
+                ("bad".to_string(), bad),
+                ("also-good".to_string(), good),
+            ],
+            &ExecOptions::default(),
+        );
+        assert_eq!(outcomes.len(), 3);
+        let tables = outcomes[0].results.as_ref().unwrap();
+        assert_eq!(tables[0].column("I(J1)").unwrap().len(), 11);
+        let err = outcomes[1].results.as_ref().unwrap_err();
+        assert!(err.to_string().contains("no analyses"), "{err}");
+        assert!(outcomes[2].results.is_ok());
+        assert_eq!(outcomes[0].name, "good");
+    }
+
+    #[test]
+    fn batch_results_match_single_deck_execution() {
+        let deck = parse_full_deck(SET_DECK).unwrap();
+        let plan = compile(&deck).unwrap();
+        let single = crate::exec::execute(&deck, &plan).unwrap();
+        let outcomes = run_deck_batch(
+            vec![("one".into(), deck.clone()), ("two".into(), deck)],
+            &ExecOptions::default(),
+        );
+        for outcome in outcomes {
+            let tables = outcome.results.unwrap();
+            assert_eq!(tables[0].rows(), single[0].rows());
+        }
+    }
+}

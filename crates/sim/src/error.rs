@@ -30,6 +30,9 @@ pub enum SimError {
     /// The deck could not be compiled onto an engine (engine selection,
     /// probe resolution, unsupported analysis for the chosen backend, …).
     Plan(String),
+    /// The execution substrate failed outside the solver: a result sink or
+    /// checkpoint I/O error, or a cooperative cancellation.
+    Exec(String),
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +46,7 @@ impl fmt::Display for SimError {
             SimError::Grid(e) => write!(f, "grid error: {e}"),
             SimError::Waveform(e) => write!(f, "waveform error: {e}"),
             SimError::Plan(message) => write!(f, "plan error: {message}"),
+            SimError::Exec(message) => write!(f, "execution error: {message}"),
         }
     }
 }
@@ -57,7 +61,19 @@ impl Error for SimError {
             SimError::Hybrid(e) => Some(e),
             SimError::Grid(e) => Some(e),
             SimError::Waveform(e) => Some(e),
-            SimError::Plan(_) => None,
+            SimError::Plan(_) | SimError::Exec(_) => None,
+        }
+    }
+}
+
+/// Flattens a substrate error: solver failures unwrap to the inner
+/// [`SimError`]; sink, checkpoint and cancellation failures become
+/// [`SimError::Exec`].
+impl From<se_exec::ExecError<SimError>> for SimError {
+    fn from(e: se_exec::ExecError<SimError>) -> Self {
+        match e {
+            se_exec::ExecError::Job { error, .. } => error,
+            other => SimError::Exec(other.to_string()),
         }
     }
 }

@@ -1,27 +1,72 @@
-//! The plan executor: runs every planned analysis through the parallel
-//! runners and collects [`SimulationResult`] tables.
+//! The plan executor: runs every planned analysis of a deck concurrently
+//! through the [`se_exec`] job substrate and collects [`SimulationResult`]
+//! tables.
+//!
+//! Each planned run becomes one substrate job whose items are output rows
+//! (bias points for `.dc`, one whole trace for `.tran`); all of a deck's
+//! jobs — and, in batch mode, all decks' jobs — share **one** chunked
+//! worker pool ([`se_exec::run_batch`]). Per-item seeds follow the shared
+//! SplitMix64 discipline through [`se_exec::JobSpec::item_seed`], so
+//! serial, parallel, chunked and checkpoint-resumed executions are all
+//! bit-identical. [`ExecOptions`] adds the substrate features on top of
+//! the plain [`execute`] API: worker/chunk control, streamed CSV export,
+//! throttled progress reporting, cooperative cancellation and
+//! checkpoint/resume.
 
-use crate::backend::{build_stationary, build_transient, StationaryBackend};
+use crate::backend::{build_stationary, build_transient, StationaryBackend, TransientBackend};
 use crate::error::SimError;
 use crate::plan::{PlannedAnalysis, PlannedRun, SimulationPlan};
 use crate::result::SimulationResult;
-use se_engine::{
-    ObservableId, StationaryEngine, SweepRunner, TransientEngine, TransientRunner, Waveform,
+use se_engine::{ControlId, ObservableId, StationaryEngine, TransientEngine, Waveform};
+use se_exec::{
+    run_batch, CancelToken, CheckpointStore, ChunkTask, CsvSink, JobBuilder, JobSpec, ProgressSink,
+    Tee, Workers,
 };
 use se_netlist::Deck;
+use std::fs::File;
+use std::io::{BufWriter, Stderr};
+use std::path::PathBuf;
 
-/// Executes a compiled plan against its deck, fanning bias points and
-/// samples out across all cores.
+/// Substrate settings for deck execution. [`Default`] reproduces the plain
+/// [`execute`] behaviour: all cores, automatic chunking, no export, no
+/// checkpoint, no progress output.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker policy of the shared pool.
+    pub workers: Workers,
+    /// Explicit chunk size (items per scheduled task); `None` = automatic.
+    pub chunk: Option<usize>,
+    /// Checkpoint directory: completed chunks are persisted here.
+    pub checkpoint: Option<PathBuf>,
+    /// With a checkpoint directory: restore completed chunks instead of
+    /// recomputing them (the resumed tables are bit-identical).
+    pub resume: bool,
+    /// Print throttled per-analysis progress lines to stderr.
+    pub progress: bool,
+    /// Stream results to CSV while running: the base path; analysis 2, 3,…
+    /// get `-2`, `-3` suffixes (see [`export_path`]).
+    pub csv: Option<String>,
+    /// Label prefix for progress lines and checkpoint job ids (defaults to
+    /// the deck title).
+    pub label: Option<String>,
+    /// Cooperative cancellation: when the token fires, workers stop, and a
+    /// checkpointed run can later resume from the completed chunks.
+    pub cancel: Option<CancelToken>,
+}
+
+/// Executes a compiled plan against its deck: every analysis runs as one
+/// job on the shared chunked worker pool, fanning bias points and traces
+/// out across all cores.
 ///
 /// Every run uses the deck seed through the shared SplitMix64 discipline
-/// of [`SweepRunner`] / [`TransientRunner`], so results are bit-identical
-/// to [`execute_serial`].
+/// of [`se_exec::JobSpec`], so results are bit-identical to
+/// [`execute_serial`] (and to any chunking or resume configuration).
 ///
 /// # Errors
 ///
 /// Propagates backend construction and solve errors.
 pub fn execute(deck: &Deck, plan: &SimulationPlan) -> Result<Vec<SimulationResult>, SimError> {
-    execute_with(deck, plan, true)
+    execute_with_options(deck, plan, &ExecOptions::default())
 }
 
 /// Single-threaded [`execute`] (identical results; useful for profiling
@@ -34,18 +79,33 @@ pub fn execute_serial(
     deck: &Deck,
     plan: &SimulationPlan,
 ) -> Result<Vec<SimulationResult>, SimError> {
-    execute_with(deck, plan, false)
+    execute_with_options(
+        deck,
+        plan,
+        &ExecOptions {
+            workers: Workers::Serial,
+            ..ExecOptions::default()
+        },
+    )
 }
 
-fn execute_with(
+/// [`execute`] with full substrate control: workers, chunking, streamed
+/// CSV, progress, cancellation and checkpoint/resume.
+///
+/// # Errors
+///
+/// Propagates backend construction and solve errors, plus sink/checkpoint
+/// I/O failures and cancellation as [`SimError::Exec`].
+pub fn execute_with_options(
     deck: &Deck,
     plan: &SimulationPlan,
-    parallel: bool,
+    options: &ExecOptions,
 ) -> Result<Vec<SimulationResult>, SimError> {
-    plan.runs
-        .iter()
-        .map(|run| execute_run(deck, plan, run, parallel))
-        .collect()
+    let label = options.label.clone().unwrap_or_else(|| plan.title.clone());
+    let jobs = prepare_deck(deck, plan, &label, options)?;
+    run_prepared(vec![Ok(jobs)], options)
+        .pop()
+        .expect("one outcome per prepared group")
 }
 
 /// Provenance metadata shared by every result of a plan.
@@ -60,38 +120,183 @@ fn metadata(plan: &SimulationPlan, run: &PlannedRun, engine_name: &str) -> Vec<(
     ]
 }
 
-fn execute_run(
+/// The backend-bound form of one planned analysis: resolved handles plus
+/// the owned grids the solve closure walks.
+enum PreparedKind {
+    Sweep {
+        backend: StationaryBackend,
+        control: ControlId,
+        observables: Vec<ObservableId>,
+        values: Vec<f64>,
+    },
+    Map {
+        backend: StationaryBackend,
+        outer: ControlId,
+        inner: ControlId,
+        observables: Vec<ObservableId>,
+        outer_values: Vec<f64>,
+        inner_values: Vec<f64>,
+    },
+    Transient {
+        backend: TransientBackend,
+        drives: Vec<(ControlId, Waveform)>,
+        observables: Vec<ObservableId>,
+        times: Vec<f64>,
+    },
+}
+
+/// One fully prepared run: everything a substrate job needs, owned.
+pub(crate) struct PreparedJob {
+    kind: PreparedKind,
+    /// Table label (the analysis directive).
+    result_label: String,
+    /// Progress label and checkpoint job id.
+    job_label: String,
+    columns: Vec<String>,
+    metadata: Vec<(String, String)>,
+    spec: JobSpec,
+    /// Streamed CSV target, if exporting.
+    csv_path: Option<String>,
+    /// Deck-content fingerprint stamped into checkpoints, so a resume
+    /// against an *edited* deck with unchanged geometry is refused.
+    fingerprint: u64,
+}
+
+impl PreparedKind {
+    fn engine_name(&self) -> &'static str {
+        match self {
+            PreparedKind::Sweep { backend, .. } | PreparedKind::Map { backend, .. } => {
+                backend.engine_name()
+            }
+            PreparedKind::Transient { backend, .. } => backend.engine_name(),
+        }
+    }
+}
+
+impl PreparedJob {
+    fn engine_name(&self) -> &'static str {
+        self.kind.engine_name()
+    }
+
+    /// Solves work item `index`: one bias point (one row) for sweeps and
+    /// maps, the whole trace (all rows) for transients.
+    fn solve_item(&self, index: usize, seed: u64) -> Result<Vec<Vec<f64>>, SimError> {
+        match &self.kind {
+            PreparedKind::Sweep {
+                backend,
+                control,
+                observables,
+                values,
+            } => {
+                let value = values[index];
+                let currents =
+                    backend.stationary_currents(&[(*control, value)], observables, seed)?;
+                let mut row = Vec::with_capacity(1 + currents.len());
+                row.push(value);
+                row.extend(currents);
+                Ok(vec![row])
+            }
+            PreparedKind::Map {
+                backend,
+                outer,
+                inner,
+                observables,
+                outer_values,
+                inner_values,
+            } => {
+                let n_inner = inner_values.len();
+                let outer_value = outer_values[index / n_inner];
+                let inner_value = inner_values[index % n_inner];
+                let currents = backend.stationary_currents(
+                    &[(*outer, outer_value), (*inner, inner_value)],
+                    observables,
+                    seed,
+                )?;
+                let mut row = Vec::with_capacity(2 + currents.len());
+                row.push(outer_value);
+                row.push(inner_value);
+                row.extend(currents);
+                Ok(vec![row])
+            }
+            PreparedKind::Transient {
+                backend,
+                drives,
+                observables,
+                times,
+            } => {
+                let trace = backend.transient_currents(drives, observables, times, seed)?;
+                Ok((0..trace.len())
+                    .map(|i| {
+                        let mut row = Vec::with_capacity(1 + trace.observable_count());
+                        row.push(trace.times()[i]);
+                        row.extend_from_slice(trace.row(i));
+                        row
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    fn assemble(&self, blocks: Vec<Vec<Vec<f64>>>) -> SimulationResult {
+        let rows: Vec<Vec<f64>> = blocks.into_iter().flatten().collect();
+        SimulationResult::new(
+            self.result_label.clone(),
+            self.engine_name(),
+            self.columns.clone(),
+            rows,
+            self.metadata.clone(),
+        )
+    }
+}
+
+/// Binds every planned run of a deck to its backend and grids.
+pub(crate) fn prepare_deck(
+    deck: &Deck,
+    plan: &SimulationPlan,
+    label: &str,
+    options: &ExecOptions,
+) -> Result<Vec<PreparedJob>, SimError> {
+    // Only checkpointed runs consume the fingerprint; keep the deck
+    // serialization + hash off the hot (un-checkpointed) pipeline.
+    let fingerprint = if options.checkpoint.is_some() {
+        se_exec::content_fingerprint(&deck.to_deck_string())
+    } else {
+        0
+    };
+    plan.runs
+        .iter()
+        .enumerate()
+        .map(|(index, run)| prepare_run(deck, plan, run, index, label, fingerprint, options))
+        .collect()
+}
+
+fn prepare_run(
     deck: &Deck,
     plan: &SimulationPlan,
     run: &PlannedRun,
-    parallel: bool,
-) -> Result<SimulationResult, SimError> {
-    match &run.analysis {
+    run_index: usize,
+    label: &str,
+    fingerprint: u64,
+    options: &ExecOptions,
+) -> Result<PreparedJob, SimError> {
+    let (kind, columns, items) = match &run.analysis {
         PlannedAnalysis::Sweep { control, values } => {
             let backend = build_stationary(&deck.netlist, &deck.options, run.engine)?;
-            let runner = sweep_runner(plan.seed, parallel);
             let control_id = backend.resolve_control(control)?;
-            let observable_ids = resolve_stationary_observables(&backend, &run.observables)?;
-            let rows = runner.map_points(values.len(), |index, seed| {
-                let currents = backend.stationary_currents(
-                    &[(control_id, values[index])],
-                    &observable_ids,
-                    seed,
-                )?;
-                let mut row = Vec::with_capacity(1 + currents.len());
-                row.push(values[index]);
-                row.extend(currents);
-                Ok::<_, SimError>(row)
-            })?;
+            let observables = resolve_stationary_observables(&backend, &run.observables)?;
             let mut columns = vec![control.clone()];
             columns.extend(current_columns(&run.observables));
-            Ok(SimulationResult::new(
-                run.label.clone(),
-                backend.engine_name(),
+            let items = values.len();
+            (
+                PreparedKind::Sweep {
+                    backend,
+                    control: control_id,
+                    observables,
+                    values: values.clone(),
+                },
                 columns,
-                rows,
-                metadata(plan, run, backend.engine_name()),
-            ))
+                items,
+            )
         }
         PlannedAnalysis::Map {
             outer_control,
@@ -100,82 +305,256 @@ fn execute_run(
             inner_values,
         } => {
             let backend = build_stationary(&deck.netlist, &deck.options, run.engine)?;
-            let runner = sweep_runner(plan.seed, parallel);
-            let outer_id = backend.resolve_control(outer_control)?;
-            let inner_id = backend.resolve_control(inner_control)?;
-            let observable_ids = resolve_stationary_observables(&backend, &run.observables)?;
-            let n_inner = inner_values.len();
-            let rows = runner.map_points(outer_values.len() * n_inner, |index, seed| {
-                let outer_value = outer_values[index / n_inner];
-                let inner_value = inner_values[index % n_inner];
-                let currents = backend.stationary_currents(
-                    &[(outer_id, outer_value), (inner_id, inner_value)],
-                    &observable_ids,
-                    seed,
-                )?;
-                let mut row = Vec::with_capacity(2 + currents.len());
-                row.push(outer_value);
-                row.push(inner_value);
-                row.extend(currents);
-                Ok::<_, SimError>(row)
-            })?;
+            let outer = backend.resolve_control(outer_control)?;
+            let inner = backend.resolve_control(inner_control)?;
+            let observables = resolve_stationary_observables(&backend, &run.observables)?;
             let mut columns = vec![outer_control.clone(), inner_control.clone()];
             columns.extend(current_columns(&run.observables));
-            Ok(SimulationResult::new(
-                run.label.clone(),
-                backend.engine_name(),
+            let items = outer_values.len() * inner_values.len();
+            (
+                PreparedKind::Map {
+                    backend,
+                    outer,
+                    inner,
+                    observables,
+                    outer_values: outer_values.clone(),
+                    inner_values: inner_values.clone(),
+                },
                 columns,
-                rows,
-                metadata(plan, run, backend.engine_name()),
-            ))
+                items,
+            )
         }
         PlannedAnalysis::Transient { step, times } => {
             let backend = build_transient(&deck.netlist, &deck.options, run.engine, *step)?;
-            let runner = transient_runner(plan.seed, parallel);
-            let drives: Vec<(&str, Waveform)> = deck
+            let drives: Vec<(ControlId, Waveform)> = deck
                 .waveforms
                 .iter()
-                .map(|(name, waveform)| (name.as_str(), waveform.clone()))
-                .collect();
-            let observables: Vec<&str> = run.observables.iter().map(String::as_str).collect();
-            let trace = runner.run(&backend, &drives, &observables, times)?;
-            let rows: Vec<Vec<f64>> = (0..trace.len())
-                .map(|index| {
-                    let mut row = Vec::with_capacity(1 + run.observables.len());
-                    row.push(trace.times()[index]);
-                    row.extend_from_slice(trace.row(index));
-                    row
-                })
-                .collect();
+                .map(|(name, waveform)| Ok((backend.resolve_drive(name)?, waveform.clone())))
+                .collect::<Result<_, SimError>>()?;
+            let observables: Vec<ObservableId> = run
+                .observables
+                .iter()
+                .map(|name| backend.resolve_observable(name))
+                .collect::<Result<_, _>>()?;
             let mut columns = vec!["t".to_string()];
             columns.extend(current_columns(&run.observables));
-            Ok(SimulationResult::new(
-                run.label.clone(),
-                backend.engine_name(),
+            (
+                PreparedKind::Transient {
+                    backend,
+                    drives,
+                    observables,
+                    times: times.clone(),
+                },
                 columns,
-                rows,
-                metadata(plan, run, backend.engine_name()),
-            ))
+                1, // the whole trace is one work item (time marches serially)
+            )
+        }
+    };
+    let mut spec = JobSpec::new(items).with_seed(plan.seed);
+    if let Some(chunk) = options.chunk {
+        spec = spec.with_chunk(chunk);
+    }
+    Ok(PreparedJob {
+        metadata: metadata(plan, run, kind.engine_name()),
+        result_label: run.label.clone(),
+        job_label: format!("{label}/{}", run.label),
+        columns,
+        spec,
+        csv_path: options
+            .csv
+            .as_ref()
+            .map(|base| export_path(base, run_index)),
+        fingerprint,
+        kind,
+    })
+}
+
+/// A CSV export sink that creates (and truncates) its file only when the
+/// first item is emitted — i.e. after every checkpoint of the batch has
+/// been opened and validated and this job has actually produced data — so
+/// a run that fails before emitting (a checkpoint geometry mismatch, a
+/// sibling analysis failing to bind) never destroys a previous successful
+/// export.
+struct LazyCsvSink {
+    path: String,
+    columns: Vec<String>,
+    inner: Option<CsvSink<BufWriter<File>>>,
+}
+
+impl LazyCsvSink {
+    /// Opens the file and writes the header on first use.
+    fn open(&mut self) -> std::io::Result<&mut CsvSink<BufWriter<File>>> {
+        if self.inner.is_none() {
+            let file = File::create(&self.path).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("cannot create CSV export `{}`: {e}", self.path),
+                )
+            })?;
+            let mut sink = CsvSink::new(BufWriter::new(file), self.columns.clone());
+            se_exec::ResultSink::<Vec<Vec<f64>>>::start(&mut sink, &JobSpec::new(0))?;
+            self.inner = Some(sink);
+        }
+        Ok(self.inner.as_mut().expect("just opened"))
+    }
+}
+
+impl se_exec::ResultSink<Vec<Vec<f64>>> for LazyCsvSink {
+    fn item(&mut self, index: usize, item: &Vec<Vec<f64>>) -> std::io::Result<()> {
+        self.open()?.item(index, item)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        se_exec::ResultSink::<Vec<Vec<f64>>>::flush(&mut self.inner)
+    }
+
+    fn finish(&mut self, report: &se_exec::Report) -> std::io::Result<()> {
+        // Zero-item jobs still deliver a header-only CSV.
+        self.open()?;
+        se_exec::ResultSink::<Vec<Vec<f64>>>::finish(&mut self.inner, report)
+    }
+}
+
+/// The per-job sink stack: optional streamed CSV plus optional progress.
+type RunSink = Tee<Option<LazyCsvSink>, Option<ProgressSink<Stderr>>>;
+
+fn make_sink(prep: &PreparedJob, options: &ExecOptions) -> RunSink {
+    let csv = prep.csv_path.as_ref().map(|path| LazyCsvSink {
+        path: path.clone(),
+        columns: prep.columns.clone(),
+        inner: None,
+    });
+    let progress = options
+        .progress
+        .then(|| ProgressSink::stderr(prep.job_label.clone()));
+    Tee(csv, progress)
+}
+
+/// Runs any number of prepared groups (one per deck) through **one**
+/// shared worker pool and assembles per-group results. Group-level
+/// failures (a compile error carried in, a sink that cannot be created, a
+/// failing solve) stay contained to their group.
+pub(crate) fn run_prepared(
+    groups: Vec<Result<Vec<PreparedJob>, SimError>>,
+    options: &ExecOptions,
+) -> Vec<Result<Vec<SimulationResult>, SimError>> {
+    let store = options.checkpoint.as_ref().map(CheckpointStore::new);
+    let cancel = options.cancel.clone().unwrap_or_default();
+
+    // Build every sink (lazy: no file is touched yet), then every job; a
+    // failure poisons its whole group.
+    let mut outcomes: Vec<Option<SimError>> = Vec::with_capacity(groups.len());
+    let mut sinks: Vec<Vec<RunSink>> = Vec::with_capacity(groups.len());
+    let prepared: Vec<Vec<PreparedJob>> = groups
+        .into_iter()
+        .map(|group| match group {
+            Ok(preps) => {
+                sinks.push(preps.iter().map(|prep| make_sink(prep, options)).collect());
+                outcomes.push(None);
+                preps
+            }
+            Err(e) => {
+                outcomes.push(Some(e));
+                sinks.push(Vec::new());
+                Vec::new()
+            }
+        })
+        .collect();
+
+    // No two jobs may stream to the same export file: concurrent writers
+    // would silently corrupt it. Poison every group involved in a clash
+    // (adversarial deck names can collide across decks despite the batch
+    // layer's unique naming).
+    let mut csv_owners: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut clashing: Vec<usize> = Vec::new();
+    for (group_index, preps) in prepared.iter().enumerate() {
+        for prep in preps {
+            if let Some(path) = &prep.csv_path {
+                if let Some(&owner) = csv_owners.get(path.as_str()) {
+                    clashing.push(owner);
+                    clashing.push(group_index);
+                } else {
+                    csv_owners.insert(path, group_index);
+                }
+            }
         }
     }
-}
-
-fn sweep_runner(seed: u64, parallel: bool) -> SweepRunner {
-    let runner = SweepRunner::new().with_seed(seed);
-    if parallel {
-        runner
-    } else {
-        runner.serial()
+    for group_index in clashing {
+        if outcomes[group_index].is_none() {
+            outcomes[group_index] = Some(SimError::Exec(
+                "CSV export paths collide between analyses/decks — rename the decks or \
+                 choose a different export base"
+                    .into(),
+            ));
+        }
     }
-}
 
-fn transient_runner(seed: u64, parallel: bool) -> TransientRunner {
-    let runner = TransientRunner::new().with_seed(seed);
-    if parallel {
-        runner
-    } else {
-        runner.serial()
+    // Bind jobs: (group index, job) pairs over borrowed sinks and preps.
+    // The first build failure poisons the group and stops binding its
+    // remaining runs (their side effects — checkpoint wipes — are skipped).
+    // Note: a *solver* failure deliberately does NOT stop the group's other
+    // jobs mid-run — which error surfaces must never depend on thread
+    // scheduling, so every claimed chunk computes (see
+    // `se_exec::Job::run_pending`); the wasted work only occurs on the
+    // failure path.
+    let mut jobs = Vec::new();
+    for ((group_index, preps), group_sinks) in prepared.iter().enumerate().zip(sinks.iter_mut()) {
+        if outcomes[group_index].is_some() {
+            continue;
+        }
+        for (prep, sink) in preps.iter().zip(group_sinks.iter_mut()) {
+            let mut builder = JobBuilder::new(prep.spec)
+                .label(prep.job_label.clone())
+                .collect();
+            if let Some(store) = &store {
+                builder = builder
+                    .checkpoint(store, &prep.job_label, options.resume)
+                    .fingerprint(prep.fingerprint);
+            }
+            match builder.build(sink, |index, seed| prep.solve_item(index, seed)) {
+                Ok(job) => jobs.push((group_index, job)),
+                Err(e) => {
+                    outcomes[group_index] = Some(SimError::from(e));
+                    break;
+                }
+            }
+        }
     }
+    // Drop jobs of groups poisoned mid-bind (an earlier sibling built but
+    // the group can never complete): running them would waste work, and
+    // their lazy sinks never having started means no export was touched.
+    jobs.retain(|(group_index, _)| outcomes[*group_index].is_none());
+
+    let tasks: Vec<&dyn ChunkTask> = jobs.iter().map(|(_, job)| job as &dyn ChunkTask).collect();
+    run_batch(&tasks, options.workers, &cancel);
+    drop(tasks);
+
+    // Finish jobs in order, assembling per-group tables.
+    let mut results: Vec<Vec<SimulationResult>> = prepared.iter().map(|_| Vec::new()).collect();
+    let mut job_cursor: Vec<usize> = vec![0; prepared.len()];
+    for (group_index, job) in jobs {
+        let prep_index = job_cursor[group_index];
+        job_cursor[group_index] += 1;
+        match job.finish() {
+            Ok((blocks, _report)) => {
+                results[group_index].push(prepared[group_index][prep_index].assemble(blocks));
+            }
+            Err(e) => {
+                if outcomes[group_index].is_none() {
+                    outcomes[group_index] = Some(SimError::from(e));
+                }
+            }
+        }
+    }
+
+    outcomes
+        .into_iter()
+        .zip(results)
+        .map(|(failure, tables)| match failure {
+            Some(e) => Err(e),
+            None => Ok(tables),
+        })
+        .collect()
 }
 
 fn resolve_stationary_observables(
@@ -194,4 +573,51 @@ fn current_columns(observables: &[String]) -> Vec<String> {
         .iter()
         .map(|name| format!("I({name})"))
         .collect()
+}
+
+/// Splices a `-suffix` into an export path's file name, before the
+/// extension: `runs.v1/out.csv` + `2` → `runs.v1/out-2.csv`. Only the
+/// file name is rewritten — dots in directory components are left alone.
+/// The one splicing rule behind [`export_path`] and
+/// [`crate::batch::deck_export_base`].
+pub(crate) fn splice_export_suffix(base: &str, suffix: &str) -> String {
+    let (dir, file) = match base.rsplit_once('/') {
+        Some((dir, file)) => (Some(dir), file),
+        None => (None, base),
+    };
+    let renamed = match file.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{suffix}.{ext}"),
+        _ => format!("{file}-{suffix}"),
+    };
+    match dir {
+        Some(dir) => format!("{dir}/{renamed}"),
+        None => renamed,
+    }
+}
+
+/// Splices an analysis index into an export path: `out.csv` → `out-2.csv`
+/// for the second analysis (the first keeps the bare name).
+#[must_use]
+pub fn export_path(base: &str, index: usize) -> String {
+    if index == 0 {
+        return base.to_string();
+    }
+    splice_export_suffix(base, &(index + 1).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::export_path;
+
+    #[test]
+    fn export_paths_suffix_only_the_file_name() {
+        assert_eq!(export_path("out.csv", 0), "out.csv");
+        assert_eq!(export_path("out.csv", 1), "out-2.csv");
+        assert_eq!(export_path("out", 2), "out-3");
+        // A dot in a directory component must not be split.
+        assert_eq!(export_path("runs.v1/out", 1), "runs.v1/out-2");
+        assert_eq!(export_path("runs.v1/out.csv", 1), "runs.v1/out-2.csv");
+        // Hidden files keep their leading dot.
+        assert_eq!(export_path(".hidden", 1), ".hidden-2");
+    }
 }

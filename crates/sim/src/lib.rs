@@ -19,11 +19,14 @@
 //!   deck's `.options ENGINE=` overrides it, in which case the choice is
 //!   checked against the partition and rejections name the nodes and
 //!   elements responsible.
-//! * [`execute`] runs the plan through the parallel, deterministic
-//!   [`se_engine::SweepRunner`] / [`se_engine::TransientRunner`] layers
-//!   (serial ≡ parallel, bit-identical) and returns one
-//!   [`SimulationResult`] table per analysis, with engine provenance in the
-//!   metadata.
+//! * [`execute`] runs every analysis of the plan concurrently through the
+//!   [`se_exec`] job substrate — chunked across all cores, serial ≡
+//!   parallel ≡ chunked ≡ resumed, all bit-identical — and returns one
+//!   [`SimulationResult`] table per analysis, with engine provenance in
+//!   the metadata. [`execute_with_options`] adds streamed CSV export,
+//!   progress reporting, cancellation and checkpoint/resume;
+//!   [`run_deck_batch`] runs many decks through **one** shared worker
+//!   pool.
 //! * [`run_deck`] is the one-call convenience: parse, compile, execute.
 //!
 //! # Example
@@ -63,6 +66,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod backend;
+pub mod batch;
 pub mod error;
 pub mod exec;
 pub mod plan;
@@ -72,8 +76,9 @@ pub use backend::{
     analytic_from_netlist, build_stationary, build_transient, AnalyticDeckEngine, SourceMapped,
     StationaryBackend, TransientBackend,
 };
+pub use batch::{deck_export_base, run_deck_batch, BatchOutcome};
 pub use error::SimError;
-pub use exec::{execute, execute_serial};
+pub use exec::{execute, execute_serial, execute_with_options, export_path, ExecOptions};
 pub use plan::{compile, EngineChoice, PlannedAnalysis, PlannedRun, SimulationPlan};
 pub use result::SimulationResult;
 
@@ -111,8 +116,9 @@ pub fn run_deck(text: &str) -> Result<DeckRun, SimError> {
 /// Commonly used types for driving the deck pipeline.
 pub mod prelude {
     pub use crate::backend::{StationaryBackend, TransientBackend};
+    pub use crate::batch::{run_deck_batch, BatchOutcome};
     pub use crate::error::SimError;
-    pub use crate::exec::{execute, execute_serial};
+    pub use crate::exec::{execute, execute_serial, execute_with_options, ExecOptions};
     pub use crate::plan::{compile, EngineChoice, PlannedAnalysis, PlannedRun, SimulationPlan};
     pub use crate::result::SimulationResult;
     pub use crate::{run_deck, DeckRun};
