@@ -4,15 +4,18 @@
 //!
 //! Besides the criterion timings it writes `BENCH_kmc.json` at the
 //! workspace root with events/sec for both loops, the measured speedup,
-//! and the states/sec of a master-equation solve an order of magnitude
-//! beyond the old dense-LU state limit, so CI can track the hot path over
-//! time.
+//! the batched-ensemble aggregate throughput at N = 16 replicas (and its
+//! ratio over running the same replicas sequentially — same seeds, same
+//! event counts, both sides measured by the shared `se_bench::kmc`
+//! harness), and the states/sec of a master-equation solve an order of
+//! magnitude beyond the old dense-LU state limit, so CI can track the hot
+//! path over time.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use se_bench::chain_system;
-use se_montecarlo::{MasterEquation, MonteCarloSimulator, SimulationOptions};
+use se_bench::{chain_system, kmc};
+use se_montecarlo::MasterEquation;
 use se_numeric::sampling::{exponential_waiting_time, select_weighted};
 use se_orthodox::{rates::tunnel_rate, ChargeState, TunnelSystem};
 use se_units::constants::E;
@@ -22,6 +25,13 @@ use std::time::Instant;
 const ISLANDS: usize = 8;
 /// Measured events per sample.
 const EVENTS: usize = 50_000;
+/// Lockstep replicas in the batched-ensemble record (the issue pins the
+/// comparison at N = 16).
+const REPLICAS: usize = 16;
+/// Measured events *per replica* in the batched-vs-sequential comparison —
+/// smaller than the scalar record's sample so one sample stays ~100 ms,
+/// but identical on both sides of the ratio.
+const BATCH_EVENTS: usize = 20_000;
 /// Drain bias: far enough above the chain's Coulomb threshold that events
 /// flow steadily at every gate phase.
 const VDS: f64 = 0.15;
@@ -89,31 +99,7 @@ fn run_full_recompute_loop(system: &TunnelSystem, events: usize, seed: u64) -> (
 }
 
 fn run_incremental_loop(system: &TunnelSystem, events: usize, seed: u64) -> (u64, f64) {
-    let mut sim = MonteCarloSimulator::new(
-        system.clone(),
-        SimulationOptions::new(TEMPERATURE)
-            .with_seed(seed)
-            .with_equilibration(0),
-    )
-    .expect("valid system");
-    let result = sim.run_events(events).expect("run succeeds");
-    (result.events(), result.total_time())
-}
-
-fn time_events_per_sec(samples: usize, mut f: impl FnMut(u64) -> (u64, f64)) -> f64 {
-    let mut best = 0.0_f64;
-    for sample in 0..samples {
-        let start = Instant::now();
-        let (executed, time) = f(sample as u64 + 1);
-        let elapsed = start.elapsed().as_secs_f64();
-        assert!(
-            executed == EVENTS as u64,
-            "the chain froze after {executed} events"
-        );
-        assert!(time > 0.0);
-        best = best.max(EVENTS as f64 / elapsed);
-    }
-    best
+    kmc::run_scalar(system, TEMPERATURE, seed, 0, events)
 }
 
 fn master_states() -> usize {
@@ -146,6 +132,18 @@ fn kmc_hotpath(c: &mut Criterion) {
     group.bench_function("chain8_50k_events_full_recompute", |b| {
         b.iter(|| black_box(run_full_recompute_loop(&system, EVENTS, 1)));
     });
+    group.bench_function("chain8_16x20k_events_batched", |b| {
+        b.iter(|| {
+            black_box(kmc::run_batched(
+                &system,
+                TEMPERATURE,
+                1,
+                REPLICAS,
+                0,
+                BATCH_EVENTS,
+            ))
+        });
+    });
     group.finish();
 
     let mut master_group = c.benchmark_group("master_sparse");
@@ -157,8 +155,24 @@ fn kmc_hotpath(c: &mut Criterion) {
 
     // Structured record for CI tracking and the acceptance gate.
     let system = bench_chain();
-    let incremental = time_events_per_sec(5, |seed| run_incremental_loop(&system, EVENTS, seed));
-    let baseline = time_events_per_sec(5, |seed| run_full_recompute_loop(&system, EVENTS, seed));
+    let incremental = kmc::best_events_per_sec(EVENTS as u64, 5, |seed| {
+        run_incremental_loop(&system, EVENTS, seed)
+    });
+    let baseline = kmc::best_events_per_sec(EVENTS as u64, 5, |seed| {
+        run_full_recompute_loop(&system, EVENTS, seed)
+    });
+    // Batched-ensemble record: the lockstep engine at N = 16 against the
+    // same 16 replicas (same derived seeds, same event counts) run one at
+    // a time on the scalar engine. Both sides go through the shared
+    // `se_bench::kmc` harness so the ratio compares measurement-identical
+    // loops.
+    let batch_total = (REPLICAS * BATCH_EVENTS) as u64;
+    let sequential_aggregate = kmc::best_events_per_sec(batch_total, 3, |seed| {
+        kmc::run_sequential_replicas(&system, TEMPERATURE, seed, REPLICAS, 0, BATCH_EVENTS)
+    });
+    let batched_aggregate = kmc::best_events_per_sec(batch_total, 3, |seed| {
+        kmc::run_batched(&system, TEMPERATURE, seed, REPLICAS, 0, BATCH_EVENTS)
+    });
     let master_seconds = (0..3)
         .map(|_| solve_large_master())
         .fold(f64::MAX, f64::min);
@@ -168,12 +182,18 @@ fn kmc_hotpath(c: &mut Criterion) {
          \"events_per_sec_incremental\": {incremental:.1},\n  \
          \"events_per_sec_full_recompute\": {baseline:.1},\n  \
          \"speedup\": {:.2},\n  \
+         \"batched_replicas\": {REPLICAS},\n  \
+         \"batched_events_per_replica\": {BATCH_EVENTS},\n  \
+         \"batched_events_per_sec_aggregate\": {batched_aggregate:.1},\n  \
+         \"sequential_events_per_sec_aggregate\": {sequential_aggregate:.1},\n  \
+         \"batched_speedup_vs_sequential\": {:.3},\n  \
          \"master_islands\": {MASTER_ISLANDS},\n  \"master_window\": {MASTER_WINDOW},\n  \
          \"master_states\": {states},\n  \"master_solve_seconds\": {master_seconds:.6},\n  \
          \"master_states_per_sec\": {:.1},\n  \
          \"old_dense_state_limit\": {OLD_DENSE_STATE_LIMIT},\n  \
          \"state_space_ratio\": {:.2}\n}}\n",
         incremental / baseline,
+        batched_aggregate / sequential_aggregate,
         states as f64 / master_seconds,
         states as f64 / OLD_DENSE_STATE_LIMIT as f64,
     );

@@ -1,9 +1,13 @@
 //! Criterion bench: kinetic Monte-Carlo event throughput on the reference
-//! SET and on multi-island chains.
+//! SET and on multi-island chains, including the batched lockstep engine.
+//!
+//! All measurement loops come from the shared [`se_bench::kmc`] harness —
+//! the same code `kmc_hotpath` uses for its BENCH_kmc.json record — so the
+//! single-replica and batched numbers here are directly comparable to the
+//! tracked hot-path figures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use se_bench::{chain_system, reference_system};
-use se_montecarlo::{MonteCarloSimulator, SimulationOptions};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_bench::{chain_system, kmc, reference_system};
 
 fn kmc_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmc_events");
@@ -11,16 +15,7 @@ fn kmc_throughput(c: &mut Criterion) {
 
     group.bench_function("single_set_10k_events", |b| {
         let system = reference_system(1e-3, 0.08, 0.0);
-        b.iter(|| {
-            let mut sim = MonteCarloSimulator::new(
-                system.clone(),
-                SimulationOptions::new(1.0)
-                    .with_seed(1)
-                    .with_equilibration(100),
-            )
-            .expect("valid system");
-            sim.run_events(10_000).expect("run succeeds")
-        });
+        b.iter(|| black_box(kmc::run_scalar(&system, 1.0, 1, 100, 10_000)));
     });
 
     for islands in [1usize, 2, 4] {
@@ -29,16 +24,21 @@ fn kmc_throughput(c: &mut Criterion) {
             &islands,
             |b, &islands| {
                 let system = chain_system(islands, 1e-3, 0.08);
-                b.iter(|| {
-                    let mut sim = MonteCarloSimulator::new(
-                        system.clone(),
-                        SimulationOptions::new(1.0)
-                            .with_seed(2)
-                            .with_equilibration(100),
-                    )
-                    .expect("valid system");
-                    sim.run_events(2_000).expect("run succeeds")
-                });
+                b.iter(|| black_box(kmc::run_scalar(&system, 1.0, 2, 100, 2_000)));
+            },
+        );
+    }
+
+    // The batched lockstep engine on the same chain fixtures: 16 replicas
+    // advanced together, seeds derived per replica exactly as the scalar
+    // sequential baseline derives them.
+    for islands in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("chain_16x2k_events_batched", islands),
+            &islands,
+            |b, &islands| {
+                let system = chain_system(islands, 1e-3, 0.08);
+                b.iter(|| black_box(kmc::run_batched(&system, 1.0, 2, 16, 100, 2_000)));
             },
         );
     }

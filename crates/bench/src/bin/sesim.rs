@@ -52,6 +52,7 @@ struct Args {
     quiet: bool,
     progress: bool,
     plan_only: bool,
+    scalar_ensemble: bool,
 }
 
 fn usage() -> &'static str {
@@ -74,7 +75,10 @@ fn usage() -> &'static str {
      --resume          restore completed chunks from DIR (bit-identical)\n\
      --progress        throttled per-analysis progress lines on stderr\n\
      --quiet           errors only: no tables, no warnings, no chatter\n\
-     --plan            compile and report the plan, don't run"
+     --plan            compile and report the plan, don't run\n\
+     --scalar-ensemble run .options repeats= ensembles through the per-seed\n\
+     \u{20}                 scalar loop instead of the batched engine (the\n\
+     \u{20}                 results are bit-identical; used by the CI gate)"
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
@@ -93,6 +97,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         quiet: false,
         progress: false,
         plan_only: false,
+        scalar_ensemble: false,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -131,6 +136,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
             "--quiet" => args.quiet = true,
             "--progress" => args.progress = true,
             "--plan" => args.plan_only = true,
+            "--scalar-ensemble" => args.scalar_ensemble = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -279,6 +285,7 @@ fn exec_options(args: &Args, label: String) -> ExecOptions {
         csv: args.csv.clone(),
         label: Some(label),
         cancel: None,
+        scalar_ensemble: args.scalar_ensemble,
     }
 }
 

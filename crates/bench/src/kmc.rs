@@ -1,0 +1,168 @@
+//! Shared kinetic Monte-Carlo bench harness.
+//!
+//! One place that builds, runs and times the scalar incremental engine and
+//! the batched lockstep engine, so `benches/kmc_throughput.rs` and
+//! `benches/kmc_hotpath.rs` measure the *same* loops instead of each
+//! reconstructing its own copy.
+
+use se_engine::derive_seed;
+use se_montecarlo::{BatchedKmcEngine, MonteCarloSimulator, SimulationOptions};
+use se_orthodox::TunnelSystem;
+use std::time::Instant;
+
+/// Builds a scalar simulator over a clone of `system`.
+///
+/// # Panics
+///
+/// Panics if the system is rejected by the engine (bench fixtures are
+/// valid by construction).
+#[must_use]
+pub fn simulator(
+    system: &TunnelSystem,
+    temperature: f64,
+    seed: u64,
+    equilibration: usize,
+) -> MonteCarloSimulator {
+    MonteCarloSimulator::new(
+        system.clone(),
+        SimulationOptions::new(temperature)
+            .with_seed(seed)
+            .with_equilibration(equilibration),
+    )
+    .expect("valid bench system")
+}
+
+/// Runs `events` measured events on the scalar incremental engine and
+/// returns `(events executed, simulated seconds)`.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the system or the run fails.
+#[must_use]
+pub fn run_scalar(
+    system: &TunnelSystem,
+    temperature: f64,
+    seed: u64,
+    equilibration: usize,
+    events: usize,
+) -> (u64, f64) {
+    let mut sim = simulator(system, temperature, seed, equilibration);
+    let result = sim.run_events(events).expect("run succeeds");
+    (result.events(), result.total_time())
+}
+
+/// Runs `events` measured events on each of `replicas` sequential scalar
+/// simulators with the batched engine's per-replica seed contract
+/// (replica `k` gets [`derive_seed`]`(base_seed, k)`) and returns the
+/// aggregate `(events executed, summed simulated seconds)` — the
+/// one-replica-at-a-time baseline the batched engine is measured against.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the system or a run fails.
+#[must_use]
+pub fn run_sequential_replicas(
+    system: &TunnelSystem,
+    temperature: f64,
+    base_seed: u64,
+    replicas: usize,
+    equilibration: usize,
+    events: usize,
+) -> (u64, f64) {
+    let mut total_events = 0;
+    let mut total_time = 0.0;
+    for replica in 0..replicas as u64 {
+        let (executed, time) = run_scalar(
+            system,
+            temperature,
+            derive_seed(base_seed, replica),
+            equilibration,
+            events,
+        );
+        total_events += executed;
+        total_time += time;
+    }
+    (total_events, total_time)
+}
+
+/// Runs `events` measured events on each of `replicas` lockstep replicas
+/// of the batched engine and returns the aggregate
+/// `(events executed, summed simulated seconds)`. Replica `k` is
+/// bit-identical to the scalar run with seed
+/// [`derive_seed`]`(base_seed, k)`.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the system or the run fails.
+#[must_use]
+pub fn run_batched(
+    system: &TunnelSystem,
+    temperature: f64,
+    base_seed: u64,
+    replicas: usize,
+    equilibration: usize,
+    events: usize,
+) -> (u64, f64) {
+    let options = SimulationOptions::new(temperature).with_equilibration(equilibration);
+    let mut batch = BatchedKmcEngine::from_base_seed(system.clone(), options, replicas, base_seed)
+        .expect("valid bench system");
+    let results = batch.run_events_all(events).expect("batched run succeeds");
+    let total_events = results.iter().map(se_montecarlo::RunResult::events).sum();
+    let total_time = results
+        .iter()
+        .map(se_montecarlo::RunResult::total_time)
+        .sum();
+    (total_events, total_time)
+}
+
+/// Best-of-`samples` wall-clock throughput of one run shape, in
+/// events/second. `run` is handed the 1-based sample index (vary the seed
+/// with it so samples are independent) and must return
+/// `(events executed, simulated seconds)`.
+///
+/// # Panics
+///
+/// Panics if a sample executes fewer events than `expected` (the circuit
+/// froze) or reports a non-positive simulated time.
+#[must_use]
+pub fn best_events_per_sec(
+    expected: u64,
+    samples: usize,
+    mut run: impl FnMut(u64) -> (u64, f64),
+) -> f64 {
+    let mut best = 0.0_f64;
+    for sample in 0..samples {
+        let start = Instant::now();
+        let (executed, time) = run(sample as u64 + 1);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            executed == expected,
+            "expected {expected} events, executed {executed} (the circuit froze)"
+        );
+        assert!(time > 0.0, "simulated time must advance");
+        best = best.max(expected as f64 / elapsed);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_system;
+
+    #[test]
+    fn batched_and_sequential_replicas_agree_bit_for_bit() {
+        let system = chain_system(2, 0.15, crate::REFERENCE_C_GATE);
+        let (seq_events, seq_time) = run_sequential_replicas(&system, 0.1, 9, 4, 0, 500);
+        let (batch_events, batch_time) = run_batched(&system, 0.1, 9, 4, 0, 500);
+        assert_eq!(seq_events, batch_events);
+        assert_eq!(seq_time.to_bits(), batch_time.to_bits());
+    }
+
+    #[test]
+    fn throughput_harness_reports_positive_rates() {
+        let system = chain_system(2, 0.15, crate::REFERENCE_C_GATE);
+        let rate = best_events_per_sec(1000, 2, |seed| run_scalar(&system, 0.1, seed, 0, 1000));
+        assert!(rate > 0.0);
+    }
+}

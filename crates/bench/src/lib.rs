@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kmc;
+
 use se_orthodox::set::SingleElectronTransistor;
 use se_orthodox::{TunnelSystem, TunnelSystemBuilder};
 

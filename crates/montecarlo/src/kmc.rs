@@ -423,7 +423,8 @@ impl MonteCarloSimulator {
     }
 }
 
-/// Time-weighted island-occupation accumulator.
+/// Time-weighted island-occupation accumulator, shared by the scalar step
+/// loop and the batched ensemble engine ([`crate::batched`]).
 ///
 /// The occupation integral `∫ n_i dt` is piecewise constant and only
 /// changes when an event touches island `i`, so instead of accumulating
@@ -431,13 +432,13 @@ impl MonteCarloSimulator {
 /// pre-event state), each island carries the start time of its current
 /// segment and settles the finished segment only when its charge actually
 /// changes — O(islands touched) per event.
-struct OccupationTracker {
+pub(crate) struct OccupationTracker {
     occupation_time: Vec<f64>,
     segment_start: Vec<f64>,
 }
 
 impl OccupationTracker {
-    fn new(islands: usize, start: f64) -> Self {
+    pub(crate) fn new(islands: usize, start: f64) -> Self {
         OccupationTracker {
             occupation_time: vec![0.0; islands],
             segment_start: vec![start; islands],
@@ -449,23 +450,41 @@ impl OccupationTracker {
     /// clamped) event time.
     #[inline]
     fn record(&mut self, system: &TunnelSystem, state: &ChargeState, event: TunnelEvent, t: f64) {
-        let (from, to) = system.event_endpoints(event);
+        self.record_endpoints(system.event_endpoints(event), |i| state.0[i], t);
+    }
+
+    /// [`Self::record`] with the post-event island charges supplied by a
+    /// lookup instead of a materialized [`ChargeState`] — the batched
+    /// engine's lanes keep their electrons in island-major planes.
+    #[inline]
+    pub(crate) fn record_endpoints(
+        &mut self,
+        endpoints: (se_orthodox::Endpoint, se_orthodox::Endpoint),
+        electrons: impl Fn(usize) -> i64,
+        t: f64,
+    ) {
+        let (from, to) = endpoints;
         if let se_orthodox::Endpoint::Island(i) = from {
             // The electron just left: the segment that ended held n + 1.
-            self.occupation_time[i] += (state.0[i] + 1) as f64 * (t - self.segment_start[i]);
+            self.occupation_time[i] += (electrons(i) + 1) as f64 * (t - self.segment_start[i]);
             self.segment_start[i] = t;
         }
         if let se_orthodox::Endpoint::Island(i) = to {
-            self.occupation_time[i] += (state.0[i] - 1) as f64 * (t - self.segment_start[i]);
+            self.occupation_time[i] += (electrons(i) - 1) as f64 * (t - self.segment_start[i]);
             self.segment_start[i] = t;
         }
     }
 
     /// Settles every island's open segment up to `t_end` and returns the
     /// per-island occupation times.
-    fn finish(mut self, state: &ChargeState, t_end: f64) -> Vec<f64> {
+    fn finish(self, state: &ChargeState, t_end: f64) -> Vec<f64> {
+        self.finish_with(|i| state.0[i], t_end)
+    }
+
+    /// [`Self::finish`] with the final island charges supplied by a lookup.
+    pub(crate) fn finish_with(mut self, electrons: impl Fn(usize) -> i64, t_end: f64) -> Vec<f64> {
         for (i, occ) in self.occupation_time.iter_mut().enumerate() {
-            *occ += state.0[i] as f64 * (t_end - self.segment_start[i]);
+            *occ += electrons(i) as f64 * (t_end - self.segment_start[i]);
         }
         self.occupation_time
     }
@@ -480,9 +499,36 @@ impl OccupationTracker {
 /// above the linear scan's accumulation, the last non-zero rate wins.
 #[inline]
 fn select_event<R: Rng + ?Sized>(rng: &mut R, rates: &[f64], total: f64) -> usize {
+    select_event_from(rng, rates.iter().copied(), total)
+}
+
+/// [`select_event`] over any event-ordered weight iterator — the batched
+/// engine feeds one replica's strided lane of the event-major rate matrix.
+/// One forward pass: the zero-skip accumulation of the scalar scan plus the
+/// round-off fallback (last non-zero weight wins) folded into the same
+/// traversal, so the selected index — and the single RNG draw — are
+/// bit-identical to the scalar path.
+#[inline]
+pub(crate) fn select_event_from<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: impl Iterator<Item = f64>,
+    total: f64,
+) -> usize {
     let target = rng.gen::<f64>() * total;
+    select_with_target(weights, target)
+}
+
+/// The deterministic tail of [`select_event_from`]: the zero-skip linear
+/// scan for the first positive weight whose running sum exceeds `target`,
+/// falling back to the last positive weight when round-off leaves the
+/// target unreached. Split out so the batched engine can draw every
+/// replica's target in its per-lane RNG phase and resolve the selections
+/// afterwards (by mask or by this scan) without touching any stream order.
+#[inline]
+pub(crate) fn select_with_target(weights: impl Iterator<Item = f64>, target: f64) -> usize {
     let mut acc = 0.0;
-    for (i, &w) in rates.iter().enumerate() {
+    let mut last_nonzero = None;
+    for (i, w) in weights.enumerate() {
         // Skipping zero rates leaves the accumulation unchanged and spares
         // the frozen majority of a cold circuit's events the fp add.
         if w > 0.0 {
@@ -490,12 +536,10 @@ fn select_event<R: Rng + ?Sized>(rng: &mut R, rates: &[f64], total: f64) -> usiz
             if target < acc {
                 return i;
             }
+            last_nonzero = Some(i);
         }
     }
-    rates
-        .iter()
-        .rposition(|&w| w > 0.0)
-        .expect("the total rate was positive")
+    last_nonzero.expect("the total rate was positive")
 }
 
 #[cfg(test)]

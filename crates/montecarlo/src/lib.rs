@@ -78,6 +78,7 @@
 // range violations.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod batched;
 pub mod builder;
 pub mod engine;
 pub mod error;
@@ -86,6 +87,7 @@ pub mod master;
 pub mod observables;
 pub mod sweep;
 
+pub use batched::{BatchedKmcEngine, ReplicaObservation};
 pub use builder::tunnel_system_from_netlist;
 pub use engine::{resolve_electrode, resolve_junction};
 pub use error::MonteCarloError;
@@ -96,6 +98,7 @@ pub use sweep::{gate_sweep_kmc, gate_sweep_master, stability_map_master, SweepPo
 
 /// Commonly used types for driving the Monte-Carlo simulator.
 pub mod prelude {
+    pub use crate::batched::{BatchedKmcEngine, ReplicaObservation};
     pub use crate::builder::tunnel_system_from_netlist;
     pub use crate::error::MonteCarloError;
     pub use crate::kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};

@@ -23,7 +23,8 @@
 //! `.options` keys (all case-insensitive): `TEMP` (kelvin), `SEED`,
 //! `ENGINE` (`auto`, `analytic`, `master`, `kmc`, `spice`, `hybrid`),
 //! `WINDOW` and `MAXSTATES` (master-equation caps), `EVENTS` (kinetic
-//! Monte-Carlo measurement events per stationary solve).
+//! Monte-Carlo measurement events per stationary solve), `REPEATS` (seed
+//! ensemble size per bias point / trace — kinetic Monte-Carlo only).
 
 use crate::netlist::Netlist;
 use se_engine::Waveform;
@@ -166,6 +167,10 @@ pub struct AnalysisOptions {
     pub master_max_states: Option<usize>,
     /// Kinetic Monte-Carlo measurement events per stationary solve.
     pub kmc_events: Option<usize>,
+    /// Seed-ensemble size: every bias point (or the whole trace) is solved
+    /// this many times with per-repeat derived seeds, and the result table
+    /// reports mean and standard-error columns. Kinetic Monte-Carlo only.
+    pub repeats: Option<usize>,
 }
 
 impl Default for AnalysisOptions {
@@ -177,6 +182,7 @@ impl Default for AnalysisOptions {
             master_window: None,
             master_max_states: None,
             kmc_events: None,
+            repeats: None,
         }
     }
 }
@@ -409,6 +415,9 @@ fn options_card(options: &AnalysisOptions, defaults: &AnalysisOptions) -> String
     }
     if let Some(events) = options.kmc_events {
         card.push_str(&format!(" events={events}"));
+    }
+    if let Some(repeats) = options.repeats {
+        card.push_str(&format!(" repeats={repeats}"));
     }
     card
 }

@@ -329,6 +329,17 @@ fn parse_options(args: &[&str], line: usize, deck: &mut Deck) -> Result<(), Netl
                 }
                 deck.options.kmc_events = Some(events);
             }
+            "repeats" => {
+                let repeats = value.parse::<usize>().map_err(|_| {
+                    err(format!(
+                        "repeats must be an unsigned integer, got `{value}`"
+                    ))
+                })?;
+                if repeats == 0 {
+                    return Err(err("repeats must be at least 1".into()));
+                }
+                deck.options.repeats = Some(repeats);
+            }
             other => {
                 deck.diagnostics.push(ParseDiagnostic {
                     line,
@@ -971,7 +982,7 @@ CG gate island 0.5a
 
     #[test]
     fn options_merge_and_validate() {
-        let deck = "t\nV1 a 0 1\nR1 a 0 1k\n.options temp=4.2 seed=42\n.options engine=kmc events=2000 window=4 maxstates=10000\n";
+        let deck = "t\nV1 a 0 1\nR1 a 0 1k\n.options temp=4.2 seed=42\n.options engine=kmc events=2000 window=4 maxstates=10000 repeats=16\n";
         let parsed = parse_full_deck(deck).unwrap();
         assert!((parsed.options.temperature - 4.2).abs() < 1e-12);
         assert_eq!(parsed.options.seed, 42);
@@ -979,6 +990,7 @@ CG gate island 0.5a
         assert_eq!(parsed.options.kmc_events, Some(2000));
         assert_eq!(parsed.options.master_window, Some(4));
         assert_eq!(parsed.options.master_max_states, Some(10_000));
+        assert_eq!(parsed.options.repeats, Some(16));
 
         for bad in [
             ".options temp=-1",
@@ -987,6 +999,8 @@ CG gate island 0.5a
             ".options window=0",
             ".options maxstates=0",
             ".options events=0",
+            ".options repeats=0",
+            ".options repeats=many",
         ] {
             let deck = format!("t\nV1 a 0 1\nR1 a 0 1k\n{bad}\n");
             assert!(parse_full_deck(&deck).is_err(), "`{bad}` should fail");

@@ -1,0 +1,957 @@
+//! Struct-of-arrays twin of the incremental hot path: N replicas of one
+//! system, stepped in lockstep over endpoint-major potential planes.
+//!
+//! The Monte-Carlo method is embarrassingly ensemble-shaped — seed repeats,
+//! stationary solves at one bias point, noise statistics — yet running N
+//! independent [`LiveState`](crate::LiveState)/[`crate::RateContext`] walks makes
+//! every replica re-load the same per-junction constants (endpoint indices,
+//! prefactors, self-charging energies) once per event. This module packs the
+//! per-replica state the other way round, so one warm pass over the junction
+//! tables serves the whole batch:
+//!
+//! ```text
+//! BatchedLiveState (N replicas, endpoint-major planes)
+//!
+//!   phi:        [ φ(island 0): r0 r1 … rN-1 | φ(island 1): r0 … | … | φ(ext 0): r0 … ]
+//!   electrons:  [ n(island 0): r0 r1 … rN-1 | n(island 1): r0 … ]
+//!   rates:      [ Γ(event 0):  r0 r1 … rN-1 | Γ(event 1):  r0 … ]   (event-major planes)
+//!   totals:     [ Σ_e Γ_e  per replica ]
+//! ```
+//!
+//! [`BatchedRateContext::fill_rates_batch`] walks the junctions once; for
+//! each junction it loads the endpoint pair, prefactor and self-charging
+//! energy a single time and evaluates the two directed rates for all N
+//! replicas over the two contiguous potential planes. The frozen-event
+//! cutoff and the strongly-favourable linear branch — which together cover
+//! every event of a cold circuit — reduce to two compares and one multiply
+//! per rate; only mid-regime (thermal-window) events fall back to the exact
+//! shared kernel (`rate_from_parts` in [`crate::rates`]).
+//!
+//! Bit-identity contract: every floating-point operation applied to one
+//! replica's lane — the potential axpys of [`BatchedLiveState::apply`] and
+//! [`BatchedLiveState::sync_replica`], the per-junction rate evaluation and
+//! the junction-order total accumulation, and the periodic exact refresh
+//! after [`REFRESH_INTERVAL`] lane updates — is the *same operation in the
+//! same order* as the scalar [`LiveState`](crate::LiveState) path. A batch lane is therefore
+//! bit-for-bit identical to a standalone scalar walk of the same event
+//! sequence, which is what lets the batched Monte-Carlo engine share seeds
+//! (and tests, and goldens) with the single-replica simulator.
+
+use crate::error::OrthodoxError;
+use crate::live::{RateContext, REFRESH_INTERVAL};
+use crate::rates::{rate_from_parts, rate_from_parts_branchfree, MAX_EXPONENT};
+use crate::system::{ChargeState, Direction, Endpoint, TunnelEvent, TunnelSystem};
+use se_units::constants::E;
+
+/// N replicas of one system's charge state and cached island potentials,
+/// packed as endpoint-major struct-of-arrays planes.
+///
+/// The batched sibling of [`LiveState`](crate::LiveState): replica `r`'s lane — the strided
+/// elements `phi[e·N + r]`, `electrons[i·N + r]` — evolves through exactly
+/// the scalar update algebra (one response-column axpy per event or drive
+/// change, an exact recompute every [`REFRESH_INTERVAL`] lane updates), so
+/// each lane stays bit-identical to a standalone `LiveState` fed the same
+/// sequence of events and syncs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedLiveState {
+    replicas: usize,
+    islands: usize,
+    externals: usize,
+    /// Endpoint-major potential planes: `phi[e * replicas + r]`, islands
+    /// first, then externals. The external planes double as each replica's
+    /// record of the last drive values folded in (what `sync_replica`
+    /// compares against), exactly like the scalar flat buffer's tail.
+    phi: Vec<f64>,
+    /// Island-major electron planes: `electrons[i * replicas + r]`, plus
+    /// one trailing *spill plane* at index `islands`. The spill plane lets
+    /// [`Self::apply_slotted`] update both event endpoints unconditionally
+    /// — external endpoints are routed to the spill slot instead of being
+    /// branched around, which keeps the batched hot loop free of the
+    /// data-dependent branches a lockstep front cannot predict. Spill
+    /// contents are garbage by design and never read back as physics.
+    electrons: Vec<i64>,
+    /// Island-major planes of the last-seen background charges.
+    seen_backgrounds: Vec<f64>,
+    /// Per-replica incremental-update counters driving the periodic exact
+    /// refresh (the same deterministic schedule as the scalar path).
+    updates_since_refresh: Vec<u32>,
+    /// Scratch charge state reused by per-replica refreshes.
+    scratch: ChargeState,
+    /// Per-event `[from_slot, to_slot]` decode table (see
+    /// [`Self::endpoint_slot`]) for the branchless batched applies.
+    event_slots: Vec<[usize; 2]>,
+    /// Island-plane-major scratch (`islands × replicas`, the same layout as
+    /// `phi`) holding each lane's signed response column during
+    /// [`Self::apply_all`]. Pass one scatters the per-lane columns here with
+    /// narrow stores; pass two then folds whole planes into `phi` with
+    /// contiguous vector adds — see `apply_all` for why the split matters.
+    apply_scratch: Vec<f64>,
+}
+
+impl BatchedLiveState {
+    /// Creates a batch of `replicas` lanes, all starting from `state`, with
+    /// the potentials computed exactly (the same construction as
+    /// [`LiveState::new`](crate::LiveState::new) per lane).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::InvalidParameter`] if `replicas == 0` or the
+    /// state's island count does not match the system.
+    pub fn new(
+        system: &TunnelSystem,
+        state: ChargeState,
+        replicas: usize,
+    ) -> Result<Self, OrthodoxError> {
+        if replicas == 0 {
+            return Err(OrthodoxError::InvalidParameter(
+                "a batch needs at least one replica".into(),
+            ));
+        }
+        let islands = system.island_count();
+        if state.0.len() != islands {
+            return Err(OrthodoxError::InvalidParameter(format!(
+                "charge state has {} islands, system has {islands}",
+                state.0.len()
+            )));
+        }
+        let externals = system.external_count();
+        let event_slots = (0..system.event_count())
+            .map(|e| {
+                let (from, to) = system.event_endpoints(system.event(e));
+                let slot = |endpoint| match endpoint {
+                    Endpoint::Island(i) => i,
+                    Endpoint::External(_) => islands,
+                };
+                [slot(from), slot(to)]
+            })
+            .collect();
+        let mut live = BatchedLiveState {
+            replicas,
+            islands,
+            externals,
+            phi: vec![0.0; (islands + externals) * replicas],
+            // One extra spill plane (see the field docs) after the islands.
+            electrons: vec![0; (islands + 1) * replicas],
+            seen_backgrounds: vec![0.0; islands * replicas],
+            updates_since_refresh: vec![0; replicas],
+            scratch: state.clone(),
+            event_slots,
+            apply_scratch: vec![0.0; islands * replicas],
+        };
+        // All lanes start identical: compute the exact potentials once
+        // (the very computation a scalar refresh performs) and broadcast.
+        let potentials = system.island_potentials(&state);
+        for (i, &n) in state.0.iter().enumerate() {
+            live.electrons[i * replicas..(i + 1) * replicas].fill(n);
+        }
+        for (i, &p) in potentials.iter().enumerate() {
+            live.phi[i * replicas..(i + 1) * replicas].fill(p);
+        }
+        for k in 0..externals {
+            let plane = (islands + k) * replicas;
+            live.phi[plane..plane + replicas].fill(system.external_voltage(k));
+        }
+        for i in 0..islands {
+            let plane = i * replicas;
+            live.seen_backgrounds[plane..plane + replicas].fill(system.background_charge(i));
+        }
+        Ok(live)
+    }
+
+    /// Number of replica lanes.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of islands per replica.
+    #[must_use]
+    pub fn islands(&self) -> usize {
+        self.islands
+    }
+
+    /// The number of excess electrons on `island` in replica `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `island` or `r` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn electron_count(&self, island: usize, r: usize) -> i64 {
+        assert!(island < self.islands, "island {island} out of range");
+        assert!(r < self.replicas, "replica {r} out of range");
+        self.electrons[island * self.replicas + r]
+    }
+
+    /// [`Self::electron_count`] addressed by *slot*: a slot is either an
+    /// island index or the spill slot `islands()` that
+    /// [`Self::apply_slotted`] routes external endpoints to. Reading the
+    /// spill slot is allowed and returns its (meaningless) accumulator —
+    /// callers that settle per-slot occupation unconditionally multiply it
+    /// into the matching spill entry of their own planes and never report
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot > islands()` or `r` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn slot_electron_count(&self, slot: usize, r: usize) -> i64 {
+        assert!(slot <= self.islands, "slot {slot} out of range");
+        assert!(r < self.replicas, "replica {r} out of range");
+        self.electrons[slot * self.replicas + r]
+    }
+
+    /// Materializes replica `r`'s charge state (a strided gather — meant
+    /// for observation, not the hot loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn charge_state(&self, r: usize) -> ChargeState {
+        assert!(r < self.replicas, "replica {r} out of range");
+        ChargeState(
+            (0..self.islands)
+                .map(|i| self.electrons[i * self.replicas + r])
+                .collect(),
+        )
+    }
+
+    /// Materializes replica `r`'s cached island potentials in volt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn potentials(&self, r: usize) -> Vec<f64> {
+        assert!(r < self.replicas, "replica {r} out of range");
+        (0..self.islands)
+            .map(|i| self.phi[i * self.replicas + r])
+            .collect()
+    }
+
+    /// The full endpoint-major potential planes (for the batched rate fill).
+    pub(crate) fn endpoint_planes(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Recomputes replica `r`'s potentials exactly from the system and
+    /// resets its drift counter — the per-lane twin of
+    /// [`LiveState::refresh`](crate::LiveState::refresh).
+    pub fn refresh_replica(&mut self, system: &TunnelSystem, r: usize) {
+        let replicas = self.replicas;
+        for i in 0..self.islands {
+            self.scratch.0[i] = self.electrons[i * replicas + r];
+        }
+        let potentials = system.island_potentials(&self.scratch);
+        for (i, &p) in potentials.iter().enumerate() {
+            self.phi[i * replicas + r] = p;
+        }
+        for k in 0..self.externals {
+            self.phi[(self.islands + k) * replicas + r] = system.external_voltage(k);
+        }
+        for i in 0..self.islands {
+            self.seen_backgrounds[i * replicas + r] = system.background_charge(i);
+        }
+        self.updates_since_refresh[r] = 0;
+    }
+
+    /// Folds any drive-voltage or background-charge changes made to the
+    /// system since replica `r` last synced into its lane — one axpy of the
+    /// precomputed response column per changed value, exactly the scalar
+    /// [`LiveState::sync`](crate::LiveState::sync) comparison pass on lane `r`.
+    pub fn sync_replica(&mut self, system: &TunnelSystem, r: usize) {
+        let replicas = self.replicas;
+        for k in 0..self.externals {
+            let v = system.external_voltage(k);
+            let seen = self.phi[(self.islands + k) * replicas + r];
+            if v != seen {
+                let dv = v - seen;
+                let column = system.drive_response(k);
+                for (i, &c) in column.iter().enumerate() {
+                    self.phi[i * replicas + r] += dv * c;
+                }
+                self.phi[(self.islands + k) * replicas + r] = v;
+                self.count_update(system, r);
+            }
+        }
+        for i in 0..self.islands {
+            let q0 = system.background_charge(i);
+            let seen = self.seen_backgrounds[i * replicas + r];
+            if q0 != seen {
+                // q_i = −e·n_i + e·q0_i, so Δq0 adds e·Δq0 of island charge.
+                let dq = E * (q0 - seen);
+                let column = system.inverse_row(i);
+                for (ii, &c) in column.iter().enumerate() {
+                    self.phi[ii * replicas + r] += dq * c;
+                }
+                self.seen_backgrounds[i * replicas + r] = q0;
+                self.count_update(system, r);
+            }
+        }
+    }
+
+    /// Applies a tunnel event to replica `r`: one electron moves and the
+    /// lane's potentials are corrected with a single axpy of the junction's
+    /// precomputed event-response column — the scalar [`LiveState::apply`](crate::LiveState::apply)
+    /// on lane `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's junction index or `r` is out of range.
+    #[inline]
+    pub fn apply(&mut self, system: &TunnelSystem, event: TunnelEvent, r: usize) {
+        let (from, to) = system.event_endpoints(event);
+        let sign = match event.direction {
+            Direction::AToB => 1.0,
+            Direction::BToA => -1.0,
+        };
+        self.apply_slotted(
+            system,
+            event.junction,
+            sign,
+            self.endpoint_slot(from),
+            self.endpoint_slot(to),
+            r,
+        );
+    }
+
+    /// The slot (electron-plane index) an endpoint maps to: the island
+    /// index for an island, the spill slot `islands()` for an external —
+    /// the addressing scheme of [`Self::apply_slotted`].
+    #[inline]
+    #[must_use]
+    pub fn endpoint_slot(&self, endpoint: Endpoint) -> usize {
+        match endpoint {
+            Endpoint::Island(i) => i,
+            Endpoint::External(_) => self.islands,
+        }
+    }
+
+    /// [`Self::apply`] with the event pre-decoded into its branchless form:
+    /// junction index, direction sign (`+1.0` for a→b, `-1.0` for b→a) and
+    /// the two endpoint slots (see [`Self::endpoint_slot`]). Both electron
+    /// updates execute unconditionally — external endpoints land in the
+    /// spill plane — so a lockstep caller pays no data-dependent branch per
+    /// event. Island lanes see the exact scalar arithmetic; bit-identity is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot, the junction index or `r` is out of range.
+    #[inline]
+    pub fn apply_slotted(
+        &mut self,
+        system: &TunnelSystem,
+        junction: usize,
+        sign: f64,
+        from_slot: usize,
+        to_slot: usize,
+        r: usize,
+    ) {
+        let replicas = self.replicas;
+        assert!(r < replicas, "replica {r} out of range");
+        assert!(from_slot <= self.islands, "from slot out of range");
+        assert!(to_slot <= self.islands, "to slot out of range");
+        self.electrons[from_slot * replicas + r] -= 1;
+        self.electrons[to_slot * replicas + r] += 1;
+        let column = system.junction_response(junction);
+        // `chunks_exact_mut` walks the endpoint planes with the single
+        // bounds check above instead of one per plane.
+        for (plane, &c) in self.phi.chunks_exact_mut(replicas).zip(column.iter()) {
+            plane[r] += sign * c;
+        }
+        self.count_update(system, r);
+    }
+
+    /// Applies one chosen event **per lane** — `chosen[r]` is the canonical
+    /// event index lane `r` executes — in a store-width-aware two-pass
+    /// sweep. This is the lockstep engine's apply: per lane it performs
+    /// exactly the [`Self::apply`] arithmetic (same electron moves, same
+    /// response-column axpy, same refresh schedule), so bit-identity with
+    /// the scalar path is untouched.
+    ///
+    /// Why not just call [`Self::apply`] per lane? Each lane's axpy scatters
+    /// narrow stores across the endpoint planes, and the very next batched
+    /// rate fill reads those planes with full-width vector loads — loads
+    /// that overlap several pending narrow stores cannot be
+    /// store-forwarded and stall until the stores retire, which measures
+    /// as ~4× the cost of the apply arithmetic itself. So pass one
+    /// scatters each lane's signed column into a plane-major scratch (the
+    /// narrow stores land *there*), and pass two folds the scratch into
+    /// the potentials plane-by-plane as a contiguous vectorized
+    /// read-modify-write — the planes only ever see full-width stores, so
+    /// the fill's full-width loads always forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chosen.len() != replicas()` or an event index is out of
+    /// range.
+    pub fn apply_all(&mut self, system: &TunnelSystem, chosen: &[usize]) {
+        let replicas = self.replicas;
+        let islands = self.islands;
+        assert_eq!(chosen.len(), replicas, "one chosen event per lane");
+        // Pass 1: per lane — move the electron (the spill plane absorbs
+        // external endpoints) and scatter sign · column into the lane's
+        // strided scratch slots.
+        for (r, &e) in chosen.iter().enumerate() {
+            let [from, to] = self.event_slots[e];
+            self.electrons[from * replicas + r] -= 1;
+            self.electrons[to * replicas + r] += 1;
+            let sign = if e & 1 == 0 { 1.0 } else { -1.0 };
+            let column = system.junction_response(e >> 1);
+            for (i, &c) in column.iter().enumerate() {
+                self.apply_scratch[i * replicas + r] = sign * c;
+            }
+        }
+        // The drift counters tick between the scratch scatter and the
+        // scratch reload below, giving the scattered stores time to drain.
+        // Any lane that hits the refresh interval resyncs *after* pass 2 —
+        // the scalar order (axpy, then refresh) — so the exact recompute is
+        // never clobbered by the pending scratch fold.
+        let mut refresh_due = false;
+        for ticks in &mut self.updates_since_refresh {
+            *ticks += 1;
+            refresh_due |= *ticks >= REFRESH_INTERVAL;
+        }
+        // Pass 2: plane-major accumulate — wide scratch loads, one wide
+        // read-modify-write per island plane.
+        let scratch = self.apply_scratch[..islands * replicas].chunks_exact(replicas);
+        for (plane, adds) in self.phi.chunks_exact_mut(replicas).zip(scratch) {
+            for (p, &a) in plane.iter_mut().zip(adds.iter()) {
+                *p += a;
+            }
+        }
+        if refresh_due {
+            for r in 0..replicas {
+                if self.updates_since_refresh[r] >= REFRESH_INTERVAL {
+                    self.refresh_replica(system, r);
+                }
+            }
+        }
+    }
+
+    fn count_update(&mut self, system: &TunnelSystem, r: usize) {
+        self.updates_since_refresh[r] += 1;
+        if self.updates_since_refresh[r] >= REFRESH_INTERVAL {
+            self.refresh_replica(system, r);
+        }
+    }
+}
+
+/// The batched rate evaluator: one [`RateContext`] shared by N replica
+/// lanes, filling an `n_events × n_replicas` rate matrix (event-major
+/// planes) in a single junction-major pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedRateContext {
+    ctx: RateContext,
+    replicas: usize,
+    /// Per-junction prediction: did this junction need the exact thermal
+    /// kernel on the previous [`Self::fill_rates_batch`]? Junctions whose
+    /// ΔF sits inside the thermal window tend to stay there for many
+    /// events, so a warm junction skips the fast linear pass and runs the
+    /// (bitwise-equivalent) branch-free exact kernel directly — one lane
+    /// loop per junction instead of two. Purely a performance hint: both
+    /// code paths produce identical bits, so a stale prediction costs a
+    /// few cycles, never correctness. Interior mutability keeps the fill
+    /// entry points `&self` for the engine's borrow patterns.
+    warm: std::cell::RefCell<Vec<bool>>,
+}
+
+impl BatchedRateContext {
+    /// Builds the shared rate table for a system at the given temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrthodoxError::InvalidParameter`] for `replicas == 0` or an
+    /// invalid temperature (see [`RateContext::new`]).
+    pub fn new(
+        system: &TunnelSystem,
+        temperature: f64,
+        replicas: usize,
+    ) -> Result<Self, OrthodoxError> {
+        if replicas == 0 {
+            return Err(OrthodoxError::InvalidParameter(
+                "a batch needs at least one replica".into(),
+            ));
+        }
+        Ok(BatchedRateContext {
+            ctx: RateContext::new(system, temperature)?,
+            replicas,
+            warm: std::cell::RefCell::new(vec![false; system.junctions().len()]),
+        })
+    }
+
+    /// The shared scalar rate table.
+    #[must_use]
+    pub fn context(&self) -> &RateContext {
+        &self.ctx
+    }
+
+    /// Number of replica lanes the fill serves.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Evaluates the rate of every candidate event for **all** replicas in
+    /// one junction-major pass. `rates` is resized to
+    /// `event_count × replicas`, laid out as event-major planes
+    /// (`rates[e·N + r]` is event `e`'s rate in replica `r`, events in the
+    /// canonical [`TunnelSystem::event`] order); `totals` is resized to one
+    /// total rate per replica, accumulated junction-by-junction in exactly
+    /// the scalar [`RateContext::fill_rates`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live` was built for a different replica count.
+    pub fn fill_rates_batch(
+        &self,
+        system: &TunnelSystem,
+        live: &BatchedLiveState,
+        rates: &mut Vec<f64>,
+        totals: &mut Vec<f64>,
+    ) {
+        let replicas = self.replicas;
+        assert_eq!(live.replicas(), replicas, "replica counts must match");
+        debug_assert_eq!(self.ctx.endpoints().len(), system.junctions().len());
+        let phi = live.endpoint_planes();
+        let endpoints = self.ctx.endpoints();
+        rates.resize(2 * endpoints.len() * replicas, 0.0);
+        totals.clear();
+        totals.resize(replicas, 0.0);
+        let kt = self.ctx.kt();
+        let inv_kt = self.ctx.inv_kt();
+        let cutoff = self.ctx.frozen_cutoff();
+        // A ΔF needs the exact thermal kernel when `ΔF · inv_kt` stays
+        // above `-MAX_EXPONENT` — i.e. `ΔF ≥ -MAX_EXPONENT · kt` for
+        // positive kt, and *always* at kt = 0 (where `inv_kt` is zero and
+        // the product degenerates to 0). Folding that into a precomputed
+        // lower bound trades the per-rate multiply for one compare.
+        let patch_floor = if inv_kt > 0.0 {
+            -MAX_EXPONENT * kt
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut warm = self.warm.borrow_mut();
+        warm.resize(endpoints.len(), false);
+        for (j, &(ia, ib)) in endpoints.iter().enumerate() {
+            let prefactor = self.ctx.prefactors()[j];
+            let self_energy = self.ctx.self_energies()[j];
+            let plane_a = &phi[ia * replicas..(ia + 1) * replicas];
+            let plane_b = &phi[ib * replicas..(ib + 1) * replicas];
+            let (out_ab, rest) = rates[2 * j * replicas..].split_at_mut(replicas);
+            let out_ba = &mut rest[..replicas];
+            if warm[j] && inv_kt > 0.0 {
+                // Predicted warm: this junction needed the exact thermal
+                // kernel last fill, and ΔF drifts slowly, so skip the fast
+                // linear pass entirely — one branch-free exact loop per
+                // junction instead of two. The exact kernel is bitwise
+                // equal to the fast pass outside the window, so running it
+                // unconditionally cannot change any value; while here,
+                // recompute the window flag to steer the next fill.
+                let mut still_warm = false;
+                let lanes = plane_a
+                    .iter()
+                    .zip(plane_b.iter())
+                    .zip(out_ab.iter_mut())
+                    .zip(out_ba.iter_mut());
+                for (((&pa, &pb), ab), ba) in lanes {
+                    let phi_gap = E * (pa - pb);
+                    let df_ab = phi_gap + self_energy;
+                    let df_ba = self_energy - phi_gap;
+                    *ab = rate_from_parts_branchfree(df_ab, prefactor, kt, inv_kt);
+                    *ba = rate_from_parts_branchfree(df_ba, prefactor, kt, inv_kt);
+                    still_warm |= (df_ab <= cutoff) & (df_ab >= patch_floor);
+                    still_warm |= (df_ba <= cutoff) & (df_ba >= patch_floor);
+                }
+                warm[j] = still_warm;
+            } else {
+                self.fill_junction_cold(
+                    j,
+                    &mut warm,
+                    plane_a,
+                    plane_b,
+                    out_ab,
+                    out_ba,
+                    patch_floor,
+                );
+            }
+            // Totals fold in junction-by-junction — exactly the scalar
+            // [`RateContext::fill_rates`] accumulation order, so each
+            // lane's total is bitwise the scalar walk's total. Folding here,
+            // while the junction's freshly written planes still sit in L1,
+            // replaces a whole streaming re-read of `rates` at the end.
+            for ((total, &a), &b) in totals.iter_mut().zip(out_ab.iter()).zip(out_ba.iter()) {
+                *total += a + b;
+            }
+        }
+    }
+
+    /// The cold-junction half of [`Self::fill_rates_batch`]: fast linear
+    /// pass plus (rare) exact patch pass for one junction's lanes, updating
+    /// the junction's warm prediction for the next fill.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_junction_cold(
+        &self,
+        j: usize,
+        warm: &mut [bool],
+        plane_a: &[f64],
+        plane_b: &[f64],
+        out_ab: &mut [f64],
+        out_ba: &mut [f64],
+        patch_floor: f64,
+    ) {
+        let kt = self.ctx.kt();
+        let inv_kt = self.ctx.inv_kt();
+        let cutoff = self.ctx.frozen_cutoff();
+        let prefactor = self.ctx.prefactors()[j];
+        let self_energy = self.ctx.self_energies()[j];
+        {
+            // Fast pass, branch-free so it vectorizes across lanes: frozen
+            // events pin to zero, everything else takes the strongly-
+            // favourable linear rate — bitwise the values the exact kernel
+            // produces outside the thermal window. A lane-wide flag records
+            // whether any directed ΔF lands *inside* the window; only then
+            // does the (rare on a cold circuit) exact pass overwrite this
+            // junction's lanes with the shared scalar kernel.
+            let mut needs_patch = false;
+            let lanes = plane_a
+                .iter()
+                .zip(plane_b.iter())
+                .zip(out_ab.iter_mut())
+                .zip(out_ba.iter_mut());
+            for (((&pa, &pb), ab), ba) in lanes {
+                let phi_gap = E * (pa - pb);
+                let df_ab = phi_gap + self_energy;
+                let df_ba = self_energy - phi_gap;
+                *ab = if df_ab > cutoff {
+                    0.0
+                } else {
+                    -df_ab * prefactor
+                };
+                *ba = if df_ba > cutoff {
+                    0.0
+                } else {
+                    -df_ba * prefactor
+                };
+                needs_patch |= (df_ab <= cutoff) & (df_ab >= patch_floor);
+                needs_patch |= (df_ba <= cutoff) & (df_ba >= patch_floor);
+            }
+            warm[j] = needs_patch;
+            if needs_patch {
+                let lanes = plane_a
+                    .iter()
+                    .zip(plane_b.iter())
+                    .zip(out_ab.iter_mut())
+                    .zip(out_ba.iter_mut());
+                if inv_kt > 0.0 {
+                    // Warm circuit: the full thermal kernel, in its
+                    // branch-free form so the exact pass vectorizes across
+                    // lanes just like the fast pass (this is where warm
+                    // workloads spend their fill time).
+                    for (((&pa, &pb), ab), ba) in lanes {
+                        let phi_gap = E * (pa - pb);
+                        *ab = rate_from_parts_branchfree(
+                            phi_gap + self_energy,
+                            prefactor,
+                            kt,
+                            inv_kt,
+                        );
+                        *ba = rate_from_parts_branchfree(
+                            self_energy - phi_gap,
+                            prefactor,
+                            kt,
+                            inv_kt,
+                        );
+                    }
+                } else {
+                    for (((&pa, &pb), ab), ba) in lanes {
+                        let (rate_ab, rate_ba) = directed_rates(
+                            E * (pa - pb),
+                            self_energy,
+                            prefactor,
+                            kt,
+                            inv_kt,
+                            cutoff,
+                        );
+                        *ab = rate_ab;
+                        *ba = rate_ba;
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Self::fill_rates_batch`] restricted to a subset of replica lanes —
+    /// used once a batch front has retired replicas, so finished lanes cost
+    /// nothing. Only the listed replicas' rate lanes and totals are
+    /// (re)written; `rates`/`totals` must already have the full batch shape
+    /// (call [`Self::fill_rates_batch`] first or size them identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a subset index is out of range or the buffers have the
+    /// wrong shape.
+    pub fn fill_rates_subset(
+        &self,
+        system: &TunnelSystem,
+        live: &BatchedLiveState,
+        rates: &mut [f64],
+        totals: &mut [f64],
+        subset: &[usize],
+    ) {
+        let replicas = self.replicas;
+        assert_eq!(live.replicas(), replicas, "replica counts must match");
+        let endpoints = self.ctx.endpoints();
+        assert_eq!(rates.len(), 2 * endpoints.len() * replicas);
+        assert_eq!(totals.len(), replicas);
+        debug_assert_eq!(endpoints.len(), system.junctions().len());
+        let phi = live.endpoint_planes();
+        let kt = self.ctx.kt();
+        let inv_kt = self.ctx.inv_kt();
+        let cutoff = self.ctx.frozen_cutoff();
+        for &r in subset {
+            totals[r] = 0.0;
+        }
+        for (j, &(ia, ib)) in endpoints.iter().enumerate() {
+            let prefactor = self.ctx.prefactors()[j];
+            let self_energy = self.ctx.self_energies()[j];
+            let plane_a = &phi[ia * replicas..(ia + 1) * replicas];
+            let plane_b = &phi[ib * replicas..(ib + 1) * replicas];
+            let (out_ab, rest) = rates[2 * j * replicas..].split_at_mut(replicas);
+            let out_ba = &mut rest[..replicas];
+            for &r in subset {
+                let (rate_ab, rate_ba) = directed_rates(
+                    E * (plane_a[r] - plane_b[r]),
+                    self_energy,
+                    prefactor,
+                    kt,
+                    inv_kt,
+                    cutoff,
+                );
+                out_ab[r] = rate_ab;
+                out_ba[r] = rate_ba;
+                totals[r] += rate_ab + rate_ba;
+            }
+        }
+    }
+}
+
+/// Both directed rates of one junction given the potential gap — the
+/// branch-light core of the batched fill.
+///
+/// The fast path covers the two regimes that dominate a cold circuit with
+/// one compare and one multiply each: frozen events (`ΔF` above the
+/// Boltzmann-overflow cutoff → exact zero) and strongly-favourable events
+/// (`ΔF/kT < −MAX_EXPONENT` → the linear rate `−ΔF/(e²R)`). Only events in
+/// the thermal mid-regime — including the `ΔF → 0` series window, and
+/// everything at `kT = 0` where `inv_kt == 0` voids the regime test — are
+/// patched with the exact shared kernel [`rate_from_parts`], so every
+/// returned value is bit-identical to the scalar
+/// [`RateContext::fill_rates`] path.
+#[inline]
+fn directed_rates(
+    phi_gap: f64,
+    self_energy: f64,
+    prefactor: f64,
+    kt: f64,
+    inv_kt: f64,
+    cutoff: f64,
+) -> (f64, f64) {
+    let df_ab = phi_gap + self_energy;
+    let df_ba = self_energy - phi_gap;
+    let mut rate_ab = if df_ab > cutoff {
+        0.0
+    } else {
+        -df_ab * prefactor
+    };
+    let mut rate_ba = if df_ba > cutoff {
+        0.0
+    } else {
+        -df_ba * prefactor
+    };
+    if df_ab <= cutoff && df_ab * inv_kt >= -MAX_EXPONENT {
+        rate_ab = rate_from_parts(df_ab, prefactor, kt, inv_kt);
+    }
+    if df_ba <= cutoff && df_ba * inv_kt >= -MAX_EXPONENT {
+        rate_ba = rate_from_parts(df_ba, prefactor, kt, inv_kt);
+    }
+    (rate_ab, rate_ba)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::LiveState;
+    use crate::system::TunnelSystemBuilder;
+
+    /// Two-island chain with a gate (the `live` module's test circuit).
+    fn chain(vd: f64, vg: f64) -> TunnelSystem {
+        let mut b = TunnelSystemBuilder::new();
+        let i0 = b.island("i0", 0.0);
+        let i1 = b.island("i1", 0.1);
+        let drain = b.external("drain", vd);
+        let source = b.external("source", 0.0);
+        let gate = b.external("gate", vg);
+        b.junction("J0", drain, i0, 0.7e-18, 80e3);
+        b.junction("J1", i0, i1, 0.4e-18, 120e3);
+        b.junction("J2", i1, source, 0.6e-18, 90e3);
+        b.capacitor("Cg0", gate, i0, 0.3e-18);
+        b.capacitor("Cg1", gate, i1, 0.5e-18);
+        b.build().unwrap()
+    }
+
+    /// A deterministic per-replica event walk: replica `r` draws its own
+    /// pseudo-random event sequence.
+    fn walk_event(x: &mut u64, system: &TunnelSystem) -> TunnelEvent {
+        *x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        system.event((*x >> 33) as usize % system.event_count())
+    }
+
+    /// Drives `replicas` batch lanes and `replicas` scalar `LiveState`s
+    /// through identical per-replica event walks and asserts bitwise
+    /// identical potentials and rates at every checkpoint.
+    fn assert_lockstep_bit_identity(temperature: f64, steps: usize, replicas: usize) {
+        let system = chain(2e-3, 0.05);
+        let mut batch = BatchedLiveState::new(&system, ChargeState::neutral(2), replicas).unwrap();
+        let batch_ctx = BatchedRateContext::new(&system, temperature, replicas).unwrap();
+        let scalar_ctx = RateContext::new(&system, temperature).unwrap();
+        let mut scalars: Vec<LiveState> = (0..replicas)
+            .map(|_| LiveState::new(&system, ChargeState::neutral(2)))
+            .collect();
+        let mut walks: Vec<u64> = (0..replicas).map(|r| 9 + 1000 * r as u64).collect();
+        let mut batch_rates = Vec::new();
+        let mut batch_totals = Vec::new();
+        let mut scalar_rates = Vec::new();
+        for step in 0..steps {
+            for (r, scalar) in scalars.iter_mut().enumerate() {
+                let event = walk_event(&mut walks[r], &system);
+                batch.apply(&system, event, r);
+                scalar.apply(&system, event);
+            }
+            if step % 16 == 0 || step + 1 == steps {
+                batch_ctx.fill_rates_batch(&system, &batch, &mut batch_rates, &mut batch_totals);
+                for (r, scalar) in scalars.iter().enumerate() {
+                    let total = scalar_ctx.fill_rates(&system, scalar, &mut scalar_rates);
+                    assert_eq!(
+                        batch.potentials(r),
+                        scalar.potentials(),
+                        "replica {r} potentials diverged at step {step}"
+                    );
+                    assert_eq!(batch.charge_state(r), *scalar.state());
+                    for (e, &expected) in scalar_rates.iter().enumerate() {
+                        assert_eq!(
+                            batch_rates[e * replicas + r].to_bits(),
+                            expected.to_bits(),
+                            "replica {r} event {e} rate diverged at step {step}"
+                        );
+                    }
+                    assert_eq!(
+                        batch_totals[r].to_bits(),
+                        total.to_bits(),
+                        "replica {r} total diverged at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_track_scalar_live_states_bit_for_bit() {
+        // Cold (fast-path), warm (mid-regime patch) and zero temperature.
+        assert_lockstep_bit_identity(0.1, 200, 5);
+        assert_lockstep_bit_identity(4.2, 200, 3);
+        assert_lockstep_bit_identity(0.0, 50, 2);
+    }
+
+    #[test]
+    fn periodic_refresh_matches_the_scalar_schedule() {
+        let system = chain(1e-3, 0.02);
+        let mut batch = BatchedLiveState::new(&system, ChargeState::neutral(2), 2).unwrap();
+        let mut scalar = LiveState::new(&system, ChargeState::neutral(2));
+        let onto = TunnelEvent {
+            junction: 0,
+            direction: Direction::AToB,
+        };
+        // Walk replica 0 far past the refresh interval while replica 1
+        // idles; only lane 0 must have refreshed.
+        for _ in 0..(REFRESH_INTERVAL + 10) {
+            batch.apply(&system, onto, 0);
+            batch.apply(&system, onto.reversed(), 0);
+            scalar.apply(&system, onto);
+            scalar.apply(&system, onto.reversed());
+        }
+        assert_eq!(batch.potentials(0), scalar.potentials());
+        let expected = 2 * (REFRESH_INTERVAL + 10) % REFRESH_INTERVAL;
+        assert_eq!(batch.updates_since_refresh[0], expected);
+        assert_eq!(batch.updates_since_refresh[1], 0);
+        let exact = system.island_potentials(&batch.charge_state(1));
+        assert_eq!(batch.potentials(1), exact, "idle lane holds exact values");
+    }
+
+    #[test]
+    fn sync_replica_matches_scalar_sync() {
+        let mut system = chain(0.0, 0.0);
+        let mut batch = BatchedLiveState::new(&system, ChargeState(vec![1, -2]), 3).unwrap();
+        let mut scalar = LiveState::new(&system, ChargeState(vec![1, -2]));
+        system.set_external_voltage(0, 4e-3).unwrap();
+        system.set_external_voltage(2, -0.07).unwrap();
+        system.set_background_charge(1, 0.35).unwrap();
+        scalar.sync(&system);
+        // Sync lanes 0 and 2, leave lane 1 stale.
+        batch.sync_replica(&system, 0);
+        batch.sync_replica(&system, 2);
+        assert_eq!(batch.potentials(0), scalar.potentials());
+        assert_eq!(batch.potentials(2), scalar.potentials());
+        assert_ne!(batch.potentials(1), scalar.potentials());
+        // A second sync of a clean lane is a no-op.
+        let before = batch.clone();
+        batch.sync_replica(&system, 0);
+        assert_eq!(before, batch);
+    }
+
+    #[test]
+    fn subset_fill_matches_the_full_fill() {
+        let system = chain(2e-3, 0.05);
+        let replicas = 4;
+        let mut batch = BatchedLiveState::new(&system, ChargeState::neutral(2), replicas).unwrap();
+        let ctx = BatchedRateContext::new(&system, 0.5, replicas).unwrap();
+        let mut walks: Vec<u64> = (0..replicas).map(|r| 77 + r as u64).collect();
+        for _ in 0..50 {
+            for (r, walk) in walks.iter_mut().enumerate() {
+                let event = walk_event(walk, &system);
+                batch.apply(&system, event, r);
+            }
+        }
+        let mut full_rates = Vec::new();
+        let mut full_totals = Vec::new();
+        ctx.fill_rates_batch(&system, &batch, &mut full_rates, &mut full_totals);
+        let mut sub_rates = vec![f64::NAN; full_rates.len()];
+        let mut sub_totals = vec![f64::NAN; full_totals.len()];
+        let subset = [0, 2, 3];
+        ctx.fill_rates_subset(&system, &batch, &mut sub_rates, &mut sub_totals, &subset);
+        for &r in &subset {
+            assert_eq!(sub_totals[r].to_bits(), full_totals[r].to_bits());
+            for e in 0..system.event_count() {
+                assert_eq!(
+                    sub_rates[e * replicas + r].to_bits(),
+                    full_rates[e * replicas + r].to_bits()
+                );
+            }
+        }
+        assert!(sub_totals[1].is_nan(), "unlisted lane untouched");
+    }
+
+    #[test]
+    fn rejects_empty_batches_and_mismatched_states() {
+        let system = chain(0.0, 0.0);
+        assert!(BatchedLiveState::new(&system, ChargeState::neutral(2), 0).is_err());
+        assert!(BatchedLiveState::new(&system, ChargeState::neutral(3), 4).is_err());
+        assert!(BatchedRateContext::new(&system, 1.0, 0).is_err());
+        assert!(BatchedRateContext::new(&system, -1.0, 4).is_err());
+    }
+}

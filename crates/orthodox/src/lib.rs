@@ -49,6 +49,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod background;
+pub mod batch;
 pub mod cotunneling;
 pub mod engine;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod rates;
 pub mod set;
 pub mod system;
 
+pub use batch::{BatchedLiveState, BatchedRateContext};
 pub use engine::AnalyticSetEngine;
 pub use error::OrthodoxError;
 pub use live::{LiveState, RateContext};

@@ -313,6 +313,36 @@ impl RateContext {
         rate_from_parts(delta_f, self.prefactors[junction], self.kt, self.inv_kt)
     }
 
+    /// The thermal energy `k_B·T` in joule.
+    pub(crate) fn kt(&self) -> f64 {
+        self.kt
+    }
+
+    /// The reciprocal thermal energy (0 at zero temperature).
+    pub(crate) fn inv_kt(&self) -> f64 {
+        self.inv_kt
+    }
+
+    /// The frozen-event ΔF cutoff `MAX_EXPONENT · kT`.
+    pub(crate) fn frozen_cutoff(&self) -> f64 {
+        self.frozen_cutoff
+    }
+
+    /// Per-junction prefactors `1/(e²·R)`.
+    pub(crate) fn prefactors(&self) -> &[f64] {
+        &self.prefactors
+    }
+
+    /// Per-junction self-charging energies in joule.
+    pub(crate) fn self_energies(&self) -> &[f64] {
+        &self.self_energies
+    }
+
+    /// Per-junction flat endpoint index pairs.
+    pub(crate) fn endpoints(&self) -> &[(usize, usize)] {
+        &self.endpoints
+    }
+
     /// Evaluates the rate of **every** candidate event of the system in the
     /// given live state, in canonical event order ([`TunnelSystem::event`]),
     /// and returns the total rate. `rates` is resized to

@@ -26,6 +26,92 @@ const SERIES_WINDOW: f64 = 1e-9;
 /// precompute the matching ΔF cutoff).
 pub(crate) const MAX_EXPONENT: f64 = 500.0;
 
+/// `e^x` as straight-line floating-point arithmetic: `2^n · e^r` with the
+/// reduction `x = n·ln 2 + r`, `|r| ≤ ½ln 2`, and `e^r` summed as a
+/// degree-12 Taylor polynomial (truncation ≤ 1 ulp over the reduced range,
+/// far inside the rate formula's physical tolerance).
+///
+/// The point of not calling [`f64::exp`]: libm's exp is an opaque scalar
+/// call, so a rate fill that needs it — every junction whose ΔF lands in
+/// the thermal window — cannot auto-vectorize. This version is pure
+/// element-wise arithmetic (the round-to-nearest `n` comes from the
+/// add-magic trick, `2^n` from assembling the exponent bits), which LLVM
+/// vectorizes across replica lanes; and because the scalar and batched
+/// engines evaluate the *same* expression the result is bit-identical on
+/// both paths, vectorized or not.
+///
+/// Only meaningful for `|x| ≤` [`MAX_EXPONENT`] — the callers' Boltzmann
+/// window. Outside it the scale factor's exponent bits can wrap: the
+/// result is garbage (but safely computed), and every caller selects it
+/// away.
+#[inline(always)]
+pub(crate) fn exp_boltzmann(x: f64) -> f64 {
+    const INV_LN2: f64 = std::f64::consts::LOG2_E;
+    // 1.5 · 2^52: adding it rounds `x·log2(e)` to the nearest integer in
+    // the low mantissa bits (two's complement in the low 32 for |n| < 2^31).
+    const MAGIC: f64 = 6_755_399_441_055_744.0;
+    // ln 2 split hi/lo so `x − n·ln 2` keeps full precision. Written with
+    // the guard digits of the standard Cody–Waite split; the literals
+    // round to the intended bit patterns.
+    #[allow(clippy::excessive_precision)]
+    const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
+    #[allow(clippy::excessive_precision)]
+    const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+    let shifted = x * INV_LN2 + MAGIC;
+    let n = shifted - MAGIC;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    let k = shifted.to_bits() as u32 as i32;
+    let r = (x - n * LN2_HI) - n * LN2_LO;
+    // Horner over 1/k!, k = 12..0 (each constant folds to the correctly
+    // rounded f64 at compile time).
+    let p = 1.0 / 479_001_600.0;
+    let p = p * r + 1.0 / 39_916_800.0;
+    let p = p * r + 1.0 / 3_628_800.0;
+    let p = p * r + 1.0 / 362_880.0;
+    let p = p * r + 1.0 / 40_320.0;
+    let p = p * r + 1.0 / 5_040.0;
+    let p = p * r + 1.0 / 720.0;
+    let p = p * r + 1.0 / 120.0;
+    let p = p * r + 1.0 / 24.0;
+    let p = p * r + 1.0 / 6.0;
+    let p = p * r + 1.0 / 2.0;
+    let p = p * r + 1.0;
+    let p = p * r + 1.0;
+    #[allow(clippy::cast_sign_loss)]
+    let scale = f64::from_bits(((1023_i64 + i64::from(k)) as u64) << 52);
+    p * scale
+}
+
+/// [`rate_from_parts`] for `kt > 0`, written as straight-line selects so a
+/// lane loop over it auto-vectorizes (no early returns, every branch of
+/// the cascade computed and the right one chosen). Bitwise the same result:
+/// the selected expression is the identical arithmetic, and the select
+/// order reproduces the cascade's priorities (series window first, then
+/// the two overflow guards, then the thermal denominator).
+#[inline(always)]
+pub(crate) fn rate_from_parts_branchfree(
+    delta_f: f64,
+    prefactor: f64,
+    kt: f64,
+    inv_kt: f64,
+) -> f64 {
+    debug_assert!(kt > 0.0);
+    let x = delta_f * inv_kt;
+    let thermal_rate = (-delta_f) * prefactor / (1.0 - exp_boltzmann(x));
+    let rate = if x < -MAX_EXPONENT {
+        -delta_f * prefactor
+    } else {
+        thermal_rate
+    };
+    let rate = if x > MAX_EXPONENT { 0.0 } else { rate };
+    let rate = if x.abs() < SERIES_WINDOW {
+        kt * prefactor
+    } else {
+        rate
+    };
+    rate.max(0.0)
+}
+
 /// Orthodox tunnel rate (events per second) for a free-energy change
 /// `delta_f` (joule), tunnel resistance `resistance` (ohm) and temperature
 /// `temperature` (kelvin).
@@ -105,7 +191,7 @@ pub(crate) fn rate_from_parts(delta_f: f64, prefactor: f64, kt: f64, inv_kt: f64
         // Strongly favourable: denominator is 1.
         -delta_f * prefactor
     } else {
-        (-delta_f) * prefactor / (1.0 - x.exp())
+        (-delta_f) * prefactor / (1.0 - exp_boltzmann(x))
     };
     rate.max(0.0)
 }

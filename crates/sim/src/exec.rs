@@ -17,7 +17,9 @@ use crate::backend::{build_stationary, build_transient, StationaryBackend, Trans
 use crate::error::SimError;
 use crate::plan::{PlannedAnalysis, PlannedRun, SimulationPlan};
 use crate::result::SimulationResult;
-use se_engine::{ControlId, ObservableId, StationaryEngine, TransientEngine, Waveform};
+use se_engine::{
+    derive_seed, ControlId, ObservableId, StationaryEngine, TransientEngine, Waveform,
+};
 use se_exec::{
     run_batch, CancelToken, CheckpointStore, ChunkTask, CsvSink, JobBuilder, JobSpec, ProgressSink,
     Tee, Workers,
@@ -52,6 +54,11 @@ pub struct ExecOptions {
     /// Cooperative cancellation: when the token fires, workers stop, and a
     /// checkpointed run can later resume from the completed chunks.
     pub cancel: Option<CancelToken>,
+    /// Force `.options repeats=` ensembles through the per-seed scalar
+    /// loop instead of the batched lockstep engine. The batched path is
+    /// bit-identical by contract; this switch exists so the determinism
+    /// gate can *prove* it by diffing the two executions.
+    pub scalar_ensemble: bool,
 }
 
 /// Executes a compiled plan against its deck: every analysis runs as one
@@ -110,14 +117,18 @@ pub fn execute_with_options(
 
 /// Provenance metadata shared by every result of a plan.
 fn metadata(plan: &SimulationPlan, run: &PlannedRun, engine_name: &str) -> Vec<(String, String)> {
-    vec![
+    let mut metadata = vec![
         ("deck".into(), plan.title.clone()),
         ("engine".into(), engine_name.to_string()),
         ("engine_choice".into(), run.engine.name().to_string()),
         ("rationale".into(), run.rationale.clone()),
         ("temperature_k".into(), format!("{:?}", plan.temperature)),
         ("seed".into(), plan.seed.to_string()),
-    ]
+    ];
+    if let Some(repeats) = plan.repeats {
+        metadata.push(("repeats".into(), repeats.to_string()));
+    }
+    metadata
 }
 
 /// The backend-bound form of one planned analysis: resolved handles plus
@@ -154,6 +165,12 @@ pub(crate) struct PreparedJob {
     job_label: String,
     columns: Vec<String>,
     metadata: Vec<(String, String)>,
+    /// Seed-ensemble size per work item (`.options repeats=`); `None` =
+    /// single-shot rows.
+    repeats: Option<usize>,
+    /// Route ensembles through the per-seed scalar loop (the determinism
+    /// gate's reference execution) instead of the batched engine.
+    scalar_ensemble: bool,
     spec: JobSpec,
     /// Streamed CSV target, if exporting.
     csv_path: Option<String>,
@@ -179,7 +196,10 @@ impl PreparedJob {
     }
 
     /// Solves work item `index`: one bias point (one row) for sweeps and
-    /// maps, the whole trace (all rows) for transients.
+    /// maps, the whole trace (all rows) for transients. With an ensemble
+    /// (`.options repeats=`) each item runs `repeats` independent solves —
+    /// replica `k` with seed [`derive_seed`]`(item_seed, k)` — and every
+    /// observable becomes a mean/stderr column pair.
     fn solve_item(&self, index: usize, seed: u64) -> Result<Vec<Vec<f64>>, SimError> {
         match &self.kind {
             PreparedKind::Sweep {
@@ -189,12 +209,14 @@ impl PreparedJob {
                 values,
             } => {
                 let value = values[index];
-                let currents =
-                    backend.stationary_currents(&[(*control, value)], observables, seed)?;
-                let mut row = Vec::with_capacity(1 + currents.len());
-                row.push(value);
-                row.extend(currents);
-                Ok(vec![row])
+                let controls = [(*control, value)];
+                Ok(vec![self.stationary_row(
+                    backend,
+                    &controls,
+                    observables,
+                    &[value],
+                    seed,
+                )?])
             }
             PreparedKind::Map {
                 backend,
@@ -207,16 +229,14 @@ impl PreparedJob {
                 let n_inner = inner_values.len();
                 let outer_value = outer_values[index / n_inner];
                 let inner_value = inner_values[index % n_inner];
-                let currents = backend.stationary_currents(
-                    &[(*outer, outer_value), (*inner, inner_value)],
+                let controls = [(*outer, outer_value), (*inner, inner_value)];
+                Ok(vec![self.stationary_row(
+                    backend,
+                    &controls,
                     observables,
+                    &[outer_value, inner_value],
                     seed,
-                )?;
-                let mut row = Vec::with_capacity(2 + currents.len());
-                row.push(outer_value);
-                row.push(inner_value);
-                row.extend(currents);
-                Ok(vec![row])
+                )?])
             }
             PreparedKind::Transient {
                 backend,
@@ -224,17 +244,64 @@ impl PreparedJob {
                 observables,
                 times,
             } => {
-                let trace = backend.transient_currents(drives, observables, times, seed)?;
-                Ok((0..trace.len())
+                let Some(repeats) = self.repeats else {
+                    let trace = backend.transient_currents(drives, observables, times, seed)?;
+                    return Ok((0..trace.len())
+                        .map(|i| {
+                            let mut row = Vec::with_capacity(1 + trace.observable_count());
+                            row.push(trace.times()[i]);
+                            row.extend_from_slice(trace.row(i));
+                            row
+                        })
+                        .collect());
+                };
+                let seeds = replica_seeds(seed, repeats);
+                let traces = if self.scalar_ensemble {
+                    seeds
+                        .iter()
+                        .map(|&s| backend.transient_currents(drives, observables, times, s))
+                        .collect::<Result<Vec<_>, _>>()?
+                } else {
+                    backend.transient_currents_ensemble(drives, observables, times, &seeds)?
+                };
+                Ok((0..times.len())
                     .map(|i| {
-                        let mut row = Vec::with_capacity(1 + trace.observable_count());
-                        row.push(trace.times()[i]);
-                        row.extend_from_slice(trace.row(i));
-                        row
+                        let rows: Vec<&[f64]> = traces.iter().map(|trace| trace.row(i)).collect();
+                        ensemble_row(&[times[i]], &rows)
                     })
                     .collect())
             }
         }
+    }
+
+    /// One stationary output row: the bias prefix plus either the plain
+    /// observable currents or the ensemble's mean/stderr pairs.
+    fn stationary_row(
+        &self,
+        backend: &StationaryBackend,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        prefix: &[f64],
+        seed: u64,
+    ) -> Result<Vec<f64>, SimError> {
+        let Some(repeats) = self.repeats else {
+            let currents = backend.stationary_currents(controls, observables, seed)?;
+            let mut row = Vec::with_capacity(prefix.len() + currents.len());
+            row.extend_from_slice(prefix);
+            row.extend(currents);
+            return Ok(row);
+        };
+        let seeds = replica_seeds(seed, repeats);
+        let replica_rows = if self.scalar_ensemble {
+            seeds
+                .iter()
+                .map(|&s| backend.stationary_currents(controls, observables, s))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            backend.stationary_currents_ensemble(controls, observables, &seeds)?
+        };
+        let rows: Vec<&[f64]> = replica_rows.iter().map(Vec::as_slice).collect();
+        Ok(ensemble_row(prefix, &rows))
     }
 
     fn assemble(&self, blocks: Vec<Vec<Vec<f64>>>) -> SimulationResult {
@@ -279,13 +346,14 @@ fn prepare_run(
     fingerprint: u64,
     options: &ExecOptions,
 ) -> Result<PreparedJob, SimError> {
+    let ensemble = plan.repeats.is_some();
     let (kind, columns, items) = match &run.analysis {
         PlannedAnalysis::Sweep { control, values } => {
             let backend = build_stationary(&deck.netlist, &deck.options, run.engine)?;
             let control_id = backend.resolve_control(control)?;
             let observables = resolve_stationary_observables(&backend, &run.observables)?;
             let mut columns = vec![control.clone()];
-            columns.extend(current_columns(&run.observables));
+            columns.extend(current_columns(&run.observables, ensemble));
             let items = values.len();
             (
                 PreparedKind::Sweep {
@@ -309,7 +377,7 @@ fn prepare_run(
             let inner = backend.resolve_control(inner_control)?;
             let observables = resolve_stationary_observables(&backend, &run.observables)?;
             let mut columns = vec![outer_control.clone(), inner_control.clone()];
-            columns.extend(current_columns(&run.observables));
+            columns.extend(current_columns(&run.observables, ensemble));
             let items = outer_values.len() * inner_values.len();
             (
                 PreparedKind::Map {
@@ -337,7 +405,7 @@ fn prepare_run(
                 .map(|name| backend.resolve_observable(name))
                 .collect::<Result<_, _>>()?;
             let mut columns = vec!["t".to_string()];
-            columns.extend(current_columns(&run.observables));
+            columns.extend(current_columns(&run.observables, ensemble));
             (
                 PreparedKind::Transient {
                     backend,
@@ -359,6 +427,8 @@ fn prepare_run(
         result_label: run.label.clone(),
         job_label: format!("{label}/{}", run.label),
         columns,
+        repeats: plan.repeats,
+        scalar_ensemble: options.scalar_ensemble,
         spec,
         csv_path: options
             .csv
@@ -567,12 +637,56 @@ fn resolve_stationary_observables(
         .collect()
 }
 
-/// Column names of the observable currents: `I(J1)`, `I(VD)`, …
-fn current_columns(observables: &[String]) -> Vec<String> {
+/// Column names of the observable currents: `I(J1)`, `I(VD)`, … For an
+/// ensemble run every observable becomes a mean/stderr pair:
+/// `I(J1)`, `stderr(I(J1))`, …
+fn current_columns(observables: &[String], ensemble: bool) -> Vec<String> {
     observables
         .iter()
-        .map(|name| format!("I({name})"))
+        .flat_map(|name| {
+            let mut pair = vec![format!("I({name})")];
+            if ensemble {
+                pair.push(format!("stderr(I({name}))"));
+            }
+            pair
+        })
         .collect()
+}
+
+/// The replica seeds of one ensemble item, derived from the item seed with
+/// the shared SplitMix64 discipline: replica `k` gets
+/// [`derive_seed`]`(item_seed, k)` — identical for the batched and the
+/// scalar execution, which is what makes the two diffable.
+fn replica_seeds(item_seed: u64, repeats: usize) -> Vec<u64> {
+    (0..repeats as u64)
+        .map(|replica| derive_seed(item_seed, replica))
+        .collect()
+}
+
+/// Builds one ensemble output row: the bias/time prefix followed by the
+/// mean and standard error of each observable over the replica rows.
+fn ensemble_row(prefix: &[f64], rows: &[&[f64]]) -> Vec<f64> {
+    let width = rows.first().map_or(0, |row| row.len());
+    let mut out = Vec::with_capacity(prefix.len() + 2 * width);
+    out.extend_from_slice(prefix);
+    for k in 0..width {
+        let (mean, stderr) = mean_stderr(rows.iter().map(|row| row[k]));
+        out.push(mean);
+        out.push(stderr);
+    }
+    out
+}
+
+/// Sample mean and standard error of the mean (zero for one sample, where
+/// the sample variance is undefined).
+fn mean_stderr(samples: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+    let n = samples.clone().count();
+    let mean = samples.clone().sum::<f64>() / n as f64;
+    if n < 2 {
+        return (mean, 0.0);
+    }
+    let variance = samples.map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    (mean, (variance / n as f64).sqrt())
 }
 
 /// Splices a `-suffix` into an export path's file name, before the
@@ -607,7 +721,38 @@ pub fn export_path(base: &str, index: usize) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::export_path;
+    use super::{ensemble_row, export_path, mean_stderr, replica_seeds};
+
+    #[test]
+    fn mean_stderr_matches_hand_computation() {
+        let (mean, stderr) = mean_stderr([1.0, 2.0, 3.0, 4.0].into_iter());
+        assert!((mean - 2.5).abs() < 1e-15);
+        // Sample variance 5/3; stderr = sqrt(5/3/4).
+        assert!((stderr - (5.0 / 12.0_f64).sqrt()).abs() < 1e-15, "{stderr}");
+        // One sample: the variance is undefined, the stderr reports 0.
+        assert_eq!(mean_stderr(std::iter::once(7.5)), (7.5, 0.0));
+    }
+
+    #[test]
+    fn ensemble_rows_interleave_mean_and_stderr_pairs() {
+        let rows: Vec<&[f64]> = vec![&[1.0, 10.0], &[3.0, 10.0]];
+        let row = ensemble_row(&[0.5], &rows);
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[0], 0.5);
+        assert_eq!(row[1], 2.0); // mean of observable 0
+        assert!(row[2] > 0.0); // its stderr
+        assert_eq!(row[3], 10.0); // mean of observable 1
+        assert_eq!(row[4], 0.0); // identical replicas → zero stderr
+    }
+
+    #[test]
+    fn replica_seeds_follow_the_shared_discipline() {
+        let seeds = replica_seeds(42, 4);
+        assert_eq!(seeds.len(), 4);
+        assert_eq!(seeds[2], se_engine::derive_seed(42, 2));
+        // Distinct replicas must draw distinct randomness.
+        assert!(seeds.windows(2).all(|w| w[0] != w[1]));
+    }
 
     #[test]
     fn export_paths_suffix_only_the_file_name() {

@@ -162,4 +162,78 @@ mod tests {
         assert_eq!(run.results[0].engine(), "kinetic-monte-carlo");
         assert_eq!(run.results[0].len(), 11);
     }
+
+    #[test]
+    fn repeats_produce_mean_and_stderr_columns() {
+        let text = SET_DECK.replace(
+            ".options temp=1 seed=3",
+            ".options temp=1 seed=3 engine=kmc events=2000 repeats=4",
+        );
+        let run = run_deck(&text).unwrap();
+        let result = &run.results[0];
+        assert_eq!(
+            result.columns(),
+            &["VG".to_string(), "I(J1)".into(), "stderr(I(J1))".into()]
+        );
+        assert_eq!(result.len(), 11);
+        assert!(result
+            .metadata()
+            .iter()
+            .any(|(k, v)| k == "repeats" && v == "4"));
+        // A stochastic ensemble at the conductance peak spreads: at least
+        // one bias point must report a positive standard error.
+        let stderr = result.column("stderr(I(J1))").unwrap();
+        assert!(stderr.iter().any(|&s| s > 0.0), "{stderr:?}");
+    }
+
+    #[test]
+    fn batched_ensembles_match_the_scalar_fallback_bit_for_bit() {
+        let text = SET_DECK.replace(
+            ".options temp=1 seed=3",
+            ".options temp=1 seed=3 engine=kmc events=1500 repeats=3",
+        );
+        let deck = parse_full_deck(&text).unwrap();
+        let plan = compile(&deck).unwrap();
+        let batched = execute(&deck, &plan).unwrap();
+        let scalar = execute_with_options(
+            &deck,
+            &plan,
+            &ExecOptions {
+                scalar_ensemble: true,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn transient_repeats_go_through_the_batched_clock() {
+        let deck_text = "pulsed SET\n\
+             VD drain 0 1m\n\
+             VG gate 0 PULSE(0 0.08 20n 40n 80n)\n\
+             J1 drain island C=0.5a R=100k\n\
+             J2 island 0 C=0.5a R=100k\n\
+             CG gate island 1a\n\
+             .options temp=1 seed=5 engine=kmc repeats=3\n\
+             .tran 10n 80n\n\
+             .print tran i(J1)\n";
+        let deck = parse_full_deck(deck_text).unwrap();
+        let plan = compile(&deck).unwrap();
+        let batched = execute(&deck, &plan).unwrap();
+        assert_eq!(
+            batched[0].columns(),
+            &["t".to_string(), "I(J1)".into(), "stderr(I(J1))".into()]
+        );
+        let scalar = execute_with_options(
+            &deck,
+            &plan,
+            &ExecOptions {
+                scalar_ensemble: true,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(batched, scalar);
+    }
 }

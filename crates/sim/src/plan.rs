@@ -117,6 +117,10 @@ pub struct SimulationPlan {
     pub temperature: f64,
     /// Master seed of the deterministic seeding discipline.
     pub seed: u64,
+    /// Seed-ensemble size (`.options repeats=`): every bias point / trace
+    /// is solved this many times and the tables report mean and
+    /// standard-error columns. `None` = single-shot tables.
+    pub repeats: Option<usize>,
     /// The runs, in deck order.
     pub runs: Vec<PlannedRun>,
 }
@@ -175,6 +179,14 @@ pub fn compile(deck: &Deck) -> Result<SimulationPlan, SimError> {
                 }
             }
         };
+        if deck.options.repeats.is_some() && engine != EngineChoice::Kmc {
+            return Err(SimError::Plan(format!(
+                ".options repeats= runs a seed ensemble through the kinetic Monte-Carlo \
+                 engine, but `{analysis}` would run on engine {} ({rationale}); add \
+                 `.options engine=kmc` or drop repeats=",
+                engine.name()
+            )));
+        }
         runs.push(PlannedRun {
             label: analysis.to_string(),
             engine,
@@ -187,6 +199,7 @@ pub fn compile(deck: &Deck) -> Result<SimulationPlan, SimError> {
         title: deck.netlist.title().to_string(),
         temperature: deck.options.temperature,
         seed: deck.options.seed,
+        repeats: deck.options.repeats,
         runs,
     })
 }
@@ -533,6 +546,28 @@ mod tests {
     fn decks_without_analyses_are_rejected() {
         let err = compile(&with_cards("")).unwrap_err();
         assert!(err.to_string().contains("no analyses"), "{err}");
+    }
+
+    #[test]
+    fn repeats_require_the_kmc_engine() {
+        // Auto picks the master equation for `.dc` on a pure SE deck, which
+        // cannot run a seed ensemble.
+        let err = compile(&with_cards(".options repeats=8\n.dc VG 0 0.16 4m\n")).unwrap_err();
+        assert!(err.to_string().contains("repeats"), "{err}");
+        assert!(err.to_string().contains("engine=kmc"), "{err}");
+
+        let plan = compile(&with_cards(
+            ".options engine=kmc repeats=8\n.dc VG 0 0.16 4m\n.tran 10n 100n\n",
+        ))
+        .unwrap();
+        assert_eq!(plan.repeats, Some(8));
+        assert!(plan.runs.iter().all(|r| r.engine == EngineChoice::Kmc));
+
+        // No repeats: the plan stays single-shot.
+        assert_eq!(
+            compile(&with_cards(".dc VG 0 0.16 4m\n")).unwrap().repeats,
+            None
+        );
     }
 
     #[test]
