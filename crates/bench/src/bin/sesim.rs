@@ -13,6 +13,8 @@
 //! sesim deck.cir --checkpoint ck/  persist completed chunks under ck/
 //! sesim deck.cir --checkpoint ck/ --resume   restore them (bit-identical)
 //! sesim deck.cir --quiet           errors only: no tables, no chatter
+//! sesim record deck.cir trace/     run the deck AND record every output bit
+//! sesim verify trace/              re-execute the recording; exit 3 on drift
 //! ```
 //!
 //! The deck carries the circuit *and* the analysis commands (`.dc`,
@@ -38,7 +40,19 @@ use std::process::ExitCode;
 /// in full (exports always carry every row).
 const MAX_PRINTED_ROWS: usize = 64;
 
+/// What the invocation does with its positional arguments.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run decks (the historical behaviour; single or `--batch`).
+    Run,
+    /// `sesim record <deck.cir> <trace-dir>`: run AND record every bit.
+    Record,
+    /// `sesim verify <trace-dir>`: re-execute a recording, report drift.
+    Verify,
+}
+
 struct Args {
+    mode: Mode,
     decks: Vec<String>,
     batch: Vec<String>,
     csv: Option<String>,
@@ -58,6 +72,8 @@ struct Args {
 fn usage() -> &'static str {
     "usage: sesim <deck.cir> [options]\n\
      \u{20}      sesim --batch '<glob>' [options]\n\
+     \u{20}      sesim record <deck.cir> <trace-dir> [options]\n\
+     \u{20}      sesim verify <trace-dir> [options]\n\
      \n\
      Runs SPICE-style decks (.dc / .tran / .options / .print cards) through\n\
      the partition-selected engine and prints one table per analysis.\n\
@@ -78,12 +94,20 @@ fn usage() -> &'static str {
      --plan            compile and report the plan, don't run\n\
      --scalar-ensemble run .options repeats= ensembles through the per-seed\n\
      \u{20}                 scalar loop instead of the batched engine (the\n\
-     \u{20}                 results are bit-identical; used by the CI gate)"
+     \u{20}                 results are bit-identical; used by the CI gate)\n\
+     \n\
+     record / verify close the determinism loop: `record` runs a deck and\n\
+     writes every output bit (raw IEEE-754) plus the job geometry into a\n\
+     self-contained trace directory; `verify` re-executes the recording —\n\
+     under any --jobs/--serial setting — and either confirms bit-identity\n\
+     (exit 0) or reports the first divergence, localized to analysis,\n\
+     chunk, item, row and column (exit 3)."
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     argv.next(); // program name
     let mut args = Args {
+        mode: Mode::Run,
         decks: Vec::new(),
         batch: Vec::new(),
         csv: None,
@@ -141,20 +165,65 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
+            "record" if args.mode == Mode::Run && args.decks.is_empty() => {
+                args.mode = Mode::Record;
+            }
+            "verify" if args.mode == Mode::Run && args.decks.is_empty() => {
+                args.mode = Mode::Verify;
+            }
             other => args.decks.push(other.to_string()),
         }
-    }
-    if args.decks.is_empty() && args.batch.is_empty() {
-        return Err("a deck file (or --batch pattern) is required".into());
-    }
-    if args.decks.len() > 1 && args.batch.is_empty() {
-        return Err("exactly one deck file is expected (use --batch for many)".into());
     }
     if args.serial && args.jobs.is_some() {
         return Err("--serial and --jobs are mutually exclusive".into());
     }
-    if args.resume && args.checkpoint.is_none() {
-        return Err("--resume needs --checkpoint DIR".into());
+    match args.mode {
+        Mode::Run => {
+            if args.decks.is_empty() && args.batch.is_empty() {
+                return Err("a deck file (or --batch pattern) is required".into());
+            }
+            if args.decks.len() > 1 && args.batch.is_empty() {
+                return Err("exactly one deck file is expected (use --batch for many)".into());
+            }
+            if args.resume && args.checkpoint.is_none() {
+                return Err("--resume needs --checkpoint DIR".into());
+            }
+        }
+        Mode::Record | Mode::Verify => {
+            let verb = if args.mode == Mode::Record {
+                "record"
+            } else {
+                "verify"
+            };
+            let expected = if args.mode == Mode::Record {
+                "a deck file and a trace directory"
+            } else {
+                "a trace directory"
+            };
+            let want = if args.mode == Mode::Record { 2 } else { 1 };
+            if args.decks.len() != want {
+                return Err(format!("`{verb}` expects {expected}"));
+            }
+            for (flag, set) in [
+                ("--batch", !args.batch.is_empty()),
+                ("--csv", args.csv.is_some()),
+                ("--json", args.json.is_some()),
+                ("--checkpoint", args.checkpoint.is_some()),
+                ("--resume", args.resume),
+                ("--plan", args.plan_only),
+            ] {
+                if set {
+                    return Err(format!("{flag} cannot be combined with `{verb}`"));
+                }
+            }
+            if args.mode == Mode::Verify && args.engine.is_some() {
+                return Err(
+                    "--engine cannot be combined with `verify`: the engine is part of the \
+                     recorded deck"
+                        .into(),
+                );
+            }
+        }
     }
     Ok(args)
 }
@@ -189,8 +258,20 @@ fn glob_match(pattern: &str, text: &str) -> bool {
 
 /// Expands one `--batch` pattern: wildcards match within the final path
 /// component only; a pattern without wildcards names a file literally.
-fn expand_pattern(pattern: &str) -> Result<Vec<String>, String> {
+///
+/// `position` is the 1-based position of the pattern among the `--batch`
+/// arguments: a multi-pattern invocation that fails must say *which*
+/// pattern is at fault, not just quote it (two patterns can be textually
+/// identical yet only one intended). Zero-match patterns and missing
+/// literal files are hard errors — a silently empty pattern would let a
+/// typo'd glob pass the whole batch as vacuously successful.
+fn expand_pattern(pattern: &str, position: usize) -> Result<Vec<String>, String> {
     if !pattern.contains(['*', '?']) {
+        if !std::path::Path::new(pattern).is_file() {
+            return Err(format!(
+                "--batch pattern #{position} names `{pattern}`, which is not a file"
+            ));
+        }
         return Ok(vec![pattern.to_string()]);
     }
     let (dir, file_pattern) = match pattern.rsplit_once('/') {
@@ -199,11 +280,13 @@ fn expand_pattern(pattern: &str) -> Result<Vec<String>, String> {
     };
     if dir.contains(['*', '?']) {
         return Err(format!(
-            "`{pattern}`: wildcards are only supported in the file name, not in directories"
+            "--batch pattern #{position} (`{pattern}`): wildcards are only supported in \
+             the file name, not in directories"
         ));
     }
-    let entries =
-        std::fs::read_dir(&dir).map_err(|e| format!("cannot read directory `{dir}`: {e}"))?;
+    let entries = std::fs::read_dir(&dir).map_err(|e| {
+        format!("--batch pattern #{position} (`{pattern}`): cannot read directory `{dir}`: {e}")
+    })?;
     let mut matches: Vec<String> = entries
         .filter_map(Result::ok)
         .filter(|entry| entry.path().is_file())
@@ -219,7 +302,9 @@ fn expand_pattern(pattern: &str) -> Result<Vec<String>, String> {
         .collect();
     matches.sort();
     if matches.is_empty() {
-        return Err(format!("`{pattern}` matched no files"));
+        return Err(format!(
+            "--batch pattern #{position} (`{pattern}`) matched no files in `{dir}/`"
+        ));
     }
     Ok(matches)
 }
@@ -392,8 +477,8 @@ fn unique_names(paths: &[String]) -> Vec<String> {
 /// Batch mode: every matching deck through one shared scheduler.
 fn run_batch_mode(args: &Args) -> Result<(), String> {
     let mut paths: Vec<String> = Vec::new();
-    for pattern in &args.batch {
-        paths.extend(expand_pattern(pattern)?);
+    for (position, pattern) in args.batch.iter().enumerate() {
+        paths.extend(expand_pattern(pattern, position + 1)?);
     }
     paths.extend(args.decks.iter().cloned());
     // Global, order-preserving dedup: overlapping patterns (or a pattern
@@ -481,11 +566,95 @@ fn run_batch_mode(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    if args.batch.is_empty() {
-        run_single(args)
-    } else {
-        run_batch_mode(args)
+/// `sesim record <deck.cir> <trace-dir>`: run the deck (printing tables as
+/// usual) while recording every output bit into the trace directory.
+fn run_record(args: &Args) -> Result<(), String> {
+    let path = &args.decks[0];
+    let dir = PathBuf::from(&args.decks[1]);
+    let deck = load_deck(path, args)?;
+    let plan = report_plan(&deck, args, path)?;
+    let options = exec_options(args, deck_stem(path));
+    let (results, summary) =
+        se_sim::record_deck(&deck, &plan, &options, &dir).map_err(|e| e.to_string())?;
+    let mut json_written = std::collections::HashSet::new();
+    emit_results(&results, args, None, None, &mut json_written)?;
+    if !args.quiet {
+        eprintln!(
+            "sesim: recorded {} analyses (deck fingerprint {:016x}) into {}",
+            summary.analyses.len(),
+            summary.fingerprint,
+            summary.dir.display()
+        );
+        for (label, file, items) in &summary.analyses {
+            eprintln!("sesim: trace {file}: `{label}`, {items} items");
+        }
+    }
+    Ok(())
+}
+
+/// `sesim verify <trace-dir>`: re-execute the recorded deck and compare
+/// every output bit. Returns whether the verification was clean; the
+/// divergence report goes to stdout.
+fn run_verify(args: &Args) -> Result<bool, String> {
+    let dir = PathBuf::from(&args.decks[0]);
+    let options = exec_options(args, "verify".into());
+    let report = se_sim::verify_trace_dir(&dir, &options).map_err(|e| e.to_string())?;
+    if !args.quiet || !report.is_clean() {
+        println!(
+            "# verify {} — deck `{}`, fingerprint {:016x}",
+            dir.display(),
+            report.title,
+            report.fingerprint
+        );
+        for verdict in &report.analyses {
+            if verdict.is_clean() {
+                println!(
+                    "ok   {}: engine {}, {} items in {} chunks — bit-identical",
+                    verdict.label, verdict.engine, verdict.items, verdict.chunks
+                );
+                continue;
+            }
+            if let Some(chunk) = verdict.corrupt_chunk {
+                println!(
+                    "FAIL {}: trace corruption — chunk {chunk} no longer matches its \
+                     recorded content hash",
+                    verdict.label
+                );
+            }
+            if let Some(divergence) = &verdict.divergence {
+                println!("FAIL {}: {divergence}", verdict.label);
+            }
+            for (key, value) in &verdict.provenance {
+                println!("     recorded {key}: {value}");
+            }
+        }
+    }
+    Ok(report.is_clean())
+}
+
+/// Exit code of a completed invocation: 0 clean, 3 divergence/corruption
+/// (1 = usage and 2 = error are produced in `main`).
+fn run(args: &Args) -> Result<ExitCode, String> {
+    match args.mode {
+        Mode::Run => {
+            if args.batch.is_empty() {
+                run_single(args)?;
+            } else {
+                run_batch_mode(args)?;
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::Record => {
+            run_record(args)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::Verify => {
+            if run_verify(args)? {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::from(3))
+            }
+        }
     }
 }
 
@@ -501,7 +670,7 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("sesim: error: {message}");
             ExitCode::from(2)
@@ -511,7 +680,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{deck_stem, glob_match, unique_names};
+    use super::{deck_stem, expand_pattern, glob_match, unique_names};
 
     #[test]
     fn glob_matching_covers_star_and_question_mark() {
@@ -538,6 +707,38 @@ mod tests {
         // A generated suffix must not collide with a literal `-2` stem.
         let tricky = vec!["x-2.cir".to_string(), "a/x.cir".into(), "b/x.cir".into()];
         assert_eq!(unique_names(&tricky), vec!["x-2", "x", "x-3"]);
+    }
+
+    #[test]
+    fn zero_match_patterns_fail_with_their_argument_position() {
+        let dir = std::env::temp_dir().join(format!("sesim-glob-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("one.cir"), "").unwrap();
+        let dir_text = dir.to_str().unwrap();
+
+        // A matching wildcard pattern expands.
+        let found = expand_pattern(&format!("{dir_text}/*.cir"), 1).unwrap();
+        assert_eq!(found, vec![format!("{dir_text}/one.cir")]);
+
+        // A zero-match pattern is a hard error naming its 1-based position
+        // and the directory searched — not a silently empty batch.
+        let err = expand_pattern(&format!("{dir_text}/*.deck"), 3).unwrap_err();
+        assert!(err.contains("#3"), "{err}");
+        assert!(err.contains("matched no files"), "{err}");
+        assert!(err.contains(dir_text), "{err}");
+
+        // A literal (wildcard-free) pattern must name an existing file.
+        let err = expand_pattern(&format!("{dir_text}/absent.cir"), 2).unwrap_err();
+        assert!(err.contains("#2"), "{err}");
+        assert!(err.contains("not a file"), "{err}");
+        let ok = expand_pattern(&format!("{dir_text}/one.cir"), 2).unwrap();
+        assert_eq!(ok, vec![format!("{dir_text}/one.cir")]);
+
+        // An unreadable directory also cites the pattern position.
+        let err = expand_pattern(&format!("{dir_text}/absent-dir/*.cir"), 4).unwrap_err();
+        assert!(err.contains("#4"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

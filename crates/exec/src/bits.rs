@@ -1,0 +1,89 @@
+//! The raw IEEE-754 bit-pattern text codec for `f64` values.
+//!
+//! Checkpoint payloads and run traces both persist floats as their exact
+//! 64-bit patterns rendered as fixed-width hex — never as decimal text —
+//! which is what makes resume and replay *bit*-identical: no rounding, no
+//! shortest-round-trip subtleties, NaN payloads and the sign of zero
+//! survive untouched. This module is the single definition of that codec;
+//! [`crate::checkpoint`] and [`crate::trace`] share it.
+
+/// Appends one float's raw bit pattern (16 lowercase hex digits) to `out`.
+pub fn encode_f64(value: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{:016x}", value.to_bits());
+}
+
+/// One float's raw bit pattern as a standalone 16-digit hex string.
+#[must_use]
+pub fn f64_bits_hex(value: f64) -> String {
+    let mut out = String::with_capacity(16);
+    encode_f64(value, &mut out);
+    out
+}
+
+/// Decodes one raw-bit-pattern float, or `None` if `text` is not a valid
+/// hex bit pattern.
+#[must_use]
+pub fn decode_f64(text: &str) -> Option<f64> {
+    u64::from_str_radix(text, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trips must preserve the exact bit pattern — including NaN
+    /// *payloads* (a plain `assert_eq!` on the values would pass for any
+    /// NaN) and the sign of zero (where `0.0 == -0.0` compares equal).
+    #[test]
+    fn nan_payloads_round_trip_bit_exactly() {
+        for bits in [
+            0x7ff8_0000_0000_0000_u64, // the canonical quiet NaN
+            0x7ff8_dead_beef_cafe,     // a payload-carrying quiet NaN
+            0x7ff0_0000_0000_0001,     // a signalling NaN
+            0xfff8_0000_0000_0042,     // a negative NaN with payload
+        ] {
+            let value = f64::from_bits(bits);
+            assert!(value.is_nan());
+            let encoded = f64_bits_hex(value);
+            let back = decode_f64(&encoded).unwrap();
+            assert_eq!(back.to_bits(), bits, "payload lost through `{encoded}`");
+        }
+    }
+
+    #[test]
+    fn signed_zero_round_trips_bit_exactly() {
+        let plus = decode_f64(&f64_bits_hex(0.0)).unwrap();
+        let minus = decode_f64(&f64_bits_hex(-0.0)).unwrap();
+        assert_eq!(plus.to_bits(), 0.0_f64.to_bits());
+        assert_eq!(minus.to_bits(), (-0.0_f64).to_bits());
+        assert_ne!(plus.to_bits(), minus.to_bits(), "the sign of zero is data");
+    }
+
+    #[test]
+    fn ordinary_and_extreme_values_round_trip() {
+        for value in [
+            1.5e-19,
+            -7.25,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            f64::MAX,
+        ] {
+            let back = decode_f64(&f64_bits_hex(value)).unwrap();
+            assert_eq!(back.to_bits(), value.to_bits(), "{value}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_fixed_width_and_malformed_text_is_rejected() {
+        assert_eq!(f64_bits_hex(0.0), "0000000000000000");
+        assert_eq!(f64_bits_hex(1.0).len(), 16);
+        assert!(decode_f64("zz").is_none());
+        assert!(decode_f64("").is_none());
+        // Width is not enforced by the decoder (leading zeros may be
+        // dropped by hand-written tooling), but garbage hex is.
+        assert_eq!(decode_f64("3ff0000000000000").unwrap(), 1.0);
+    }
+}

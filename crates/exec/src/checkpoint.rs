@@ -15,9 +15,9 @@
 //! patterns (hex), which is what makes a resumed run *bit*-identical — no
 //! decimal round-trip is involved.
 
+use crate::bits::{decode_f64, encode_f64};
 use crate::job::JobSpec;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
@@ -36,17 +36,8 @@ pub trait Codec: Sized {
     fn decode(line: &str) -> Option<Self>;
 }
 
-/// Encodes one float as its raw bit pattern.
-fn encode_f64(value: f64, out: &mut String) {
-    let _ = write!(out, "{:016x}", value.to_bits());
-}
-
-/// Decodes one raw-bit-pattern float.
-fn decode_f64(text: &str) -> Option<f64> {
-    u64::from_str_radix(text, 16).ok().map(f64::from_bits)
-}
-
-/// A flat row of floats: space-separated bit patterns.
+/// A flat row of floats: space-separated bit patterns (the shared
+/// [`crate::bits`] codec).
 impl Codec for Vec<f64> {
     fn encode(&self, out: &mut String) {
         for (i, &v) in self.iter().enumerate() {

@@ -25,6 +25,12 @@
 //! * [`CheckpointStore`] — a completed-chunk manifest plus bit-exact
 //!   payload files; an interrupted run resumes from the last finished
 //!   chunk and reproduces the uninterrupted output bit for bit.
+//! * [`trace`] — deterministic replay: [`TraceSink`] records a job's
+//!   geometry, per-chunk content hashes and every output bit;
+//!   [`VerifySink`] re-executes against the recording and localizes the
+//!   first [`Divergence`] to chunk, item, row and column. The raw-bits
+//!   float codec both checkpoint and trace payloads use lives in
+//!   [`bits`].
 //!
 //! # Example
 //!
@@ -43,11 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod bits;
 pub mod cancel;
 pub mod checkpoint;
 pub mod job;
 pub mod seed;
 pub mod sink;
+pub mod trace;
 
 pub use batch::run_batch;
 pub use cancel::CancelToken;
@@ -55,6 +63,7 @@ pub use checkpoint::{content_fingerprint, sanitize_job_id, CheckpointStore, Code
 pub use job::{ChunkTask, ExecError, Job, JobBuilder, JobSpec, Report, Workers};
 pub use seed::{derive_seed, split_mix64};
 pub use sink::{CsvSink, JsonlSink, ProgressSink, ResultSink, TableSink, Tee, ToRows};
+pub use trace::{Divergence, JobTrace, TraceSink, TraceValue, VerifySink};
 
 /// Runs one job, streaming results into `sink`.
 ///

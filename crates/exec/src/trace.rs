@@ -1,0 +1,778 @@
+//! Deterministic run traces: record a job's exact output bits, then
+//! re-execute and pinpoint the first divergence.
+//!
+//! A trace is the replay contract of one job, persisted: the job geometry
+//! (item count, seed, chunk layout, input-content fingerprint), free-form
+//! provenance metadata (engine, columns, options), and — per chunk — a
+//! content hash plus every item's payload in the raw-bits IEEE-754 codec
+//! of [`crate::bits`]. Because the substrate emits items in strict index
+//! order whatever the worker count, a trace recorded at `--jobs 1` and one
+//! recorded at `--jobs 32` are byte-identical — and a later re-execution
+//! on any machine either reproduces every bit or yields a [`Divergence`]
+//! naming the first chunk, item, row and column that drifted.
+//!
+//! # File format (`se-trace v1`)
+//!
+//! ```text
+//! se-trace v1 items=<n> seed=<s> chunk=<c> fp=<hex16>
+//! meta <key> <value…>                 zero or more provenance lines
+//! chunk <id> <len> <fnv64-hex>        then <len> item lines:
+//! item <index> <payload>              payload = the Codec encoding
+//! …
+//! end <chunks> <items>
+//! ```
+//!
+//! The format is append-safe: a chunk block is written and flushed as a
+//! unit, in index order, and the `end` line is the completion marker — a
+//! trace without it is refused as truncated rather than silently verified
+//! against a prefix. The per-chunk hash ([`crate::content_fingerprint`]
+//! over the chunk's item lines) distinguishes *trace corruption* (the file
+//! no longer hashes to what the recorder wrote) from *execution
+//! divergence* (the file is intact but a re-run computes different bits).
+
+use crate::bits::{decode_f64, f64_bits_hex};
+use crate::checkpoint::{content_fingerprint, Codec};
+use crate::job::{JobSpec, Report};
+use crate::sink::ResultSink;
+use std::fmt;
+use std::io::{self, Write};
+
+/// The format tag every trace file opens with.
+const MAGIC: &str = "se-trace v1";
+
+/// Composes the header line of a trace with the given geometry.
+fn header_line(spec: &JobSpec, fingerprint: u64) -> String {
+    format!(
+        "{MAGIC} items={} seed={} chunk={} fp={fingerprint:016x}",
+        spec.items(),
+        spec.seed(),
+        spec.chunk_size()
+    )
+}
+
+/// A [`ResultSink`] that records the stream into a trace.
+///
+/// Feed it to any substrate run (tee it with other sinks if the run also
+/// exports CSV); the recorded trace is independent of worker count,
+/// chunk-claim order and resume state because the sink sees items in
+/// strict index order.
+#[derive(Debug)]
+pub struct TraceSink<W: Write> {
+    out: W,
+    fingerprint: u64,
+    meta: Vec<(String, String)>,
+    spec: Option<JobSpec>,
+    /// Encoded `item` lines of the chunk currently being assembled.
+    pending: Vec<String>,
+    next_chunk: usize,
+    items_written: usize,
+}
+
+impl<W: Write> TraceSink<W> {
+    /// A trace recorder writing to `out`, stamped with the job's
+    /// input-content fingerprint (see [`crate::content_fingerprint`]).
+    pub fn new(out: W, fingerprint: u64) -> Self {
+        TraceSink {
+            out,
+            fingerprint,
+            meta: Vec::new(),
+            spec: None,
+            pending: Vec::new(),
+            next_chunk: 0,
+            items_written: 0,
+        }
+    }
+
+    /// Attaches one provenance line (`meta <key> <value>`): engine name,
+    /// column names, options — anything a divergence report should cite.
+    /// Keys must be single tokens; values may contain spaces but not
+    /// newlines.
+    #[must_use]
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    /// Writes the pending chunk block: its hash line, then its item lines,
+    /// then flushes — the append-safety unit.
+    fn write_chunk(&mut self) -> io::Result<()> {
+        let mut hashed = String::new();
+        for line in &self.pending {
+            hashed.push_str(line);
+            hashed.push('\n');
+        }
+        let hash = content_fingerprint(&hashed);
+        writeln!(
+            self.out,
+            "chunk {} {} {hash:016x}",
+            self.next_chunk,
+            self.pending.len()
+        )?;
+        self.out.write_all(hashed.as_bytes())?;
+        self.out.flush()?;
+        self.pending.clear();
+        self.next_chunk += 1;
+        Ok(())
+    }
+}
+
+impl<T: Codec, W: Write> ResultSink<T> for TraceSink<W> {
+    fn start(&mut self, spec: &JobSpec) -> io::Result<()> {
+        self.spec = Some(*spec);
+        writeln!(self.out, "{}", header_line(spec, self.fingerprint))?;
+        for (key, value) in &self.meta {
+            writeln!(self.out, "meta {key} {value}")?;
+        }
+        Ok(())
+    }
+
+    fn item(&mut self, index: usize, item: &T) -> io::Result<()> {
+        let spec = self.spec.expect("start() always precedes item()");
+        let mut line = format!("item {index} ");
+        item.encode(&mut line);
+        self.pending.push(line);
+        self.items_written += 1;
+        if self.pending.len() == spec.chunk_range(self.next_chunk).len() {
+            self.write_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    fn finish(&mut self, _report: &Report) -> io::Result<()> {
+        writeln!(self.out, "end {} {}", self.next_chunk, self.items_written)?;
+        self.out.flush()
+    }
+}
+
+/// One recorded chunk: its declared content hash and encoded item lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceChunk {
+    /// The chunk id (chunks appear in increasing id order).
+    pub id: usize,
+    /// The recorder's FNV-1a hash over the chunk's item lines.
+    pub hash: u64,
+    /// The encoded `item <index> <payload>` lines, payload part only.
+    pub lines: Vec<String>,
+}
+
+/// A parsed trace file: geometry, provenance and every recorded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobTrace {
+    /// Item count the trace covers.
+    pub items: usize,
+    /// The job seed every per-item seed derives from.
+    pub seed: u64,
+    /// The chunk size the trace was recorded under (re-verification forces
+    /// the same chunk layout so chunk ids line up).
+    pub chunk: usize,
+    /// The input-content fingerprint stamped at record time.
+    pub fingerprint: u64,
+    /// Provenance lines, in file order.
+    pub meta: Vec<(String, String)>,
+    /// The recorded chunks, in id order.
+    pub chunks: Vec<TraceChunk>,
+}
+
+impl JobTrace {
+    /// Parses a complete trace. Truncated traces (no `end` marker, or an
+    /// `end` marker that disagrees with the chunk/item counts), unknown
+    /// versions and malformed lines are errors, not partial successes.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<JobTrace, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty trace file")?;
+        let rest = header
+            .strip_prefix(MAGIC)
+            .ok_or_else(|| format!("not a `{MAGIC}` file: starts `{header}`"))?;
+        let mut items = None;
+        let mut seed = None;
+        let mut chunk = None;
+        let mut fingerprint = None;
+        for field in rest.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("malformed header field `{field}`"))?;
+            match key {
+                "items" => items = value.parse::<usize>().ok(),
+                "seed" => seed = value.parse::<u64>().ok(),
+                "chunk" => chunk = value.parse::<usize>().ok(),
+                "fp" => fingerprint = u64::from_str_radix(value, 16).ok(),
+                other => return Err(format!("unknown header field `{other}`")),
+            }
+        }
+        let (Some(items), Some(seed), Some(chunk), Some(fingerprint)) =
+            (items, seed, chunk, fingerprint)
+        else {
+            return Err(format!("incomplete header `{header}`"));
+        };
+        if chunk == 0 {
+            return Err("chunk size 0 is invalid".into());
+        }
+
+        let mut meta = Vec::new();
+        let mut chunks: Vec<TraceChunk> = Vec::new();
+        let mut ended = false;
+        let mut expected_items: usize = 0;
+        while let Some((line_no, line)) = lines.next() {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("meta") => {
+                    let key = parts
+                        .next()
+                        .ok_or_else(|| format!("line {}: meta line without key", line_no + 1))?;
+                    let value = line.splitn(3, ' ').nth(2).unwrap_or_default().to_string();
+                    meta.push((key.to_string(), value));
+                }
+                Some("chunk") => {
+                    let mut parse = || -> Option<(usize, usize, u64)> {
+                        let id = parts.next()?.parse().ok()?;
+                        let len = parts.next()?.parse().ok()?;
+                        let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+                        parts.next().is_none().then_some((id, len, hash))
+                    };
+                    let (id, len, hash) = parse()
+                        .ok_or_else(|| format!("line {}: malformed chunk line", line_no + 1))?;
+                    if id != chunks.len() {
+                        return Err(format!(
+                            "line {}: chunk {id} out of order (expected {})",
+                            line_no + 1,
+                            chunks.len()
+                        ));
+                    }
+                    let mut chunk_lines = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let (item_no, item_line) = lines
+                            .next()
+                            .ok_or_else(|| format!("chunk {id}: truncated item block"))?;
+                        let payload = parse_item_line(item_line, expected_items)
+                            .map_err(|e| format!("line {}: {e}", item_no + 1))?;
+                        chunk_lines.push(payload.to_string());
+                        expected_items += 1;
+                    }
+                    chunks.push(TraceChunk {
+                        id,
+                        hash,
+                        lines: chunk_lines,
+                    });
+                }
+                Some("end") => {
+                    let mut parse = || -> Option<(usize, usize)> {
+                        let c = parts.next()?.parse().ok()?;
+                        let i = parts.next()?.parse().ok()?;
+                        parts.next().is_none().then_some((c, i))
+                    };
+                    let (end_chunks, end_items) = parse()
+                        .ok_or_else(|| format!("line {}: malformed end line", line_no + 1))?;
+                    if end_chunks != chunks.len() || end_items != expected_items {
+                        return Err(format!(
+                            "end marker declares {end_chunks} chunks / {end_items} items but \
+                             the trace holds {} / {expected_items}",
+                            chunks.len()
+                        ));
+                    }
+                    ended = true;
+                }
+                Some(other) => {
+                    return Err(format!("line {}: unknown record `{other}`", line_no + 1))
+                }
+                None => {} // blank line — tolerated
+            }
+            if ended {
+                break;
+            }
+        }
+        if !ended {
+            return Err(format!(
+                "trace is truncated: no `end` marker after {} chunks — the recording \
+                 run did not complete",
+                chunks.len()
+            ));
+        }
+        if expected_items != items {
+            return Err(format!(
+                "trace holds {expected_items} items but the header declares {items}"
+            ));
+        }
+        Ok(JobTrace {
+            items,
+            seed,
+            chunk,
+            fingerprint,
+            meta,
+            chunks,
+        })
+    }
+
+    /// The job geometry a verifying re-execution must run under: same item
+    /// count, same seed, same chunk layout (so chunk ids line up; results
+    /// never depend on it).
+    #[must_use]
+    pub fn spec(&self) -> JobSpec {
+        JobSpec::new(self.items)
+            .with_seed(self.seed)
+            .with_chunk(self.chunk)
+    }
+
+    /// The first meta value recorded under `key`, if any.
+    #[must_use]
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The recorded payload line of global item `index`, if in range.
+    #[must_use]
+    pub fn payload(&self, index: usize) -> Option<&str> {
+        if self.chunk == 0 {
+            return None;
+        }
+        let chunk = self.chunks.get(index / self.chunk)?;
+        chunk.lines.get(index % self.chunk).map(String::as_str)
+    }
+
+    /// Recomputes every chunk's content hash and compares it with the
+    /// recorded one: detects bit rot / hand edits *of the trace file
+    /// itself*, as opposed to a divergent re-execution. Returns the first
+    /// corrupt chunk id, or `Ok` if the file hashes clean.
+    ///
+    /// # Errors
+    ///
+    /// The id of the first chunk whose recomputed hash mismatches.
+    pub fn integrity_check(&self) -> Result<(), usize> {
+        for (slot, chunk) in self.chunks.iter().enumerate() {
+            let mut hashed = String::new();
+            for (offset, payload) in chunk.lines.iter().enumerate() {
+                use std::fmt::Write as _;
+                let index = slot * self.chunk + offset;
+                let _ = writeln!(hashed, "item {index} {payload}");
+            }
+            if content_fingerprint(&hashed) != chunk.hash {
+                return Err(chunk.id);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits one `item <index> <payload>` line, checking the index against
+/// the expected running position.
+fn parse_item_line(line: &str, expected_index: usize) -> Result<&str, String> {
+    let rest = line
+        .strip_prefix("item ")
+        .ok_or_else(|| format!("expected an item line, found `{line}`"))?;
+    let (index_text, payload) = rest.split_once(' ').unwrap_or((rest, ""));
+    let index: usize = index_text
+        .parse()
+        .map_err(|_| format!("malformed item index `{index_text}`"))?;
+    if index != expected_index {
+        return Err(format!(
+            "item index {index} out of order (expected {expected_index})"
+        ));
+    }
+    Ok(payload)
+}
+
+/// One side of a diverging value: present with its bit pattern, or missing
+/// entirely (a row/column count mismatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceValue {
+    /// The value exists; the payload is its exact bit pattern.
+    Bits(u64),
+    /// No value at this position (shorter row or fewer rows on this side).
+    Missing,
+}
+
+impl fmt::Display for TraceValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceValue::Bits(bits) => {
+                let value = f64::from_bits(*bits);
+                write!(f, "{} ({value:e})", f64_bits_hex(value))
+            }
+            TraceValue::Missing => write!(f, "<missing>"),
+        }
+    }
+}
+
+/// The first point where a re-execution (or a corrupted payload) differs
+/// from the recorded trace, localized to the bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// The chunk holding the first diverging item.
+    pub chunk: usize,
+    /// The global index of the first diverging item.
+    pub item: usize,
+    /// The row within the item's block (0 for single-row items).
+    pub row: usize,
+    /// The value position within the row.
+    pub column: usize,
+    /// What the trace recorded at that position.
+    pub recorded: TraceValue,
+    /// What the re-execution computed at that position.
+    pub computed: TraceValue,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at chunk {}, item {}, row {}, column {}: recorded {} vs \
+             computed {}",
+            self.chunk, self.item, self.row, self.column, self.recorded, self.computed
+        )
+    }
+}
+
+/// Parses an encoded payload into rows of bit-pattern tokens. Tokens that
+/// fail to decode as hex bit patterns are kept as `Missing` (they can only
+/// come from a corrupted trace; the position still localizes).
+fn payload_bits(payload: &str) -> Vec<Vec<TraceValue>> {
+    payload
+        .split(';')
+        .map(|row| {
+            row.split_whitespace()
+                .map(|token| match decode_f64(token) {
+                    Some(value) => TraceValue::Bits(value.to_bits()),
+                    None => TraceValue::Missing,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Compares two encoded payloads, returning the first differing position
+/// as `(row, column, recorded, computed)`.
+#[must_use]
+pub fn first_payload_divergence(
+    recorded: &str,
+    computed: &str,
+) -> Option<(usize, usize, TraceValue, TraceValue)> {
+    if recorded == computed {
+        return None;
+    }
+    let rec = payload_bits(recorded);
+    let com = payload_bits(computed);
+    for row in 0..rec.len().max(com.len()) {
+        let empty: &[TraceValue] = &[];
+        let r = rec.get(row).map_or(empty, Vec::as_slice);
+        let c = com.get(row).map_or(empty, Vec::as_slice);
+        for column in 0..r.len().max(c.len()) {
+            let rv = r.get(column).copied().unwrap_or(TraceValue::Missing);
+            let cv = c.get(column).copied().unwrap_or(TraceValue::Missing);
+            if rv != cv {
+                return Some((row, column, rv, cv));
+            }
+        }
+    }
+    // The strings differ but every decoded position matches — e.g. a
+    // whitespace or leading-zero perturbation. Localize to the start.
+    Some((0, 0, TraceValue::Missing, TraceValue::Missing))
+}
+
+/// A [`ResultSink`] that verifies a re-execution against a recorded trace,
+/// capturing the first [`Divergence`] instead of failing the run.
+///
+/// Attach it to a re-execution of the traced job (same items, seed and
+/// chunk size — use [`JobTrace::spec`]); after the run, [`VerifySink::divergence`]
+/// is `None` exactly when every emitted bit matched the recording.
+#[derive(Debug)]
+pub struct VerifySink<'t> {
+    trace: &'t JobTrace,
+    divergence: Option<Divergence>,
+    checked: usize,
+}
+
+impl<'t> VerifySink<'t> {
+    /// A verifier against `trace`.
+    #[must_use]
+    pub fn new(trace: &'t JobTrace) -> Self {
+        VerifySink {
+            trace,
+            divergence: None,
+            checked: 0,
+        }
+    }
+
+    /// The first divergence seen, if any.
+    #[must_use]
+    pub fn divergence(&self) -> Option<Divergence> {
+        self.divergence
+    }
+
+    /// How many items were compared.
+    #[must_use]
+    pub fn checked(&self) -> usize {
+        self.checked
+    }
+
+    fn record(
+        &mut self,
+        index: usize,
+        row: usize,
+        column: usize,
+        rec: TraceValue,
+        com: TraceValue,
+    ) {
+        if self.divergence.is_none() {
+            self.divergence = Some(Divergence {
+                chunk: index / self.trace.chunk.max(1),
+                item: index,
+                row,
+                column,
+                recorded: rec,
+                computed: com,
+            });
+        }
+    }
+}
+
+impl<T: Codec> ResultSink<T> for VerifySink<'_> {
+    fn start(&mut self, spec: &JobSpec) -> io::Result<()> {
+        if spec.items() != self.trace.items
+            || spec.seed() != self.trace.seed
+            || spec.chunk_size() != self.trace.chunk
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "verify geometry mismatch: run has items={} seed={} chunk={}, trace \
+                     was recorded with items={} seed={} chunk={}",
+                    spec.items(),
+                    spec.seed(),
+                    spec.chunk_size(),
+                    self.trace.items,
+                    self.trace.seed,
+                    self.trace.chunk
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn item(&mut self, index: usize, item: &T) -> io::Result<()> {
+        self.checked += 1;
+        if self.divergence.is_some() {
+            return Ok(()); // only the *first* divergence is reported
+        }
+        let mut computed = String::new();
+        item.encode(&mut computed);
+        match self.trace.payload(index) {
+            Some(recorded) => {
+                if let Some((row, column, rec, com)) = first_payload_divergence(recorded, &computed)
+                {
+                    self.record(index, row, column, rec, com);
+                }
+            }
+            None => self.record(index, 0, 0, TraceValue::Missing, TraceValue::Missing),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, run_collect};
+
+    fn toy_solve(index: usize, seed: u64) -> Result<Vec<f64>, io::Error> {
+        Ok(vec![index as f64, f64::from_bits(seed)])
+    }
+
+    fn record_toy(spec: &JobSpec, fingerprint: u64) -> String {
+        let mut sink = TraceSink::new(Vec::new(), fingerprint)
+            .with_meta("engine", "toy")
+            .with_meta("columns", "i,seed bits");
+        run(spec, &mut sink, toy_solve).unwrap();
+        String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn traces_are_identical_across_worker_counts() {
+        let base = record_toy(
+            &JobSpec::new(23).with_seed(7).with_chunk(4).serial(),
+            0xfeed,
+        );
+        for workers in [1, 2, 8] {
+            let spec = JobSpec::new(23)
+                .with_seed(7)
+                .with_chunk(4)
+                .with_workers(workers);
+            assert_eq!(record_toy(&spec, 0xfeed), base, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn recorded_traces_parse_back_and_hash_clean() {
+        let spec = JobSpec::new(10).with_seed(3).with_chunk(4);
+        let text = record_toy(&spec, 0xabcd);
+        let trace = JobTrace::parse(&text).unwrap();
+        assert_eq!(trace.items, 10);
+        assert_eq!(trace.seed, 3);
+        assert_eq!(trace.chunk, 4);
+        assert_eq!(trace.fingerprint, 0xabcd);
+        assert_eq!(trace.chunks.len(), 3);
+        assert_eq!(trace.meta_value("engine"), Some("toy"));
+        assert_eq!(trace.meta_value("columns"), Some("i,seed bits"));
+        assert_eq!(trace.spec(), spec);
+        trace.integrity_check().unwrap();
+        // Payload lookup crosses chunk boundaries correctly.
+        let item7 = trace.payload(7).unwrap();
+        let mut expected = String::new();
+        toy_solve(7, spec.item_seed(7))
+            .unwrap()
+            .encode(&mut expected);
+        assert_eq!(item7, expected);
+    }
+
+    #[test]
+    fn clean_reexecution_verifies_without_divergence() {
+        let spec = JobSpec::new(17).with_seed(11).with_chunk(3);
+        let trace = JobTrace::parse(&record_toy(&spec, 0)).unwrap();
+        let mut sink = VerifySink::new(&trace);
+        run(&trace.spec().with_workers(4), &mut sink, toy_solve).unwrap();
+        assert_eq!(sink.divergence(), None);
+        assert_eq!(sink.checked(), 17);
+    }
+
+    #[test]
+    fn a_diverging_item_is_localized() {
+        let spec = JobSpec::new(12).with_seed(1).with_chunk(5);
+        let trace = JobTrace::parse(&record_toy(&spec, 0)).unwrap();
+        let mut sink = VerifySink::new(&trace);
+        // Re-execute with item 7's second value perturbed by one ulp.
+        run(&trace.spec(), &mut sink, |i, s| {
+            let mut row = toy_solve(i, s).unwrap();
+            if i == 7 {
+                row[1] = f64::from_bits(row[1].to_bits() ^ 1);
+            }
+            Ok::<_, io::Error>(row)
+        })
+        .unwrap();
+        let d = sink.divergence().expect("must diverge");
+        assert_eq!((d.chunk, d.item, d.row, d.column), (1, 7, 0, 1));
+        assert_ne!(d.recorded, d.computed);
+        let text = d.to_string();
+        assert!(text.contains("chunk 1"), "{text}");
+        assert!(text.contains("item 7"), "{text}");
+    }
+
+    #[test]
+    fn geometry_mismatches_are_refused_at_start() {
+        let spec = JobSpec::new(8).with_seed(2).with_chunk(2);
+        let trace = JobTrace::parse(&record_toy(&spec, 0)).unwrap();
+        let mut sink = VerifySink::new(&trace);
+        let err = run(
+            &JobSpec::new(8).with_seed(3).with_chunk(2),
+            &mut sink,
+            toy_solve,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("geometry mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncated_and_malformed_traces_are_refused() {
+        let spec = JobSpec::new(6).with_seed(1).with_chunk(3);
+        let text = record_toy(&spec, 0);
+        // Drop the end marker: truncated.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.starts_with("end"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = JobTrace::parse(&truncated).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // Wrong magic.
+        assert!(JobTrace::parse("se-trace v9 items=0").is_err());
+        // Item count disagreeing with the header.
+        let wrong_header = text.replacen("items=6", "items=7", 1);
+        assert!(JobTrace::parse(&wrong_header).is_err());
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_integrity_check_at_the_right_chunk() {
+        let spec = JobSpec::new(9).with_seed(4).with_chunk(3);
+        let text = record_toy(&spec, 0);
+        // Flip one hex digit in the payload of item 5 (chunk 1).
+        let corrupted: String = text
+            .lines()
+            .map(|line| {
+                if line.starts_with("item 5 ") {
+                    let flipped = line.strip_suffix('f').map(|s| format!("{s}e"));
+                    flipped.unwrap_or_else(|| {
+                        let (head, tail) = line.split_at(line.len() - 1);
+                        let last = if tail == "0" { "1" } else { "0" };
+                        format!("{head}{last}")
+                    })
+                } else {
+                    line.to_string()
+                }
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let trace = JobTrace::parse(&corrupted).unwrap();
+        assert_eq!(trace.integrity_check(), Err(1));
+    }
+
+    #[test]
+    fn divergence_positions_cover_rows_columns_and_missing_values() {
+        // Same row, later column.
+        let (row, col, _, _) = first_payload_divergence(
+            "0000000000000000 3ff0000000000000;4000000000000000",
+            "0000000000000000 3ff0000000000001;4000000000000000",
+        )
+        .unwrap();
+        assert_eq!((row, col), (0, 1));
+        // Second row.
+        let (row, col, _, _) = first_payload_divergence(
+            "0000000000000000;4000000000000000",
+            "0000000000000000;4000000000000001",
+        )
+        .unwrap();
+        assert_eq!((row, col), (1, 0));
+        // A missing trailing value.
+        let (row, col, rec, com) =
+            first_payload_divergence("0000000000000000 3ff0000000000000", "0000000000000000")
+                .unwrap();
+        assert_eq!((row, col), (0, 1));
+        assert!(matches!(rec, TraceValue::Bits(_)));
+        assert_eq!(com, TraceValue::Missing);
+        // Identical payloads never diverge.
+        assert_eq!(first_payload_divergence("00;00", "00;00"), None);
+    }
+
+    #[test]
+    fn block_payloads_round_trip_through_the_trace() {
+        // Vec<Vec<f64>> items (transient traces) also record and verify.
+        let solve =
+            |i: usize, s: u64| Ok::<_, io::Error>(vec![vec![i as f64], vec![s as f64, -0.0]]);
+        let spec = JobSpec::new(5).with_seed(9).with_chunk(2);
+        let mut sink = TraceSink::new(Vec::new(), 1);
+        run(&spec, &mut sink, solve).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let trace = JobTrace::parse(&text).unwrap();
+        trace.integrity_check().unwrap();
+        let mut verify = VerifySink::new(&trace);
+        run(&trace.spec(), &mut verify, solve).unwrap();
+        assert_eq!(verify.divergence(), None);
+        // And the recorded payloads decode to the original blocks.
+        let items = run_collect(&spec, &mut (), solve).unwrap();
+        let decoded = Vec::<Vec<f64>>::decode(trace.payload(3).unwrap()).unwrap();
+        assert_eq!(decoded.len(), items[3].len());
+        assert_eq!(decoded[1][1].to_bits(), (-0.0_f64).to_bits());
+    }
+}

@@ -160,18 +160,18 @@ enum PreparedKind {
 pub(crate) struct PreparedJob {
     kind: PreparedKind,
     /// Table label (the analysis directive).
-    result_label: String,
+    pub(crate) result_label: String,
     /// Progress label and checkpoint job id.
-    job_label: String,
-    columns: Vec<String>,
-    metadata: Vec<(String, String)>,
+    pub(crate) job_label: String,
+    pub(crate) columns: Vec<String>,
+    pub(crate) metadata: Vec<(String, String)>,
     /// Seed-ensemble size per work item (`.options repeats=`); `None` =
     /// single-shot rows.
     repeats: Option<usize>,
     /// Route ensembles through the per-seed scalar loop (the determinism
     /// gate's reference execution) instead of the batched engine.
     scalar_ensemble: bool,
-    spec: JobSpec,
+    pub(crate) spec: JobSpec,
     /// Streamed CSV target, if exporting.
     csv_path: Option<String>,
     /// Deck-content fingerprint stamped into checkpoints, so a resume
@@ -191,7 +191,7 @@ impl PreparedKind {
 }
 
 impl PreparedJob {
-    fn engine_name(&self) -> &'static str {
+    pub(crate) fn engine_name(&self) -> &'static str {
         self.kind.engine_name()
     }
 
@@ -200,7 +200,7 @@ impl PreparedJob {
     /// (`.options repeats=`) each item runs `repeats` independent solves —
     /// replica `k` with seed [`derive_seed`]`(item_seed, k)` — and every
     /// observable becomes a mean/stderr column pair.
-    fn solve_item(&self, index: usize, seed: u64) -> Result<Vec<Vec<f64>>, SimError> {
+    pub(crate) fn solve_item(&self, index: usize, seed: u64) -> Result<Vec<Vec<f64>>, SimError> {
         match &self.kind {
             PreparedKind::Sweep {
                 backend,
@@ -304,7 +304,7 @@ impl PreparedJob {
         Ok(ensemble_row(prefix, &rows))
     }
 
-    fn assemble(&self, blocks: Vec<Vec<Vec<f64>>>) -> SimulationResult {
+    pub(crate) fn assemble(&self, blocks: Vec<Vec<Vec<f64>>>) -> SimulationResult {
         let rows: Vec<Vec<f64>> = blocks.into_iter().flatten().collect();
         SimulationResult::new(
             self.result_label.clone(),

@@ -28,6 +28,11 @@
 //!   [`run_deck_batch`] runs many decks through **one** shared worker
 //!   pool.
 //! * [`run_deck`] is the one-call convenience: parse, compile, execute.
+//! * [`record_deck`] / [`verify_trace_dir`] close the determinism loop:
+//!   record a deck run's every output bit into a self-contained trace
+//!   directory, then re-execute it — under any worker count, any time
+//!   later — and either confirm bit-identity or localize the first
+//!   divergence to analysis, chunk, item, row and column.
 //!
 //! # Example
 //!
@@ -71,6 +76,7 @@ pub mod error;
 pub mod exec;
 pub mod plan;
 pub mod result;
+pub mod trace;
 
 pub use backend::{
     analytic_from_netlist, build_stationary, build_transient, AnalyticDeckEngine, SourceMapped,
@@ -81,6 +87,7 @@ pub use error::SimError;
 pub use exec::{execute, execute_serial, execute_with_options, export_path, ExecOptions};
 pub use plan::{compile, EngineChoice, PlannedAnalysis, PlannedRun, SimulationPlan};
 pub use result::SimulationResult;
+pub use trace::{record_deck, verify_trace_dir, AnalysisVerdict, RecordSummary, VerifyReport};
 
 use se_netlist::{parse_full_deck, Deck};
 
