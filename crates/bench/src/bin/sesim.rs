@@ -67,6 +67,7 @@ struct Args {
     progress: bool,
     plan_only: bool,
     scalar_ensemble: bool,
+    lane_width: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -95,6 +96,10 @@ fn usage() -> &'static str {
      --scalar-ensemble run .options repeats= ensembles through the per-seed\n\
      \u{20}                 scalar loop instead of the batched engine (the\n\
      \u{20}                 results are bit-identical; used by the CI gate)\n\
+     --lane-width N    replicas per ensemble lane group (default 8): each\n\
+     \u{20}                 bias point's repeats shard into ceil(repeats/N)\n\
+     \u{20}                 work items on the shared pool; the published\n\
+     \u{20}                 tables are byte-identical for every N\n\
      \n\
      record / verify close the determinism loop: `record` runs a deck and\n\
      writes every output bit (raw IEEE-754) plus the job geometry into a\n\
@@ -122,6 +127,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         progress: false,
         plan_only: false,
         scalar_ensemble: false,
+        lane_width: None,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -161,6 +167,16 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
             "--progress" => args.progress = true,
             "--plan" => args.plan_only = true,
             "--scalar-ensemble" => args.scalar_ensemble = true,
+            "--lane-width" => {
+                let n = argv.next().ok_or("--lane-width needs a width")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--lane-width: bad width `{n}`"))?;
+                if n == 0 {
+                    return Err("--lane-width needs a width of at least 1".into());
+                }
+                args.lane_width = Some(n);
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -371,6 +387,7 @@ fn exec_options(args: &Args, label: String) -> ExecOptions {
         label: Some(label),
         cancel: None,
         scalar_ensemble: args.scalar_ensemble,
+        lane_width: args.lane_width,
     }
 }
 

@@ -6,7 +6,8 @@
 //! reconstructing its own copy.
 
 use se_engine::derive_seed;
-use se_montecarlo::{BatchedKmcEngine, MonteCarloSimulator, SimulationOptions};
+use se_exec::{lane_group_count, lane_group_range, run_collect, JobSpec};
+use se_montecarlo::{BatchedKmcEngine, MonteCarloError, MonteCarloSimulator, SimulationOptions};
 use se_orthodox::TunnelSystem;
 use std::time::Instant;
 
@@ -115,6 +116,61 @@ pub fn run_batched(
     (total_events, total_time)
 }
 
+/// Runs `replicas` batched lockstep replicas sharded into lane groups of
+/// `lane_width` — each group one work item on an se-exec job capped at
+/// `workers` workers, exactly the deck executor's ensemble geometry — and
+/// returns the aggregate `(events executed, summed simulated seconds)`.
+/// Replica `k` keeps the [`derive_seed`]`(base_seed, k)` contract whatever
+/// the width or worker count, so every replica walk is bit-identical to
+/// [`run_batched`] and [`run_sequential_replicas`]; the summed simulated
+/// time is reduction-order deterministic per width (groups reduce in index
+/// order), identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the system or a run fails.
+#[must_use]
+// Bench harness entry point: the argument list mirrors the sibling
+// `run_batched`/`run_sequential_replicas` signatures plus the two
+// scheduling knobs under measurement.
+#[allow(clippy::too_many_arguments)]
+pub fn run_lane_groups(
+    system: &TunnelSystem,
+    temperature: f64,
+    base_seed: u64,
+    replicas: usize,
+    lane_width: usize,
+    equilibration: usize,
+    events: usize,
+    workers: usize,
+) -> (u64, f64) {
+    let groups = lane_group_count(replicas, lane_width);
+    let spec = JobSpec::new(groups)
+        .with_seed(base_seed)
+        .with_chunk(1)
+        .with_workers(workers);
+    let per_group = run_collect(&spec, &mut (), |group, _item_seed| {
+        let seeds: Vec<u64> = lane_group_range(replicas, lane_width, group)
+            .map(|k| derive_seed(base_seed, k as u64))
+            .collect();
+        let options = SimulationOptions::new(temperature).with_equilibration(equilibration);
+        let mut batch = BatchedKmcEngine::new(system.clone(), options, &seeds)?;
+        let results = batch.run_events_all(events)?;
+        let group_events: u64 = results.iter().map(se_montecarlo::RunResult::events).sum();
+        let group_time: f64 = results
+            .iter()
+            .map(se_montecarlo::RunResult::total_time)
+            .sum();
+        Ok::<_, MonteCarloError>((group_events, group_time))
+    })
+    .expect("lane-group run succeeds");
+    let total_events = per_group.iter().map(|&(events, _)| events).sum();
+    // Groups are summed in index order, so the total is reduction-order
+    // deterministic for every worker count.
+    let total_time = per_group.iter().map(|&(_, time)| time).sum();
+    (total_events, total_time)
+}
+
 /// Best-of-`samples` wall-clock throughput of one run shape, in
 /// events/second. `run` is handed the 1-based sample index (vary the seed
 /// with it so samples are independent) and must return
@@ -157,6 +213,29 @@ mod tests {
         let (batch_events, batch_time) = run_batched(&system, 0.1, 9, 4, 0, 500);
         assert_eq!(seq_events, batch_events);
         assert_eq!(seq_time.to_bits(), batch_time.to_bits());
+    }
+
+    #[test]
+    fn lane_group_runs_match_the_flat_batch_for_every_width_and_worker_count() {
+        let system = chain_system(2, 0.15, crate::REFERENCE_C_GATE);
+        let (flat_events, flat_time) = run_batched(&system, 0.1, 9, 6, 0, 300);
+        for width in [1, 2, 4, 6, 8] {
+            for workers in [1, 4] {
+                let (events, time) = run_lane_groups(&system, 0.1, 9, 6, width, 0, 300, workers);
+                assert_eq!(events, flat_events, "width {width} workers {workers}");
+                // Same replica walks; the group-wise reduction may round
+                // differently from the flat sum, but stays within an ulp
+                // per group.
+                assert!(
+                    (time - flat_time).abs() <= 1e-12 * flat_time.abs(),
+                    "width {width} workers {workers}: {time} vs {flat_time}"
+                );
+            }
+        }
+        // Width ≥ replicas is exactly the flat batch: one group, one sum.
+        let (events, time) = run_lane_groups(&system, 0.1, 9, 6, 8, 0, 300, 1);
+        assert_eq!(events, flat_events);
+        assert_eq!(time.to_bits(), flat_time.to_bits());
     }
 
     #[test]

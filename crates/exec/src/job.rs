@@ -152,6 +152,30 @@ impl JobSpec {
     }
 }
 
+/// Number of lane groups `replicas` ensemble replicas split into at lane
+/// width `width`: the geometry ensemble jobs use to shard one bias point's
+/// replica set into multiple schedulable work items (each group runs as
+/// one SIMD-friendly lockstep batch on the shared pool). `width` is
+/// clamped to at least 1.
+#[must_use]
+pub fn lane_group_count(replicas: usize, width: usize) -> usize {
+    replicas.div_ceil(width.max(1))
+}
+
+/// The replica index range of lane group `group` (`0..lane_group_count`)
+/// at lane width `width`. Groups tile the replica set in order — replica
+/// `k` always lands in group `k / width` at offset `k % width` — so the
+/// concatenation of all groups' results in group order is the plain
+/// replica order, whatever the width: the property that makes ensemble
+/// tables byte-identical across lane widths.
+#[must_use]
+pub fn lane_group_range(replicas: usize, width: usize, group: usize) -> Range<usize> {
+    let width = width.max(1);
+    let start = (group * width).min(replicas);
+    let end = (start + width).min(replicas);
+    start..end
+}
+
 /// What a completed job did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Report {
@@ -584,6 +608,27 @@ mod tests {
         let spec = JobSpec::new(8).with_seed(42);
         assert_eq!(spec.item_seed(0), crate::seed::derive_seed(42, 0));
         assert_eq!(spec.item_seed(7), crate::seed::derive_seed(42, 7));
+    }
+
+    #[test]
+    fn lane_groups_tile_the_replica_set_in_order() {
+        for (replicas, width) in [(16, 4), (16, 16), (16, 5), (1, 8), (7, 1), (0, 4)] {
+            let groups = lane_group_count(replicas, width);
+            let mut covered = Vec::new();
+            for g in 0..groups {
+                let range = lane_group_range(replicas, width, g);
+                assert!(range.len() <= width.max(1), "{replicas}/{width}");
+                covered.extend(range);
+            }
+            assert_eq!(
+                covered,
+                (0..replicas).collect::<Vec<_>>(),
+                "groups must concatenate to plain replica order ({replicas}/{width})"
+            );
+        }
+        // Zero width is clamped, not a division by zero.
+        assert_eq!(lane_group_count(8, 0), 8);
+        assert_eq!(lane_group_range(8, 0, 3), 3..4);
     }
 
     #[test]

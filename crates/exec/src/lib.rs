@@ -60,7 +60,10 @@ pub mod trace;
 pub use batch::run_batch;
 pub use cancel::CancelToken;
 pub use checkpoint::{content_fingerprint, sanitize_job_id, CheckpointStore, Codec};
-pub use job::{ChunkTask, ExecError, Job, JobBuilder, JobSpec, Report, Workers};
+pub use job::{
+    lane_group_count, lane_group_range, ChunkTask, ExecError, Job, JobBuilder, JobSpec, Report,
+    Workers,
+};
 pub use seed::{derive_seed, split_mix64};
 pub use sink::{CsvSink, JsonlSink, ProgressSink, ResultSink, TableSink, Tee, ToRows};
 pub use trace::{Divergence, JobTrace, TraceSink, TraceValue, VerifySink};

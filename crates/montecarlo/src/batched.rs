@@ -34,7 +34,9 @@ use crate::observables::RunResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use se_engine::derive_seed;
-use se_numeric::sampling::exponential_waiting_time;
+use se_numeric::sampling::{
+    exponential_waiting_time, ln_unit, unit_interval_open, validate_waiting_rate,
+};
 use se_orthodox::{
     BatchedLiveState, BatchedRateContext, ChargeState, Direction, TunnelEvent, TunnelSystem,
 };
@@ -101,6 +103,14 @@ pub struct BatchedKmcEngine {
     event_slots: Vec<[usize; 2]>,
     /// Scratch: per-replica selection targets drawn in the RNG phase.
     targets: Vec<f64>,
+    /// Scratch: per-replica waiting-time uniforms of the current round —
+    /// the RNG pass fills this plane serially (RNG streams are per-lane
+    /// state), the clock pass consumes it branch-free.
+    wait_u: Vec<f64>,
+    /// Scratch: per-replica selection uniforms of the current round, drawn
+    /// immediately after the waiting-time uniform to preserve the scalar
+    /// per-lane draw order.
+    sel_u: Vec<f64>,
     /// Scratch: per-replica running prefix sums of the mask-select pass.
     select_acc: Vec<f64>,
     /// Scratch: per-replica hit masks — bit `e` set when event `e` has a
@@ -165,6 +175,8 @@ impl BatchedKmcEngine {
             round: Vec::with_capacity(replicas),
             event_slots,
             targets: vec![0.0; replicas],
+            wait_u: vec![0.0; replicas],
+            sel_u: vec![0.0; replicas],
             select_acc: vec![0.0; replicas],
             select_hits: vec![0; replicas],
             chosen: vec![0; replicas],
@@ -379,9 +391,14 @@ impl BatchedKmcEngine {
     /// arithmetic when present; the spill entries absorb the unconditional
     /// external-endpoint settles and are never read back.
     ///
-    /// Each round runs three passes instead of one interleaved per-replica
-    /// loop: a per-lane RNG pass (waiting-time and selection-target draws,
-    /// the only serial work), a branch-free mask-select pass over the
+    /// Each round runs four passes instead of one interleaved per-replica
+    /// loop: a per-lane RNG pass filling the waiting-time and selection
+    /// uniform planes (the raw draws are the only serial work — RNG
+    /// streams are per-lane state), a branch-free clock pass evaluating
+    /// `dt = -ln_unit(u) / total` and the selection targets across the
+    /// whole plane with the polynomial log kernel
+    /// ([`se_numeric::sampling::ln_unit`] — vectorizable, no libm call),
+    /// a branch-free mask-select pass over the
     /// event-major rate planes, and a table-driven apply pass. Sixteen
     /// interleaved Gillespie walks are hostile to a branch predictor — the
     /// scan/skip/endpoint branches of the scalar loop carry sixteen
@@ -413,22 +430,40 @@ impl BatchedKmcEngine {
                 &mut self.rates,
                 &mut self.totals,
             );
-            // RNG pass: per lane, the exact scalar draw order — waiting
-            // time first, then the selection target.
+            // RNG pass: per lane, the exact scalar draw order — the
+            // guarded waiting-time uniform first, then the selection
+            // uniform. Only the draws happen here (RNG streams are
+            // serial per-lane state); the `ln` and the target scaling
+            // run in the vectorizable clock pass below.
             let mut froze = false;
             for r in 0..replicas {
                 let total = self.totals[r];
                 if total <= 0.0 {
                     self.frozen[r] = true;
                     froze = true;
-                    // NaN poisons the lane's mask: no hit bit can set.
-                    self.targets[r] = f64::NAN;
+                    // u = 1 keeps the masked clock pass finite
+                    // (ln_unit(1) = 0); the NaN selection uniform
+                    // poisons the lane's mask so no hit bit can set.
+                    self.wait_u[r] = 1.0;
+                    self.sel_u[r] = f64::NAN;
                     continue;
                 }
+                validate_waiting_rate(total)?;
                 let rng = &mut self.rngs[r];
-                let dt = exponential_waiting_time(rng, total)?;
-                self.times[r] += dt;
-                self.targets[r] = rng.gen::<f64>() * total;
+                self.wait_u[r] = unit_interval_open(rng);
+                self.sel_u[r] = rng.gen::<f64>();
+            }
+            // Clock pass: dt = -ln_unit(u) / total over the whole plane —
+            // the same expression `exponential_waiting_time` evaluates per
+            // scalar draw, so live lanes stay bit-identical — as pure
+            // elementwise arithmetic (polynomial ln, one divide, one
+            // select) that vectorizes across lanes. Frozen lanes
+            // contribute an exact zero.
+            for r in 0..replicas {
+                let total = self.totals[r];
+                let dt = -ln_unit(self.wait_u[r]) / total;
+                self.times[r] += if total > 0.0 { dt } else { 0.0 };
+                self.targets[r] = self.sel_u[r] * total;
             }
             // Select pass: branch-free prefix-sum-and-compare over the
             // event-major planes, vectorized across lanes.

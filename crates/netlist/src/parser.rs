@@ -1008,6 +1008,21 @@ CG gate island 0.5a
     }
 
     #[test]
+    fn zero_repeats_is_a_line_numbered_error_not_a_silent_no_op() {
+        // `repeats=0` would make every ensemble point an empty average; it
+        // must be refused *at the card*, citing the deck line.
+        let deck = "t\nV1 a 0 1\nR1 a 0 1k\n.options engine=kmc\n.options repeats=0\n";
+        let err = parse_full_deck(deck).unwrap_err();
+        match err {
+            NetlistError::Parse { line, ref message } => {
+                assert_eq!(line, 5, "{err}");
+                assert!(message.contains("repeats"), "{err}");
+            }
+            ref other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
     fn unknown_directives_and_options_become_diagnostics() {
         let deck =
             "t\nV1 a 0 1\nR1 a 0 1k\n.ac dec 10 1 1g\n.options gmin=1e-12\n.print v(a) i(V1)\n";

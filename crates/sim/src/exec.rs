@@ -21,8 +21,8 @@ use se_engine::{
     derive_seed, ControlId, ObservableId, StationaryEngine, TransientEngine, Waveform,
 };
 use se_exec::{
-    run_batch, CancelToken, CheckpointStore, ChunkTask, CsvSink, JobBuilder, JobSpec, ProgressSink,
-    Tee, Workers,
+    lane_group_count, lane_group_range, run_batch, CancelToken, CheckpointStore, ChunkTask,
+    CsvSink, JobBuilder, JobSpec, ProgressSink, Tee, Workers,
 };
 use se_netlist::Deck;
 use std::fs::File;
@@ -59,7 +59,22 @@ pub struct ExecOptions {
     /// bit-identical by contract; this switch exists so the determinism
     /// gate can *prove* it by diffing the two executions.
     pub scalar_ensemble: bool,
+    /// Replicas per ensemble lane group (`None` = [`DEFAULT_LANE_WIDTH`]):
+    /// each bias point's `repeats` replicas shard into
+    /// `ceil(repeats / width)` work items on the shared pool, so an
+    /// ensemble spreads across cores instead of running as one serial
+    /// batch. Replica `k` is always seeded `derive_seed(point_seed, k)`
+    /// whatever the width, and group results recombine in plain replica
+    /// order — the published tables are byte-identical across widths (and
+    /// across `--jobs` and the scalar fallback).
+    pub lane_width: Option<usize>,
 }
+
+/// The default ensemble lane width: replicas per lane-group work item.
+/// Eight `f64` lanes fill one AVX-512 vector (two AVX2 vectors) in the
+/// batched engine's SoA planes, while a 16-replica deck ensemble still
+/// splits into two schedulable items.
+pub const DEFAULT_LANE_WIDTH: usize = 8;
 
 /// Executes a compiled plan against its deck: every analysis runs as one
 /// job on the shared chunked worker pool, fanning bias points and traces
@@ -165,12 +180,24 @@ pub(crate) struct PreparedJob {
     pub(crate) job_label: String,
     pub(crate) columns: Vec<String>,
     pub(crate) metadata: Vec<(String, String)>,
-    /// Seed-ensemble size per work item (`.options repeats=`); `None` =
+    /// Seed-ensemble size per bias point (`.options repeats=`); `None` =
     /// single-shot rows.
     repeats: Option<usize>,
     /// Route ensembles through the per-seed scalar loop (the determinism
     /// gate's reference execution) instead of the batched engine.
     scalar_ensemble: bool,
+    /// Output points (bias points for sweeps/maps, 1 for transients). For
+    /// ensembles the job fans out further: `spec.items()` is
+    /// `points * groups_per_point`.
+    points: usize,
+    /// Lane groups per point: `ceil(repeats / lane_width)`, 1 when not an
+    /// ensemble.
+    groups_per_point: usize,
+    /// Replicas per lane group (see [`DEFAULT_LANE_WIDTH`]).
+    lane_width: usize,
+    /// The plan seed: grouped items re-derive their *point* seed from it so
+    /// replica seeding is independent of the lane width.
+    base_seed: u64,
     pub(crate) spec: JobSpec,
     /// Streamed CSV target, if exporting.
     csv_path: Option<String>,
@@ -195,12 +222,28 @@ impl PreparedJob {
         self.kind.engine_name()
     }
 
-    /// Solves work item `index`: one bias point (one row) for sweeps and
-    /// maps, the whole trace (all rows) for transients. With an ensemble
-    /// (`.options repeats=`) each item runs `repeats` independent solves —
-    /// replica `k` with seed [`derive_seed`]`(item_seed, k)` — and every
-    /// observable becomes a mean/stderr column pair.
+    /// Solves work item `index`. Without an ensemble an item is one bias
+    /// point (one row) for sweeps and maps, the whole trace (all rows) for
+    /// transients. With an ensemble (`.options repeats=`) every point
+    /// shards into [`Self::groups_per_point`] lane groups — item `index`
+    /// is `(point, group) = (index / groups, index % groups)` — and the
+    /// item returns the group's **raw replica rows** (no prefix, no
+    /// mean/stderr): replica `k` of the point always runs under seed
+    /// [`derive_seed`]`(point_seed, k)`, whatever the lane width, and
+    /// recombination into published rows happens downstream (the sink's
+    /// [`PointCombiner`] and [`Self::assemble`]).
     pub(crate) fn solve_item(&self, index: usize, seed: u64) -> Result<Vec<Vec<f64>>, SimError> {
+        let point = index / self.groups_per_point;
+        let group = index % self.groups_per_point;
+        // Grouped items derive their seeds from the *point*, not the item,
+        // so the replica streams do not depend on the lane width. With one
+        // group per point the two coincide: `seed` already is
+        // `derive_seed(base_seed, point)`.
+        let point_seed = if self.groups_per_point == 1 {
+            seed
+        } else {
+            derive_seed(self.base_seed, point as u64)
+        };
         match &self.kind {
             PreparedKind::Sweep {
                 backend,
@@ -208,15 +251,15 @@ impl PreparedJob {
                 observables,
                 values,
             } => {
-                let value = values[index];
+                let value = values[point];
                 let controls = [(*control, value)];
-                Ok(vec![self.stationary_row(
-                    backend,
-                    &controls,
-                    observables,
-                    &[value],
-                    seed,
-                )?])
+                if self.repeats.is_some() {
+                    self.stationary_group_rows(backend, &controls, observables, point_seed, group)
+                } else {
+                    let currents =
+                        backend.stationary_currents(&controls, observables, point_seed)?;
+                    Ok(vec![single_row(&[value], currents)])
+                }
             }
             PreparedKind::Map {
                 backend,
@@ -227,16 +270,16 @@ impl PreparedJob {
                 inner_values,
             } => {
                 let n_inner = inner_values.len();
-                let outer_value = outer_values[index / n_inner];
-                let inner_value = inner_values[index % n_inner];
+                let outer_value = outer_values[point / n_inner];
+                let inner_value = inner_values[point % n_inner];
                 let controls = [(*outer, outer_value), (*inner, inner_value)];
-                Ok(vec![self.stationary_row(
-                    backend,
-                    &controls,
-                    observables,
-                    &[outer_value, inner_value],
-                    seed,
-                )?])
+                if self.repeats.is_some() {
+                    self.stationary_group_rows(backend, &controls, observables, point_seed, group)
+                } else {
+                    let currents =
+                        backend.stationary_currents(&controls, observables, point_seed)?;
+                    Ok(vec![single_row(&[outer_value, inner_value], currents)])
+                }
             }
             PreparedKind::Transient {
                 backend,
@@ -244,68 +287,122 @@ impl PreparedJob {
                 observables,
                 times,
             } => {
-                let Some(repeats) = self.repeats else {
-                    let trace = backend.transient_currents(drives, observables, times, seed)?;
+                if self.repeats.is_none() {
+                    let trace =
+                        backend.transient_currents(drives, observables, times, point_seed)?;
                     return Ok((0..trace.len())
-                        .map(|i| {
-                            let mut row = Vec::with_capacity(1 + trace.observable_count());
-                            row.push(trace.times()[i]);
-                            row.extend_from_slice(trace.row(i));
-                            row
-                        })
+                        .map(|i| single_row(&[trace.times()[i]], trace.row(i).to_vec()))
                         .collect());
-                };
-                let seeds = replica_seeds(seed, repeats);
-                let traces = if self.scalar_ensemble {
-                    seeds
-                        .iter()
-                        .map(|&s| backend.transient_currents(drives, observables, times, s))
-                        .collect::<Result<Vec<_>, _>>()?
-                } else {
-                    backend.transient_currents_ensemble(drives, observables, times, &seeds)?
-                };
-                Ok((0..times.len())
-                    .map(|i| {
-                        let rows: Vec<&[f64]> = traces.iter().map(|trace| trace.row(i)).collect();
-                        ensemble_row(&[times[i]], &rows)
-                    })
-                    .collect())
+                }
+                self.transient_group_rows(backend, drives, observables, times, point_seed, group)
             }
         }
     }
 
-    /// One stationary output row: the bias prefix plus either the plain
-    /// observable currents or the ensemble's mean/stderr pairs.
-    fn stationary_row(
+    /// The seeds of lane group `group` of a point's ensemble: replica `k`
+    /// always gets [`derive_seed`]`(point_seed, k)` — the grouping only
+    /// decides *which* replicas an item runs, never how they are seeded.
+    fn group_seeds(&self, point_seed: u64, group: usize) -> Vec<u64> {
+        let repeats = self
+            .repeats
+            .expect("grouped solves only exist for ensembles");
+        lane_group_range(repeats, self.lane_width, group)
+            .map(|k| derive_seed(point_seed, k as u64))
+            .collect()
+    }
+
+    /// One lane group of a stationary point: the raw per-replica observable
+    /// currents, in replica order.
+    fn stationary_group_rows(
         &self,
         backend: &StationaryBackend,
         controls: &[(ControlId, f64)],
         observables: &[ObservableId],
-        prefix: &[f64],
-        seed: u64,
-    ) -> Result<Vec<f64>, SimError> {
-        let Some(repeats) = self.repeats else {
-            let currents = backend.stationary_currents(controls, observables, seed)?;
-            let mut row = Vec::with_capacity(prefix.len() + currents.len());
-            row.extend_from_slice(prefix);
-            row.extend(currents);
-            return Ok(row);
-        };
-        let seeds = replica_seeds(seed, repeats);
-        let replica_rows = if self.scalar_ensemble {
+        point_seed: u64,
+        group: usize,
+    ) -> Result<Vec<Vec<f64>>, SimError> {
+        let seeds = self.group_seeds(point_seed, group);
+        if self.scalar_ensemble || seeds.len() == 1 {
+            // A single replica (repeats=1, or a width-1 tail group) is
+            // exactly one scalar walk — the batched machinery adds nothing.
             seeds
                 .iter()
                 .map(|&s| backend.stationary_currents(controls, observables, s))
+                .collect()
+        } else {
+            backend.stationary_currents_ensemble(controls, observables, &seeds)
+        }
+    }
+
+    /// One lane group of a transient ensemble: the raw observable rows of
+    /// every replica trace, **replica-major** (`group_size × times.len()`
+    /// rows, no time column — the combiner re-attaches it).
+    fn transient_group_rows(
+        &self,
+        backend: &TransientBackend,
+        drives: &[(ControlId, Waveform)],
+        observables: &[ObservableId],
+        times: &[f64],
+        point_seed: u64,
+        group: usize,
+    ) -> Result<Vec<Vec<f64>>, SimError> {
+        let seeds = self.group_seeds(point_seed, group);
+        let traces = if self.scalar_ensemble || seeds.len() == 1 {
+            seeds
+                .iter()
+                .map(|&s| backend.transient_currents(drives, observables, times, s))
                 .collect::<Result<Vec<_>, _>>()?
         } else {
-            backend.stationary_currents_ensemble(controls, observables, &seeds)?
+            backend.transient_currents_ensemble(drives, observables, times, &seeds)?
         };
-        let rows: Vec<&[f64]> = replica_rows.iter().map(Vec::as_slice).collect();
-        Ok(ensemble_row(prefix, &rows))
+        let mut rows = Vec::with_capacity(traces.len() * times.len());
+        for trace in &traces {
+            for i in 0..times.len() {
+                rows.push(trace.row(i).to_vec());
+            }
+        }
+        Ok(rows)
+    }
+
+    /// The recombination step matching this job's geometry: `None` for
+    /// single-shot runs (items already are published rows).
+    fn combiner(&self) -> Option<PointCombiner> {
+        self.repeats?;
+        Some(match &self.kind {
+            PreparedKind::Sweep { values, .. } => PointCombiner::Stationary {
+                prefixes: values.iter().map(|&v| vec![v]).collect(),
+            },
+            PreparedKind::Map {
+                outer_values,
+                inner_values,
+                ..
+            } => {
+                let n_inner = inner_values.len();
+                PointCombiner::Stationary {
+                    prefixes: (0..self.points)
+                        .map(|p| vec![outer_values[p / n_inner], inner_values[p % n_inner]])
+                        .collect(),
+                }
+            }
+            PreparedKind::Transient { times, .. } => PointCombiner::Transient {
+                times: times.clone(),
+            },
+        })
     }
 
     pub(crate) fn assemble(&self, blocks: Vec<Vec<Vec<f64>>>) -> SimulationResult {
-        let rows: Vec<Vec<f64>> = blocks.into_iter().flatten().collect();
+        let rows: Vec<Vec<f64>> = match self.combiner() {
+            None => blocks.into_iter().flatten().collect(),
+            Some(combiner) => blocks
+                .chunks(self.groups_per_point)
+                .enumerate()
+                .flat_map(|(point, group_blocks)| {
+                    let replica_rows: Vec<Vec<f64>> =
+                        group_blocks.iter().flatten().cloned().collect();
+                    combiner.combine(point, &replica_rows)
+                })
+                .collect(),
+        };
         SimulationResult::new(
             self.result_label.clone(),
             self.engine_name(),
@@ -313,6 +410,56 @@ impl PreparedJob {
             rows,
             self.metadata.clone(),
         )
+    }
+}
+
+/// Prefix + currents, one published single-shot row.
+fn single_row(prefix: &[f64], currents: Vec<f64>) -> Vec<f64> {
+    let mut row = Vec::with_capacity(prefix.len() + currents.len());
+    row.extend_from_slice(prefix);
+    row.extend(currents);
+    row
+}
+
+/// Recombines one point's raw replica rows (its lane-group items
+/// concatenated in group order — which *is* plain replica order, see
+/// [`se_exec::lane_group_range`]) into the published mean/stderr rows.
+/// Summation always walks replicas `0..repeats` in order, so the published
+/// tables are byte-identical across lane widths, worker counts and the
+/// scalar fallback.
+pub(crate) enum PointCombiner {
+    /// One output row per point: the point's bias prefix + mean/stderr
+    /// pairs over the replica rows.
+    Stationary { prefixes: Vec<Vec<f64>> },
+    /// `times.len()` output rows per point from replica-major raw rows:
+    /// each output row is its time + mean/stderr pairs across replicas.
+    Transient { times: Vec<f64> },
+}
+
+impl PointCombiner {
+    fn combine(&self, point: usize, replica_rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        match self {
+            PointCombiner::Stationary { prefixes } => {
+                let rows: Vec<&[f64]> = replica_rows.iter().map(Vec::as_slice).collect();
+                vec![ensemble_row(&prefixes[point], &rows)]
+            }
+            PointCombiner::Transient { times } => {
+                // Replica r occupies rows [r*T, (r+1)*T); time i of every
+                // replica sits at stride T.
+                let t_count = times.len();
+                (0..t_count)
+                    .map(|i| {
+                        let rows: Vec<&[f64]> = replica_rows
+                            .iter()
+                            .skip(i)
+                            .step_by(t_count)
+                            .map(Vec::as_slice)
+                            .collect();
+                        ensemble_row(&[times[i]], &rows)
+                    })
+                    .collect()
+            }
+        }
     }
 }
 
@@ -418,7 +565,13 @@ fn prepare_run(
             )
         }
     };
-    let mut spec = JobSpec::new(items).with_seed(plan.seed);
+    let lane_width = options.lane_width.unwrap_or(DEFAULT_LANE_WIDTH).max(1);
+    // An ensemble fans every point out into lane groups; the substrate
+    // geometry (and thus checkpoints and traces) is lane-width-bound.
+    let groups_per_point = plan
+        .repeats
+        .map_or(1, |repeats| lane_group_count(repeats, lane_width).max(1));
+    let mut spec = JobSpec::new(items * groups_per_point).with_seed(plan.seed);
     if let Some(chunk) = options.chunk {
         spec = spec.with_chunk(chunk);
     }
@@ -429,6 +582,10 @@ fn prepare_run(
         columns,
         repeats: plan.repeats,
         scalar_ensemble: options.scalar_ensemble,
+        points: items,
+        groups_per_point,
+        lane_width,
+        base_seed: plan.seed,
         spec,
         csv_path: options
             .csv
@@ -485,14 +642,60 @@ impl se_exec::ResultSink<Vec<Vec<f64>>> for LazyCsvSink {
     }
 }
 
-/// The per-job sink stack: optional streamed CSV plus optional progress.
-type RunSink = Tee<Option<LazyCsvSink>, Option<ProgressSink<Stderr>>>;
+/// Recombines grouped ensemble items into published rows on the way to the
+/// CSV export. Items arrive in strict index order (the substrate's sink
+/// contract), so a point's lane groups are consecutive: buffer the raw
+/// replica rows, and on the point's last group emit one combined item
+/// under the *point* index. Only the CSV stream recombines — progress
+/// counts and replay traces stay at raw sharded-item granularity.
+struct GroupedCsvSink {
+    inner: LazyCsvSink,
+    groups_per_point: usize,
+    /// `None` for single-shot runs: items pass through untouched.
+    combiner: Option<PointCombiner>,
+    /// Raw replica rows of the point currently being assembled.
+    buffer: Vec<Vec<f64>>,
+}
+
+impl se_exec::ResultSink<Vec<Vec<f64>>> for GroupedCsvSink {
+    fn item(&mut self, index: usize, item: &Vec<Vec<f64>>) -> std::io::Result<()> {
+        let Some(combiner) = &self.combiner else {
+            return self.inner.item(index, item);
+        };
+        self.buffer.extend(item.iter().cloned());
+        if (index + 1).is_multiple_of(self.groups_per_point) {
+            let point = index / self.groups_per_point;
+            let combined = combiner.combine(point, &self.buffer);
+            self.buffer.clear();
+            self.inner.item(point, &combined)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        se_exec::ResultSink::<Vec<Vec<f64>>>::flush(&mut self.inner)
+    }
+
+    fn finish(&mut self, report: &se_exec::Report) -> std::io::Result<()> {
+        se_exec::ResultSink::<Vec<Vec<f64>>>::finish(&mut self.inner, report)
+    }
+}
+
+/// The per-job sink stack: optional streamed CSV (recombined to published
+/// rows) plus optional progress (raw item counts).
+type RunSink = Tee<Option<GroupedCsvSink>, Option<ProgressSink<Stderr>>>;
 
 fn make_sink(prep: &PreparedJob, options: &ExecOptions) -> RunSink {
-    let csv = prep.csv_path.as_ref().map(|path| LazyCsvSink {
-        path: path.clone(),
-        columns: prep.columns.clone(),
-        inner: None,
+    let csv = prep.csv_path.as_ref().map(|path| GroupedCsvSink {
+        inner: LazyCsvSink {
+            path: path.clone(),
+            columns: prep.columns.clone(),
+            inner: None,
+        },
+        groups_per_point: prep.groups_per_point,
+        combiner: prep.combiner(),
+        buffer: Vec::new(),
     });
     let progress = options
         .progress
@@ -653,16 +856,6 @@ fn current_columns(observables: &[String], ensemble: bool) -> Vec<String> {
         .collect()
 }
 
-/// The replica seeds of one ensemble item, derived from the item seed with
-/// the shared SplitMix64 discipline: replica `k` gets
-/// [`derive_seed`]`(item_seed, k)` — identical for the batched and the
-/// scalar execution, which is what makes the two diffable.
-fn replica_seeds(item_seed: u64, repeats: usize) -> Vec<u64> {
-    (0..repeats as u64)
-        .map(|replica| derive_seed(item_seed, replica))
-        .collect()
-}
-
 /// Builds one ensemble output row: the bias/time prefix followed by the
 /// mean and standard error of each observable over the replica rows.
 fn ensemble_row(prefix: &[f64], rows: &[&[f64]]) -> Vec<f64> {
@@ -721,7 +914,7 @@ pub fn export_path(base: &str, index: usize) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::{ensemble_row, export_path, mean_stderr, replica_seeds};
+    use super::{ensemble_row, export_path, mean_stderr, PointCombiner};
 
     #[test]
     fn mean_stderr_matches_hand_computation() {
@@ -746,12 +939,50 @@ mod tests {
     }
 
     #[test]
-    fn replica_seeds_follow_the_shared_discipline() {
-        let seeds = replica_seeds(42, 4);
-        assert_eq!(seeds.len(), 4);
-        assert_eq!(seeds[2], se_engine::derive_seed(42, 2));
+    fn lane_group_seeds_are_width_independent() {
+        // Replica k of a point always gets derive_seed(point_seed, k):
+        // the concatenated group seed lists must match the plain replica
+        // list for every width.
+        let point_seed = 42u64;
+        let repeats = 7usize;
+        let flat: Vec<u64> = (0..repeats as u64)
+            .map(|k| se_engine::derive_seed(point_seed, k))
+            .collect();
+        for width in [1usize, 2, 3, 7, 8, 16] {
+            let grouped: Vec<u64> = (0..se_exec::lane_group_count(repeats, width))
+                .flat_map(|group| {
+                    se_exec::lane_group_range(repeats, width, group)
+                        .map(|k| se_engine::derive_seed(point_seed, k as u64))
+                })
+                .collect();
+            assert_eq!(grouped, flat, "width={width}");
+        }
         // Distinct replicas must draw distinct randomness.
-        assert!(seeds.windows(2).all(|w| w[0] != w[1]));
+        assert!(flat.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn transient_combiner_reassembles_replica_major_rows() {
+        // Two replicas × three times, one observable; replica-major raw
+        // rows as transient_group_rows emits them.
+        let combiner = PointCombiner::Transient {
+            times: vec![0.0, 1.0, 2.0],
+        };
+        let raw: Vec<Vec<f64>> = vec![
+            vec![10.0], // replica 0, t0
+            vec![20.0], // replica 0, t1
+            vec![30.0], // replica 0, t2
+            vec![14.0], // replica 1, t0
+            vec![20.0], // replica 1, t1
+            vec![26.0], // replica 1, t2
+        ];
+        let rows = combiner.combine(0, &raw);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], 0.0); // time prefix restored
+        assert_eq!(rows[0][1], 12.0); // mean over replicas at t0
+        assert_eq!(rows[1][1], 20.0);
+        assert_eq!(rows[1][2], 0.0); // identical replicas → zero stderr
+        assert_eq!(rows[2][1], 28.0);
     }
 
     #[test]

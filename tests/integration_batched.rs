@@ -14,7 +14,10 @@
 use proptest::prelude::*;
 use single_electronics::engine::derive_seed;
 use single_electronics::montecarlo::{BatchedKmcEngine, MonteCarloSimulator, SimulationOptions};
+use single_electronics::netlist::parse_full_deck;
+use single_electronics::numeric::sampling::ln_unit;
 use single_electronics::orthodox::{TunnelSystem, TunnelSystemBuilder};
+use single_electronics::sim::{compile, execute_with_options, ExecOptions};
 
 /// A randomly parameterised island chain (drain — islands — source, each
 /// island optionally gated), the same shape the incremental-hot-path
@@ -188,6 +191,86 @@ proptest! {
             equilibrate * 16,
             events,
         );
+    }
+}
+
+/// Distance in units-in-the-last-place between two finite same-sign
+/// doubles (their IEEE-754 bit patterns are order-isomorphic there).
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    let (a, b) = (a.to_bits() as i64, b.to_bits() as i64);
+    a.abs_diff(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The deterministic event-clock kernel tracks the platform libm to
+    /// ≤ 2 ulp over the whole open unit interval — uniformly dense draws
+    /// plus draws pushed toward the underflow boundary, where the range
+    /// reduction works hardest.
+    #[test]
+    fn prop_ln_unit_stays_within_two_ulp_of_libm(
+        mantissa in 0.0_f64..1.0,
+        scale_exp in 0_i32..300,
+    ) {
+        // u spans (0, 1] across ~300 binades, not just the dense top one.
+        let u = (mantissa + f64::MIN_POSITIVE) * 2.0_f64.powi(-scale_exp);
+        prop_assume!(u > 0.0 && u <= 1.0);
+        let kernel = ln_unit(u);
+        let libm = u.ln();
+        prop_assert!(
+            ulp_distance(kernel, libm) <= 2,
+            "ln_unit({u:e}) = {kernel:e} vs libm {libm:e} ({} ulp apart)",
+            ulp_distance(kernel, libm)
+        );
+    }
+}
+
+/// A `repeats=` ensemble staircase deck over the reference SET.
+fn ensemble_deck(seed: u64, temperature: f64, repeats: usize) -> String {
+    format!(
+        "lane-width identity\n\
+         VD drain 0 0\n\
+         VG gate 0 0\n\
+         J1 drain island C=0.5a R=100k\n\
+         J2 island 0 C=0.5a R=100k\n\
+         CG gate island 1a\n\
+         .options temp={temperature:?} seed={seed} engine=kmc events=600 repeats={repeats}\n\
+         .dc VD 0 0.06 0.02\n\
+         .print dc i(J1)\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The published ensemble tables are byte-identical across lane
+    /// widths, worker counts and the per-seed scalar fallback: replica
+    /// `k` of a point is always the same walk, however the replicas are
+    /// grouped into work items.
+    #[test]
+    fn prop_ensemble_tables_are_identical_across_lane_widths(
+        seed in 0_u64..1_000_000,
+        temperature in 0.05_f64..4.2,
+        repeats in 1_usize..9,
+        widths in proptest::collection::vec(1_usize..12, 2),
+    ) {
+        let deck = parse_full_deck(&ensemble_deck(seed, temperature, repeats)).unwrap();
+        let plan = compile(&deck).unwrap();
+        let run = |lane_width: Option<usize>, scalar: bool| {
+            execute_with_options(&deck, &plan, &ExecOptions {
+                lane_width,
+                scalar_ensemble: scalar,
+                ..ExecOptions::default()
+            })
+            .expect("ensemble deck runs")
+        };
+        let baseline = run(None, false);
+        for &width in &widths {
+            prop_assert_eq!(&run(Some(width), false), &baseline, "width {}", width);
+        }
+        // The scalar fallback (under an arbitrary grouping) matches too.
+        prop_assert_eq!(&run(Some(widths[0]), true), &baseline);
     }
 }
 
