@@ -337,6 +337,16 @@ fn deck_stem(path: &str) -> String {
 
 fn print_result(result: &SimulationResult) {
     println!("## {} — engine: {}", result.label(), result.engine());
+    if let Some(effort) = result.solver_effort() {
+        eprintln!(
+            "sesim: solver {}: {} solves ({} warm-started), {} iterations, max residual {:.3e}",
+            effort.solver,
+            effort.solves,
+            effort.warm_solves,
+            effort.iterations,
+            effort.residual_max
+        );
+    }
     if result.len() > MAX_PRINTED_ROWS {
         println!(
             "({} rows x {} columns; use --csv or --json to export the full table)",
@@ -404,6 +414,15 @@ fn report_plan(deck: &Deck, args: &Args, name: &str) -> Result<SimulationPlan, S
                 run.engine.name(),
                 run.rationale
             );
+            if run.engine == se_sim::EngineChoice::Master {
+                let solver = deck.options.solver.unwrap_or_default();
+                eprintln!(
+                    "sesim: {} -> solver {} (warm-started {}-point blocks)",
+                    run.label,
+                    solver.as_deck_str(),
+                    se_sim::MASTER_WARM_BLOCK
+                );
+            }
         }
     }
     Ok(plan)

@@ -86,6 +86,38 @@ fn collect_observables(
         .collect()
 }
 
+impl MasterEquation {
+    /// The warm-chaining form of
+    /// [`StationaryEngine::stationary_currents`]: solves at the given
+    /// control values, optionally seeding the iteration from a previous
+    /// bias point's converged [`crate::master::MasterSolution`], and
+    /// returns the solution alongside the currents so the caller can chain
+    /// it into the next point. Sweep layers walk a block of adjacent bias
+    /// points with this, cold-starting only the block's first point.
+    ///
+    /// # Errors
+    ///
+    /// As [`StationaryEngine::stationary_currents`].
+    pub fn stationary_currents_warm(
+        &self,
+        controls: &[(ControlId, f64)],
+        observables: &[ObservableId],
+        warm: Option<&crate::master::MasterSolution>,
+    ) -> Result<(Vec<f64>, crate::master::MasterSolution), MonteCarloError> {
+        let solution = if controls.is_empty() {
+            self.solve_warm(warm)?
+        } else {
+            let mut solver = self.clone();
+            apply_controls(solver.system_mut(), controls)?;
+            solver.solve_warm(warm)?
+        };
+        let currents = collect_observables(self.system(), observables, |name| {
+            solution.junction_current(name)
+        })?;
+        Ok((currents, solution))
+    }
+}
+
 impl StationaryEngine for MasterEquation {
     type Error = MonteCarloError;
 

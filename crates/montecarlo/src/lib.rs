@@ -18,8 +18,10 @@
 //!   that enumerates charge states in a window around the ground state and
 //!   solves for the stationary distribution; the accuracy reference. The
 //!   generator is assembled sparsely (CSR over the state lattice) and
-//!   solved iteratively, so the enumeration scales to hundreds of
-//!   thousands of states.
+//!   solved iteratively (preconditioned BiCGSTAB by default, anchored
+//!   Gauss–Seidel as fallback), so the enumeration scales to millions of
+//!   states, and bias sweeps can warm-start each point from its
+//!   neighbour's converged distribution.
 //!
 //! Both engines implement [`se_engine::StationaryEngine`], so [`sweep`]'s
 //! helpers (and anything else built on [`se_engine::SweepRunner`]) drive
@@ -92,8 +94,9 @@ pub use builder::tunnel_system_from_netlist;
 pub use engine::{resolve_electrode, resolve_junction};
 pub use error::MonteCarloError;
 pub use kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};
-pub use master::MasterEquation;
+pub use master::{MasterEquation, MasterSolution, MasterSolveStats};
 pub use observables::RunResult;
+pub use se_numeric::{Preconditioner, StationarySolver};
 pub use sweep::{gate_sweep_kmc, gate_sweep_master, stability_map_master, SweepPoint};
 
 /// Commonly used types for driving the Monte-Carlo simulator.

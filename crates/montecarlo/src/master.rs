@@ -12,15 +12,27 @@
 //! The state space is handled sparsely: each charge state couples to at
 //! most two neighbours per junction, so the generator is assembled as CSR
 //! triplets over the mixed-radix state lattice (per-event index offsets,
-//! no hash lookups) and the stationary distribution comes from the
-//! Gauss–Seidel iteration in [`se_numeric::sparse`]. Together with the
-//! incremental [`LiveState`] walk of the enumeration (one axpy per lattice
-//! step instead of a dense solve per state), this lets the default
-//! enumeration window cover hundreds of thousands of states — the old
-//! dense-LU implementation capped out at 20 000.
+//! no hash lookups) and the stationary distribution comes from the solver
+//! selection in [`se_numeric::sparse`] — preconditioned BiCGSTAB by
+//! default, with the anchored Gauss–Seidel sweep as selectable alternative
+//! and automatic fallback. Together with the incremental [`LiveState`]
+//! walk of the enumeration (one axpy per lattice step instead of a dense
+//! solve per state), this lets the default enumeration window cover
+//! millions of states — the old dense-LU implementation capped out at
+//! 20 000 and the Gauss–Seidel-only sparse path at 400 000.
+//!
+//! Sweeps over nearby operating points can reuse a converged solution as
+//! the next solve's starting iterate via [`MasterEquation::solve_warm`]:
+//! the previous distribution is re-indexed onto the (possibly shifted)
+//! new enumeration window, which typically cuts the iteration count to a
+//! handful. Warm-starting changes only the starting iterate — solves are
+//! deterministic for a given (system, warm seed) pair.
 
 use crate::error::MonteCarloError;
-use se_numeric::sparse::{stationary_distribution, CsrMatrix, StationaryOptions};
+use se_numeric::sparse::{
+    stationary_distribution_with, CsrMatrix, StationaryOptions, StationarySolver,
+    StationaryWorkspace,
+};
 use se_orthodox::{ChargeState, Endpoint, LiveState, RateContext, TunnelEvent, TunnelSystem};
 use se_units::constants::E;
 use std::collections::HashMap;
@@ -31,8 +43,26 @@ const DEFAULT_WINDOW: i64 = 3;
 /// Default maximum number of enumerated states. The sparse generator and
 /// iterative stationary solve keep both memory and time roughly linear in
 /// this number (times the junction count); the old dense-LU path was capped
-/// at 20 000 states.
-const DEFAULT_MAX_STATES: usize = 400_000;
+/// at 20 000 states and the Gauss–Seidel-only sparse path at 400 000 —
+/// the Krylov solver pushes the practical ceiling into the millions.
+const DEFAULT_MAX_STATES: usize = 2_000_000;
+
+/// Provenance of one master-equation solve: which stationary solver
+/// produced the distribution and how hard it had to work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasterSolveStats {
+    /// Name of the solver that produced the accepted distribution (for
+    /// example `"bicgstab-ilu0"`, or `"gauss-seidel(fallback)"` when the
+    /// Krylov iteration failed and the sweep finished the job).
+    pub solver: &'static str,
+    /// Iterations (Krylov steps or Gauss–Seidel sweeps) performed.
+    pub iterations: usize,
+    /// Final convergence measure reported by the solver.
+    pub residual: f64,
+    /// Whether the solve was seeded from a previous solution (see
+    /// [`MasterEquation::solve_warm`]).
+    pub warm_started: bool,
+}
 
 /// Stationary solution of the master equation.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +70,11 @@ pub struct MasterSolution {
     states: Vec<ChargeState>,
     probabilities: Vec<f64>,
     junction_currents: HashMap<String, f64>,
+    /// Window geometry of the enumeration, kept so a later solve can
+    /// re-index this distribution onto its own (possibly shifted) window.
+    center: ChargeState,
+    window: i64,
+    stats: MasterSolveStats,
 }
 
 impl MasterSolution {
@@ -82,6 +117,12 @@ impl MasterSolution {
             .map(|(s, &p)| p * s.0[island] as f64)
             .sum()
     }
+
+    /// Provenance of the stationary solve that produced this solution.
+    #[must_use]
+    pub fn stats(&self) -> &MasterSolveStats {
+        &self.stats
+    }
 }
 
 /// Master-equation solver over a [`TunnelSystem`].
@@ -91,6 +132,7 @@ pub struct MasterEquation {
     temperature: f64,
     window: i64,
     max_states: usize,
+    solver: StationarySolver,
 }
 
 impl MasterEquation {
@@ -113,7 +155,22 @@ impl MasterEquation {
             temperature,
             window: DEFAULT_WINDOW,
             max_states: DEFAULT_MAX_STATES,
+            solver: StationarySolver::default(),
         })
+    }
+
+    /// Selects the stationary solver (default: BiCGSTAB + ILU(0) with an
+    /// automatic Gauss–Seidel fallback).
+    #[must_use]
+    pub fn with_solver(mut self, solver: StationarySolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The configured stationary solver.
+    #[must_use]
+    pub fn solver(&self) -> StationarySolver {
+        self.solver
     }
 
     /// Sets the per-island charge window half-width.
@@ -132,7 +189,7 @@ impl MasterEquation {
     }
 
     /// Sets the maximum number of enumerated states (the guard against
-    /// accidentally exponential windows, default 400 000).
+    /// accidentally exponential windows, default 2 000 000).
     ///
     /// # Errors
     ///
@@ -207,9 +264,167 @@ impl MasterEquation {
     /// Returns [`MonteCarloError::StateSpaceTooLarge`] if the enumeration
     /// exceeds the state limit, and propagates numerical errors from the
     /// iterative stationary solve (including
-    /// [`se_numeric::NumericError::NoConvergence`] if the Gauss–Seidel
-    /// iteration exhausts its sweep budget).
+    /// [`se_numeric::NumericError::NoConvergence`] if the selected solver
+    /// and its fallback both exhaust their iteration budgets).
     pub fn solve(&self) -> Result<MasterSolution, MonteCarloError> {
+        self.solve_warm(None)
+    }
+
+    /// Solves for the stationary distribution, optionally warm-starting
+    /// the iteration from a previously converged solution.
+    ///
+    /// The previous distribution is re-indexed onto this solve's
+    /// enumeration window (the windows may be centered on different ground
+    /// states — each state is matched by its physical island charges, and
+    /// charges that fall outside either window drop out). A seed is used
+    /// only if it is structurally compatible (same per-island window
+    /// half-width and island count) and carries probability on this
+    /// solve's ground state; otherwise the solve cold-starts exactly like
+    /// [`MasterEquation::solve`]. Warm-starting changes the starting
+    /// iterate, not the fixed iteration/reduction order, so a solve is
+    /// deterministic for a given (system, warm seed) pair.
+    ///
+    /// # Errors
+    ///
+    /// As [`MasterEquation::solve`].
+    pub fn solve_warm(
+        &self,
+        warm: Option<&MasterSolution>,
+    ) -> Result<MasterSolution, MonteCarloError> {
+        let assembly = self.assemble()?;
+        let Assembly {
+            center,
+            span,
+            place,
+            ground_index,
+            states,
+            inflow,
+            out_rate,
+        } = assembly;
+        let state_count = states.len();
+        let islands = self.system.island_count();
+
+        // Re-index the warm seed onto this window. The state at counter
+        // value `index` has charges `n_i = center_i − window + digit_i`,
+        // so the same physical state sits at digit
+        // `digit_i + (center_i − prev_center_i)` of the previous window.
+        let warm_p: Option<Vec<f64>> = warm.and_then(|prev| {
+            if prev.window != self.window || prev.center.0.len() != islands {
+                return None;
+            }
+            let delta: Vec<i64> = center
+                .0
+                .iter()
+                .zip(&prev.center.0)
+                .map(|(&now, &before)| now - before)
+                .collect();
+            let seed = if delta.iter().all(|&d| d == 0) {
+                prev.probabilities.clone()
+            } else {
+                let mut seed = vec![0.0_f64; state_count];
+                for (index, slot) in seed.iter_mut().enumerate() {
+                    let mut rem = index;
+                    let mut prev_index = 0_i64;
+                    let mut inside = true;
+                    for i in 0..islands {
+                        let digit = (rem % span) as i64;
+                        rem /= span;
+                        let prev_digit = digit + delta[i];
+                        if !(0..span as i64).contains(&prev_digit) {
+                            inside = false;
+                            break;
+                        }
+                        prev_index += prev_digit * place[i];
+                    }
+                    if inside {
+                        *slot = prev.probabilities[prev_index as usize];
+                    }
+                }
+                seed
+            };
+            // The solver re-scales the seed so the anchor carries 1; a
+            // seed with no mass there cannot be used.
+            (seed[ground_index] > 0.0).then_some(seed)
+        });
+
+        // The ground state anchors the iteration: its balance equation is
+        // the one the normalisation condition replaces (as in the dense
+        // implementation), and the regularisation in `assemble` guarantees
+        // every state drains towards it.
+        let options = StationaryOptions {
+            solver: self.solver,
+            ..StationaryOptions::default()
+        };
+        let mut workspace = StationaryWorkspace::new();
+        let (probabilities, solve_stats) = stationary_distribution_with(
+            &inflow,
+            &out_rate,
+            ground_index,
+            &options,
+            warm_p.as_deref(),
+            &mut workspace,
+        )?;
+        let stats = MasterSolveStats {
+            solver: solve_stats.solver,
+            iterations: solve_stats.iterations,
+            residual: solve_stats.residual,
+            warm_started: warm_p.is_some(),
+        };
+
+        // Junction currents: net a→b tunnel rate weighted by the stationary
+        // occupation, using the *real* event rates (out-of-window targets
+        // included — charge that leaves the window still crossed the
+        // junction). Events keep their canonical order, so junction `j`
+        // owns rate slots `2j` (a→b) and `2j + 1` (b→a). The lattice is
+        // walked a second time instead of buffering every state's rates
+        // during assembly — the O(states × events) buffer was the memory
+        // ceiling at million-state windows — and states with zero
+        // stationary probability skip the rate evaluation entirely.
+        let rate_ctx = RateContext::new(&self.system, self.temperature)?;
+        let junction_count = self.system.junctions().len();
+        let mut net_rates = vec![0.0_f64; junction_count];
+        let first = ChargeState(center.0.iter().map(|&c| c - self.window).collect());
+        let mut live = LiveState::new(&self.system, first);
+        let mut digits = vec![0_usize; islands];
+        let mut scratch = Vec::with_capacity(self.system.event_count());
+        for (index, &p) in probabilities.iter().enumerate() {
+            if p != 0.0 {
+                rate_ctx.fill_rates(&self.system, &live, &mut scratch);
+                for (j_idx, net) in net_rates.iter_mut().enumerate() {
+                    *net += p * (scratch[2 * j_idx] - scratch[2 * j_idx + 1]);
+                }
+            }
+            if index + 1 < state_count {
+                let mut i = 0;
+                loop {
+                    digits[i] += 1;
+                    if digits[i] < span {
+                        live.shift_island(&self.system, i, 1);
+                        break;
+                    }
+                    digits[i] = 0;
+                    live.shift_island(&self.system, i, -(span as i64 - 1));
+                    i += 1;
+                }
+            }
+        }
+        let mut junction_currents = HashMap::new();
+        for (j_idx, junction) in self.system.junctions().iter().enumerate() {
+            junction_currents.insert(junction.name.clone(), -E * net_rates[j_idx]);
+        }
+
+        Ok(MasterSolution {
+            states,
+            probabilities,
+            junction_currents,
+            center,
+            window: self.window,
+            stats,
+        })
+    }
+
+    /// Enumerates the window and assembles the regularised generator.
+    fn assemble(&self) -> Result<Assembly, MonteCarloError> {
         let islands = self.system.island_count();
         let span = (2 * self.window + 1) as usize;
         let state_count =
@@ -228,7 +443,6 @@ impl MasterEquation {
         let center = self.ground_state();
         let rate_ctx = RateContext::new(&self.system, self.temperature)?;
         let events = self.system.events();
-        let event_count = events.len();
 
         // The enumeration is a mixed-radix counter over the window box
         // around the ground state: island `i` is digit `i` with place value
@@ -279,15 +493,13 @@ impl MasterEquation {
         let mut live = LiveState::new(&self.system, first);
         let mut digits = vec![0_usize; islands];
         let mut states = Vec::with_capacity(state_count);
-        let mut event_rates = vec![0.0_f64; state_count * event_count];
         let mut out_rate = vec![0.0_f64; state_count];
         let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
-        let mut scratch = Vec::with_capacity(event_count);
+        let mut scratch = Vec::with_capacity(events.len());
 
-        for index in 0..state_count {
+        for (index, out) in out_rate.iter_mut().enumerate() {
             states.push(live.state().clone());
             rate_ctx.fill_rates(&self.system, &live, &mut scratch);
-            event_rates[index * event_count..(index + 1) * event_count].copy_from_slice(&scratch);
             for (e, geo) in geometry.iter().enumerate() {
                 let rate = scratch[e];
                 if rate <= 0.0 {
@@ -302,7 +514,7 @@ impl MasterEquation {
                 }
                 let target = (index as i64 + geo.offset) as usize;
                 triplets.push((target, index, rate));
-                out_rate[index] += rate;
+                *out += rate;
             }
             // Advance the mixed-radix counter, keeping the live state in
             // lockstep (a wrap of digit `i` steps the island back by the
@@ -340,41 +552,42 @@ impl MasterEquation {
         }
 
         let inflow = CsrMatrix::from_triplets(state_count, state_count, &triplets)?;
-        // The ground state anchors the iteration: its balance equation is
-        // the one the normalisation condition replaces (as in the dense
-        // implementation), and the regularisation above guarantees every
-        // state drains towards it.
-        let probabilities = stationary_distribution(
-            &inflow,
-            &out_rate,
+        Ok(Assembly {
+            center,
+            span,
+            place,
             ground_index,
-            &StationaryOptions::default(),
-        )?;
-
-        // Junction currents: net a→b tunnel rate weighted by the stationary
-        // occupation, using the *real* event rates (out-of-window targets
-        // included — charge that leaves the window still crossed the
-        // junction). Events keep their canonical order, so junction `j`
-        // owns rate slots `2j` (a→b) and `2j + 1` (b→a).
-        let mut junction_currents = HashMap::new();
-        for (j_idx, junction) in self.system.junctions().iter().enumerate() {
-            let mut net_rate = 0.0;
-            for (i, &p) in probabilities.iter().enumerate() {
-                if p == 0.0 {
-                    continue;
-                }
-                let row = &event_rates[i * event_count..(i + 1) * event_count];
-                net_rate += p * (row[2 * j_idx] - row[2 * j_idx + 1]);
-            }
-            junction_currents.insert(junction.name.clone(), -E * net_rate);
-        }
-
-        Ok(MasterSolution {
             states,
-            probabilities,
-            junction_currents,
+            inflow,
+            out_rate,
         })
     }
+
+    /// Assembles and returns the regularised anchored generator — the
+    /// inflow matrix, total out-rate vector and anchor index — without
+    /// solving it. This exists so benchmarks can time the stationary
+    /// solvers alone on a real master-equation generator; it is not part
+    /// of the supported API surface.
+    ///
+    /// # Errors
+    ///
+    /// As [`MasterEquation::solve`], for the assembly phase.
+    #[doc(hidden)]
+    pub fn generator(&self) -> Result<(CsrMatrix, Vec<f64>, usize), MonteCarloError> {
+        let assembly = self.assemble()?;
+        Ok((assembly.inflow, assembly.out_rate, assembly.ground_index))
+    }
+}
+
+/// The assembled generator of one enumeration window.
+struct Assembly {
+    center: ChargeState,
+    span: usize,
+    place: Vec<i64>,
+    ground_index: usize,
+    states: Vec<ChargeState>,
+    inflow: CsrMatrix,
+    out_rate: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -476,7 +689,8 @@ mod tests {
 
     #[test]
     fn state_space_limit_is_enforced() {
-        // A 2-island system with a huge window exceeds the default limit.
+        // A 2-island system with a huge window (1601² states) exceeds the
+        // default 2M limit.
         let mut b = TunnelSystemBuilder::new();
         let i1 = b.island("i1", 0.0);
         let i2 = b.island("i2", 0.0);
@@ -487,7 +701,7 @@ mod tests {
         let system = b.build().unwrap();
         let me = MasterEquation::new(system.clone(), 1.0)
             .unwrap()
-            .with_window(400)
+            .with_window(800)
             .unwrap();
         assert!(matches!(
             me.solve(),
@@ -529,6 +743,74 @@ mod tests {
         let i1c = solution.junction_current("J1").unwrap();
         let i3c = solution.junction_current("J3").unwrap();
         assert!((i1c - i3c).abs() < 1e-6 * i1c.abs().max(1e-18));
+    }
+
+    #[test]
+    fn solver_selections_agree_and_report_provenance() {
+        let cg = 1e-18;
+        let vg = E / (2.0 * cg);
+        let gs = MasterEquation::new(set_system(1e-3, vg, 0.0), 1.0)
+            .unwrap()
+            .with_solver(StationarySolver::GaussSeidel);
+        let reference = gs.solve().unwrap();
+        assert_eq!(reference.stats().solver, "gauss-seidel");
+        assert!(reference.stats().iterations > 0);
+        assert!(!reference.stats().warm_started);
+        let krylov = MasterEquation::new(set_system(1e-3, vg, 0.0), 1.0).unwrap();
+        let solution = krylov.solve().unwrap();
+        assert_eq!(solution.stats().solver, "bicgstab-ilu0");
+        for (a, b) in solution
+            .probabilities()
+            .iter()
+            .zip(reference.probabilities())
+        {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+        let i_gs = reference.junction_current("JD").unwrap();
+        let i_kr = solution.junction_current("JD").unwrap();
+        assert!((i_gs - i_kr).abs() < 1e-8 * i_gs.abs().max(1e-18));
+    }
+
+    #[test]
+    fn warm_started_solve_agrees_with_cold_start_across_a_bias_step() {
+        let cg = 1e-18;
+        let me = |vg_frac: f64| {
+            MasterEquation::new(set_system(1e-3, vg_frac * E / cg, 0.0), 1.0).unwrap()
+        };
+        let previous = me(0.48).solve().unwrap();
+        // The next bias point may shift the window center; the warm solve
+        // must land on the cold solution regardless.
+        let cold = me(0.52).solve().unwrap();
+        let warm = me(0.52).solve_warm(Some(&previous)).unwrap();
+        assert!(warm.stats().warm_started);
+        assert!(!cold.stats().warm_started);
+        for (a, b) in warm.probabilities().iter().zip(cold.probabilities()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+        let i_cold = cold.junction_current("JD").unwrap();
+        let i_warm = warm.junction_current("JD").unwrap();
+        assert!((i_cold - i_warm).abs() < 1e-8 * i_cold.abs().max(1e-18));
+    }
+
+    #[test]
+    fn incompatible_warm_seeds_fall_back_to_cold_start() {
+        let cg = 1e-18;
+        let system = || set_system(1e-3, 0.5 * E / cg, 0.0);
+        let cold = MasterEquation::new(system(), 1.0).unwrap().solve().unwrap();
+        // A seed from a different window half-width is rejected outright.
+        let narrow = MasterEquation::new(system(), 1.0)
+            .unwrap()
+            .with_window(2)
+            .unwrap()
+            .solve()
+            .unwrap();
+        let solved = MasterEquation::new(system(), 1.0)
+            .unwrap()
+            .solve_warm(Some(&narrow))
+            .unwrap();
+        assert!(!solved.stats().warm_started);
+        let bits = |p: &[f64]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(solved.probabilities()), bits(cold.probabilities()));
     }
 
     #[test]

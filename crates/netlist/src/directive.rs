@@ -152,6 +152,48 @@ impl EnginePreference {
     }
 }
 
+/// Which stationary solver the master-equation path should use (the
+/// `.options SOLVER=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverPreference {
+    /// Preconditioned BiCGSTAB with an ILU(0) factorisation (the default
+    /// when no `solver=` is given).
+    #[default]
+    KrylovIlu0,
+    /// Preconditioned BiCGSTAB with Jacobi (diagonal) scaling only.
+    KrylovJacobi,
+    /// The anchored Gauss–Seidel sweep (the pre-Krylov reference path).
+    GaussSeidel,
+}
+
+impl SolverPreference {
+    /// Parses a `SOLVER=` value (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "krylov" | "krylov-ilu0" | "bicgstab" => Ok(SolverPreference::KrylovIlu0),
+            "krylov-jacobi" | "bicgstab-jacobi" => Ok(SolverPreference::KrylovJacobi),
+            "gs" | "gauss-seidel" | "gaussseidel" => Ok(SolverPreference::GaussSeidel),
+            other => Err(format!(
+                "unknown solver `{other}` (use krylov, krylov-jacobi or gauss-seidel)"
+            )),
+        }
+    }
+
+    /// The canonical deck spelling of this preference.
+    #[must_use]
+    pub fn as_deck_str(&self) -> &'static str {
+        match self {
+            SolverPreference::KrylovIlu0 => "krylov",
+            SolverPreference::KrylovJacobi => "krylov-jacobi",
+            SolverPreference::GaussSeidel => "gauss-seidel",
+        }
+    }
+}
+
 /// Simulation options accumulated from every `.options` card of a deck.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisOptions {
@@ -165,6 +207,9 @@ pub struct AnalysisOptions {
     pub master_window: Option<i64>,
     /// Master-equation state-enumeration cap override.
     pub master_max_states: Option<usize>,
+    /// Master-equation stationary solver override (`None` means the
+    /// built-in default, currently Krylov + ILU(0)).
+    pub solver: Option<SolverPreference>,
     /// Kinetic Monte-Carlo measurement events per stationary solve.
     pub kmc_events: Option<usize>,
     /// Seed-ensemble size: every bias point (or the whole trace) is solved
@@ -181,6 +226,7 @@ impl Default for AnalysisOptions {
             engine: EnginePreference::Auto,
             master_window: None,
             master_max_states: None,
+            solver: None,
             kmc_events: None,
             repeats: None,
         }
@@ -412,6 +458,9 @@ fn options_card(options: &AnalysisOptions, defaults: &AnalysisOptions) -> String
     }
     if let Some(max_states) = options.master_max_states {
         card.push_str(&format!(" maxstates={max_states}"));
+    }
+    if let Some(solver) = options.solver {
+        card.push_str(&format!(" solver={}", solver.as_deck_str()));
     }
     if let Some(events) = options.kmc_events {
         card.push_str(&format!(" events={events}"));

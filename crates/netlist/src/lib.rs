@@ -62,7 +62,7 @@ pub mod partition;
 pub mod validate;
 
 pub use directive::{
-    Analysis, AnalysisOptions, Deck, EnginePreference, ParseDiagnostic, SweepSpec,
+    Analysis, AnalysisOptions, Deck, EnginePreference, ParseDiagnostic, SolverPreference, SweepSpec,
 };
 pub use element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
 pub use error::NetlistError;
@@ -73,7 +73,9 @@ pub use partition::{partition_report, PartitionReport};
 
 /// Convenient glob-import of the most commonly used netlist types.
 pub mod prelude {
-    pub use crate::directive::{Analysis, AnalysisOptions, Deck, EnginePreference, SweepSpec};
+    pub use crate::directive::{
+        Analysis, AnalysisOptions, Deck, EnginePreference, SolverPreference, SweepSpec,
+    };
     pub use crate::element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
     pub use crate::error::NetlistError;
     pub use crate::netlist::Netlist;

@@ -31,7 +31,9 @@
 //! Values accept SPICE magnitude suffixes (`1a`, `100k`, `2.5meg`, …) via
 //! [`se_units::parse_value`].
 
-use crate::directive::{Analysis, Deck, EnginePreference, ParseDiagnostic, SweepSpec};
+use crate::directive::{
+    Analysis, Deck, EnginePreference, ParseDiagnostic, SolverPreference, SweepSpec,
+};
 use crate::element::{Element, ElementKind, MosfetParams, MosfetType, SetParams};
 use crate::error::NetlistError;
 use crate::netlist::Netlist;
@@ -319,6 +321,9 @@ fn parse_options(args: &[&str], line: usize, deck: &mut Deck) -> Result<(), Netl
                     return Err(err("maxstates must be at least 1".into()));
                 }
                 deck.options.master_max_states = Some(max_states);
+            }
+            "solver" => {
+                deck.options.solver = Some(SolverPreference::parse(value).map_err(err)?);
             }
             "events" => {
                 let events = value.parse::<usize>().map_err(|_| {
@@ -982,7 +987,7 @@ CG gate island 0.5a
 
     #[test]
     fn options_merge_and_validate() {
-        let deck = "t\nV1 a 0 1\nR1 a 0 1k\n.options temp=4.2 seed=42\n.options engine=kmc events=2000 window=4 maxstates=10000 repeats=16\n";
+        let deck = "t\nV1 a 0 1\nR1 a 0 1k\n.options temp=4.2 seed=42\n.options engine=kmc events=2000 window=4 maxstates=10000 repeats=16 solver=gauss-seidel\n";
         let parsed = parse_full_deck(deck).unwrap();
         assert!((parsed.options.temperature - 4.2).abs() < 1e-12);
         assert_eq!(parsed.options.seed, 42);
@@ -991,6 +996,7 @@ CG gate island 0.5a
         assert_eq!(parsed.options.master_window, Some(4));
         assert_eq!(parsed.options.master_max_states, Some(10_000));
         assert_eq!(parsed.options.repeats, Some(16));
+        assert_eq!(parsed.options.solver, Some(SolverPreference::GaussSeidel));
 
         for bad in [
             ".options temp=-1",
@@ -1001,6 +1007,7 @@ CG gate island 0.5a
             ".options events=0",
             ".options repeats=0",
             ".options repeats=many",
+            ".options solver=multigrid",
         ] {
             let deck = format!("t\nV1 a 0 1\nR1 a 0 1k\n{bad}\n");
             assert!(parse_full_deck(&deck).is_err(), "`{bad}` should fail");

@@ -41,6 +41,7 @@ pub mod dft;
 pub mod error;
 pub mod histogram;
 pub mod interp;
+pub mod krylov;
 pub mod lu;
 pub mod matrix;
 pub mod rootfind;
@@ -49,6 +50,7 @@ pub mod sparse;
 pub mod stats;
 
 pub use error::NumericError;
+pub use krylov::Preconditioner;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
-pub use sparse::CsrMatrix;
+pub use sparse::{CsrMatrix, SolveStats, StationarySolver, StationaryWorkspace};

@@ -8,18 +8,24 @@
 //! couples to at most two states per junction), so this module provides
 //!
 //! * [`CsrMatrix`] — a read-optimised CSR matrix built from triplets, and
-//! * [`stationary_distribution`] — a Gauss–Seidel iteration for the
-//!   stationary balance `p_i · D_i = Σ_j Q[i][j] · p_j` of a conservative
-//!   generator split into its off-diagonal inflow matrix `Q` and the
-//!   total out-rate vector `D`.
+//! * [`stationary_distribution_with`] — a solver for the stationary
+//!   balance `p_i · D_i = Σ_j Q[i][j] · p_j` of a conservative generator
+//!   split into its off-diagonal inflow matrix `Q` and the total out-rate
+//!   vector `D`, selectable between an anchored Gauss–Seidel sweep and the
+//!   preconditioned BiCGSTAB iteration of [`crate::krylov`] (with
+//!   Gauss–Seidel kept as the automatic fallback and cross-check).
 //!
 //! The Gauss–Seidel split is the natural one for a rate matrix: every
 //! update is a ratio of non-negative numbers, so the iterates stay
 //! non-negative and the sweep is scale-invariant (multiplying all rates by
 //! a constant changes nothing), which is exactly the invariance the
-//! stationary condition itself has.
+//! stationary condition itself has. The Krylov path converges superlinearly
+//! on the large charge-state lattices where Gauss–Seidel's linear rate
+//! dominates the solve time; both paths share the identical anchoring and
+//! normalisation contract, so they agree to solver tolerance.
 
 use crate::error::NumericError;
+use crate::krylov::{stationary_bicgstab, KrylovOptions, KrylovWorkspace, Preconditioner};
 use crate::matrix::Matrix;
 
 /// Compressed-sparse-row matrix of `f64` values.
@@ -136,13 +142,26 @@ impl CsrMatrix {
     /// Panics if `v.len() != self.cols()`.
     #[must_use]
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "vector length must equal column count");
         let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix × vector product into a caller-provided buffer — the
+    /// allocation-free form of [`CsrMatrix::mul_vec`] for iterative solvers
+    /// that reuse workspace vectors across products. Row sums are
+    /// accumulated in storage order, so repeated products are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        assert_eq!(out.len(), self.rows, "output length must equal row count");
         for r in 0..self.rows {
             let (cols, vals) = self.row(r);
             out[r] = cols.iter().zip(vals).map(|(&c, &x)| x * v[c]).sum();
         }
-        out
     }
 
     /// Densifies the matrix (duplicates summed) — intended for tests and
@@ -160,15 +179,75 @@ impl CsrMatrix {
     }
 }
 
-/// Options for [`stationary_distribution`].
+/// Iterative method selection for [`stationary_distribution_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StationarySolver {
+    /// Anchored Gauss–Seidel sweeps — unconditionally convergent on rate
+    /// matrices (every update is a ratio of non-negative numbers) but
+    /// linearly so; the solve time grows with the diffusion length of
+    /// probability across the state lattice.
+    GaussSeidel,
+    /// Preconditioned BiCGSTAB over the anchored system (see
+    /// [`crate::krylov`]). Typically severalfold faster at large state
+    /// counts; any solver failure (recurrence breakdown, stagnation)
+    /// transparently falls back to Gauss–Seidel, reported as
+    /// `"gauss-seidel(fallback)"` in [`SolveStats::solver`].
+    Krylov(Preconditioner),
+}
+
+impl Default for StationarySolver {
+    /// BiCGSTAB with the ILU(0) preconditioner — the fastest configuration
+    /// on the master-equation lattices this crate serves.
+    fn default() -> Self {
+        StationarySolver::Krylov(Preconditioner::Ilu0)
+    }
+}
+
+impl StationarySolver {
+    /// The name this selection reports in [`SolveStats::solver`] (barring
+    /// a fallback).
+    #[must_use]
+    pub fn solver_name(&self) -> &'static str {
+        match self {
+            StationarySolver::GaussSeidel => "gauss-seidel",
+            StationarySolver::Krylov(preconditioner) => preconditioner.solver_name(),
+        }
+    }
+}
+
+/// Provenance of one stationary solve: which method produced the result
+/// and how hard it had to work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Solver that produced the accepted result: `"gauss-seidel"`,
+    /// `"bicgstab-jacobi"`, `"bicgstab-ilu0"` or `"gauss-seidel(fallback)"`
+    /// when the Krylov path failed and the sweep finished the job.
+    pub solver: &'static str,
+    /// Iterations (Krylov steps or Gauss–Seidel sweeps) performed.
+    pub iterations: usize,
+    /// Final convergence measure: the true residual 2-norm of the anchored
+    /// system for the Krylov path, the largest per-state probability change
+    /// of the final sweep for Gauss–Seidel.
+    pub residual: f64,
+}
+
+/// Options for [`stationary_distribution`] / [`stationary_distribution_with`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StationaryOptions {
-    /// Convergence threshold on the largest absolute per-state probability
-    /// change across one sweep (the probabilities sum to 1, so this is an
-    /// absolute tolerance).
+    /// Convergence threshold: the largest absolute per-state probability
+    /// change across one sweep for Gauss–Seidel, the residual 2-norm of the
+    /// anchored system (right-hand side `e_anchor`, 2-norm 1) for the
+    /// Krylov path. Both are absolute measures of the same scale, so one
+    /// knob serves both solvers.
     pub tolerance: f64,
-    /// Maximum number of Gauss–Seidel sweeps before giving up.
+    /// Maximum number of Gauss–Seidel sweeps before giving up. The Krylov
+    /// iteration budget is derived from this (`max_sweeps / 20`, clamped to
+    /// `64..=1024`) — one BiCGSTAB step costs roughly two sweeps but
+    /// converges superlinearly, so it needs far fewer of them.
     pub max_sweeps: usize,
+    /// Which iterative method to run; defaults to BiCGSTAB + ILU(0) with
+    /// automatic Gauss–Seidel fallback.
+    pub solver: StationarySolver,
 }
 
 impl Default for StationaryOptions {
@@ -176,7 +255,28 @@ impl Default for StationaryOptions {
         StationaryOptions {
             tolerance: 1e-13,
             max_sweeps: 20_000,
+            solver: StationarySolver::default(),
         }
+    }
+}
+
+/// Reusable buffers of [`stationary_distribution_with`]: the Gauss–Seidel
+/// sweep vectors plus the embedded [`KrylovWorkspace`]. Reusing one
+/// workspace across the solves of a warm-started sweep keeps every inner
+/// loop allocation-free once the buffers have grown to the problem size.
+#[derive(Debug, Default)]
+pub struct StationaryWorkspace {
+    p: Vec<f64>,
+    normalised: Vec<f64>,
+    previous: Vec<f64>,
+    krylov: KrylovWorkspace,
+}
+
+impl StationaryWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        StationaryWorkspace::default()
     }
 }
 
@@ -226,6 +326,46 @@ pub fn stationary_distribution(
     anchor: usize,
     options: &StationaryOptions,
 ) -> Result<Vec<f64>, NumericError> {
+    let mut workspace = StationaryWorkspace::new();
+    stationary_distribution_with(inflow, out_rate, anchor, options, None, &mut workspace)
+        .map(|(probabilities, _)| probabilities)
+}
+
+/// The workspace-reusing, warm-startable form of
+/// [`stationary_distribution`], returning the solve provenance alongside
+/// the distribution.
+///
+/// `warm_start` optionally seeds the iteration with a previously converged
+/// distribution over the *same* state indexing (any positive scaling). A
+/// warm start from a nearby operating point — one bias step away in a
+/// sweep — cuts the iteration count to a handful for either solver. An
+/// unusable warm start (wrong length, non-finite or negative entries, no
+/// mass on the anchor) silently degrades to the cold start, so callers may
+/// pass whatever they last converged without re-validating it. With
+/// `warm_start = None` the Gauss–Seidel path performs the exact
+/// bit-identical iteration [`stationary_distribution`] always has.
+///
+/// Both solver paths are deterministic — fixed iteration order, fixed
+/// reduction order — so the same inputs (including the same warm start)
+/// produce bit-identical output on every run, machine and thread count.
+/// When [`StationarySolver::Krylov`] is selected and the BiCGSTAB
+/// iteration fails (breakdown or stagnation), the solve transparently
+/// re-runs on the Gauss–Seidel path and reports
+/// `"gauss-seidel(fallback)"`; determinism is preserved because the
+/// fallback decision depends only on the inputs.
+///
+/// # Errors
+///
+/// As [`stationary_distribution`]; a Krylov failure surfaces only if the
+/// Gauss–Seidel fallback also fails.
+pub fn stationary_distribution_with(
+    inflow: &CsrMatrix,
+    out_rate: &[f64],
+    anchor: usize,
+    options: &StationaryOptions,
+    warm_start: Option<&[f64]>,
+    workspace: &mut StationaryWorkspace,
+) -> Result<(Vec<f64>, SolveStats), NumericError> {
     let n = inflow.rows();
     if inflow.cols() != n || out_rate.len() != n || anchor >= n {
         return Err(NumericError::DimensionMismatch {
@@ -250,16 +390,91 @@ pub fn stationary_distribution(
             "inflow rates must be non-negative".into(),
         ));
     }
-
-    // Probability mass propagates outward from the pinned anchor.
-    let mut p = vec![0.0; n];
-    p[anchor] = 1.0;
     if n == 1 {
-        return Ok(p);
+        return Ok((
+            vec![1.0],
+            SolveStats {
+                solver: options.solver.solver_name(),
+                iterations: 0,
+                residual: 0.0,
+            },
+        ));
     }
-    let mut normalised = vec![0.0; n];
-    let mut previous = vec![0.0; n];
-    previous[anchor] = 1.0;
+    match options.solver {
+        StationarySolver::GaussSeidel => {
+            stationary_gauss_seidel(inflow, out_rate, anchor, options, warm_start, workspace)
+        }
+        StationarySolver::Krylov(preconditioner) => {
+            let krylov_options = KrylovOptions {
+                preconditioner,
+                tolerance: options.tolerance,
+                max_iterations: (options.max_sweeps / 20).clamp(64, 1024),
+            };
+            match stationary_bicgstab(
+                inflow,
+                out_rate,
+                anchor,
+                &krylov_options,
+                warm_start,
+                &mut workspace.krylov,
+            ) {
+                Ok(solved) => Ok(solved),
+                Err(_) => {
+                    let (probabilities, mut stats) = stationary_gauss_seidel(
+                        inflow, out_rate, anchor, options, warm_start, workspace,
+                    )?;
+                    stats.solver = "gauss-seidel(fallback)";
+                    Ok((probabilities, stats))
+                }
+            }
+        }
+    }
+}
+
+/// Returns true if `warm` is a usable seed: right length, finite,
+/// non-negative, with strictly positive mass on the anchor (the iterate is
+/// re-scaled so the anchor carries 1).
+fn warm_start_usable(warm: Option<&[f64]>, n: usize, anchor: usize) -> Option<&[f64]> {
+    warm.filter(|w| w.len() == n && w[anchor] > 0.0 && w.iter().all(|&v| v >= 0.0 && v.is_finite()))
+}
+
+/// The anchored Gauss–Seidel sweep over reusable workspace buffers.
+/// Validation and the `n == 1` fast path live in the caller.
+fn stationary_gauss_seidel(
+    inflow: &CsrMatrix,
+    out_rate: &[f64],
+    anchor: usize,
+    options: &StationaryOptions,
+    warm_start: Option<&[f64]>,
+    workspace: &mut StationaryWorkspace,
+) -> Result<(Vec<f64>, SolveStats), NumericError> {
+    let n = inflow.rows();
+    let StationaryWorkspace {
+        p,
+        normalised,
+        previous,
+        ..
+    } = workspace;
+    for buffer in [&mut *p, &mut *normalised, &mut *previous] {
+        buffer.clear();
+        buffer.resize(n, 0.0);
+    }
+    // Probability mass propagates outward from the pinned anchor — or from
+    // a usable warm start re-scaled so the anchor carries 1.
+    match warm_start_usable(warm_start, n, anchor) {
+        Some(warm) => {
+            let scale = 1.0 / warm[anchor];
+            let total: f64 = warm.iter().sum();
+            for ((pi, prev), &w) in p.iter_mut().zip(previous.iter_mut()).zip(warm) {
+                *pi = w * scale;
+                *prev = w / total;
+            }
+        }
+        None => {
+            p[anchor] = 1.0;
+            previous[anchor] = 1.0;
+        }
+    }
     let update = |p: &mut [f64], i: usize| {
         if i != anchor && out_rate[i] > 0.0 {
             let (cols, vals) = inflow.row(i);
@@ -270,11 +485,11 @@ pub fn stationary_distribution(
     for sweep in 0..options.max_sweeps {
         if sweep % 2 == 0 {
             for i in 0..n {
-                update(&mut p, i);
+                update(p, i);
             }
         } else {
             for i in (0..n).rev() {
-                update(&mut p, i);
+                update(p, i);
             }
         }
         let total: f64 = p.iter().sum();
@@ -284,21 +499,28 @@ pub fn stationary_distribution(
                 residual: total,
             });
         }
-        for (norm, &x) in normalised.iter_mut().zip(&p) {
+        for (norm, &x) in normalised.iter_mut().zip(p.iter()) {
             *norm = x / total;
         }
         let delta = normalised
             .iter()
-            .zip(&previous)
+            .zip(previous.iter())
             .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()));
         if delta <= options.tolerance {
-            return Ok(normalised);
+            return Ok((
+                normalised.clone(),
+                SolveStats {
+                    solver: "gauss-seidel",
+                    iterations: sweep + 1,
+                    residual: delta,
+                },
+            ));
         }
-        previous.copy_from_slice(&normalised);
+        previous.copy_from_slice(normalised);
     }
     let residual = normalised
         .iter()
-        .zip(&previous)
+        .zip(previous.iter())
         .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()));
     Err(NumericError::NoConvergence {
         iterations: options.max_sweeps,
@@ -328,6 +550,16 @@ mod tests {
         assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
         assert!(CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
         assert!(CsrMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_into_reuses_buffer_and_matches_mul_vec() {
+        let triplets = [(0usize, 0usize, 1.5), (0, 2, -2.0), (2, 1, 4.0)];
+        let sparse = CsrMatrix::from_triplets(3, 3, &triplets).unwrap();
+        let v = [1.0, -2.0, 0.5];
+        let mut out = vec![99.0; 3];
+        sparse.mul_vec_into(&v, &mut out);
+        assert_eq!(out, sparse.mul_vec(&v), "stale buffer contents overwritten");
     }
 
     #[test]
@@ -431,6 +663,10 @@ mod tests {
             &StationaryOptions {
                 tolerance: 1e-300,
                 max_sweeps: 1,
+                // The Krylov default would solve this 2-state system
+                // exactly (ILU(0) of a 2×2 matrix is a complete LU); pin
+                // the sweep path to exercise its budget reporting.
+                solver: StationarySolver::GaussSeidel,
             },
         )
         .unwrap_err();
@@ -442,5 +678,102 @@ mod tests {
         let inflow = CsrMatrix::from_triplets(1, 1, &[]).unwrap();
         let p = stationary_distribution(&inflow, &[0.0], 0, &StationaryOptions::default()).unwrap();
         assert_eq!(p, vec![1.0]);
+    }
+
+    /// A 30-level birth–death chain shared by the solver-agreement tests.
+    fn birth_death() -> (CsrMatrix, Vec<f64>) {
+        let n = 30;
+        let (lambda, mu) = (2.0e8, 5.0e8);
+        let mut triplets = Vec::new();
+        let mut out = vec![0.0; n];
+        for k in 0..n - 1 {
+            triplets.push((k + 1, k, lambda));
+            triplets.push((k, k + 1, mu));
+            out[k] += lambda;
+            out[k + 1] += mu;
+        }
+        (CsrMatrix::from_triplets(n, n, &triplets).unwrap(), out)
+    }
+
+    #[test]
+    fn all_solver_selections_agree_on_the_same_chain() {
+        let (inflow, out) = birth_death();
+        let mut workspace = StationaryWorkspace::new();
+        let solve = |solver: StationarySolver, workspace: &mut StationaryWorkspace| {
+            let options = StationaryOptions {
+                solver,
+                ..StationaryOptions::default()
+            };
+            stationary_distribution_with(&inflow, &out, 0, &options, None, workspace).unwrap()
+        };
+        let (reference, gs_stats) = solve(StationarySolver::GaussSeidel, &mut workspace);
+        assert_eq!(gs_stats.solver, "gauss-seidel");
+        assert!(gs_stats.iterations > 0);
+        for preconditioner in [Preconditioner::Jacobi, Preconditioner::Ilu0] {
+            let (p, stats) = solve(StationarySolver::Krylov(preconditioner), &mut workspace);
+            assert_eq!(stats.solver, preconditioner.solver_name());
+            for (a, b) in p.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-10, "{preconditioner:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_workspace_path_is_bit_identical_to_the_legacy_entry() {
+        let (inflow, out) = birth_death();
+        let options = StationaryOptions {
+            solver: StationarySolver::GaussSeidel,
+            ..StationaryOptions::default()
+        };
+        let legacy = stationary_distribution(&inflow, &out, 0, &options).unwrap();
+        let mut workspace = StationaryWorkspace::new();
+        let (fresh, _) =
+            stationary_distribution_with(&inflow, &out, 0, &options, None, &mut workspace).unwrap();
+        // Reused (dirty) workspace must not perturb a cold-started solve.
+        let (reused, _) =
+            stationary_distribution_with(&inflow, &out, 0, &options, None, &mut workspace).unwrap();
+        let bits = |p: &[f64]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&legacy), bits(&fresh));
+        assert_eq!(bits(&legacy), bits(&reused));
+    }
+
+    #[test]
+    fn warm_started_gauss_seidel_converges_faster_and_agrees() {
+        let (inflow, out) = birth_death();
+        let options = StationaryOptions {
+            solver: StationarySolver::GaussSeidel,
+            ..StationaryOptions::default()
+        };
+        let mut workspace = StationaryWorkspace::new();
+        let (cold, cold_stats) =
+            stationary_distribution_with(&inflow, &out, 0, &options, None, &mut workspace).unwrap();
+        let (warm, warm_stats) =
+            stationary_distribution_with(&inflow, &out, 0, &options, Some(&cold), &mut workspace)
+                .unwrap();
+        assert!(warm_stats.iterations <= cold_stats.iterations);
+        for (a, b) in cold.iter().zip(&warm) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unusable_warm_starts_degrade_to_the_cold_start() {
+        let (inflow, out) = birth_death();
+        let options = StationaryOptions::default();
+        let mut workspace = StationaryWorkspace::new();
+        let (cold, _) =
+            stationary_distribution_with(&inflow, &out, 0, &options, None, &mut workspace).unwrap();
+        let bits = |p: &[f64]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let wrong_length = vec![0.5; inflow.rows() + 1];
+        let mut no_anchor_mass = cold.clone();
+        no_anchor_mass[0] = 0.0;
+        let mut non_finite = cold.clone();
+        non_finite[3] = f64::NAN;
+        for bad in [&wrong_length, &no_anchor_mass, &non_finite] {
+            let (p, _) =
+                stationary_distribution_with(&inflow, &out, 0, &options, Some(bad), &mut workspace)
+                    .unwrap();
+            assert_eq!(bits(&p), bits(&cold), "bad warm start must equal cold run");
+        }
     }
 }

@@ -21,9 +21,12 @@ use se_engine::{
 };
 use se_hybrid::{HybridOptions, HybridStationaryEngine, HybridTransientEngine, IslandEngine};
 use se_montecarlo::{
-    tunnel_system_from_netlist, MasterEquation, MonteCarloSimulator, SimulationOptions,
+    tunnel_system_from_netlist, MasterEquation, MonteCarloSimulator, Preconditioner,
+    SimulationOptions, StationarySolver,
 };
-use se_netlist::{partition_report, AnalysisOptions, Element, ElementKind, Netlist, Node};
+use se_netlist::{
+    partition_report, AnalysisOptions, Element, ElementKind, Netlist, Node, SolverPreference,
+};
 use se_orthodox::set::SingleElectronTransistor;
 use se_orthodox::AnalyticSetEngine;
 use se_spice::{Circuit, NewtonOptions, SpiceDcEngine, SpiceTransientEngine};
@@ -439,6 +442,15 @@ fn kmc_simulator(
     Ok(MonteCarloSimulator::new(system, sim_options)?)
 }
 
+/// The linear solver a deck-level `.options solver=` preference selects.
+fn stationary_solver(preference: SolverPreference) -> StationarySolver {
+    match preference {
+        SolverPreference::KrylovIlu0 => StationarySolver::Krylov(Preconditioner::Ilu0),
+        SolverPreference::KrylovJacobi => StationarySolver::Krylov(Preconditioner::Jacobi),
+        SolverPreference::GaussSeidel => StationarySolver::GaussSeidel,
+    }
+}
+
 /// Builds the master-equation solver of a pure single-electron deck.
 fn master_solver(netlist: &Netlist, options: &AnalysisOptions) -> Result<MasterEquation, SimError> {
     let system = tunnel_system_from_netlist(netlist)?;
@@ -448,6 +460,9 @@ fn master_solver(netlist: &Netlist, options: &AnalysisOptions) -> Result<MasterE
     }
     if let Some(max_states) = options.master_max_states {
         solver = solver.with_max_states(max_states)?;
+    }
+    if let Some(preference) = options.solver {
+        solver = solver.with_solver(stationary_solver(preference));
     }
     Ok(solver)
 }
@@ -461,6 +476,13 @@ fn hybrid_options(options: &AnalysisOptions) -> Result<HybridOptions, SimError> 
         return Err(SimError::Plan(
             "maxstates= is not supported by the hybrid backend (its island domain does not \
              expose the state-enumeration cap); remove it or use engine=master"
+                .into(),
+        ));
+    }
+    if options.solver.is_some() {
+        return Err(SimError::Plan(
+            "solver= is not supported by the hybrid backend (its island domain does not \
+             expose the stationary-solver choice); remove it or use engine=master"
                 .into(),
         ));
     }
@@ -876,6 +898,41 @@ mod tests {
         };
         let err = hybrid_options(&max_states).unwrap_err();
         assert!(err.to_string().contains("maxstates"), "{err}");
+
+        let solver = AnalysisOptions {
+            solver: Some(SolverPreference::GaussSeidel),
+            ..AnalysisOptions::default()
+        };
+        let err = hybrid_options(&solver).unwrap_err();
+        assert!(err.to_string().contains("solver"), "{err}");
+    }
+
+    #[test]
+    fn deck_solver_preference_reaches_the_master_equation() {
+        let netlist = parse_deck(SET_DECK).unwrap();
+        let default = master_solver(&netlist, &AnalysisOptions::default()).unwrap();
+        assert_eq!(
+            default.solver(),
+            StationarySolver::Krylov(Preconditioner::Ilu0)
+        );
+        for (preference, expected) in [
+            (
+                SolverPreference::KrylovIlu0,
+                StationarySolver::Krylov(Preconditioner::Ilu0),
+            ),
+            (
+                SolverPreference::KrylovJacobi,
+                StationarySolver::Krylov(Preconditioner::Jacobi),
+            ),
+            (SolverPreference::GaussSeidel, StationarySolver::GaussSeidel),
+        ] {
+            let options = AnalysisOptions {
+                solver: Some(preference),
+                ..AnalysisOptions::default()
+            };
+            let solver = master_solver(&netlist, &options).unwrap();
+            assert_eq!(solver.solver(), expected);
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! tables.
 //!
 //! Each planned run becomes one substrate job whose items are output rows
-//! (bias points for `.dc`, one whole trace for `.tran`); all of a deck's
+//! (bias points for `.dc` — grouped into warm-started
+//! [`MASTER_WARM_BLOCK`]-point blocks on the master-equation backend —
+//! one whole trace for `.tran`); all of a deck's
 //! jobs — and, in batch mode, all decks' jobs — share **one** chunked
 //! worker pool ([`se_exec::run_batch`]). Per-item seeds follow the shared
 //! SplitMix64 discipline through [`se_exec::JobSpec::item_seed`], so
@@ -16,7 +18,7 @@
 use crate::backend::{build_stationary, build_transient, StationaryBackend, TransientBackend};
 use crate::error::SimError;
 use crate::plan::{PlannedAnalysis, PlannedRun, SimulationPlan};
-use crate::result::SimulationResult;
+use crate::result::{SimulationResult, SolverEffort};
 use se_engine::{
     derive_seed, ControlId, ObservableId, StationaryEngine, TransientEngine, Waveform,
 };
@@ -24,10 +26,12 @@ use se_exec::{
     lane_group_count, lane_group_range, run_batch, CancelToken, CheckpointStore, ChunkTask,
     CsvSink, JobBuilder, JobSpec, ProgressSink, Tee, Workers,
 };
+use se_montecarlo::{MasterSolution, MasterSolveStats};
 use se_netlist::Deck;
 use std::fs::File;
 use std::io::{BufWriter, Stderr};
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Substrate settings for deck execution. [`Default`] reproduces the plain
 /// [`execute`] behaviour: all cores, automatic chunking, no export, no
@@ -75,6 +79,55 @@ pub struct ExecOptions {
 /// batched engine's SoA planes, while a 16-replica deck ensemble still
 /// splits into two schedulable items.
 pub const DEFAULT_LANE_WIDTH: usize = 8;
+
+/// Bias points per work item on warm-started master-equation sweeps and
+/// maps: the first point of every block cold-starts, the rest warm-start
+/// from their predecessor's converged distribution. The block is the
+/// *work item* — never the chunk — so the warm-start chain layout depends
+/// only on the point count, and serial, parallel, chunked and resumed
+/// executions publish byte-identical tables.
+pub const MASTER_WARM_BLOCK: usize = 8;
+
+/// Commutative accumulator of per-solve [`MasterSolveStats`]: sums, a max
+/// and a name-agreement check only, so concurrent work items merging in
+/// any order produce the same aggregate as a serial run.
+#[derive(Debug, Default)]
+struct SolverAgg {
+    solver: Option<&'static str>,
+    solves: usize,
+    warm_solves: usize,
+    iterations: usize,
+    residual_max: f64,
+}
+
+impl SolverAgg {
+    fn record(&mut self, stats: &MasterSolveStats) {
+        self.solver = match self.solver {
+            None => Some(stats.solver),
+            Some(name) if name == stats.solver => Some(name),
+            Some(_) => Some("mixed"),
+        };
+        self.solves += 1;
+        self.iterations += stats.iterations;
+        if stats.residual > self.residual_max {
+            self.residual_max = stats.residual;
+        }
+        if stats.warm_started {
+            self.warm_solves += 1;
+        }
+    }
+
+    fn effort(&self) -> Option<SolverEffort> {
+        let solver = self.solver?;
+        Some(SolverEffort {
+            solver: solver.to_string(),
+            solves: self.solves,
+            warm_solves: self.warm_solves,
+            iterations: self.iterations,
+            residual_max: self.residual_max,
+        })
+    }
+}
 
 /// Executes a compiled plan against its deck: every analysis runs as one
 /// job on the shared chunked worker pool, fanning bias points and traces
@@ -130,8 +183,17 @@ pub fn execute_with_options(
         .expect("one outcome per prepared group")
 }
 
-/// Provenance metadata shared by every result of a plan.
-fn metadata(plan: &SimulationPlan, run: &PlannedRun, engine_name: &str) -> Vec<(String, String)> {
+/// Provenance metadata shared by every result of a plan. `solver` is the
+/// configured stationary solver of master-equation runs — configuration,
+/// not measurement, so it is identical across serial, parallel, chunked
+/// and resumed executions (runtime effort lives in
+/// [`SimulationResult::solver_effort`] instead).
+fn metadata(
+    plan: &SimulationPlan,
+    run: &PlannedRun,
+    engine_name: &str,
+    solver: Option<&'static str>,
+) -> Vec<(String, String)> {
     let mut metadata = vec![
         ("deck".into(), plan.title.clone()),
         ("engine".into(), engine_name.to_string()),
@@ -140,6 +202,9 @@ fn metadata(plan: &SimulationPlan, run: &PlannedRun, engine_name: &str) -> Vec<(
         ("temperature_k".into(), format!("{:?}", plan.temperature)),
         ("seed".into(), plan.seed.to_string()),
     ];
+    if let Some(solver) = solver {
+        metadata.push(("solver".into(), solver.to_string()));
+    }
     if let Some(repeats) = plan.repeats {
         metadata.push(("repeats".into(), repeats.to_string()));
     }
@@ -193,8 +258,15 @@ pub(crate) struct PreparedJob {
     /// Lane groups per point: `ceil(repeats / lane_width)`, 1 when not an
     /// ensemble.
     groups_per_point: usize,
+    /// Bias points per work item: [`MASTER_WARM_BLOCK`] on warm-started
+    /// master-equation sweeps/maps, 1 everywhere else. Mutually exclusive
+    /// with ensembles (`groups_per_point > 1`).
+    points_per_item: usize,
     /// Replicas per lane group (see [`DEFAULT_LANE_WIDTH`]).
     lane_width: usize,
+    /// Runtime solver-effort aggregation of warm-blocked master runs
+    /// (`None` for every other kind of run).
+    solver_stats: Option<Mutex<SolverAgg>>,
     /// The plan seed: grouped items re-derive their *point* seed from it so
     /// replica seeding is independent of the lane width.
     base_seed: u64,
@@ -233,6 +305,9 @@ impl PreparedJob {
     /// recombination into published rows happens downstream (the sink's
     /// [`PointCombiner`] and [`Self::assemble`]).
     pub(crate) fn solve_item(&self, index: usize, seed: u64) -> Result<Vec<Vec<f64>>, SimError> {
+        if self.points_per_item > 1 {
+            return self.master_block_rows(index);
+        }
         let point = index / self.groups_per_point;
         let group = index % self.groups_per_point;
         // Grouped items derive their seeds from the *point*, not the item,
@@ -297,6 +372,76 @@ impl PreparedJob {
                 self.transient_group_rows(backend, drives, observables, times, point_seed, group)
             }
         }
+    }
+
+    /// One warm-started block of a master-equation sweep or map: work item
+    /// `index` covers bias points `index * points_per_item ..` (up to a
+    /// short tail block). The first point of the block cold-starts; every
+    /// later point seeds the solver with its predecessor's converged
+    /// distribution. Because the chain never crosses an item boundary, the
+    /// published rows depend only on the point grid — not on chunking,
+    /// worker count or resume.
+    fn master_block_rows(&self, index: usize) -> Result<Vec<Vec<f64>>, SimError> {
+        let start = index * self.points_per_item;
+        let end = self.points.min(start + self.points_per_item);
+        let mut rows = Vec::with_capacity(end - start);
+        let mut warm: Option<MasterSolution> = None;
+        for point in start..end {
+            let ((currents, solution), prefix) = match &self.kind {
+                PreparedKind::Sweep {
+                    backend: StationaryBackend::Master(engine),
+                    control,
+                    observables,
+                    values,
+                } => {
+                    let value = values[point];
+                    (
+                        engine.inner().stationary_currents_warm(
+                            &[(*control, value)],
+                            observables,
+                            warm.as_ref(),
+                        )?,
+                        vec![value],
+                    )
+                }
+                PreparedKind::Map {
+                    backend: StationaryBackend::Master(engine),
+                    outer,
+                    inner,
+                    observables,
+                    outer_values,
+                    inner_values,
+                } => {
+                    let n_inner = inner_values.len();
+                    let outer_value = outer_values[point / n_inner];
+                    let inner_value = inner_values[point % n_inner];
+                    (
+                        engine.inner().stationary_currents_warm(
+                            &[(*outer, outer_value), (*inner, inner_value)],
+                            observables,
+                            warm.as_ref(),
+                        )?,
+                        vec![outer_value, inner_value],
+                    )
+                }
+                _ => {
+                    return Err(SimError::Exec(
+                        "internal error: a warm-block work item was scheduled for a run that \
+                         is not a master-equation sweep or map"
+                            .into(),
+                    ))
+                }
+            };
+            if let Some(stats) = &self.solver_stats {
+                stats
+                    .lock()
+                    .expect("solver stats mutex poisoned")
+                    .record(solution.stats());
+            }
+            rows.push(single_row(&prefix, currents));
+            warm = Some(solution);
+        }
+        Ok(rows)
     }
 
     /// The seeds of lane group `group` of a point's ensemble: replica `k`
@@ -403,13 +548,21 @@ impl PreparedJob {
                 })
                 .collect(),
         };
-        SimulationResult::new(
+        let result = SimulationResult::new(
             self.result_label.clone(),
             self.engine_name(),
             self.columns.clone(),
             rows,
             self.metadata.clone(),
-        )
+        );
+        match self
+            .solver_stats
+            .as_ref()
+            .and_then(|stats| stats.lock().expect("solver stats mutex poisoned").effort())
+        {
+            Some(effort) => result.with_solver_effort(effort),
+            None => result,
+        }
     }
 }
 
@@ -571,12 +724,45 @@ fn prepare_run(
     let groups_per_point = plan
         .repeats
         .map_or(1, |repeats| lane_group_count(repeats, lane_width).max(1));
-    let mut spec = JobSpec::new(items * groups_per_point).with_seed(plan.seed);
+    // Master-equation sweeps and maps without an ensemble run as
+    // warm-started blocks: the *item* is a fixed-size block of points, so
+    // the warm-chain layout is chunking- and scheduling-independent.
+    // (The planner rejects `repeats=` for deterministic engines, so the
+    // two fan-out schemes never meet.)
+    let warm_block = plan.repeats.is_none()
+        && matches!(
+            &kind,
+            PreparedKind::Sweep {
+                backend: StationaryBackend::Master(_),
+                ..
+            } | PreparedKind::Map {
+                backend: StationaryBackend::Master(_),
+                ..
+            }
+        );
+    let points_per_item = if warm_block { MASTER_WARM_BLOCK } else { 1 };
+    let item_count = if warm_block {
+        items.div_ceil(MASTER_WARM_BLOCK)
+    } else {
+        items * groups_per_point
+    };
+    let solver = match &kind {
+        PreparedKind::Sweep {
+            backend: StationaryBackend::Master(engine),
+            ..
+        }
+        | PreparedKind::Map {
+            backend: StationaryBackend::Master(engine),
+            ..
+        } => Some(engine.inner().solver().solver_name()),
+        _ => None,
+    };
+    let mut spec = JobSpec::new(item_count).with_seed(plan.seed);
     if let Some(chunk) = options.chunk {
         spec = spec.with_chunk(chunk);
     }
     Ok(PreparedJob {
-        metadata: metadata(plan, run, kind.engine_name()),
+        metadata: metadata(plan, run, kind.engine_name(), solver),
         result_label: run.label.clone(),
         job_label: format!("{label}/{}", run.label),
         columns,
@@ -584,7 +770,9 @@ fn prepare_run(
         scalar_ensemble: options.scalar_ensemble,
         points: items,
         groups_per_point,
+        points_per_item,
         lane_width,
+        solver_stats: warm_block.then(|| Mutex::new(SolverAgg::default())),
         base_seed: plan.seed,
         spec,
         csv_path: options

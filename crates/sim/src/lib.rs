@@ -84,9 +84,11 @@ pub use backend::{
 };
 pub use batch::{deck_export_base, run_deck_batch, BatchOutcome};
 pub use error::SimError;
-pub use exec::{execute, execute_serial, execute_with_options, export_path, ExecOptions};
+pub use exec::{
+    execute, execute_serial, execute_with_options, export_path, ExecOptions, MASTER_WARM_BLOCK,
+};
 pub use plan::{compile, EngineChoice, PlannedAnalysis, PlannedRun, SimulationPlan};
-pub use result::SimulationResult;
+pub use result::{SimulationResult, SolverEffort};
 pub use trace::{record_deck, verify_trace_dir, AnalysisVerdict, RecordSummary, VerifyReport};
 
 use se_netlist::{parse_full_deck, Deck};

@@ -2,19 +2,61 @@
 
 use std::fmt::Write as _;
 
+/// Aggregated linear-solver effort of one executed analysis: which
+/// stationary solver ran the master-equation solves, how many solves this
+/// process actually computed, and how hard they were.
+///
+/// This describes the *work performed by this run*, not the result values:
+/// a checkpoint-resumed execution restores finished rows without re-solving
+/// them, so its effort legitimately differs from the uninterrupted run's
+/// while the tables stay bit-identical. That is why [`SimulationResult`]'s
+/// `PartialEq` deliberately ignores this field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverEffort {
+    /// The solver that produced the computed solves (`"bicgstab-ilu0"`,
+    /// `"gauss-seidel"`, … or `"mixed"` if a fallback split the run).
+    pub solver: String,
+    /// Stationary solves computed by this process (restored checkpoint
+    /// chunks are not re-solved and do not count).
+    pub solves: usize,
+    /// How many of those solves were warm-started from a neighbouring
+    /// bias point's converged distribution.
+    pub warm_solves: usize,
+    /// Total solver iterations across the computed solves.
+    pub iterations: usize,
+    /// The largest converged residual (or final Gauss–Seidel delta) any
+    /// computed solve reported.
+    pub residual_max: f64,
+}
+
 /// A column-named table of simulation output with engine provenance — the
 /// one shape every backend's results come back in, whatever the analysis.
 ///
 /// Rows are data points (bias points, grid points or sample times); columns
 /// are named series (`VG`, `I(J1)`, `t`, …). Metadata records provenance:
 /// which engine ran, with which seed, at which temperature.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the result identity — label, engine, columns, rows
+/// and metadata — and deliberately ignores [`SimulationResult::solver_effort`],
+/// which reports per-process work (see [`SolverEffort`]).
+#[derive(Debug, Clone)]
 pub struct SimulationResult {
     label: String,
     engine: String,
     columns: Vec<String>,
     rows: Vec<Vec<f64>>,
     metadata: Vec<(String, String)>,
+    solver_effort: Option<SolverEffort>,
+}
+
+impl PartialEq for SimulationResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.engine == other.engine
+            && self.columns == other.columns
+            && self.rows == other.rows
+            && self.metadata == other.metadata
+    }
 }
 
 impl SimulationResult {
@@ -43,7 +85,23 @@ impl SimulationResult {
             columns,
             rows,
             metadata,
+            solver_effort: None,
         }
+    }
+
+    /// Attaches the aggregated solver effort of the run that produced this
+    /// table (ignored by equality — see [`SolverEffort`]).
+    #[must_use]
+    pub fn with_solver_effort(mut self, effort: SolverEffort) -> Self {
+        self.solver_effort = Some(effort);
+        self
+    }
+
+    /// The aggregated solver effort of the producing run, when the
+    /// backend reported it (master-equation sweeps and maps).
+    #[must_use]
+    pub fn solver_effort(&self) -> Option<&SolverEffort> {
+        self.solver_effort.as_ref()
     }
 
     /// The analysis label (e.g. `dc VG 0.0..0.16 (41 points)`).
@@ -259,5 +317,22 @@ mod tests {
     fn non_finite_values_serialize_as_null() {
         assert_eq!(json_number(f64::NAN), "null");
         assert_eq!(json_number(1.5e-9), "1.5e-9");
+    }
+
+    #[test]
+    fn solver_effort_is_carried_but_ignored_by_equality() {
+        let plain = table();
+        let effortful = table().with_solver_effort(SolverEffort {
+            solver: "bicgstab-ilu0".into(),
+            solves: 12,
+            warm_solves: 10,
+            iterations: 84,
+            residual_max: 3e-14,
+        });
+        assert_eq!(effortful.solver_effort().unwrap().solves, 12);
+        assert!(plain.solver_effort().is_none());
+        // A resumed run restores rows without re-solving: effort differs,
+        // the result identity must not.
+        assert_eq!(plain, effortful);
     }
 }

@@ -413,12 +413,13 @@ mod tests {
         let plan = compile(&deck).unwrap();
         assert_eq!(results, crate::exec::execute(&deck, &plan).unwrap());
         assert_eq!(summary.analyses.len(), 1);
-        assert_eq!(summary.analyses[0].2, 11);
+        // 11 master bias points schedule as two warm-started blocks.
+        assert_eq!(summary.analyses[0].2, 2);
 
         let report = verify_trace_dir(&dir, &ExecOptions::default()).unwrap();
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(report.analyses[0].engine, "master-equation");
-        assert_eq!(report.analyses[0].items, 11);
+        assert_eq!(report.analyses[0].items, 2);
         assert!(report.analyses[0]
             .provenance
             .iter()
@@ -453,12 +454,13 @@ mod tests {
         let dir = temp_dir("corrupt");
         let (_, summary) = record_set_deck(&dir);
         let trace_path = dir.join(&summary.analyses[0].1);
-        // Flip the last hex digit of item 7's payload.
+        // Flip the last hex digit of item 1's payload (the second
+        // warm-started block of the sweep).
         let text = fs::read_to_string(&trace_path).unwrap();
         let corrupted: String = text
             .lines()
             .map(|line| {
-                if line.starts_with("item 7 ") {
+                if line.starts_with("item 1 ") {
                     let (head, tail) = line.split_at(line.len() - 1);
                     let last = if tail == "0" { "1" } else { "0" };
                     format!("{head}{last}\n")
@@ -473,13 +475,13 @@ mod tests {
         assert!(!report.is_clean());
         let verdict = &report.analyses[0];
         // The file itself no longer hashes clean…
-        let chunk = 7 / JobTrace::parse(&fs::read_to_string(&trace_path).unwrap())
+        let chunk = 1 / JobTrace::parse(&fs::read_to_string(&trace_path).unwrap())
             .unwrap()
             .chunk;
         assert_eq!(verdict.corrupt_chunk, Some(chunk));
         // …and the re-execution pinpoints the exact item.
         let divergence = verdict.divergence.expect("must diverge");
-        assert_eq!(divergence.item, 7);
+        assert_eq!(divergence.item, 1);
         assert_eq!(divergence.chunk, chunk);
         let _ = fs::remove_dir_all(&dir);
     }

@@ -265,6 +265,98 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Warm-started master sweeps are schedule-independent: for every
+    /// stationary solver choice, the streamed CSV bytes and the collected
+    /// tables are identical across serial, parallel, chunked and
+    /// torn-checkpoint-resumed runs, and the solver-effort ledger shows
+    /// exactly one cold start per warm block.
+    #[test]
+    fn prop_master_warm_sweeps_are_deterministic(
+        seed in 0_u64..1_000_000,
+        points in 9_usize..28,
+        chunk in 1_usize..5,
+        workers in 2_usize..5,
+        solver_pick in 0_usize..3,
+    ) {
+        let solver = ["krylov", "krylov-jacobi", "gauss-seidel"][solver_pick];
+        let text = staircase_deck(seed, points, "master")
+            .replace("engine=master", &format!("engine=master solver={solver}"));
+        let deck = parse_full_deck(&text).unwrap();
+        let plan = compile(&deck).unwrap();
+
+        let dir = temp_dir("warm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_for = |tag: &str, options: ExecOptions| {
+            let path = dir.join(format!("{tag}.csv"));
+            let options = ExecOptions {
+                csv: Some(path.to_string_lossy().into_owned()),
+                ..options
+            };
+            let results = execute_with_options(&deck, &plan, &options).unwrap();
+            (results, std::fs::read_to_string(&path).unwrap())
+        };
+
+        let (serial, serial_csv) = csv_for("serial", ExecOptions {
+            workers: Workers::Serial,
+            ..ExecOptions::default()
+        });
+        let (parallel, parallel_csv) = csv_for("parallel", ExecOptions {
+            workers: Workers::Count(workers),
+            ..ExecOptions::default()
+        });
+        let (chunked, chunked_csv) = csv_for("chunked", ExecOptions {
+            workers: Workers::Count(workers),
+            chunk: Some(chunk),
+            ..ExecOptions::default()
+        });
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(&serial, &chunked);
+        prop_assert_eq!(&serial_csv, &parallel_csv, "parallel CSV bytes drifted");
+        prop_assert_eq!(&serial_csv, &chunked_csv, "chunked CSV bytes drifted");
+
+        // Tear a checkpointed run back to one completed chunk and resume.
+        let checkpoint = dir.join("ck");
+        let options = ExecOptions {
+            chunk: Some(chunk),
+            checkpoint: Some(checkpoint.clone()),
+            ..ExecOptions::default()
+        };
+        let checkpointed = execute_with_options(&deck, &plan, &options).unwrap();
+        prop_assert_eq!(&serial, &checkpointed);
+        tear_manifest(&checkpoint, 1);
+        let (resumed, resumed_csv) = csv_for("resumed", ExecOptions {
+            resume: true,
+            ..options
+        });
+        prop_assert_eq!(&serial, &resumed);
+        prop_assert_eq!(&serial_csv, &resumed_csv, "resumed CSV bytes drifted");
+
+        // Every fully-computed run reports the configured solver and one
+        // cold start per warm block; the rest of the points warm-start.
+        let blocks = points.div_ceil(single_electronics::sim::MASTER_WARM_BLOCK);
+        for result in [&serial, &parallel, &chunked] {
+            let effort = result[0].solver_effort().expect("master sweeps report effort");
+            let name_matches = match solver {
+                "krylov" => effort.solver == "bicgstab-ilu0",
+                "krylov-jacobi" => effort.solver == "bicgstab-jacobi",
+                _ => effort.solver == "gauss-seidel",
+            } || effort.solver == "gauss-seidel(fallback)" || effort.solver == "mixed";
+            prop_assert!(name_matches, "solver={} reported {}", solver, effort.solver);
+            prop_assert_eq!(effort.solves, points);
+            prop_assert_eq!(effort.warm_solves, points - blocks);
+        }
+        let configured = match solver {
+            "krylov" => "bicgstab-ilu0",
+            "krylov-jacobi" => "bicgstab-jacobi",
+            _ => "gauss-seidel",
+        };
+        prop_assert_eq!(
+            serial[0].metadata().iter().find(|(k, _)| k == "solver").map(|(_, v)| v.as_str()),
+            Some(configured)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// The substrate-level half: a *deterministically* interrupted job
     /// (cancelled at a random solve count under serial scheduling) resumes
     /// bit-identically, whatever the chunking.

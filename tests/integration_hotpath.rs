@@ -9,7 +9,9 @@
 //! match the from-scratch computation to 1e-12 relative.
 
 use proptest::prelude::*;
-use single_electronics::montecarlo::{MasterEquation, MonteCarloSimulator, SimulationOptions};
+use single_electronics::montecarlo::{
+    MasterEquation, MonteCarloSimulator, SimulationOptions, StationarySolver,
+};
 use single_electronics::orthodox::live::{LiveState, RateContext};
 use single_electronics::orthodox::set::SingleElectronTransistor;
 use single_electronics::orthodox::{tunnel_rate, ChargeState, TunnelSystem, TunnelSystemBuilder};
@@ -172,6 +174,65 @@ proptest! {
             live.sync(&system);
         }
         assert_live_matches_full(&system, &live, 4.2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The preconditioned BiCGSTAB solver and the anchored Gauss–Seidel
+    /// reference solve the same master equation: over random chain
+    /// circuits, temperatures and state windows, the stationary
+    /// distributions agree to 1e-10 absolutely and the junction currents
+    /// to 1e-8 relative, and each solution reports its true provenance.
+    #[test]
+    fn prop_krylov_and_gauss_seidel_solve_the_same_master_equation(
+        circuit in ArbCircuit,
+        temperature in 0.5_f64..4.2,
+        window in 2_i64..5,
+    ) {
+        let islands = circuit.gate_caps.len();
+        let gauss_seidel = MasterEquation::new(circuit.build(), temperature)
+            .unwrap()
+            .with_window(window)
+            .unwrap()
+            .with_solver(StationarySolver::GaussSeidel)
+            .solve()
+            .unwrap();
+        let krylov = MasterEquation::new(circuit.build(), temperature)
+            .unwrap()
+            .with_window(window)
+            .unwrap()
+            .solve()
+            .unwrap();
+        prop_assert_eq!(gauss_seidel.stats().solver, "gauss-seidel");
+        prop_assert!(
+            krylov.stats().solver == "bicgstab-ilu0"
+                || krylov.stats().solver == "gauss-seidel(fallback)",
+            "unexpected solver provenance {}", krylov.stats().solver
+        );
+        for (index, (p_ref, p_krylov)) in gauss_seidel
+            .probabilities()
+            .iter()
+            .zip(krylov.probabilities())
+            .enumerate()
+        {
+            prop_assert!(
+                (p_ref - p_krylov).abs() <= 1e-10,
+                "state {index}: gauss-seidel {p_ref} vs krylov {p_krylov}"
+            );
+        }
+        for junction in (0..=islands).map(|j| format!("J{j}")) {
+            let i_ref = gauss_seidel.junction_current(&junction).unwrap();
+            let i_krylov = krylov.junction_current(&junction).unwrap();
+            // Mixed tolerance: currents are probability differences, so a
+            // near-cancelled current keeps the solvers' 1e-10 distribution
+            // agreement rather than an 1e-8 relative one.
+            prop_assert!(
+                (i_ref - i_krylov).abs() <= 1e-8 * i_ref.abs() + 1e-18,
+                "{junction}: gauss-seidel {i_ref} vs krylov {i_krylov}"
+            );
+        }
     }
 }
 
