@@ -18,7 +18,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use se_bench::{chain_system, kmc};
-use se_montecarlo::MasterEquation;
+use se_montecarlo::{KmcKernel, MasterEquation};
 use se_numeric::sampling::{exponential_waiting_time, select_weighted};
 use se_orthodox::{rates::tunnel_rate, ChargeState, TunnelSystem};
 use se_units::constants::E;
@@ -53,6 +53,10 @@ const VG: f64 = E / (2.0 * se_bench::REFERENCE_C_GATE);
 /// Dilution-refrigerator operating point (kT ≪ charging energy), the
 /// regime single-electron circuits actually run in.
 const TEMPERATURE: f64 = 0.1;
+/// Kernel-scaling sweep sizes and per-sample event counts. Event counts
+/// shrink with N so the full-recompute side of a sample stays ~10–50 ms;
+/// both kernels run the identical count at each size.
+const SWEEP: [(usize, usize); 3] = [(8, 50_000), (64, 20_000), (256, 10_000)];
 /// The master-equation bench solves at 1 K so thermal mixing populates a
 /// representative share of the enumerated states.
 const MASTER_TEMPERATURE: f64 = 1.0;
@@ -224,6 +228,39 @@ fn kmc_hotpath(c: &mut Criterion) {
         .map(|_| solve_large_master())
         .fold(f64::MAX, f64::min);
     let states = master_states();
+    // Kernel-scaling sweep: the tree/axpy kernel against full recompute on
+    // chains of N ∈ {8, 64, 256} islands, same circuits and seeds on both
+    // sides, construction excluded from the timed region
+    // (`kernel_events_per_sec`). `events_per_sec_nN` is the tree kernel;
+    // `large_n_speedup` (tree / full recompute at N = 256) carries the
+    // CI-gated ≥ 3× incremental-maintenance acceptance.
+    let sweep: Vec<(usize, f64, f64)> = SWEEP
+        .iter()
+        .map(|&(n, events)| {
+            let system = chain_system(n, VDS, VG);
+            let tree =
+                kmc::kernel_events_per_sec(&system, TEMPERATURE, 3, events, KmcKernel::Incremental);
+            let full = kmc::kernel_events_per_sec(
+                &system,
+                TEMPERATURE,
+                3,
+                events,
+                KmcKernel::FullRecompute,
+            );
+            (n, tree, full)
+        })
+        .collect();
+    let sweep_json: String = sweep
+        .iter()
+        .map(|&(n, tree, full)| {
+            format!(
+                "  \"events_per_sec_n{n}\": {tree:.1},\n  \
+                 \"events_per_sec_full_recompute_n{n}\": {full:.1},\n"
+            )
+        })
+        .collect();
+    let (_, n256_tree, n256_full) = sweep[2];
+    let large_n_speedup = n256_tree / n256_full;
     let json = format!(
         "{{\n  \"bench\": \"kmc_hotpath\",\n  \"islands\": {ISLANDS},\n  \"events\": {EVENTS},\n  \
          \"events_per_sec_incremental\": {incremental:.1},\n  \
@@ -240,7 +277,9 @@ fn kmc_hotpath(c: &mut Criterion) {
          \"batched_events_per_sec_1_thread\": {lane_groups_1:.1},\n  \
          \"batched_events_per_sec_multi_thread\": {lane_groups_multi:.1},\n  \
          \"batched_speedup_vs_sequential_1_thread\": {:.3},\n  \
-         \"batched_speedup_vs_sequential\": {:.3},\n  \
+         \"batched_speedup_vs_sequential\": {:.3},\n\
+         {sweep_json}  \
+         \"large_n_speedup\": {large_n_speedup:.2},\n  \
          \"master_islands\": {MASTER_ISLANDS},\n  \"master_window\": {MASTER_WINDOW},\n  \
          \"master_states\": {states},\n  \"master_solve_seconds\": {master_seconds:.6},\n  \
          \"master_states_per_sec\": {:.1},\n  \

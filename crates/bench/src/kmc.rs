@@ -7,7 +7,9 @@
 
 use se_engine::derive_seed;
 use se_exec::{lane_group_count, lane_group_range, run_collect, JobSpec};
-use se_montecarlo::{BatchedKmcEngine, MonteCarloError, MonteCarloSimulator, SimulationOptions};
+use se_montecarlo::{
+    BatchedKmcEngine, KmcKernel, MonteCarloError, MonteCarloSimulator, SimulationOptions,
+};
 use se_orthodox::TunnelSystem;
 use std::time::Instant;
 
@@ -33,8 +35,9 @@ pub fn simulator(
     .expect("valid bench system")
 }
 
-/// Runs `events` measured events on the scalar incremental engine and
-/// returns `(events executed, simulated seconds)`.
+/// Runs `events` measured events on the scalar incremental engine (with
+/// its default event-rate kernel) and returns
+/// `(events executed, simulated seconds)`.
 ///
 /// # Panics
 ///
@@ -48,6 +51,34 @@ pub fn run_scalar(
     events: usize,
 ) -> (u64, f64) {
     let mut sim = simulator(system, temperature, seed, equilibration);
+    let result = sim.run_events(events).expect("run succeeds");
+    (result.events(), result.total_time())
+}
+
+/// [`run_scalar`] with an explicit event-rate maintenance kernel — the
+/// kernel-scaling sweep measures [`KmcKernel::Incremental`] against
+/// [`KmcKernel::FullRecompute`] on the same circuits and seeds.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the system or the run fails.
+#[must_use]
+pub fn run_scalar_with_kernel(
+    system: &TunnelSystem,
+    temperature: f64,
+    seed: u64,
+    equilibration: usize,
+    events: usize,
+    kernel: KmcKernel,
+) -> (u64, f64) {
+    let mut sim = MonteCarloSimulator::new(
+        system.clone(),
+        SimulationOptions::new(temperature)
+            .with_seed(seed)
+            .with_equilibration(equilibration)
+            .with_kernel(kernel),
+    )
+    .expect("valid bench system");
     let result = sim.run_events(events).expect("run succeeds");
     (result.events(), result.total_time())
 }
@@ -169,6 +200,51 @@ pub fn run_lane_groups(
     // deterministic for every worker count.
     let total_time = per_group.iter().map(|&(_, time)| time).sum();
     (total_events, total_time)
+}
+
+/// Best-of-`samples` wall-clock throughput of the scalar measurement
+/// loop under an explicit event-rate kernel, in events/second.
+///
+/// Unlike [`best_events_per_sec`] over [`run_scalar_with_kernel`], the
+/// simulator is constructed *outside* the timed region, so the number is
+/// the per-event cost of the kernel itself. That is the honest basis for
+/// the N ∈ {8, 64, 256} scaling sweep: at 256 islands the capacitance
+/// solve and coupling-table build would otherwise dominate a sample and
+/// mask the per-event comparison the speedup gate is about.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the system or a sample executes fewer
+/// than `events` events (the circuit froze).
+#[must_use]
+pub fn kernel_events_per_sec(
+    system: &TunnelSystem,
+    temperature: f64,
+    samples: usize,
+    events: usize,
+    kernel: KmcKernel,
+) -> f64 {
+    let mut best = 0.0_f64;
+    for sample in 0..samples as u64 {
+        let mut sim = MonteCarloSimulator::new(
+            system.clone(),
+            SimulationOptions::new(temperature)
+                .with_seed(sample + 1)
+                .with_equilibration(0)
+                .with_kernel(kernel),
+        )
+        .expect("valid bench system");
+        let start = Instant::now();
+        let result = sim.run_events(events).expect("run succeeds");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            result.events() == events as u64,
+            "expected {events} events, executed {} (the circuit froze)",
+            result.events()
+        );
+        best = best.max(events as f64 / elapsed);
+    }
+    best
 }
 
 /// Best-of-`samples` wall-clock throughput of one run shape, in

@@ -38,7 +38,8 @@ use se_numeric::sampling::{
     exponential_waiting_time, ln_unit, unit_interval_open, validate_waiting_rate,
 };
 use se_orthodox::{
-    BatchedLiveState, BatchedRateContext, ChargeState, Direction, TunnelEvent, TunnelSystem,
+    BatchedEventRateTable, BatchedLiveState, BatchedRateContext, ChargeState, Direction,
+    TunnelEvent, TunnelSystem,
 };
 use se_units::constants::E;
 use std::collections::HashMap;
@@ -79,7 +80,20 @@ pub struct BatchedKmcEngine {
     live: BatchedLiveState,
     /// Shared rate table + batched fill over the potential planes.
     rate_ctx: BatchedRateContext,
-    /// Event-major rate planes: `rates[e * replicas + r]`.
+    /// Per-lane incremental rate tables + selection trees; present iff the
+    /// kernel resolves to the tree path ([`KmcKernel::uses_tree`], so
+    /// [`KmcKernel::Auto`] picks it for large circuits). Lane `r`'s table
+    /// runs the identical maintenance code as a scalar [`EventRateTable`]
+    /// over lane `r`'s potential plane, so its rates — and selections — are
+    /// bit-identical to a standalone incremental simulator.
+    ///
+    /// [`KmcKernel::uses_tree`]: crate::kmc::KmcKernel::uses_tree
+    /// [`KmcKernel::Auto`]: crate::kmc::KmcKernel::Auto
+    /// [`EventRateTable`]: se_orthodox::EventRateTable
+    tables: Option<Vec<BatchedEventRateTable>>,
+    /// Event-major rate planes: `rates[e * replicas + r]`. Only the
+    /// full-recompute path ([`crate::kmc::KmcKernel::FullRecompute`])
+    /// writes it.
     rates: Vec<f64>,
     /// Per-replica total rates, accumulated in scalar junction order.
     totals: Vec<f64>,
@@ -158,12 +172,18 @@ impl BatchedKmcEngine {
                 [live.endpoint_slot(from), live.endpoint_slot(to)]
             })
             .collect();
+        let tables = options.kernel.uses_tree(system.event_count()).then(|| {
+            (0..replicas)
+                .map(|r| BatchedEventRateTable::new(&system, rate_ctx.context(), &live, r))
+                .collect()
+        });
         Ok(BatchedKmcEngine {
             system,
             options,
             rngs: seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect(),
             live,
             rate_ctx,
+            tables,
             rates: vec![0.0; 2 * junctions * replicas],
             totals: vec![0.0; replicas],
             drives_dirty: vec![false; replicas],
@@ -332,7 +352,17 @@ impl BatchedKmcEngine {
                 self.drives_dirty[r] = false;
             }
         }
-        if self.front.len() == replicas {
+        if let Some(tables) = &mut self.tables {
+            // Incremental kernel: each lane's table is kept fresh by its
+            // post-apply maintenance; `sync` folds in any pending
+            // generation change (drive sync above, periodic refresh) and
+            // the tree root is the lane's total.
+            for idx in 0..self.front.len() {
+                let r = self.front[idx];
+                tables[r].sync(&self.system, self.rate_ctx.context(), &self.live);
+                self.totals[r] = tables[r].total();
+            }
+        } else if self.front.len() == replicas {
             self.rate_ctx.fill_rates_batch(
                 &self.system,
                 &self.live,
@@ -359,10 +389,21 @@ impl BatchedKmcEngine {
             }
             let rng = &mut self.rngs[r];
             let dt = exponential_waiting_time(rng, total)?;
-            let lane = self.rates[r..].iter().step_by(replicas).copied();
-            let chosen = select_event_from(rng, lane, total);
+            let chosen = match &self.tables {
+                Some(tables) => {
+                    let target = rng.gen::<f64>() * total;
+                    tables[r].select(target)
+                }
+                None => {
+                    let lane = self.rates[r..].iter().step_by(replicas).copied();
+                    select_event_from(rng, lane, total)
+                }
+            };
             let event = self.system.event(chosen);
             self.live.apply(&self.system, event, r);
+            if let Some(tables) = &mut self.tables {
+                tables[r].apply_event(&self.system, self.rate_ctx.context(), &self.live, event);
+            }
             self.times[r] += dt;
             self.events_executed[r] += 1;
             match event.direction {
@@ -424,12 +465,23 @@ impl BatchedKmcEngine {
         // scalar scan per lane instead.
         let mask_select = self.system.event_count() <= u64::BITS as usize;
         for _ in 0..rounds {
-            self.rate_ctx.fill_rates_batch(
-                &self.system,
-                &self.live,
-                &mut self.rates,
-                &mut self.totals,
-            );
+            if let Some(tables) = &mut self.tables {
+                // Incremental kernel: the per-lane tables were maintained
+                // by the previous round's post-apply pass; `sync` catches a
+                // periodic refresh, and totals come off the tree roots
+                // instead of a full junction-major refill.
+                for (table, total) in tables.iter_mut().zip(&mut self.totals) {
+                    table.sync(&self.system, self.rate_ctx.context(), &self.live);
+                    *total = table.total();
+                }
+            } else {
+                self.rate_ctx.fill_rates_batch(
+                    &self.system,
+                    &self.live,
+                    &mut self.rates,
+                    &mut self.totals,
+                );
+            }
             // RNG pass: per lane, the exact scalar draw order — the
             // guarded waiting-time uniform first, then the selection
             // uniform. Only the draws happen here (RNG streams are
@@ -465,9 +517,17 @@ impl BatchedKmcEngine {
                 self.times[r] += if total > 0.0 { dt } else { 0.0 };
                 self.targets[r] = self.sel_u[r] * total;
             }
-            // Select pass: branch-free prefix-sum-and-compare over the
-            // event-major planes, vectorized across lanes.
-            if mask_select {
+            // Select pass: per-lane O(log E) tree descent on the
+            // incremental kernel, branch-free prefix-sum-and-compare over
+            // the event-major planes otherwise.
+            if let Some(tables) = &self.tables {
+                for (r, table) in tables.iter().enumerate() {
+                    if self.totals[r] <= 0.0 {
+                        continue;
+                    }
+                    self.chosen[r] = table.select(self.targets[r]);
+                }
+            } else if mask_select {
                 self.select_acc.fill(0.0);
                 self.select_hits.fill(0);
                 let targets = &self.targets[..];
@@ -487,21 +547,24 @@ impl BatchedKmcEngine {
                     }
                 }
             }
-            // Resolve pass: each lane's chosen event from its hit mask
-            // (first set bit = the scalar scan's stop), the scalar scan on
-            // a mask miss (round-off fallback) or a wide system.
-            for r in 0..replicas {
-                if self.totals[r] <= 0.0 {
-                    continue;
+            // Resolve pass (full-recompute kernel only): each lane's chosen
+            // event from its hit mask (first set bit = the scalar scan's
+            // stop), the scalar scan on a mask miss (round-off fallback) or
+            // a wide system.
+            if self.tables.is_none() {
+                for r in 0..replicas {
+                    if self.totals[r] <= 0.0 {
+                        continue;
+                    }
+                    self.chosen[r] = if mask_select && self.select_hits[r] != 0 {
+                        self.select_hits[r].trailing_zeros() as usize
+                    } else {
+                        select_with_target(
+                            self.rates.chunks_exact(replicas).map(|plane| plane[r]),
+                            self.targets[r],
+                        )
+                    };
                 }
-                self.chosen[r] = if mask_select && self.select_hits[r] != 0 {
-                    self.select_hits[r].trailing_zeros() as usize
-                } else {
-                    select_with_target(
-                        self.rates.chunks_exact(replicas).map(|plane| plane[r]),
-                        self.targets[r],
-                    )
-                };
             }
             if froze {
                 // Rare: a lane froze this round. Finish the survivors one
@@ -513,15 +576,31 @@ impl BatchedKmcEngine {
                     let chosen = self.chosen[r];
                     let event = self.system.event(chosen);
                     self.live.apply(&self.system, event, r);
+                    if let Some(tables) = &mut self.tables {
+                        tables[r].apply_event(
+                            &self.system,
+                            self.rate_ctx.context(),
+                            &self.live,
+                            event,
+                        );
+                    }
                     self.bookkeep_event(chosen, r, &mut tracker, islands, junctions);
                 }
                 return Ok(false);
             }
             // Apply pass: every lane stepped, so the store-width-aware
-            // batched apply folds all lanes' events in at once.
+            // batched apply folds all lanes' events in at once, then each
+            // lane's incremental table (if any) folds its own event in —
+            // after the batch apply, so a lane whose periodic refresh just
+            // fired refills from the refreshed potentials, exactly like
+            // the scalar sequence.
             self.live.apply_all(&self.system, &self.chosen);
             for r in 0..replicas {
                 let chosen = self.chosen[r];
+                if let Some(tables) = &mut self.tables {
+                    let event = self.system.event(chosen);
+                    tables[r].apply_event(&self.system, self.rate_ctx.context(), &self.live, event);
+                }
                 self.bookkeep_event(chosen, r, &mut tracker, islands, junctions);
             }
         }

@@ -21,9 +21,55 @@ use crate::observables::RunResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use se_numeric::sampling::exponential_waiting_time;
-use se_orthodox::{ChargeState, LiveState, RateContext, TunnelEvent, TunnelSystem};
+use se_orthodox::{ChargeState, EventRateTable, LiveState, RateContext, TunnelEvent, TunnelSystem};
 use se_units::constants::E;
 use std::collections::HashMap;
+
+/// Below this many candidate events, [`KmcKernel::Auto`] stays on the
+/// reference full-recompute path: a handful-of-junctions refill is a few
+/// dozen flops, cheaper than any tree bookkeeping, and small-circuit traces
+/// keep their committed bits. From this count up, the O(strong + log E)
+/// incremental kernel wins and Auto routes through it.
+pub const AUTO_TREE_THRESHOLD: usize = 64;
+
+/// Which event-rate maintenance strategy the step loop runs on.
+///
+/// Both kernels draw the same RNG stream (one waiting-time draw, one
+/// selection draw per event); they differ in how rates are maintained and
+/// how the total rate is reduced, so the waiting times — and therefore
+/// recorded traces — are kernel-revision-specific for circuits where the
+/// kernels actually diverge (see `docs/DETERMINISM.md` §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KmcKernel {
+    /// Pick per circuit, at construction: [`KmcKernel::Incremental`] when
+    /// the candidate-event count reaches [`AUTO_TREE_THRESHOLD`],
+    /// [`KmcKernel::FullRecompute`] below it. Deterministic — a pure
+    /// function of the circuit — so replays resolve identically. The
+    /// default.
+    #[default]
+    Auto,
+    /// Incremental maintenance: after each event one axpy over the fired
+    /// junction's strong list updates the affected ΔFs, only those
+    /// Boltzmann kernels are recomputed, and totals plus selection run on
+    /// an O(log E) partial-sum tree ([`se_orthodox::EventRateTable`]).
+    Incremental,
+    /// Reference path: every candidate rate is recomputed from scratch each
+    /// step ([`RateContext::fill_rates`]) and selection is a linear scan.
+    FullRecompute,
+}
+
+impl KmcKernel {
+    /// Whether this kernel choice routes a circuit with `events` candidate
+    /// events through the incremental table + selection tree.
+    #[must_use]
+    pub fn uses_tree(self, events: usize) -> bool {
+        match self {
+            KmcKernel::Auto => events >= AUTO_TREE_THRESHOLD,
+            KmcKernel::Incremental => true,
+            KmcKernel::FullRecompute => false,
+        }
+    }
+}
 
 /// Options controlling a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +85,10 @@ pub struct SimulationOptions {
     /// through the [`se_engine::StationaryEngine`] trait (sweeps, stability
     /// maps, co-simulation).
     pub events_per_solve: usize,
+    /// Event-rate maintenance strategy ([`KmcKernel::Auto`] by default:
+    /// tree-based maintenance for large circuits, full recompute for
+    /// small ones).
+    pub kernel: KmcKernel,
 }
 
 impl SimulationOptions {
@@ -52,6 +102,7 @@ impl SimulationOptions {
             seed: None,
             equilibration_events: 1000,
             events_per_solve: 40_000,
+            kernel: KmcKernel::default(),
         }
     }
 
@@ -59,6 +110,13 @@ impl SimulationOptions {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Selects the event-rate maintenance kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KmcKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -99,7 +157,12 @@ pub struct MonteCarloSimulator {
     /// Persistent ΔF-independent rate factors (junction prefactors, kT).
     rate_ctx: RateContext,
     /// Reusable per-event rate buffer — keeps the step loop allocation-free.
+    /// Only the [`KmcKernel::FullRecompute`] path writes it.
     rates: Vec<f64>,
+    /// Incrementally maintained event rates + selection tree; present iff
+    /// the kernel resolves to the tree path ([`KmcKernel::uses_tree`], so
+    /// [`KmcKernel::Auto`] picks it for large circuits).
+    table: Option<EventRateTable>,
     /// Set by [`Self::system_mut`]: the next step must fold pending drive /
     /// background changes into the live state before evaluating rates.
     drives_dirty: bool,
@@ -135,6 +198,10 @@ impl MonteCarloSimulator {
         let junctions = system.junctions().len();
         let rate_ctx = RateContext::new(&system, options.temperature)?;
         let live = LiveState::new(&system, ChargeState::neutral(islands));
+        let table = options
+            .kernel
+            .uses_tree(system.event_count())
+            .then(|| EventRateTable::new(&system, &rate_ctx, &live));
         Ok(MonteCarloSimulator {
             system,
             options,
@@ -142,6 +209,7 @@ impl MonteCarloSimulator {
             live,
             rate_ctx,
             rates: vec![0.0; 2 * junctions],
+            table,
             drives_dirty: false,
             time: 0.0,
             net_transfers: vec![0; junctions],
@@ -258,10 +326,16 @@ impl MonteCarloSimulator {
     ///
     /// This is the incremental hot path: pending drive/background changes
     /// are folded in with precomputed response columns
-    /// ([`LiveState::sync`]), every candidate rate refreshes only its
-    /// ΔF-dependent factor ([`RateContext::fill_rates`] into a reusable
-    /// buffer), and applying the chosen event is an O(islands) potential
-    /// correction — no linear solve, no allocation.
+    /// ([`LiveState::sync`]), and applying the chosen event is an
+    /// O(islands) potential correction — no linear solve, no allocation.
+    /// Under [`KmcKernel::Incremental`] (what [`KmcKernel::Auto`], the
+    /// default, resolves to on large circuits) the candidate rates are
+    /// maintained in an [`EventRateTable`] — only the fired junction's
+    /// strongly-coupled events are re-evaluated after each event, and the
+    /// total and selection run on an O(log E) partial-sum tree. Under
+    /// [`KmcKernel::FullRecompute`] every rate refreshes its ΔF-dependent
+    /// factor ([`RateContext::fill_rates`] into a reusable buffer) and
+    /// selection is a linear scan.
     ///
     /// # Errors
     ///
@@ -269,17 +343,36 @@ impl MonteCarloSimulator {
     /// finite, positive total rate this method establishes first).
     pub fn step(&mut self) -> Result<Option<TunnelEvent>, MonteCarloError> {
         self.sync_drives();
-        let total = self
-            .rate_ctx
-            .fill_rates(&self.system, &self.live, &mut self.rates);
+        let (total, chosen_by_table) = match &mut self.table {
+            Some(table) => {
+                table.sync(&self.system, &self.rate_ctx, &self.live);
+                (table.total(), true)
+            }
+            None => (
+                self.rate_ctx
+                    .fill_rates(&self.system, &self.live, &mut self.rates),
+                false,
+            ),
+        };
         if total <= 0.0 {
             self.frozen = true;
             return Ok(None);
         }
         let dt = exponential_waiting_time(&mut self.rng, total)?;
-        let chosen = select_event(&mut self.rng, &self.rates, total);
+        let chosen = if chosen_by_table {
+            let target = self.rng.gen::<f64>() * total;
+            self.table
+                .as_ref()
+                .expect("the incremental kernel owns a table")
+                .select(target)
+        } else {
+            select_event(&mut self.rng, &self.rates, total)
+        };
         let event = self.system.event(chosen);
         self.live.apply(&self.system, event);
+        if let Some(table) = &mut self.table {
+            table.apply_event(&self.system, &self.rate_ctx, &self.live, event);
+        }
         self.time += dt;
         self.events_executed += 1;
         match event.direction {
@@ -633,6 +726,64 @@ mod tests {
         let result = sim.run_events(100).unwrap();
         assert!(result.is_frozen());
         assert_eq!(result.events(), 0);
+    }
+
+    #[test]
+    fn select_with_target_clamps_the_final_bucket() {
+        // Round-off can leave `u * total` at or above the accumulated sum
+        // (the junction-pairwise total associates differently from the
+        // scan's fold). The selection must then clamp to the last event
+        // with a non-zero rate — never panic, never return a zero-rate
+        // event. The trailing zero rates model a cold circuit's frozen
+        // tail.
+        let rates = [0.0, 0.25, 0.5, 0.25, 0.0, 0.0];
+        let total: f64 = rates.iter().sum();
+        assert_eq!(select_with_target(rates.iter().copied(), total), 3);
+        assert_eq!(
+            select_with_target(rates.iter().copied(), total * (1.0 + 1e-9)),
+            3
+        );
+        // In-range targets behave like the plain inverse-CDF scan.
+        assert_eq!(select_with_target(rates.iter().copied(), 0.0), 1);
+        assert_eq!(select_with_target(rates.iter().copied(), 0.3), 2);
+        assert_eq!(select_with_target(rates.iter().copied(), 0.8), 3);
+    }
+
+    #[test]
+    fn auto_kernel_resolves_by_event_count() {
+        // Auto is a pure function of the circuit's event count: below the
+        // threshold the flat fill_rates path, at or above it the tree —
+        // explicit kernels override in both directions.
+        assert!(!KmcKernel::Auto.uses_tree(AUTO_TREE_THRESHOLD - 1));
+        assert!(KmcKernel::Auto.uses_tree(AUTO_TREE_THRESHOLD));
+        assert!(KmcKernel::Incremental.uses_tree(2));
+        assert!(!KmcKernel::FullRecompute.uses_tree(10_000));
+        assert_eq!(KmcKernel::default(), KmcKernel::Auto);
+    }
+
+    #[test]
+    fn kernels_agree_on_the_physics() {
+        // The incremental table refills to bit-identical rates at every
+        // refresh boundary, but its tree total associates differently from
+        // the sequential fold (and between refills the maintained rates
+        // may differ in final ulps), so the trajectories diverge; the
+        // *currents* must still agree within Monte-Carlo error.
+        let run = |kernel| {
+            let mut sim = set_at_peak(1e-3, 1.0);
+            sim.options.kernel = kernel;
+            let mut sim = MonteCarloSimulator::new(sim.system().clone(), sim.options).unwrap();
+            sim.run_events(50_000)
+                .unwrap()
+                .junction_current("JD")
+                .unwrap()
+        };
+        let i_inc = run(KmcKernel::Incremental);
+        let i_full = run(KmcKernel::FullRecompute);
+        let rel = (i_inc - i_full).abs() / i_full.abs();
+        assert!(
+            rel < 0.05,
+            "kernel currents diverged: {i_inc} vs {i_full} ({rel:.3})"
+        );
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub use batched::{BatchedKmcEngine, ReplicaObservation};
 pub use builder::tunnel_system_from_netlist;
 pub use engine::{resolve_electrode, resolve_junction};
 pub use error::MonteCarloError;
-pub use kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};
+pub use kmc::{KmcKernel, MonteCarloSimulator, SimulationOptions, TracePoint, AUTO_TREE_THRESHOLD};
 pub use master::{MasterEquation, MasterSolution, MasterSolveStats};
 pub use observables::RunResult;
 pub use se_numeric::{Preconditioner, StationarySolver};
@@ -104,7 +104,7 @@ pub mod prelude {
     pub use crate::batched::{BatchedKmcEngine, ReplicaObservation};
     pub use crate::builder::tunnel_system_from_netlist;
     pub use crate::error::MonteCarloError;
-    pub use crate::kmc::{MonteCarloSimulator, SimulationOptions, TracePoint};
+    pub use crate::kmc::{KmcKernel, MonteCarloSimulator, SimulationOptions, TracePoint};
     pub use crate::master::MasterEquation;
     pub use crate::observables::RunResult;
     pub use crate::sweep::{gate_sweep_kmc, gate_sweep_master, stability_map_master, SweepPoint};

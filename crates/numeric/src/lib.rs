@@ -44,6 +44,7 @@ pub mod interp;
 pub mod krylov;
 pub mod lu;
 pub mod matrix;
+pub mod partial_sum;
 pub mod rootfind;
 pub mod sampling;
 pub mod sparse;
@@ -53,4 +54,5 @@ pub use error::NumericError;
 pub use krylov::Preconditioner;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
+pub use partial_sum::PartialSumTree;
 pub use sparse::{CsrMatrix, SolveStats, StationarySolver, StationaryWorkspace};

@@ -53,6 +53,7 @@ pub mod batch;
 pub mod cotunneling;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod live;
 pub mod rates;
 pub mod set;
@@ -61,6 +62,7 @@ pub mod system;
 pub use batch::{BatchedLiveState, BatchedRateContext};
 pub use engine::AnalyticSetEngine;
 pub use error::OrthodoxError;
+pub use events::{BatchedEventRateTable, EventRateTable};
 pub use live::{LiveState, RateContext};
 pub use rates::{tunnel_rate, tunnel_rate_zero_temperature};
 pub use system::{

@@ -67,6 +67,12 @@ pub struct LiveState {
     islands: usize,
     seen_backgrounds: Vec<f64>,
     updates_since_refresh: u32,
+    /// Monotone counter of non-event potential revisions: every exact
+    /// refresh, drive/background sync fold and island shift bumps it.
+    /// Derived caches keyed on the potentials (the incremental event-rate
+    /// table) compare generations to detect that their base state was
+    /// rebuilt under them and they must refill rather than patch.
+    generation: u64,
 }
 
 impl LiveState {
@@ -80,6 +86,7 @@ impl LiveState {
             islands,
             seen_backgrounds: vec![0.0; islands],
             updates_since_refresh: 0,
+            generation: 0,
         };
         live.refresh(system);
         live
@@ -109,6 +116,12 @@ impl LiveState {
         &self.phi
     }
 
+    /// The non-event revision counter (see the `generation` field). Event
+    /// applies bump it only when they trigger the periodic exact refresh.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Recomputes the potentials exactly from the current system state and
     /// resets the drift counter.
     pub fn refresh(&mut self, system: &TunnelSystem) {
@@ -121,6 +134,7 @@ impl LiveState {
             *seen = system.background_charge(i);
         }
         self.updates_since_refresh = 0;
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Folds any drive-voltage or background-charge changes made to the
@@ -138,6 +152,7 @@ impl LiveState {
                 let dv = v - seen;
                 axpy(&mut self.phi[..self.islands], system.drive_response(k), dv);
                 self.phi[self.islands + k] = v;
+                self.generation = self.generation.wrapping_add(1);
                 self.count_update(system);
             }
         }
@@ -148,6 +163,7 @@ impl LiveState {
                 let dq = E * (q0 - self.seen_backgrounds[i]);
                 axpy(&mut self.phi[..self.islands], system.inverse_row(i), dq);
                 self.seen_backgrounds[i] = q0;
+                self.generation = self.generation.wrapping_add(1);
                 self.count_update(system);
             }
         }
@@ -200,6 +216,7 @@ impl LiveState {
             system.inverse_row(i),
             -E * delta as f64,
         );
+        self.generation = self.generation.wrapping_add(1);
         self.count_update(system);
     }
 

@@ -34,6 +34,16 @@ use crate::error::OrthodoxError;
 use se_numeric::{LuDecomposition, Matrix, NumericError};
 use se_units::constants::E;
 
+/// Relative negligibility threshold of the event-coupling table: a coupling
+/// below this fraction of the system's strongest coupling is left off the
+/// strong lists (see [`TunnelSystem::junction_strong_couplings`]). The
+/// resulting worst-case ΔF drift of a skipped event between two exact
+/// refreshes — `REFRESH_INTERVAL · threshold · g_max`, doubled for safety —
+/// becomes the [`TunnelSystem::coupling_margin`] stability guard, a few kT
+/// at millikelvin scales versus the thousands of kT of slack a deep-frozen
+/// event has.
+const COUPLING_THRESHOLD_REL: f64 = 1e-7;
+
 /// One end of a capacitive branch: either a charge-quantised island or an
 /// external, voltage-driven electrode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -347,7 +357,7 @@ impl TunnelSystemBuilder {
         // Per-junction potential response of one a→b tunnel event:
         // Δφ = e·K[:,a] − e·K[:,b] (island endpoints only). Applying an
         // event to cached potentials is then a single ±axpy of this column.
-        let event_response = self
+        let event_response: Vec<Vec<f64>> = self
             .junctions
             .iter()
             .map(|j| {
@@ -362,6 +372,58 @@ impl TunnelSystemBuilder {
                     .collect()
             })
             .collect();
+
+        // Event-coupling table: orthodox ΔF is linear in the island
+        // occupation, so firing an a→b event on junction `f` shifts every
+        // junction `j`'s potential-gap term by the build-time constant
+        //
+        //   g[f][j] = e·(resp_f[a_j] − resp_f[b_j])   (joule),
+        //
+        // external endpoints contributing zero. The incremental event-rate
+        // table (`events.rs`) only needs the *sparsity*: per fired junction,
+        // the list of junctions whose coupling exceeds a small threshold
+        // relative to the strongest coupling in the system. A coupling below
+        // the threshold drifts an untouched event's ΔF by at most
+        // REFRESH_INTERVAL·θ between two exact refreshes, which is what the
+        // `coupling_margin` stability guard accounts for.
+        let gap_shift = |f: usize, j: &Junction| -> f64 {
+            let resp = &event_response[f];
+            let at = |e: Endpoint| match e {
+                Endpoint::Island(i) => resp[i],
+                Endpoint::External(_) => 0.0,
+            };
+            E * (at(j.a) - at(j.b))
+        };
+        let n_junctions = self.junctions.len();
+        let mut g_max = 0.0_f64;
+        for f in 0..n_junctions {
+            for j in &self.junctions {
+                g_max = g_max.max(gap_shift(f, j).abs());
+            }
+        }
+        let threshold = COUPLING_THRESHOLD_REL * g_max;
+        let coupling_strong: Vec<Vec<u32>> = (0..n_junctions)
+            .map(|f| {
+                self.junctions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| gap_shift(f, j).abs() > threshold)
+                    .map(|(idx, _)| idx as u32)
+                    .collect()
+            })
+            .collect();
+        // The coupling values of each strong list, stored contiguously so
+        // the per-event axpy reads one cache-friendly slice instead of
+        // recomputing the endpoint algebra per entry.
+        let coupling_strong_values: Vec<Vec<f64>> = (0..n_junctions)
+            .map(|f| {
+                coupling_strong[f]
+                    .iter()
+                    .map(|&j| gap_shift(f, &self.junctions[j as usize]))
+                    .collect()
+            })
+            .collect();
+        let coupling_margin = 2.0 * f64::from(crate::live::REFRESH_INTERVAL) * threshold;
 
         // Per-electrode potential response ∂φ/∂V_k = K · C(:,k): a voltage
         // step on electrode k moves every island potential by one axpy of
@@ -394,6 +456,9 @@ impl TunnelSystemBuilder {
             coupling,
             self_charging,
             event_response,
+            coupling_strong,
+            coupling_strong_values,
+            coupling_margin,
             drive_response,
         })
     }
@@ -419,6 +484,20 @@ pub struct TunnelSystem {
     /// (volt): `e·K[:,a] − e·K[:,b]`, zero contribution for external
     /// endpoints.
     event_response: Vec<Vec<f64>>,
+    /// Per-junction event-coupling strong list: `coupling_strong[f]` holds
+    /// every junction index whose ΔF potential-gap term moves by more than
+    /// the negligibility threshold when an event fires on junction `f`
+    /// (see [`TunnelSystem::junction_coupling`]). Sorted ascending.
+    coupling_strong: Vec<Vec<u32>>,
+    /// `coupling_strong_values[f][k]` is
+    /// `junction_coupling(f, coupling_strong[f][k])` — the strong list's
+    /// coupling constants, aligned entry for entry, so the incremental
+    /// event-rate table's axpy streams both slices together.
+    coupling_strong_values: Vec<Vec<f64>>,
+    /// Stability margin (joule) for the incremental event-rate table: the
+    /// accumulated ΔF drift that below-threshold (unlisted) couplings can
+    /// contribute between two exact refreshes, with a 2× safety factor.
+    coupling_margin: f64,
     /// Per-external-electrode island-potential response `K · C(:,k)`
     /// (dimensionless): the change of every island potential per volt of
     /// electrode `k`.
@@ -756,6 +835,67 @@ impl TunnelSystem {
     /// junction `j` (negate for b→a).
     pub(crate) fn junction_response(&self, j: usize) -> &[f64] {
         &self.event_response[j]
+    }
+
+    /// The event-coupling constant `g[fired][observed]` in joule: how much
+    /// the *potential-gap* term of junction `observed`'s ΔF moves when one
+    /// a→b event fires on junction `fired` (negate for b→a; the
+    /// self-charging term never moves). Orthodox ΔF is linear in the island
+    /// occupation, so this is a build-time constant of the capacitance
+    /// matrix — the algebraic fact the incremental event-rate table's
+    /// sparsity rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either junction index is out of range.
+    #[must_use]
+    pub fn junction_coupling(&self, fired: usize, observed: usize) -> f64 {
+        let resp = &self.event_response[fired];
+        let at = |e: Endpoint| match e {
+            Endpoint::Island(i) => resp[i],
+            Endpoint::External(_) => 0.0,
+        };
+        let j = &self.junctions[observed];
+        E * (at(j.a) - at(j.b))
+    }
+
+    /// The junctions whose ΔF moves non-negligibly when an event fires on
+    /// junction `fired` — every `observed` with
+    /// `|junction_coupling(fired, observed)|` above the build-time
+    /// negligibility threshold, sorted ascending. The incremental event-rate
+    /// table re-evaluates exactly these junctions after each event; the
+    /// drift every *unlisted* coupling can accumulate between two exact
+    /// refreshes is bounded by [`TunnelSystem::coupling_margin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fired` is out of range.
+    #[must_use]
+    pub fn junction_strong_couplings(&self, fired: usize) -> &[u32] {
+        &self.coupling_strong[fired]
+    }
+
+    /// The coupling constants of `fired`'s strong list, aligned entry for
+    /// entry with [`TunnelSystem::junction_strong_couplings`]:
+    /// `junction_strong_coupling_values(f)[k]` equals
+    /// `junction_coupling(f, junction_strong_couplings(f)[k])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fired` is out of range.
+    #[must_use]
+    pub fn junction_strong_coupling_values(&self, fired: usize) -> &[f64] {
+        &self.coupling_strong_values[fired]
+    }
+
+    /// The ΔF stability margin in joule: an event whose ΔF exceeds the
+    /// frozen cutoff *plus this margin* is guaranteed to stay past the
+    /// cutoff (rate exactly zero) under any sequence of weak-coupling
+    /// drifts until the next exact refresh, so the incremental event-rate
+    /// table can skip it entirely.
+    #[must_use]
+    pub fn coupling_margin(&self) -> f64 {
+        self.coupling_margin
     }
 
     /// Tunnel resistance of the junction involved in `event`, in ohm.

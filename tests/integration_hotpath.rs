@@ -14,7 +14,10 @@ use single_electronics::montecarlo::{
 };
 use single_electronics::orthodox::live::{LiveState, RateContext};
 use single_electronics::orthodox::set::SingleElectronTransistor;
-use single_electronics::orthodox::{tunnel_rate, ChargeState, TunnelSystem, TunnelSystemBuilder};
+use single_electronics::orthodox::{
+    tunnel_rate, BatchedEventRateTable, BatchedLiveState, BatchedRateContext, ChargeState,
+    EventRateTable, TunnelSystem, TunnelSystemBuilder,
+};
 
 /// A randomly parameterised island chain: every island couples to the
 /// previous endpoint (lead for the first) through a tunnel junction, plus
@@ -174,6 +177,169 @@ proptest! {
             live.sync(&system);
         }
         assert_live_matches_full(&system, &live, 4.2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental event-rate table against the reference fill: over
+    /// random circuits, temperatures and event walks, a refill boundary
+    /// (full potential refresh + table sync — the cadence `LiveState`
+    /// re-synchronizes on) reproduces `RateContext::fill_rates` bit for
+    /// bit. Between refills the axpy-maintained rates may differ from a
+    /// fresh fill in final ulps; at every refill they must not differ at
+    /// all.
+    #[test]
+    fn prop_event_table_refill_matches_fill_rates_bit_for_bit(
+        circuit in ArbCircuit,
+        temperature_index in 0usize..4,
+        walk in proptest::collection::vec(0_usize..10_000, 1..300),
+    ) {
+        let temperature = [0.0, 0.1, 1.0, 4.2][temperature_index];
+        let islands = circuit.gate_caps.len();
+        let system = circuit.build();
+        let ctx = RateContext::new(&system, temperature).unwrap();
+        let mut live = LiveState::new(&system, ChargeState::neutral(islands));
+        let mut table = EventRateTable::new(&system, &ctx, &live);
+        for &step in &walk {
+            let event = system.event(step % system.event_count());
+            live.apply(&system, event);
+            table.apply_event(&system, &ctx, &live, event);
+        }
+        live.refresh(&system);
+        prop_assert!(table.sync(&system, &ctx, &live), "refresh must trigger a refill");
+        let mut rates = Vec::new();
+        ctx.fill_rates(&system, &live, &mut rates);
+        for (index, &rate) in rates.iter().enumerate() {
+            prop_assert_eq!(
+                table.rate(index).to_bits(),
+                rate.to_bits(),
+                "event {} diverged at the refill boundary",
+                index
+            );
+        }
+    }
+
+    /// The batched lane tables under interleaved per-lane walks: lane `k`
+    /// stays bit-identical to a standalone scalar table fed the same event
+    /// sequence (rates *and* maintained ΔF), and every lane's refill
+    /// boundary reproduces the scalar `fill_rates` of its charge state bit
+    /// for bit.
+    #[test]
+    fn prop_batched_lane_table_refills_match_fill_rates_bit_for_bit(
+        circuit in ArbCircuit,
+        temperature_index in 0usize..3,
+        walk in proptest::collection::vec(0_usize..10_000, 3..240),
+    ) {
+        let temperature = [0.1, 1.0, 4.2][temperature_index];
+        let islands = circuit.gate_caps.len();
+        let system = circuit.build();
+        let replicas = 3;
+        let batch_ctx = BatchedRateContext::new(&system, temperature, replicas).unwrap();
+        let ctx = batch_ctx.context();
+        let mut batch =
+            BatchedLiveState::new(&system, ChargeState::neutral(islands), replicas).unwrap();
+        let mut lanes: Vec<BatchedEventRateTable> = (0..replicas)
+            .map(|r| BatchedEventRateTable::new(&system, ctx, &batch, r))
+            .collect();
+        // Scalar twin of lane 1: fed exactly the walk steps lane 1 sees.
+        let mut twin_live = LiveState::new(&system, ChargeState::neutral(islands));
+        let mut twin = EventRateTable::new(&system, ctx, &twin_live);
+        for (i, &step) in walk.iter().enumerate() {
+            let lane = i % replicas;
+            let event = system.event(step % system.event_count());
+            batch.apply(&system, event, lane);
+            lanes[lane].apply_event(&system, ctx, &batch, event);
+            if lane == 1 {
+                twin_live.apply(&system, event);
+                twin.apply_event(&system, ctx, &twin_live, event);
+            }
+        }
+        for index in 0..twin.event_count() {
+            prop_assert_eq!(lanes[1].rate(index).to_bits(), twin.rate(index).to_bits());
+            prop_assert_eq!(lanes[1].delta_f(index).to_bits(), twin.delta_f(index).to_bits());
+        }
+        let mut rates = Vec::new();
+        for (r, lane) in lanes.iter_mut().enumerate() {
+            batch.refresh_replica(&system, r);
+            prop_assert!(lane.sync(&system, ctx, &batch), "refresh must trigger a refill");
+            let snapshot = LiveState::new(&system, batch.charge_state(r));
+            ctx.fill_rates(&system, &snapshot, &mut rates);
+            for (index, &rate) in rates.iter().enumerate() {
+                prop_assert_eq!(
+                    lane.rate(index).to_bits(),
+                    rate.to_bits(),
+                    "lane {} event {} diverged at the refill boundary",
+                    r,
+                    index
+                );
+            }
+        }
+    }
+}
+
+/// Frozen-cutoff reclassification mid-run: deep in Coulomb blockade at low
+/// temperature, the axpy-maintained ΔF of individual events crosses the
+/// frozen cutoff in both directions between refills. The table must hard-
+/// zero an event the moment its ΔF exceeds the cutoff and revive it when
+/// the walk brings it back — with no full refill in between — and the next
+/// refill boundary must still reproduce `fill_rates` bit for bit.
+#[test]
+fn event_table_reclassifies_frozen_events_across_the_cutoff_mid_run() {
+    let mut b = TunnelSystemBuilder::new();
+    let drain = b.external("drain", 5e-3);
+    let source = b.external("source", 0.0);
+    let gate = b.external("gate", 0.0);
+    let i0 = b.island("i0", 0.0);
+    let i1 = b.island("i1", 0.0);
+    b.junction("J0", drain, i0, 0.7e-18, 80e3);
+    b.junction("J1", i0, i1, 0.4e-18, 120e3);
+    b.junction("J2", i1, source, 0.6e-18, 90e3);
+    b.capacitor("Cg0", gate, i0, 0.3e-18);
+    b.capacitor("Cg1", gate, i1, 0.5e-18);
+    let system = b.build().unwrap();
+
+    let ctx = RateContext::new(&system, 0.02).unwrap();
+    let mut live = LiveState::new(&system, ChargeState::neutral(2));
+    let mut table = EventRateTable::new(&system, &ctx, &live);
+    let mut froze = false;
+    let mut thawed = false;
+    let mut was_zero: Vec<bool> = (0..table.event_count())
+        .map(|e| table.rate(e) == 0.0)
+        .collect();
+    let mut lcg = 12345_u64;
+    for _ in 0..4000 {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let event = system.event((lcg >> 33) as usize % system.event_count());
+        live.apply(&system, event);
+        table.apply_event(&system, &ctx, &live, event);
+        assert!(
+            !table.sync(&system, &ctx, &live),
+            "no full refill may occur during the walk"
+        );
+        for (e, seen_zero) in was_zero.iter_mut().enumerate() {
+            let zero = table.rate(e) == 0.0;
+            froze |= zero && !*seen_zero;
+            thawed |= !zero && *seen_zero;
+            *seen_zero = zero;
+        }
+    }
+    assert!(froze, "the walk must freeze at least one event");
+    assert!(thawed, "the walk must thaw at least one frozen event");
+
+    live.refresh(&system);
+    assert!(table.sync(&system, &ctx, &live));
+    let mut rates = Vec::new();
+    ctx.fill_rates(&system, &live, &mut rates);
+    for (index, &rate) in rates.iter().enumerate() {
+        assert_eq!(
+            table.rate(index).to_bits(),
+            rate.to_bits(),
+            "event {index} diverged at the refill boundary"
+        );
     }
 }
 

@@ -173,6 +173,8 @@ proptest! {
 
 /// The committed corpus: one trace directory per example deck.
 const GOLDEN_DECKS: &[&str] = &[
+    "array16x16_background",
+    "chain256_transport",
     "ensemble_repeats",
     "hybrid_mvl_gate",
     "mosfet_follower",
